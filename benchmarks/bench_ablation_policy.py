@@ -1,0 +1,74 @@
+"""Ablation (beyond the paper): DawningCloud design-choice sensitivity.
+
+Two knobs DESIGN.md calls out:
+
+1. the hourly idle-release check cadence (§3.2.2.1's "once per hour") —
+   faster checks release dynamic resources sooner but churn more;
+2. the pool capacity behind the all-or-nothing provision policy — a
+   smaller pool rejects more DR1 requests, bounding both the peak and the
+   consumption at some completion risk.
+"""
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.experiments.config import nasa_bundle
+from repro.experiments.report import render_table
+from repro.systems.dsp_runner import run_dawningcloud_htc
+
+HOUR = 3600.0
+
+
+def test_ablation_release_check_interval(benchmark, setup):
+    bundle = nasa_bundle(setup.seed)
+
+    def sweep():
+        rows = []
+        for interval_h in (0.5, 1.0, 2.0):
+            policy = ResourceManagementPolicy(
+                initial_nodes=40,
+                threshold_ratio=1.2,
+                scan_interval_s=60.0,
+                release_check_interval_s=interval_h * HOUR,
+            )
+            m = run_dawningcloud_htc(bundle, policy, capacity=setup.capacity)
+            rows.append(
+                {
+                    "release_check_h": interval_h,
+                    "resource_consumption": round(m.resource_consumption),
+                    "completed_jobs": m.completed_jobs,
+                    "adjusted_nodes": m.adjusted_nodes,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Ablation: idle-release check cadence "
+                                   "(DawningCloud, NASA trace)"))
+    assert all(r["completed_jobs"] >= 2580 for r in rows)
+
+
+def test_ablation_pool_capacity(benchmark, setup):
+    bundle = nasa_bundle(setup.seed)
+    policy = ResourceManagementPolicy.for_htc(40, 1.2)
+
+    def sweep():
+        rows = []
+        for capacity in (150, 250, 420, 1000):
+            m = run_dawningcloud_htc(bundle, policy, capacity=capacity)
+            rows.append(
+                {
+                    "pool_capacity": capacity,
+                    "resource_consumption": round(m.resource_consumption),
+                    "completed_jobs": m.completed_jobs,
+                    "peak_nodes": round(m.peak_nodes),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Ablation: provider pool capacity "
+                                   "(DawningCloud, NASA trace)"))
+    # a bigger pool can only raise the peak
+    peaks = [r["peak_nodes"] for r in rows]
+    assert peaks == sorted(peaks)

@@ -1,0 +1,51 @@
+"""Ablation (beyond the paper): economies of scale versus offered load.
+
+Section 4.2 notes the archive's traces span 24.4%-86.5% utilization but
+the paper evaluates two points (46.6% and ~76%).  This sweep holds the
+NASA trace's shape fixed and varies only the offered load across the full
+archive range, tracing DawningCloud's saving against the owned machine:
+large at low load (the DCS idles), shrinking toward saturation (a busy
+machine earns its keep), with DRP's hour-rounding penalty roughly
+load-independent.
+"""
+
+from repro.experiments.ablations import utilization_sweep
+from repro.experiments.config import PAPER_POLICIES
+from repro.experiments.report import render_table
+from repro.workloads.archive import (
+    ARCHIVE_MAX_UTILIZATION,
+    ARCHIVE_MIN_UTILIZATION,
+)
+from repro.workloads.traces import NASA_IPSC
+
+
+def test_ablation_utilization_sweep(benchmark, setup):
+    def run():
+        return utilization_sweep(
+            NASA_IPSC,
+            utilizations=(
+                ARCHIVE_MIN_UTILIZATION,
+                0.35,
+                0.466,
+                0.60,
+                0.72,
+                ARCHIVE_MAX_UTILIZATION,
+            ),
+            policy=PAPER_POLICIES["nasa-ipsc"],
+            capacity=setup.capacity,
+            seed=setup.seed,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Ablation: DawningCloud saving vs offered "
+                                   "load (NASA shape, 24.4%-86.5%)"))
+
+    savings = [r["dawningcloud_saving_vs_dcs"] for r in rows]
+    # savings shrink as load rises
+    assert savings[0] > savings[-1]
+    assert savings[0] > 0.4  # a quarter-loaded machine wastes a lot
+    # ... and can invert near saturation: at 86.5% the fixed machine earns
+    # its keep while the dynamic system pays hour-rounding and churn —
+    # the boundary of the paper's economies-of-scale claim
+    assert savings[-1] < 0.1

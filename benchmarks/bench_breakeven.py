@@ -1,0 +1,59 @@
+"""Extension of §4.5.5: own-vs-lease break-even analysis.
+
+The paper's TCO case bills the cloud always-on and still finds leasing
+cheaper (71.5% of owning).  These benches chart the whole decision
+surface: the lease-cost-vs-utilization curve, the break-even EC2 price,
+the reserved-instance crossover and the one-at-a-time sensitivity table.
+"""
+
+import pytest
+
+from repro.costmodel.breakeven import (
+    breakeven_price,
+    breakeven_utilization,
+    reserved_crossover_hours,
+    sensitivity_table,
+    utilization_cost_curve,
+)
+from repro.costmodel.pricing import EC2_2009_SMALL, EC2_2009_SMALL_RESERVED
+from repro.costmodel.tco import BJUT_DCS_CASE, BJUT_SSP_CASE
+from repro.experiments.report import render_table
+
+
+def test_breakeven_analysis(benchmark):
+    def run():
+        return {
+            "curve": utilization_cost_curve(BJUT_DCS_CASE, BJUT_SSP_CASE),
+            "sensitivity": [
+                p.to_row() for p in sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)
+            ],
+            "breakeven_price": breakeven_price(BJUT_DCS_CASE, BJUT_SSP_CASE),
+            "breakeven_utilization": breakeven_utilization(
+                BJUT_DCS_CASE, BJUT_SSP_CASE
+            ),
+            "reserved_crossover_h": reserved_crossover_hours(
+                EC2_2009_SMALL, EC2_2009_SMALL_RESERVED
+            ),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(out["curve"], title="Own vs lease: monthly cost by "
+                                           "duty level (BJUT case)"))
+    print(render_table(out["sensitivity"], title="TCO sensitivity "
+                                                 "(one-at-a-time)"))
+    print(f"Break-even EC2 price: ${out['breakeven_price']:.4f}/instance-h "
+          f"(actual 2009 price $0.10)")
+    print(f"Break-even duty level: {out['breakeven_utilization']} "
+          f"(None = lease always wins)")
+    print(f"Reserved-instance crossover: {out['reserved_crossover_h']:.0f} "
+          f"h/month")
+
+    # the paper's conclusion: leasing wins at every duty level
+    assert out["breakeven_utilization"] is None
+    assert all(r["winner"] == "lease" for r in out["curve"])
+    assert out["breakeven_price"] == pytest.approx(0.1417, abs=1e-3)
+    # the base sensitivity row reproduces the 71.5% ratio
+    base = [r for r in out["sensitivity"]
+            if r["parameter"] == "ec2_price_factor" and r["value"] == 1.0][0]
+    assert base["ssp_over_dcs"] == pytest.approx(0.715, abs=0.001)

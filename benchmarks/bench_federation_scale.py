@@ -1,0 +1,68 @@
+"""Extension (the paper's §6 future work): federation-scale economies.
+
+Given the paper's three service providers and a fixed total capacity, is
+one consolidated cloud better than k smaller ones?  The DSP model says the
+big pool should absorb uncorrelated bursts that fragments must reject.
+The benchmark also runs the priced market: two providers competing on
+$/node-hour, bundles placed cheapest-feasible.
+"""
+
+from repro.experiments.config import EvaluationSetup
+from repro.experiments.report import render_table
+from repro.federation.market import (
+    ProviderRate,
+    run_market,
+    scale_economies_experiment,
+)
+from repro.federation.model import FederatedResourceProvider
+
+
+def test_scale_economies_one_big_vs_fragments(benchmark, setup):
+    bundles = setup.bundles(consolidated=True)
+
+    def run():
+        return scale_economies_experiment(
+            bundles,
+            setup.policies,
+            total_capacity=setup.capacity,
+            splits=(1, 2, 3),
+            horizon=setup.horizon,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Federation: one big cloud vs k equal "
+                                   "fragments (total capacity fixed)"))
+
+    one, *frags = rows
+    total_jobs = sum(b.n_jobs for b in bundles)
+    # the consolidated cloud completes essentially the full workload (a
+    # few BLUE tail jobs stay in flight at the horizon, as in Table 3)
+    assert one["completed_jobs"] >= total_jobs - 10
+    # fragments never complete meaningfully more than the big pool
+    assert all(
+        r["completed_jobs"] <= one["completed_jobs"] + 5 for r in frags
+    )
+
+
+def test_priced_market(benchmark, setup):
+    bundles = setup.bundles(consolidated=True)
+    providers = [
+        FederatedResourceProvider("east", setup.capacity),
+        FederatedResourceProvider("west", setup.capacity),
+    ]
+    rates = [ProviderRate("east", 0.10), ProviderRate("west", 0.07)]
+    result = benchmark.pedantic(
+        lambda: run_market(
+            bundles, setup.policies, providers, rates, horizon=setup.horizon
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result.to_rows(), title="Federation market: two "
+                                               "providers competing on price"))
+    # everything lands on the cheaper feasible provider
+    assert set(result.federation_result.placement.values()) == {"west"}
+    assert result.total_billed > 0
+    assert set(result.bills) == {b.name for b in bundles}

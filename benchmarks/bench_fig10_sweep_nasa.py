@@ -1,0 +1,24 @@
+"""Figure 10: resource consumption and completed jobs vs. (B, R) — NASA.
+
+Paper: "we choose B40_R1.2 as the final configuration for NASA trace."
+"""
+
+from repro.experiments.config import nasa_bundle
+from repro.experiments.report import render_sweep
+from repro.experiments.sweep import best_point, sweep_htc_parameters
+
+
+def test_fig10_nasa_parameter_sweep(benchmark, setup):
+    bundle = nasa_bundle(setup.seed)
+    points = benchmark.pedantic(
+        sweep_htc_parameters,
+        args=(bundle,),
+        kwargs={"capacity": setup.capacity},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(points) == 16
+    print()
+    print(render_sweep(points, title="Figure 10: NASA trace (B, R) sweep"))
+    best = best_point(points)
+    print(f"selected configuration: {best.label} (paper selects B40_R1.2)")

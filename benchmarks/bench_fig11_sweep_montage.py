@@ -1,0 +1,29 @@
+"""Figure 11: resource consumption and tasks/s vs. (B, R) — Montage.
+
+Paper: "changing B from 10 to 80 and R from 2 to 16 ... we choose B10_R8 as
+the final configuration for the Montage workload."
+"""
+
+from repro.experiments.config import montage_bundle
+from repro.experiments.report import render_sweep
+from repro.experiments.sweep import best_point, sweep_mtc_parameters
+
+
+def test_fig11_montage_parameter_sweep(benchmark, setup):
+    bundle = montage_bundle(setup.seed)
+    points = benchmark.pedantic(
+        sweep_mtc_parameters,
+        args=(bundle,),
+        kwargs={"capacity": setup.capacity},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(points) == 16
+    print()
+    print(render_sweep(points, title="Figure 11: Montage (B, R) sweep"))
+    best = best_point(points)
+    print(f"selected configuration: {best.label} (paper selects B10_R8)")
+    # the R=8 threshold keeps the TRE at the steady 166-node level, so the
+    # low-B/high-R corner must not balloon to the 662-wide diff level
+    b10_r8 = next(p for p in points if p.label == "B10_R8")
+    assert b10_r8.resource_consumption <= 250

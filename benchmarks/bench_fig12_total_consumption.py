@@ -1,0 +1,34 @@
+"""Figure 12: total resource consumption of the resource provider.
+
+Paper: DawningCloud saves 29.7% vs DCS/SSP (91558 → 64381) and 29.0% vs
+DRP (90618 → 64381).
+"""
+
+from repro.experiments.report import render_table
+
+
+def test_fig12_total_resource_consumption(benchmark, consolidated_cache):
+    result = benchmark.pedantic(consolidated_cache.get, rounds=1, iterations=1)
+    rows = [
+        {
+            "system": system,
+            "total_consumption_node_hours": round(agg.total_consumption),
+        }
+        for system, agg in result.aggregates.items()
+    ]
+    print()
+    print(
+        render_table(
+            rows,
+            title="Figure 12: total resource consumption "
+            "(paper: DCS/SSP 91558, DRP 90618, DawningCloud 64381)",
+        )
+    )
+    print(
+        f"DawningCloud saving vs DCS/SSP: "
+        f"{result.savings_vs('DawningCloud', 'DCS'):.1%} (paper 29.7%)\n"
+        f"DawningCloud saving vs DRP:     "
+        f"{result.savings_vs('DawningCloud', 'DRP'):.1%} (paper 29.0%)"
+    )
+    assert result.savings_vs("DawningCloud", "DCS") > 0.15
+    assert result.savings_vs("DawningCloud", "DRP") > 0.05

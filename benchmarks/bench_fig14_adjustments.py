@@ -1,0 +1,40 @@
+"""Figure 14 and §4.5.4: accumulated node adjustments & management overhead.
+
+Paper: SSP lowest (startup + finalization only); DawningCloud well below
+DRP because initial resources are never reclaimed mid-run; adjusting one
+node costs 15.743 s and DawningCloud's average overhead is ≈341 s/hour.
+"""
+
+from repro.cluster.setup import DEFAULT_ADJUST_COST_S
+from repro.experiments.report import render_table
+
+HOUR = 3600.0
+
+
+def test_fig14_accumulated_adjustments(benchmark, consolidated_cache):
+    result = benchmark.pedantic(consolidated_cache.get, rounds=1, iterations=1)
+    horizon_h = next(iter(result.aggregates.values())).horizon_s / HOUR
+    rows = [
+        {
+            "system": system,
+            "accumulated_adjusted_nodes": agg.adjusted_nodes,
+            "overhead_s_per_hour": round(
+                agg.adjusted_nodes * DEFAULT_ADJUST_COST_S / horizon_h, 1
+            ),
+        }
+        for system, agg in result.aggregates.items()
+    ]
+    print()
+    print(
+        render_table(
+            rows,
+            title="Figure 14: accumulated times of adjusting nodes "
+            "(paper ordering: SSP < DawningCloud < DRP; "
+            "DawningCloud overhead ~341 s/h)",
+        )
+    )
+    ssp = result.aggregate("SSP").adjusted_nodes
+    dc = result.aggregate("DawningCloud").adjusted_nodes
+    drp = result.aggregate("DRP").adjusted_nodes
+    assert ssp < dc < drp
+    assert result.aggregate("DCS").adjusted_nodes == 0

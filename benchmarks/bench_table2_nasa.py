@@ -1,0 +1,27 @@
+"""Table 2: the metrics of the service providers for the NASA trace.
+
+Paper values: DCS 43008 / SSP 43008 (0%) / DRP 54118 (-25.8%) /
+DawningCloud 29014 (32.5%), all completing 2603 jobs.
+"""
+
+from repro.experiments.report import render_percentage_rows, render_table
+from repro.experiments.tables import table_from_consolidated
+
+
+def test_table2_nasa_service_provider(benchmark, consolidated_cache):
+    result = benchmark.pedantic(
+        consolidated_cache.get, rounds=1, iterations=1
+    )
+    rows = table_from_consolidated(result, "nasa-ipsc", "htc")
+    print()
+    print(
+        render_table(
+            render_percentage_rows(rows),
+            title="Table 2: service providers, NASA trace "
+            "(paper: 43008 / 43008 / 54118 / 29014)",
+        )
+    )
+    by = {r["configuration"]: r for r in rows}
+    assert by["DCS system"]["resource_consumption"] == 43008
+    assert by["DRP system"]["resource_consumption"] > 43008
+    assert by["DawningCloud"]["resource_consumption"] < 43008

@@ -1,0 +1,27 @@
+"""Table 3: the metrics of the service provider for the BLUE trace.
+
+Paper values: DCS 48384 / SSP 48384 (0%) / DRP 35838 (25.9%) /
+DawningCloud 35201 (27.2%), completing 2649/2649/2657/2653 jobs.
+"""
+
+from repro.experiments.report import render_percentage_rows, render_table
+from repro.experiments.tables import table_from_consolidated
+
+
+def test_table3_blue_service_provider(benchmark, consolidated_cache):
+    result = benchmark.pedantic(
+        consolidated_cache.get, rounds=1, iterations=1
+    )
+    rows = table_from_consolidated(result, "sdsc-blue", "htc")
+    print()
+    print(
+        render_table(
+            render_percentage_rows(rows),
+            title="Table 3: service provider, BLUE trace "
+            "(paper: 48384 / 48384 / 35838 / 35201)",
+        )
+    )
+    by = {r["configuration"]: r for r in rows}
+    assert by["DCS system"]["resource_consumption"] == 48384
+    assert by["DRP system"]["resource_consumption"] < 48384
+    assert by["DawningCloud"]["resource_consumption"] < 48384

@@ -1,0 +1,28 @@
+"""Table 4: the metrics of the service provider for Montage.
+
+Paper values: DCS 166 (2.49 t/s) / SSP 166 / DRP 662 (-298.8%, 2.71 t/s) /
+DawningCloud 166 (0%, 2.49 t/s) — DawningCloud saves 74.9% vs DRP.
+"""
+
+from repro.experiments.report import render_percentage_rows, render_table
+from repro.experiments.tables import table_from_consolidated
+
+
+def test_table4_montage_service_provider(benchmark, consolidated_cache):
+    result = benchmark.pedantic(
+        consolidated_cache.get, rounds=1, iterations=1
+    )
+    rows = table_from_consolidated(result, "montage", "mtc")
+    print()
+    print(
+        render_table(
+            render_percentage_rows(rows),
+            title="Table 4: service provider, Montage "
+            "(paper: 166 / 166 / 662 / 166)",
+        )
+    )
+    by = {r["configuration"]: r for r in rows}
+    assert by["DCS system"]["resource_consumption"] == 166
+    assert by["DawningCloud"]["resource_consumption"] == 166
+    drp = by["DRP system"]["resource_consumption"]
+    assert 1 - 166 / drp > 0.6  # paper: 74.9% saving vs DRP

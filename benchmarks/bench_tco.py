@@ -1,0 +1,25 @@
+"""§4.5.5: total cost of ownership of the service provider (DCS vs SSP).
+
+Paper: DCS $3,160/month vs SSP $2,260/month — SSP is 71.5% of DCS.
+"""
+
+import pytest
+
+from repro.costmodel.compare import paper_case_study
+from repro.experiments.report import render_table
+
+
+def test_tco_case_study(benchmark):
+    comparison = benchmark(paper_case_study)
+    rows = [
+        {"configuration": "DCS (BJUT grid lab)",
+         "tco_usd_per_month": round(comparison.dcs_tco_per_month)},
+        {"configuration": "SSP (30 EC2 instances)",
+         "tco_usd_per_month": round(comparison.ssp_tco_per_month)},
+    ]
+    print()
+    print(render_table(rows, title="Section 4.5.5: TCO per month "
+                                   "(paper: $3,160 vs $2,260)"))
+    print(f"SSP / DCS = {comparison.ssp_over_dcs:.1%} (paper 71.5%)")
+    assert comparison.ssp_over_dcs == pytest.approx(0.715, abs=0.002)
+    assert comparison.ssp_cheaper

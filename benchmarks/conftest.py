@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+rows/series in the paper's format (compare against MTAGS'09 Tables 1-4 and
+Figures 9-14 side by side).  Expensive runs are executed once per session
+and cached; the pytest-benchmark timings use ``pedantic(rounds=1)`` because
+a two-week trace simulation is not a microbenchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import EvaluationSetup
+from repro.systems.consolidation import run_all_systems
+
+
+@pytest.fixture(scope="session")
+def setup() -> EvaluationSetup:
+    return EvaluationSetup(seed=0)
+
+
+class _ConsolidatedCache:
+    """Lazily runs the consolidated four-system comparison once."""
+
+    def __init__(self, setup: EvaluationSetup) -> None:
+        self._setup = setup
+        self._result = None
+
+    def get(self):
+        if self._result is None:
+            self._result = run_all_systems(
+                self._setup.bundles(consolidated=True),
+                self._setup.policies,
+                capacity=self._setup.capacity,
+                horizon=self._setup.horizon,
+            )
+        return self._result
+
+
+@pytest.fixture(scope="session")
+def consolidated_cache(setup) -> _ConsolidatedCache:
+    return _ConsolidatedCache(setup)

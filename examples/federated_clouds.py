@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Federation (the paper's future work): n resource providers, m service
+providers.
+
+Section 6 closes with "the generalized case in that n resource providers
+provision resources to m service providers of heterogeneous workloads".
+This example places six heterogeneous service providers on one big cloud
+vs. two half-size clouds and compares cost and capacity needs.
+
+Run:  python examples/federated_clouds.py
+"""
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.federation.model import (
+    FederatedResourceProvider,
+    Federation,
+    least_loaded_placement,
+    round_robin_placement,
+)
+from repro.systems.base import WorkloadBundle
+from repro.workloads.traces import HTCTraceSpec, generate_htc_trace
+from repro.workloads.workflowgen import fork_join
+
+HOUR = 3600.0
+
+
+def make_htc_bundle(name, seed, utilization, nodes=32):
+    spec = HTCTraceSpec(
+        name=name,
+        machine_nodes=nodes,
+        duration=24 * HOUR,
+        n_jobs=250,
+        target_utilization=utilization,
+        size_pmf=((1, 0.4), (2, 0.25), (4, 0.2), (8, 0.1), (16, 0.05)),
+        runtime_mixture=((0.7, 900.0, 0.7), (0.3, 3600.0, 0.5)),
+    )
+    return WorkloadBundle.from_trace(name, generate_htc_trace(spec, seed=seed))
+
+
+def make_mtc_bundle(name, seed, width):
+    wf = fork_join(width=width, mean_runtime=60.0, seed=seed)
+    wf.submit_time = 4 * HOUR
+    for t in wf.tasks:
+        t.submit_time = wf.submit_time
+    return WorkloadBundle.from_workflow(name, wf, fixed_nodes=width // 4)
+
+
+bundles = [
+    make_htc_bundle("chem-lab", 1, 0.35),
+    make_htc_bundle("bio-lab", 2, 0.55),
+    make_htc_bundle("cs-lab", 3, 0.45),
+    make_htc_bundle("physics-lab", 4, 0.25),
+    make_mtc_bundle("astro-flow", 5, width=48),
+    make_mtc_bundle("geo-flow", 6, width=24),
+]
+policies = {
+    b.name: (
+        ResourceManagementPolicy.for_htc(6, 1.5)
+        if b.kind == "htc"
+        else ResourceManagementPolicy.for_mtc(4, 8.0)
+    )
+    for b in bundles
+}
+
+print("six service providers, three federation layouts\n")
+layouts = {
+    "1 × 256-node cloud": [FederatedResourceProvider("mega", 256)],
+    "2 × 128-node clouds (least-loaded)": [
+        FederatedResourceProvider("east", 128),
+        FederatedResourceProvider("west", 128),
+    ],
+    "2 × 128-node clouds (round-robin)": [
+        FederatedResourceProvider("east", 128),
+        FederatedResourceProvider("west", 128),
+    ],
+}
+strategies = {
+    "1 × 256-node cloud": least_loaded_placement,
+    "2 × 128-node clouds (least-loaded)": least_loaded_placement,
+    "2 × 128-node clouds (round-robin)": round_robin_placement,
+}
+
+for label, providers in layouts.items():
+    federation = Federation(providers, policies)
+    placement = federation.place(bundles, strategy=strategies[label])
+    result = federation.run(bundles, placement=placement, horizon=24 * HOUR)
+    completed = result.completed_jobs()
+    print(f"{label}:")
+    for pname, metrics in result.per_provider.items():
+        members = sorted(b for b, t in placement.items() if t == pname)
+        print(
+            f"  {pname:5s} -> {metrics.total_consumption:7.0f} node-hours, "
+            f"peak {metrics.peak_nodes:4.0f}  serving {', '.join(members)}"
+        )
+    print(
+        f"  federation total: {result.total_consumption:.0f} node-hours, "
+        f"summed peak {result.total_peak:.0f}, completed {completed} jobs\n"
+    )
+
+print(
+    "Reading: when no cloud's pool is the binding constraint the layouts\n"
+    "coincide — placement strategy only shifts which cloud pays the burst.\n"
+    "Shrink the per-cloud capacities (or grow the workloads) and the\n"
+    "all-or-nothing provision policy starts rejecting expansions, which is\n"
+    "where single-big-cloud consolidation pulls ahead of the federation."
+)

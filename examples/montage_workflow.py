@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The paper's MTC scenario: a Montage-1000 mosaic workflow, four ways.
+
+Reproduces Table 4's comparison end to end: the same 1000-task Montage
+workflow (166 projections, 662 difference fits, 166 background corrections,
+6 singleton stages; mean task runtime 11.38 s) runs on:
+
+* DCS — a dedicated 166-node cluster the organization owns;
+* SSP — the same 166 nodes leased as a fixed virtual cluster;
+* DRP — every ready task grabs an EC2-style instance immediately;
+* DawningCloud — an on-demand MTC runtime environment with B=10, R=8.
+
+Run:  python examples/montage_workflow.py
+"""
+
+from repro.experiments.config import PAPER_POLICIES, montage_bundle
+from repro.experiments.runner import run_four_systems
+from repro.workloads.montage import MontageSpec, generate_montage
+
+# --- inspect the workflow ------------------------------------------------ #
+workflow = generate_montage(MontageSpec(), seed=0)
+print(f"workflow: {workflow.name}")
+print(f"  tasks:          {len(workflow.tasks)}")
+print(f"  level widths:   {workflow.level_widths()}")
+print(f"  mean runtime:   {workflow.mean_task_runtime():.2f} s (paper: 11.38 s)")
+print(f"  critical path:  {workflow.critical_path_length():.0f} s")
+print(f"  type census:    {workflow.type_census()}")
+
+# --- run it through the four systems ------------------------------------- #
+bundle = montage_bundle(seed=0)
+results = run_four_systems(bundle, PAPER_POLICIES["montage"])
+
+print("\nsystem          node-hours   tasks/s   peak nodes   (paper node-hours)")
+paper = {"DCS": 166, "SSP": 166, "DRP": 662, "DawningCloud": 166}
+for system, m in results.items():
+    print(
+        f"{system:14s}  {m.resource_consumption:9.0f}  {m.tasks_per_second:8.2f}"
+        f"  {m.peak_nodes:10.0f}   ({paper[system]})"
+    )
+
+drp, dc = results["DRP"], results["DawningCloud"]
+saving = 1 - dc.resource_consumption / drp.resource_consumption
+print(
+    f"\nDawningCloud saves {saving:.1%} of the MTC service provider's cost "
+    f"vs DRP (paper: 74.9%)"
+)
+print(
+    "Why: under DRP the 662-wide mDiffFit level grabs 662 per-hour-billed\n"
+    "instances at once, while DawningCloud's R=8 threshold keeps the TRE at\n"
+    "the steady 166-node level and queues the diffs behind it."
+)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Workflow zoo: the paper's MTC experiment across Pegasus workflow shapes.
+
+Table 4 shows DawningCloud running Montage for 166 node-hours while the
+DRP user pays 662 — a 74.9% saving.  How much of that is Montage's
+particular shape?  This example generates the four other canonical
+Pegasus workflows at the same scale (~1000 tasks, mean runtime 11.38 s)
+and runs each through DCS/SSP, DRP and DawningCloud.
+
+What to look for in the table:
+
+* DawningCloud always tracks the demand-sized fixed system — the DSP
+  model's dynamic sizing is shape-independent;
+* the DRP penalty is NOT shape-independent: it needs a burst of ready
+  tasks wider than the steady level (Montage's 662 mDiffFit), and
+  shrinks to zero for DAGs whose wide stages release gradually.
+
+Run:  python examples/workflow_zoo.py
+"""
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.experiments.config import montage_bundle
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_four_systems
+from repro.systems.base import WorkloadBundle
+from repro.workloads.pegasus import PEGASUS_GENERATORS, PegasusSpec, generate_pegasus
+from repro.workloads.workflow import Workflow
+
+POLICY = ResourceManagementPolicy.for_mtc(initial_nodes=10, threshold_ratio=8.0)
+
+
+def steady_width(wf: Workflow) -> int:
+    """§4.4's sizing rule: the width of the work-dominant level."""
+    return max(
+        (sum(wf.task(j).runtime for j in level), len(level))
+        for level in wf.levels()
+    )[1]
+
+
+bundles = [montage_bundle(seed=0)]
+for name in sorted(PEGASUS_GENERATORS):
+    wf = generate_pegasus(
+        name, PegasusSpec(n_tasks_hint=1000, mean_runtime=11.38), seed=0
+    )
+    bundles.append(
+        WorkloadBundle.from_workflow(name, wf, fixed_nodes=steady_width(wf))
+    )
+
+rows = []
+for bundle in bundles:
+    results = run_four_systems(bundle, POLICY, capacity=3000)
+    dcs = results["DCS"].resource_consumption
+    drp = results["DRP"].resource_consumption
+    dc = results["DawningCloud"].resource_consumption
+    rows.append(
+        {
+            "workflow": bundle.name,
+            "tasks": bundle.n_jobs,
+            "fixed_nodes": bundle.fixed_nodes,
+            "dcs": round(dcs),
+            "drp": round(drp),
+            "dawningcloud": round(dc),
+            "dc_vs_drp_saving": f"{1 - dc / drp:.1%}",
+            "tasks_per_s": results["DawningCloud"].tasks_per_second,
+        }
+    )
+
+print(render_table(rows, title="Four systems across the Pegasus family "
+                               "(node-hours; MTC policy B=10 R=8)"))
+print(
+    "\nMontage's fan-out burst (662 short diffs from 166 projections) is what "
+    "drives the paper's 74.9% saving over DRP; shapes without such a burst "
+    "still cost DawningCloud no more than a right-sized dedicated machine."
+)

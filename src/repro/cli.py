@@ -1,0 +1,301 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage (installed as ``repro-experiments``)::
+
+    repro-experiments table1
+    repro-experiments table2 [--seed N]
+    repro-experiments table3
+    repro-experiments table4
+    repro-experiments sweep-nasa | sweep-blue | sweep-montage
+    repro-experiments figures          # figures 12-14 (consolidated run)
+    repro-experiments tco              # §4.5.5 cost case study
+    repro-experiments all              # everything above, in paper order
+
+Extensions beyond the paper (ablations and future-work experiments)::
+
+    repro-experiments ablation-lease-unit | ablation-scan-interval
+    repro-experiments ablation-scheduler  | ablation-policy
+    repro-experiments ablation-utilization
+    repro-experiments breakeven           # own-vs-lease decision surface
+    repro-experiments zoo                 # Pegasus workflow family
+    repro-experiments federation          # one big cloud vs k fragments
+    repro-experiments experiments-md      # regenerate EXPERIMENTS.md text
+    repro-experiments export --outdir D   # CSV dump of every artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.costmodel.compare import paper_case_study
+from repro.experiments.config import (
+    EvaluationSetup,
+    PAPER_POLICIES,
+    blue_bundle,
+    montage_bundle,
+    nasa_bundle,
+)
+from repro.experiments.figures import figure12_13_14
+from repro.experiments.report import (
+    render_consolidated,
+    render_percentage_rows,
+    render_sweep,
+    render_table,
+)
+from repro.experiments.sweep import sweep_htc_parameters, sweep_mtc_parameters
+from repro.experiments.tables import table1, table_for_bundle
+
+
+def _cmd_table1(seed: int) -> str:
+    return render_table(table1(), title="Table 1: usage-model comparison")
+
+
+def _cmd_table2(seed: int) -> str:
+    rows = table_for_bundle(nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"])
+    return render_table(
+        render_percentage_rows(rows), title="Table 2: service provider, NASA trace"
+    )
+
+
+def _cmd_table3(seed: int) -> str:
+    rows = table_for_bundle(blue_bundle(seed), PAPER_POLICIES["sdsc-blue"])
+    return render_table(
+        render_percentage_rows(rows), title="Table 3: service provider, BLUE trace"
+    )
+
+
+def _cmd_table4(seed: int) -> str:
+    rows = table_for_bundle(montage_bundle(seed), PAPER_POLICIES["montage"])
+    return render_table(
+        render_percentage_rows(rows), title="Table 4: service provider, Montage"
+    )
+
+
+def _cmd_sweep_nasa(seed: int) -> str:
+    return render_sweep(
+        sweep_htc_parameters(nasa_bundle(seed)),
+        title="Figure 10: NASA trace, (B, R) sweep",
+    )
+
+
+def _cmd_sweep_blue(seed: int) -> str:
+    return render_sweep(
+        sweep_htc_parameters(blue_bundle(seed)),
+        title="Figure 9: BLUE trace, (B, R) sweep",
+    )
+
+
+def _cmd_sweep_montage(seed: int) -> str:
+    return render_sweep(
+        sweep_mtc_parameters(montage_bundle(seed)),
+        title="Figure 11: Montage, (B, R) sweep",
+    )
+
+
+def _cmd_figures(seed: int) -> str:
+    figures = figure12_13_14(EvaluationSetup(seed=seed))
+    return render_consolidated(figures)
+
+
+def _cmd_tco(seed: int) -> str:
+    comparison = paper_case_study()
+    return (
+        "Section 4.5.5: TCO of the service provider (BJUT grid-lab case)\n"
+        f"  DCS: ${comparison.dcs_tco_per_month:,.0f} per month\n"
+        f"  SSP: ${comparison.ssp_tco_per_month:,.0f} per month\n"
+        f"  SSP/DCS = {comparison.ssp_over_dcs:.1%}\n"
+    )
+
+
+def _cmd_ablation_lease_unit(seed: int) -> str:
+    from repro.experiments.ablations import lease_unit_ablation
+
+    rows = lease_unit_ablation(nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"])
+    return render_table(rows, title="Ablation: lease time unit (NASA trace)")
+
+
+def _cmd_ablation_scan_interval(seed: int) -> str:
+    from repro.experiments.ablations import scan_interval_ablation
+
+    rows = scan_interval_ablation(nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"])
+    return render_table(rows, title="Ablation: server scan interval (NASA trace)")
+
+
+def _cmd_ablation_scheduler(seed: int) -> str:
+    from repro.experiments.ablations import scheduler_ablation
+
+    rows = scheduler_ablation(nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"])
+    return render_table(rows, title="Ablation: scheduling policy (NASA trace)")
+
+
+def _cmd_ablation_policy(seed: int) -> str:
+    from repro.experiments.ablations import policy_ablation
+
+    rows = policy_ablation(nasa_bundle(seed), initial_nodes=40)
+    return render_table(
+        rows, title="Ablation: resource-management policies (NASA trace, B=40)"
+    )
+
+
+def _cmd_ablation_utilization(seed: int) -> str:
+    from repro.experiments.ablations import utilization_sweep
+
+    rows = utilization_sweep(policy=PAPER_POLICIES["nasa-ipsc"], seed=seed)
+    return render_table(
+        rows, title="Ablation: economies of scale vs offered load (24.4%-86.5%)"
+    )
+
+
+def _cmd_breakeven(seed: int) -> str:
+    from repro.costmodel.breakeven import (
+        breakeven_price,
+        breakeven_utilization,
+        sensitivity_table,
+        utilization_cost_curve,
+    )
+    from repro.costmodel.tco import BJUT_DCS_CASE, BJUT_SSP_CASE
+
+    out = [
+        render_table(
+            utilization_cost_curve(BJUT_DCS_CASE, BJUT_SSP_CASE),
+            title="Own vs lease: monthly cost by duty level (BJUT case)",
+        ),
+        render_table(
+            [p.to_row() for p in sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)],
+            title="TCO sensitivity (one-at-a-time)",
+        ),
+        f"Break-even EC2 price: "
+        f"${breakeven_price(BJUT_DCS_CASE, BJUT_SSP_CASE):.4f}/instance-hour",
+        f"Break-even duty level: "
+        f"{breakeven_utilization(BJUT_DCS_CASE, BJUT_SSP_CASE)} "
+        f"(None = lease always wins)",
+    ]
+    return "\n".join(out)
+
+
+def _cmd_zoo(seed: int) -> str:
+    from repro.core.policies import ResourceManagementPolicy
+    from repro.experiments.runner import run_four_systems
+    from repro.systems.base import WorkloadBundle
+    from repro.workloads.pegasus import (
+        PEGASUS_GENERATORS,
+        PegasusSpec,
+        generate_pegasus,
+    )
+
+    policy = ResourceManagementPolicy.for_mtc(10, 8.0)
+    rows = []
+    for name in sorted(PEGASUS_GENERATORS):
+        wf = generate_pegasus(
+            name, PegasusSpec(n_tasks_hint=1000, mean_runtime=11.38), seed=seed
+        )
+        width = max(
+            (sum(wf.task(j).runtime for j in lvl), len(lvl))
+            for lvl in wf.levels()
+        )[1]
+        bundle = WorkloadBundle.from_workflow(name, wf, fixed_nodes=width)
+        results = run_four_systems(bundle, policy, capacity=3000)
+        rows.append(
+            {
+                "workflow": name,
+                "dcs": round(results["DCS"].resource_consumption),
+                "drp": round(results["DRP"].resource_consumption),
+                "dawningcloud": round(
+                    results["DawningCloud"].resource_consumption
+                ),
+            }
+        )
+    return render_table(rows, title="Workflow zoo (node-hours)")
+
+
+def _cmd_federation(seed: int) -> str:
+    from repro.federation.market import scale_economies_experiment
+
+    setup = EvaluationSetup(seed=seed)
+    rows = scale_economies_experiment(
+        setup.bundles(consolidated=True),
+        setup.policies,
+        total_capacity=setup.capacity,
+        splits=(1, 2, 3),
+        horizon=setup.horizon,
+    )
+    return render_table(
+        rows, title="Federation: one big cloud vs k equal fragments"
+    )
+
+
+def _cmd_experiments_md(seed: int) -> str:
+    from repro.experiments.expmd import render_experiments_md
+
+    return render_experiments_md(seed)
+
+
+_COMMANDS: dict[str, Callable[[int], str]] = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "sweep-nasa": _cmd_sweep_nasa,
+    "sweep-blue": _cmd_sweep_blue,
+    "sweep-montage": _cmd_sweep_montage,
+    "figures": _cmd_figures,
+    "tco": _cmd_tco,
+    "ablation-lease-unit": _cmd_ablation_lease_unit,
+    "ablation-scan-interval": _cmd_ablation_scan_interval,
+    "ablation-scheduler": _cmd_ablation_scheduler,
+    "ablation-policy": _cmd_ablation_policy,
+    "ablation-utilization": _cmd_ablation_utilization,
+    "breakeven": _cmd_breakeven,
+    "zoo": _cmd_zoo,
+    "federation": _cmd_federation,
+    "experiments-md": _cmd_experiments_md,
+}
+
+_ALL_ORDER = (
+    "table1",
+    "sweep-blue",
+    "sweep-nasa",
+    "sweep-montage",
+    "table2",
+    "table3",
+    "table4",
+    "figures",
+    "tco",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=[*_COMMANDS, "all", "export"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--outdir", default="artifacts",
+        help="target directory for the 'export' command",
+    )
+    parser.add_argument(
+        "--format", choices=("csv", "json"), default="csv",
+        help="file format for the 'export' command",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "export":
+        from repro.experiments.export import export_all
+
+        paths = export_all(args.outdir, EvaluationSetup(seed=args.seed),
+                           fmt=args.format)
+        for path in paths:
+            print(path)
+    elif args.command == "all":
+        for name in _ALL_ORDER:
+            print(_COMMANDS[name](args.seed))
+    else:
+        print(_COMMANDS[args.command](args.seed))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""The resource provision service.
+
+This is the resource provider's agent in the DSP model (§3.2): it owns the
+node pool, grants or rejects resource requests from TRE servers, reclaims
+released resources, and triggers the setup policy for every adjusted node.
+
+The provision policy is the paper's simple one (§3.2.2.3):
+
+1. provision the initial resources at TRE startup;
+2. on a dynamic request, assign the full amount or **reject** (no partial
+   grants);
+3. on release, passively reclaim everything released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.lease import HOUR, Lease, LeaseLedger
+from repro.cluster.node import NodePool
+from repro.cluster.setup import SetupCostModel, SetupPolicy
+
+
+class ProvisionError(RuntimeError):
+    """Raised for invalid provision-service operations."""
+
+
+@dataclass
+class AdjustmentRecord:
+    """One grant or reclaim event, for the Figure-14 accounting."""
+
+    time: float
+    client: str
+    n_nodes: int  # positive = assigned, negative = reclaimed
+    kind: str  # "initial" | "dynamic" | "release" | "shutdown"
+
+
+class ResourceProvisionService:
+    """Grants node leases to runtime environments out of one shared pool."""
+
+    def __init__(
+        self,
+        capacity: int,
+        lease_unit: float = HOUR,
+        setup_policy: SetupPolicy = SetupPolicy(),
+    ) -> None:
+        self.pool = NodePool(capacity)
+        self.ledger = LeaseLedger(unit=lease_unit)
+        self.setup = SetupCostModel(setup_policy)
+        self.adjustments: list[AdjustmentRecord] = []
+        self.rejected_requests = 0
+        self.granted_requests = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        return self.pool.capacity
+
+    @property
+    def free_nodes(self) -> int:
+        return self.pool.free_count
+
+    def allocated_nodes(self, client: Optional[str] = None) -> int:
+        if client is None:
+            return self.pool.capacity - self.pool.free_count
+        return self.pool.owned_count(client)
+
+    # ------------------------------------------------------------------ #
+    def request(
+        self, client: str, n_nodes: int, t: float, kind: str = "dynamic"
+    ) -> Optional[Lease]:
+        """Request ``n_nodes`` for ``client`` at time ``t``.
+
+        Returns the opened :class:`Lease`, or ``None`` if the pool cannot
+        satisfy the request in full (the paper's reject behaviour).
+        """
+        if n_nodes <= 0:
+            raise ProvisionError(f"request must be positive, got {n_nodes}")
+        if n_nodes > self.pool.free_count:
+            self.rejected_requests += 1
+            return None
+        self.pool.assign(client, n_nodes)
+        lease = self.ledger.open_lease(client, n_nodes, t, kind=kind)
+        self.setup.record_adjustment(n_nodes)
+        self.adjustments.append(AdjustmentRecord(t, client, n_nodes, kind))
+        self.granted_requests += 1
+        return lease
+
+    def release(self, lease: Lease, t: float, kind: str = "release") -> int:
+        """Release a lease; reclaims the nodes and bills the lease.
+
+        Returns the billed lease units.
+        """
+        if not lease.open:
+            raise ProvisionError(f"lease #{lease.lease_id} already closed")
+        charged = self.ledger.close_lease(lease, t)
+        self.pool.reclaim(lease.client, lease.n_nodes)
+        self.setup.record_adjustment(lease.n_nodes)
+        self.adjustments.append(
+            AdjustmentRecord(t, lease.client, -lease.n_nodes, kind)
+        )
+        return charged
+
+    def shutdown_client(self, client: str, t: float) -> float:
+        """Close every lease of ``client`` (TRE destruction, §2.2 step 8)."""
+        total = 0.0
+        for lease in self.ledger.open_leases(client):
+            total += self.release(lease, t, kind="shutdown")
+        return total
+
+    # ------------------------------------------------------------------ #
+    def consumption_node_hours(self, client: Optional[str] = None) -> float:
+        """Billed node-hours so far (open leases not yet included)."""
+        return self.ledger.charged_units_total(client)
+
+    def adjusted_node_count(self, client: Optional[str] = None) -> int:
+        """Accumulated size of adjusting nodes (Figure 14's metric)."""
+        return sum(
+            abs(rec.n_nodes)
+            for rec in self.adjustments
+            if client is None or rec.client == client
+        )
+
+    def usage_events(self, client: Optional[str] = None) -> list[tuple[float, int]]:
+        """Chronological ``(time, ±nodes)`` deltas for time-series analysis."""
+        return self.ledger.events(client)

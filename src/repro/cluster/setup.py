@@ -1,0 +1,62 @@
+"""Setup policy and cost model.
+
+Section 3.2.1: "for each assigned or reclaimed node, the setup policy is
+triggered ... such as wiping off the operating system or doing nothing."
+Section 4.5.4 measures the total cost of adjusting one node at **15.743 s**
+(stopping + uninstalling the previous RE's packages, installing + starting
+the new RE's packages) and reports DawningCloud's average management
+overhead as ≈341 s per hour for the resource provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper-measured cost of adjusting (assigning or reclaiming) one node.
+DEFAULT_ADJUST_COST_S = 15.743
+
+
+@dataclass(frozen=True)
+class SetupPolicy:
+    """What happens when a node changes hands.
+
+    ``wipe_os`` selects the heavyweight path (redeploy from bare metal);
+    the paper's measured 15.743 s figure explicitly *excludes* the OS wipe,
+    so the default models package-level setup only.
+    """
+
+    wipe_os: bool = False
+    package_setup_cost_s: float = DEFAULT_ADJUST_COST_S
+    os_wipe_cost_s: float = 300.0
+
+    @property
+    def per_node_cost_s(self) -> float:
+        cost = self.package_setup_cost_s
+        if self.wipe_os:
+            cost += self.os_wipe_cost_s
+        return cost
+
+
+class SetupCostModel:
+    """Accumulates management overhead from node adjustments."""
+
+    def __init__(self, policy: SetupPolicy = SetupPolicy()) -> None:
+        self.policy = policy
+        self.adjusted_nodes = 0
+
+    def record_adjustment(self, n_nodes: int) -> float:
+        """Record ``n_nodes`` changing hands; returns the overhead incurred."""
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be >= 0")
+        self.adjusted_nodes += n_nodes
+        return n_nodes * self.policy.per_node_cost_s
+
+    @property
+    def total_overhead_s(self) -> float:
+        return self.adjusted_nodes * self.policy.per_node_cost_s
+
+    def overhead_per_hour(self, horizon_s: float) -> float:
+        """Average management overhead in seconds per simulated hour."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        return self.total_overhead_s / (horizon_s / 3600.0)

@@ -1,0 +1,112 @@
+"""Resource management and provision policies (§3.2.2).
+
+The service provider's **resource management policy** has two tuning
+parameters the evaluation sweeps (Figures 9-11):
+
+* ``initial_nodes`` (the paper's **B**) — resources granted at TRE startup
+  and never reclaimed until the TRE is destroyed;
+* ``threshold_ratio`` (the paper's **R**) — the *ratio of obtaining
+  resources* (accumulated queue demand / currently owned resources) above
+  which the server requests dynamic resources.
+
+Rules, verbatim from §3.2.2.1 (HTC) and §3.2.2.2 (MTC):
+
+* every ``scan_interval`` the server scans the queue;
+* if ``demand/owned > R`` it requests ``DR1 = demand - owned``;
+* else if the biggest queued job is wider than what it owns it requests
+  ``DR2 = biggest - owned``;
+* after a successful dynamic request, a once-per-hour timer checks for idle
+  resources; when idle ≥ the granted amount, that amount is released;
+* the HTC server scans every minute, the MTC server every three seconds
+  ("MTC tasks often run over in seconds");
+* the MTC demand accounting counts every queued *ready* task of the
+  workflow, HTC counts every independent queued job.
+
+The resource provider's **provision policy** (§3.2.2.3) is all-or-nothing:
+grant the full request if the pool allows, otherwise reject; releases are
+reclaimed passively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOUR = 3600.0
+
+#: Scan cadences from §3.2.2.1 / §3.2.2.2.
+HTC_SCAN_INTERVAL_S = 60.0
+MTC_SCAN_INTERVAL_S = 3.0
+
+
+@dataclass(frozen=True)
+class ResourceManagementPolicy:
+    """The service provider's dynamic-resize policy (B, R, scan cadence)."""
+
+    initial_nodes: int
+    threshold_ratio: float
+    scan_interval_s: float
+    release_check_interval_s: float = HOUR
+
+    def __post_init__(self) -> None:
+        if self.initial_nodes < 1:
+            raise ValueError("initial_nodes (B) must be >= 1")
+        if self.threshold_ratio <= 0:
+            raise ValueError("threshold_ratio (R) must be positive")
+        if self.scan_interval_s <= 0:
+            raise ValueError("scan_interval_s must be positive")
+        if self.release_check_interval_s <= 0:
+            raise ValueError("release_check_interval_s must be positive")
+
+    # ------------------------------------------------------------------ #
+    # decision rules
+    # ------------------------------------------------------------------ #
+    def obtain_ratio(self, queue_demand: int, owned: int) -> float:
+        """The paper's *ratio of obtaining resources*."""
+        if owned <= 0:
+            return float("inf") if queue_demand > 0 else 0.0
+        return queue_demand / owned
+
+    def dynamic_request_size(
+        self, queue_demand: int, biggest_job: int, owned: int
+    ) -> int:
+        """Nodes to request this scan: DR1, DR2 or 0.
+
+        DR1 fires when the obtain ratio exceeds R; DR2 fires when the widest
+        queued job cannot fit in the owned resources *and* the obtain ratio
+        is still at or below R (§3.2.2.1 rule 3).
+        """
+        if queue_demand <= 0:
+            return 0
+        ratio = self.obtain_ratio(queue_demand, owned)
+        if ratio > self.threshold_ratio:
+            return max(queue_demand - owned, 0)  # DR1
+        if biggest_job > owned:
+            return biggest_job - owned  # DR2
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # constructors for the two TRE flavours
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_htc(
+        cls, initial_nodes: int = 40, threshold_ratio: float = 1.5
+    ) -> "ResourceManagementPolicy":
+        return cls(initial_nodes, threshold_ratio, HTC_SCAN_INTERVAL_S)
+
+    @classmethod
+    def for_mtc(
+        cls, initial_nodes: int = 10, threshold_ratio: float = 8.0
+    ) -> "ResourceManagementPolicy":
+        return cls(initial_nodes, threshold_ratio, MTC_SCAN_INTERVAL_S)
+
+
+@dataclass(frozen=True)
+class ResourceProvisionPolicy:
+    """The resource provider's side (§3.2.2.3).
+
+    ``all_or_nothing`` grants the full request or rejects; partial grants
+    are an ablation knob (not the paper's behaviour).
+    """
+
+    all_or_nothing: bool = True
+    passive_reclaim: bool = True

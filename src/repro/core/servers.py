@@ -1,0 +1,229 @@
+"""Runtime-environment servers.
+
+A :class:`REServer` is the paper's "HTC server"/"MTC server": it accepts
+submissions, keeps the job queue, dispatches jobs onto the nodes its TRE
+currently owns, and tracks completion metrics.  Resource *resizing* is not
+its business — that is attached separately by
+:class:`repro.core.negotiation.DynamicResourceManager` (DawningCloud) or
+fixed once at startup (DCS/SSP), which is exactly the paper's separation
+between the server and the resource provision service.
+
+Dispatching happens inside the periodic scan (per minute for HTC, per
+three seconds for MTC, §3.2.2) — the cadence at which the emulated servers
+load jobs — and at job-completion instants for workflow tasks' readiness
+bookkeeping.
+
+The server counts *ready* tasks only in its queue: the MTC server parses
+the workflow and releases a task to the scheduler once its dependencies
+completed, so "jobs in queue" (the policy's demand input) are tasks that
+could run now, matching §3.1.1's description of dependency-driven job flow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.metrics.timeseries import UsageRecorder
+from repro.scheduling.base import RunningJob, Scheduler
+from repro.scheduling.queue import JobQueue
+from repro.simkit.engine import SimulationEngine
+from repro.simkit.timers import PeriodicTimer
+from repro.workloads.job import Job, JobState
+from repro.workloads.workflow import Workflow
+
+
+class REServer:
+    """Queue + dispatch engine for one runtime environment.
+
+    Parameters
+    ----------
+    engine:
+        Shared simulation engine.
+    name:
+        Client name used in leases/metrics (the service provider).
+    scheduler:
+        Scheduling policy (first-fit for HTC, FCFS for MTC per §4.4).
+    scan_interval_s:
+        Dispatch/scan cadence. The attached resource manager (if any)
+        piggybacks its resize decision on the same scan, mirroring the
+        paper's server loop.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        name: str,
+        scheduler: Scheduler,
+        scan_interval_s: float,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.scheduler = scheduler
+        self.queue = JobQueue()
+        self.running: dict[int, RunningJob] = {}
+        self.usage = UsageRecorder(name)
+        self._owned = 0
+        self.used = 0
+        self.submitted_jobs = 0
+        self.completed: list[Job] = []
+        self._workflows: list[Workflow] = []
+        self._wf_of_task: dict[int, Workflow] = {}
+        #: called at every scan, before dispatch (resize hook)
+        self.pre_dispatch_hooks: list[Callable[[], None]] = []
+        #: called when a workflow finishes (TRE destruction hook)
+        self.on_workflow_complete: list[Callable[[Workflow], None]] = []
+        self._scan_timer = PeriodicTimer(engine, scan_interval_s, self._scan)
+        self._scan_timer.start()
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # resources
+    # ------------------------------------------------------------------ #
+    @property
+    def owned(self) -> int:
+        """Nodes currently owned by this runtime environment."""
+        return self._owned
+
+    @property
+    def idle(self) -> int:
+        return self._owned - self.used
+
+    def add_nodes(self, n: int) -> None:
+        """Grow the owned pool by ``n`` (grant arrived)."""
+        if n <= 0:
+            raise ValueError("must add a positive number of nodes")
+        self._owned += n
+        self.usage.record(self.engine.now, n)
+
+    def remove_nodes(self, n: int) -> None:
+        """Shrink the owned pool by ``n`` idle nodes."""
+        if n <= 0:
+            raise ValueError("must remove a positive number of nodes")
+        if n > self.idle:
+            raise ValueError(
+                f"{self.name}: cannot remove {n} nodes, only {self.idle} idle"
+            )
+        self._owned -= n
+        self.usage.record(self.engine.now, -n)
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit_job(self, job: Job) -> None:
+        """HTC entry point: one independent batch job."""
+        if self._stopped:
+            return
+        self.submitted_jobs += 1
+        job.mark_queued(self.engine.now)
+        self.queue.push(job)
+
+    def submit_workflow(self, workflow: Workflow) -> None:
+        """MTC entry point: parse the workflow, release ready tasks.
+
+        Mirrors §3.1.2: "the MTC server needs to parse the workflow
+        description model ... and then submit a set of jobs with
+        dependencies to the MTC scheduler".
+        """
+        if self._stopped:
+            return
+        self._workflows.append(workflow)
+        for task in workflow.tasks:
+            self._wf_of_task[task.job_id] = workflow
+        self.submitted_jobs += len(workflow.tasks)
+        for task in workflow.ready_tasks():
+            task.mark_queued(self.engine.now)
+            self.queue.push(task)
+
+    # ------------------------------------------------------------------ #
+    # scan loop (dispatch cadence)
+    # ------------------------------------------------------------------ #
+    def _scan(self) -> None:
+        # Policy first, then dispatch: the resize rule sees the queue as it
+        # accumulated since the last scan and a granted request is used in
+        # the same scan.  (This order reproduces the paper's Montage story:
+        # at the first scan the 166 ready projections are all still queued,
+        # so DR1 = 166 - B and the TRE "adjusts the resources size of the RE
+        # to the configurations of the RE in the DCS/SSP system", §4.5.2.)
+        for hook in self.pre_dispatch_hooks:
+            hook()
+        self.dispatch()
+
+    def dispatch(self) -> None:
+        """Start whatever the scheduling policy picks right now."""
+        if not len(self.queue):
+            return
+        picked = self.scheduler.select(
+            self.engine.now,
+            self.queue.jobs,
+            self.idle,
+            list(self.running.values()),
+        )
+        for job in picked:
+            self._start(job)
+
+    def _start(self, job: Job) -> None:
+        if job.size > self.idle:
+            raise RuntimeError(
+                f"{self.name}: scheduler over-selected (job {job.job_id} needs "
+                f"{job.size}, idle {self.idle})"
+            )
+        self.queue.remove(job)
+        self.used += job.size
+        job.mark_running(self.engine.now)
+        finish_time = self.engine.now + job.runtime
+        self.running[job.job_id] = RunningJob(job, finish_time)
+        self.engine.schedule(job.runtime, self._finish, job)
+
+    def _finish(self, job: Job) -> None:
+        if self._stopped:
+            return
+        del self.running[job.job_id]
+        self.used -= job.size
+        job.mark_completed(self.engine.now)
+        self.completed.append(job)
+        workflow = self._wf_of_task.get(job.job_id)
+        if workflow is not None:
+            self._release_ready_tasks(workflow)
+            if workflow.completed():
+                for hook in list(self.on_workflow_complete):
+                    hook(workflow)
+
+    def _release_ready_tasks(self, workflow: Workflow) -> None:
+        for task in workflow.ready_tasks():
+            if task.state is JobState.PENDING:
+                task.mark_queued(self.engine.now)
+                self.queue.push(task)
+
+    # ------------------------------------------------------------------ #
+    # teardown / metrics
+    # ------------------------------------------------------------------ #
+    def stop(self) -> None:
+        """Stop scanning and ignore further events (TRE destroyed)."""
+        self._stopped = True
+        self._scan_timer.stop()
+        if self._owned:
+            self.usage.record(self.engine.now, -self._owned)
+            self._owned = 0
+            self.used = 0
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.completed)
+
+    def completed_by(self, horizon: float) -> int:
+        """Jobs completed at or before ``horizon`` (the Tables 2-3 metric)."""
+        return sum(1 for j in self.completed if (j.finish_time or 0.0) <= horizon)
+
+    def makespan(self) -> Optional[float]:
+        """Span from first submission to last completion (MTC metric)."""
+        if not self.completed:
+            return None
+        start = min(j.submit_time for j in self.completed)
+        end = max(j.finish_time for j in self.completed)  # type: ignore[type-var]
+        return end - start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<REServer {self.name!r} owned={self._owned} used={self.used} "
+            f"queued={len(self.queue)} done={len(self.completed)}>"
+        )

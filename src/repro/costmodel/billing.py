@@ -1,0 +1,97 @@
+"""From simulated node-hours to monthly dollars.
+
+Sections 4.5.2-4.5.3 report resource consumption in node-hours; §4.5.5
+prices a fixed configuration in dollars.  This module closes the loop:
+it bills a simulation's :class:`~repro.metrics.results.ProviderMetrics`
+with an EC2-style price list, so the Tables 2-4 comparison can be read as
+"what would each provider's monthly invoice be under each usage model?" —
+the number an organization's administrator actually decides on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.costmodel.pricing import EC2_2009_SMALL, InstancePricing
+from repro.metrics.results import ProviderMetrics
+
+HOUR = 3600.0
+DAYS_PER_MONTH = 30.0
+
+
+@dataclass(frozen=True)
+class Invoice:
+    """One service provider's bill for one simulated run."""
+
+    provider: str
+    system: str
+    node_hours: float
+    period_s: float
+    usd_per_node_hour: float
+    transfer_usd: float = 0.0
+
+    @property
+    def usage_usd(self) -> float:
+        return self.node_hours * self.usd_per_node_hour
+
+    @property
+    def total_usd(self) -> float:
+        return self.usage_usd + self.transfer_usd
+
+    @property
+    def monthly_usd(self) -> float:
+        """The run's cost extrapolated to a 30-day month."""
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        months = self.period_s / (DAYS_PER_MONTH * 24 * HOUR)
+        return self.total_usd / months
+
+    def to_row(self) -> dict:
+        return {
+            "provider": self.provider,
+            "system": self.system,
+            "node_hours": round(self.node_hours, 1),
+            "usage_usd": round(self.usage_usd, 2),
+            "transfer_usd": round(self.transfer_usd, 2),
+            "total_usd": round(self.total_usd, 2),
+            "monthly_usd": round(self.monthly_usd, 2),
+        }
+
+
+def bill(
+    metrics: ProviderMetrics,
+    period_s: float,
+    pricing: InstancePricing = EC2_2009_SMALL,
+    inbound_gb: float = 0.0,
+) -> Invoice:
+    """Price one provider's simulated consumption.
+
+    ``period_s`` is the workload period the consumption covers (two weeks
+    for the paper's traces; the makespan for an MTC run).  ``inbound_gb``
+    adds the §4.5.5 transfer charge for the same period.
+    """
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    return Invoice(
+        provider=metrics.provider,
+        system=metrics.system,
+        node_hours=metrics.resource_consumption,
+        period_s=period_s,
+        usd_per_node_hour=pricing.usd_per_instance_hour,
+        transfer_usd=pricing.transfer_cost(inbound_gb),
+    )
+
+
+def billing_table(
+    results: dict[str, ProviderMetrics],
+    period_s: float,
+    pricing: InstancePricing = EC2_2009_SMALL,
+    inbound_gb: float = 0.0,
+    order: Optional[Iterable[str]] = None,
+) -> list[dict]:
+    """Invoices for one workload across systems (a dollar-form Table 2-4)."""
+    systems = list(order) if order is not None else sorted(results)
+    return [
+        bill(results[s], period_s, pricing, inbound_gb).to_row() for s in systems
+    ]

@@ -1,0 +1,51 @@
+"""DCS-vs-SSP TCO comparison (§4.5.5 and the first conclusion of §4.5.6).
+
+"From the perspectives of service providers, comparing with the DCS
+system, SSP is more cost-effective ... the TCO of the service providers in
+the SSP system is less than that in the DCS system."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.tco import BJUT_DCS_CASE, BJUT_SSP_CASE, DCSCostModel, SSPCostModel
+
+
+@dataclass(frozen=True)
+class TCOComparison:
+    """Side-by-side monthly TCO of the two fixed-size options."""
+
+    dcs_tco_per_month: float
+    ssp_tco_per_month: float
+
+    @property
+    def ssp_over_dcs(self) -> float:
+        """SSP cost as a fraction of DCS cost (the paper's 71.5%)."""
+        return self.ssp_tco_per_month / self.dcs_tco_per_month
+
+    @property
+    def ssp_cheaper(self) -> bool:
+        return self.ssp_tco_per_month < self.dcs_tco_per_month
+
+    def monthly_saving(self) -> float:
+        return self.dcs_tco_per_month - self.ssp_tco_per_month
+
+    def __str__(self) -> str:
+        return (
+            f"DCS ${self.dcs_tco_per_month:,.0f}/mo vs SSP "
+            f"${self.ssp_tco_per_month:,.0f}/mo "
+            f"(SSP = {self.ssp_over_dcs:.1%} of DCS)"
+        )
+
+
+def compare_dcs_vs_ssp(dcs: DCSCostModel, ssp: SSPCostModel) -> TCOComparison:
+    return TCOComparison(
+        dcs_tco_per_month=dcs.tco_per_month(),
+        ssp_tco_per_month=ssp.tco_per_month(),
+    )
+
+
+def paper_case_study() -> TCOComparison:
+    """The BJUT grid-lab case exactly as §4.5.5 computes it."""
+    return compare_dcs_vs_ssp(BJUT_DCS_CASE, BJUT_SSP_CASE)

@@ -1,0 +1,105 @@
+"""Cloud pricing plans.
+
+The paper meters the SSP option with Amazon EC2's 2009 price list: "the
+price of the EC2 service is 0.1$ per instance * hour and 0.1$ per GB
+inbound transfer * month" for an instance with 2 GHz CPU, 1.7 GB memory
+and 140 GB disk (§4.5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOURS_PER_MONTH = 30 * 24  # the paper bills 30-day months
+
+
+@dataclass(frozen=True)
+class InstancePricing:
+    """Pay-per-use pricing of one instance type."""
+
+    name: str
+    usd_per_instance_hour: float
+    usd_per_gb_inbound: float
+    cpu_ghz: float = 0.0
+    memory_gb: float = 0.0
+    disk_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.usd_per_instance_hour < 0 or self.usd_per_gb_inbound < 0:
+            raise ValueError("prices must be >= 0")
+
+    def instance_cost(self, n_instances: int, hours: float) -> float:
+        """Cost of running ``n_instances`` for ``hours`` each."""
+        if n_instances < 0 or hours < 0:
+            raise ValueError("instances and hours must be >= 0")
+        return n_instances * hours * self.usd_per_instance_hour
+
+    def monthly_instance_cost(self, n_instances: int) -> float:
+        """Full-month always-on cost (the paper's 30×24 accounting)."""
+        return self.instance_cost(n_instances, HOURS_PER_MONTH)
+
+    def transfer_cost(self, gb_inbound: float) -> float:
+        if gb_inbound < 0:
+            raise ValueError("transfer must be >= 0")
+        return gb_inbound * self.usd_per_gb_inbound
+
+
+#: The EC2 small instance as quoted in §4.5.5.
+EC2_2009_SMALL = InstancePricing(
+    name="ec2-2009-small",
+    usd_per_instance_hour=0.10,
+    usd_per_gb_inbound=0.10,
+    cpu_ghz=2.0,
+    memory_gb=1.7,
+    disk_gb=140.0,
+)
+
+
+@dataclass(frozen=True)
+class ReservedInstancePricing:
+    """Reserved-capacity pricing (EC2 introduced it in 2009).
+
+    A reservation pays ``upfront_usd`` per instance for ``term_years`` and
+    a discounted ``usd_per_instance_hour`` while running.  The effective
+    hourly rate therefore depends on how many hours per month the instance
+    actually runs — the crossover against on-demand is what
+    :func:`repro.costmodel.breakeven.reserved_crossover_hours` computes.
+    """
+
+    name: str
+    upfront_usd: float
+    term_years: float
+    usd_per_instance_hour: float
+
+    def __post_init__(self) -> None:
+        if self.upfront_usd < 0 or self.usd_per_instance_hour < 0:
+            raise ValueError("prices must be >= 0")
+        if self.term_years <= 0:
+            raise ValueError("term must be positive")
+
+    @property
+    def upfront_per_month(self) -> float:
+        return self.upfront_usd / (self.term_years * 12.0)
+
+    def monthly_cost(self, n_instances: int, hours_per_instance: float) -> float:
+        """Amortized upfront + metered usage for one month."""
+        if n_instances < 0 or hours_per_instance < 0:
+            raise ValueError("instances and hours must be >= 0")
+        return n_instances * (
+            self.upfront_per_month + hours_per_instance * self.usd_per_instance_hour
+        )
+
+    def effective_hourly(self, hours_per_month: float) -> float:
+        """All-in $/hour at a given duty level."""
+        if hours_per_month <= 0:
+            raise ValueError("hours_per_month must be positive")
+        return self.upfront_per_month / hours_per_month + self.usd_per_instance_hour
+
+
+#: EC2's 2009 1-year reserved small instance: $227.50 upfront, $0.03/h.
+EC2_2009_SMALL_RESERVED = ReservedInstancePricing(
+    name="ec2-2009-small-reserved-1y",
+    upfront_usd=227.50,
+    term_years=1.0,
+    usd_per_instance_hour=0.03,
+)

@@ -1,0 +1,77 @@
+"""Experiment harness: regenerates every table and figure of §4.
+
+* :mod:`repro.experiments.config` — the paper's workloads, parameters and
+  sweep grids in one place.
+* :mod:`repro.experiments.runner` — runs one workload through all four
+  systems (a Tables 2-4 experiment).
+* :mod:`repro.experiments.sweep` — B×R parameter sweeps (Figures 9-11).
+* :mod:`repro.experiments.tables` — Table 1 and Tables 2-4 as row dicts.
+* :mod:`repro.experiments.figures` — Figures 12-14 series.
+* :mod:`repro.experiments.report` — plain-text rendering (the harness
+  prints the same rows/series the paper reports).
+* :mod:`repro.experiments.ablations` — sweeps over the design choices the
+  paper fixes by fiat (lease unit, scan cadence, scheduler, policy, load,
+  setup cost, DRP pooling).
+* :mod:`repro.experiments.paperdata` — the published numbers as data, plus
+  qualitative shape checks.
+* :mod:`repro.experiments.export` — CSV/JSON export of every artifact.
+"""
+
+from repro.experiments.ablations import (
+    drp_pooling_ablation,
+    lease_unit_ablation,
+    policy_ablation,
+    scan_interval_ablation,
+    scheduler_ablation,
+    setup_cost_ablation,
+    utilization_sweep,
+)
+from repro.experiments.config import (
+    EvaluationSetup,
+    PAPER_POLICIES,
+    blue_bundle,
+    default_setup,
+    montage_bundle,
+    nasa_bundle,
+)
+from repro.experiments.figures import figure12_13_14
+from repro.experiments.export import export_all, rows_to_csv, rows_to_json
+from repro.experiments.paperdata import (
+    CONSOLIDATED_CLAIMS,
+    PAPER_TABLES,
+    check_headline_shapes,
+    check_table_shapes,
+)
+from repro.experiments.runner import run_four_systems
+from repro.experiments.sweep import SweepPoint, sweep_htc_parameters, sweep_mtc_parameters
+from repro.experiments.tables import table1, table_for_bundle
+
+__all__ = [
+    "CONSOLIDATED_CLAIMS",
+    "EvaluationSetup",
+    "PAPER_TABLES",
+    "PAPER_POLICIES",
+    "SweepPoint",
+    "blue_bundle",
+    "check_headline_shapes",
+    "check_table_shapes",
+    "drp_pooling_ablation",
+    "export_all",
+    "lease_unit_ablation",
+    "policy_ablation",
+    "rows_to_csv",
+    "rows_to_json",
+    "scan_interval_ablation",
+    "scheduler_ablation",
+    "setup_cost_ablation",
+    "utilization_sweep",
+    "default_setup",
+    "figure12_13_14",
+    "montage_bundle",
+    "nasa_bundle",
+    "run_four_systems",
+    "sweep_htc_parameters",
+    "sweep_mtc_parameters",
+    "table1",
+    "table_for_bundle",
+]

@@ -1,0 +1,104 @@
+"""The paper's evaluation setup (§4.2, §4.4, §4.5.1).
+
+Workloads
+---------
+* NASA iPSC trace (HTC, lower load: 46.6% utilization, 128 nodes);
+* SDSC BLUE trace (HTC, higher load: 76.2% utilization, 144 nodes);
+* Montage workflow (MTC, 1000 tasks, mean task runtime 11.38 s).
+
+Chosen DawningCloud parameters (§4.5.1)
+---------------------------------------
+* BLUE:   B=80, R=1.5
+* NASA:   B=40, R=1.2
+* Montage: B=10, R=8
+
+Sweep grids (Figures 9-11): B from 10 to 80; R from 1.0 to 2.0 (HTC) and
+2 to 16 (MTC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.systems.base import WorkloadBundle
+from repro.workloads.montage import MontageSpec, generate_montage
+from repro.workloads.traces import generate_nasa_ipsc, generate_sdsc_blue
+
+HOUR = 3600.0
+TWO_WEEKS = 14 * 24 * HOUR
+
+#: The final parameter choices of §4.5.1.
+PAPER_POLICIES: dict[str, ResourceManagementPolicy] = {
+    "nasa-ipsc": ResourceManagementPolicy.for_htc(initial_nodes=40, threshold_ratio=1.2),
+    "sdsc-blue": ResourceManagementPolicy.for_htc(initial_nodes=80, threshold_ratio=1.5),
+    "montage": ResourceManagementPolicy.for_mtc(initial_nodes=10, threshold_ratio=8.0),
+}
+
+#: Sweep grids (Figures 9-11).
+SWEEP_B = (10, 20, 40, 80)
+SWEEP_R_HTC = (1.0, 1.2, 1.5, 2.0)
+SWEEP_R_MTC = (2.0, 4.0, 8.0, 16.0)
+
+#: Montage's fixed-system configuration (§4.4): 166 nodes.
+MONTAGE_FIXED_NODES = 166
+
+
+def nasa_bundle(seed: int = 0) -> WorkloadBundle:
+    """The NASA iPSC service provider's workload."""
+    return WorkloadBundle.from_trace("nasa-ipsc", generate_nasa_ipsc(seed))
+
+
+def blue_bundle(seed: int = 0) -> WorkloadBundle:
+    """The SDSC BLUE service provider's workload."""
+    return WorkloadBundle.from_trace("sdsc-blue", generate_sdsc_blue(seed))
+
+
+def montage_bundle(
+    seed: int = 0, submit_time: float = 0.0, spec: Optional[MontageSpec] = None
+) -> WorkloadBundle:
+    """The Montage service provider's workload.
+
+    ``submit_time`` places the workflow inside the two-week window for
+    consolidated experiments (standalone table runs use t=0).
+    """
+    workflow = generate_montage(
+        spec or MontageSpec(), seed=seed, submit_time=submit_time
+    )
+    return WorkloadBundle.from_workflow(
+        "montage", workflow, fixed_nodes=MONTAGE_FIXED_NODES
+    )
+
+
+@dataclass
+class EvaluationSetup:
+    """Everything needed to rerun the paper's §4 end to end."""
+
+    seed: int = 0
+    capacity: int = 420
+    horizon: float = TWO_WEEKS
+    #: where in the two-week window the Montage workflow lands in the
+    #: consolidated experiments (mid-window by default)
+    montage_submit_time: float = 170 * HOUR
+    policies: dict[str, ResourceManagementPolicy] = field(
+        default_factory=lambda: dict(PAPER_POLICIES)
+    )
+
+    def bundles(self, consolidated: bool = False) -> list[WorkloadBundle]:
+        submit = self.montage_submit_time if consolidated else 0.0
+        return [
+            nasa_bundle(self.seed),
+            blue_bundle(self.seed),
+            montage_bundle(self.seed, submit_time=submit),
+        ]
+
+    def bundle(self, name: str, consolidated: bool = False) -> WorkloadBundle:
+        for b in self.bundles(consolidated):
+            if b.name == name:
+                return b
+        raise KeyError(name)
+
+
+def default_setup(seed: int = 0) -> EvaluationSetup:
+    return EvaluationSetup(seed=seed)

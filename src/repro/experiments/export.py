@@ -1,0 +1,141 @@
+"""Machine-readable export of every experiment artifact.
+
+The benchmark harness prints paper-style text tables; downstream users
+regenerating the figures in their own plotting stack need the underlying
+rows.  This module writes any row-list (the universal currency of
+:mod:`repro.experiments`) to CSV or JSON, and :func:`export_all` dumps the
+complete evaluation — Tables 1-4, the three (B, R) sweeps, Figures 12-14
+and the TCO case — into a directory, one file per artifact.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.costmodel.compare import paper_case_study
+from repro.experiments.config import (
+    EvaluationSetup,
+    PAPER_POLICIES,
+    blue_bundle,
+    montage_bundle,
+    nasa_bundle,
+)
+from repro.experiments.figures import figure12_13_14
+from repro.experiments.sweep import sweep_htc_parameters, sweep_mtc_parameters
+from repro.experiments.tables import table1, table_for_bundle
+
+
+def rows_to_csv(rows: Sequence[dict], target: Optional[io.TextIOBase] = None) -> str:
+    """Serialize row dicts to CSV (column order = first row's key order)."""
+    out = target or io.StringIO()
+    if rows:
+        writer = csv.DictWriter(out, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return out.getvalue() if isinstance(out, io.StringIO) else ""
+
+
+def rows_to_json(rows: Sequence[dict]) -> str:
+    """Serialize row dicts to pretty JSON."""
+    return json.dumps(list(rows), indent=2, sort_keys=False)
+
+
+def write_rows(rows: Sequence[dict], path: Path) -> Path:
+    """Write rows to ``path``; the suffix (.csv/.json) picks the format."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        with open(path, "w", newline="") as fh:
+            rows_to_csv(rows, fh)
+    elif path.suffix == ".json":
+        path.write_text(rows_to_json(rows))
+    else:
+        raise ValueError(f"unsupported export suffix {path.suffix!r}")
+    return path
+
+
+def export_all(
+    outdir: Path, setup: Optional[EvaluationSetup] = None, fmt: str = "csv"
+) -> list[Path]:
+    """Regenerate every paper artifact into ``outdir``, one file each.
+
+    ``fmt`` is ``"csv"`` or ``"json"``.  Returns the written paths.  The
+    consolidated Figures 12-14 run once and feed three files plus the
+    §4.5.4 overhead record.
+    """
+    if fmt not in ("csv", "json"):
+        raise ValueError(f"fmt must be 'csv' or 'json', got {fmt!r}")
+    setup = setup or EvaluationSetup()
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    seed = setup.seed
+    written: list[Path] = []
+
+    def emit(name: str, rows: Sequence[dict]) -> None:
+        written.append(write_rows(rows, outdir / f"{name}.{fmt}"))
+
+    emit("table1_usage_models", table1())
+    emit("table2_nasa",
+         table_for_bundle(nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"],
+                          capacity=setup.capacity))
+    emit("table3_blue",
+         table_for_bundle(blue_bundle(seed), PAPER_POLICIES["sdsc-blue"],
+                          capacity=setup.capacity))
+    emit("table4_montage",
+         table_for_bundle(montage_bundle(seed), PAPER_POLICIES["montage"],
+                          capacity=setup.capacity))
+
+    for name, bundle in (("fig09_sweep_blue", blue_bundle(seed)),
+                         ("fig10_sweep_nasa", nasa_bundle(seed))):
+        points = sweep_htc_parameters(bundle, capacity=setup.capacity)
+        emit(name, [
+            {
+                "B": p.initial_nodes,
+                "R": p.threshold_ratio,
+                "resource_consumption": p.resource_consumption,
+                "completed_jobs": p.completed_jobs,
+            }
+            for p in points
+        ])
+    mtc_points = sweep_mtc_parameters(montage_bundle(seed),
+                                      capacity=setup.capacity)
+    emit("fig11_sweep_montage", [
+        {
+            "B": p.initial_nodes,
+            "R": p.threshold_ratio,
+            "resource_consumption": p.resource_consumption,
+            "tasks_per_second": p.tasks_per_second,
+        }
+        for p in mtc_points
+    ])
+
+    figures = figure12_13_14(setup)
+    emit("fig12_fig13_fig14_consolidated", [
+        {
+            "system": s.system,
+            "total_consumption_node_hours": s.total_consumption_node_hours,
+            "peak_nodes_per_hour": s.peak_nodes_per_hour,
+            "adjusted_nodes": s.adjusted_nodes,
+            "management_overhead_s_per_hour": round(
+                s.overhead_s_per_hour(figures.horizon_s), 1
+            ),
+        }
+        for s in figures.series
+    ])
+
+    tco = paper_case_study()
+    emit("tco_case_study", [
+        {
+            "option": "DCS",
+            "tco_usd_per_month": round(tco.dcs_tco_per_month, 2),
+        },
+        {
+            "option": "SSP",
+            "tco_usd_per_month": round(tco.ssp_tco_per_month, 2),
+        },
+    ])
+    return written

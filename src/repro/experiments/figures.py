@@ -1,0 +1,86 @@
+"""Figures 12-14: the resource provider's consolidated metrics.
+
+* Figure 12 — total resource consumption (node-hours) per system;
+* Figure 13 — peak resource consumption (nodes per hour) per system;
+* Figure 14 — accumulated times of adjusting nodes per system.
+
+All three come from the same consolidated run, so one function produces
+them together (plus the §4.5.4 management-overhead figure derived from the
+adjustment counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.setup import DEFAULT_ADJUST_COST_S
+from repro.experiments.config import EvaluationSetup, default_setup
+from repro.systems.consolidation import ConsolidationResult, run_all_systems
+
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class ProviderFigureSeries:
+    """One system's bar in Figures 12-14."""
+
+    system: str
+    total_consumption_node_hours: float
+    peak_nodes_per_hour: float
+    adjusted_nodes: int
+
+    @property
+    def management_overhead_s(self) -> float:
+        """§4.5.4: adjustments × 15.743 s per node."""
+        return self.adjusted_nodes * DEFAULT_ADJUST_COST_S
+
+    def overhead_s_per_hour(self, horizon_s: float) -> float:
+        return self.management_overhead_s / (horizon_s / HOUR)
+
+
+@dataclass(frozen=True)
+class ConsolidatedFigures:
+    """Figures 12-14 in one record."""
+
+    series: tuple[ProviderFigureSeries, ...]
+    horizon_s: float
+    result: ConsolidationResult
+
+    def by_system(self, system: str) -> ProviderFigureSeries:
+        for s in self.series:
+            if s.system == system:
+                return s
+        raise KeyError(system)
+
+
+def figure12_13_14(
+    setup: Optional[EvaluationSetup] = None,
+    result: Optional[ConsolidationResult] = None,
+) -> ConsolidatedFigures:
+    """Run (or reuse) the consolidated comparison and extract the figures."""
+    setup = setup or default_setup()
+    if result is None:
+        result = run_all_systems(
+            setup.bundles(consolidated=True),
+            setup.policies,
+            capacity=setup.capacity,
+            horizon=setup.horizon,
+        )
+    # Figure 13 plots the nodes the resource provider must power at one
+    # instant.  For the fixed systems this equals the sum of machine sizes
+    # whenever the workloads overlap (they do: Montage lands mid-window);
+    # for DawningCloud the per-TRE peaks are time-multiplexed over ONE
+    # shared pool, so the concurrent peak of the merged timeline is the
+    # capacity-planning number — summing per-TRE peaks would double-count
+    # capacity the TREs never hold simultaneously.
+    series = tuple(
+        ProviderFigureSeries(
+            system=system,
+            total_consumption_node_hours=agg.total_consumption,
+            peak_nodes_per_hour=agg.concurrent_peak_nodes,
+            adjusted_nodes=agg.adjusted_nodes,
+        )
+        for system, agg in result.aggregates.items()
+    )
+    return ConsolidatedFigures(series=series, horizon_s=setup.horizon, result=result)

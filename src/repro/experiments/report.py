@@ -1,0 +1,83 @@
+"""Plain-text rendering of tables, sweeps and figures.
+
+The harness prints the same rows the paper reports, so a terminal diff
+against the published tables is a one-glance exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments.figures import ConsolidatedFigures
+from repro.experiments.sweep import SweepPoint
+
+
+def render_table(rows: Sequence[dict], title: str = "") -> str:
+    """Fixed-width text table from row dicts (column order = first row)."""
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    headers = list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if value is None:
+            return "/"
+        if isinstance(value, float):
+            if abs(value) < 10 and value != int(value):
+                return f"{value:.2f}"
+            return f"{value:,.0f}"
+        return str(value)
+
+    cells = [[fmt(r.get(h)) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def render_percentage_rows(rows: Sequence[dict]) -> list[dict]:
+    """Format ``saved_resources`` fractions as the paper's percentages."""
+    out = []
+    for row in rows:
+        row = dict(row)
+        sv = row.get("saved_resources")
+        if isinstance(sv, float):
+            row["saved_resources"] = f"{sv:+.1%}".replace("+", "")
+        out.append(row)
+    return out
+
+
+def render_sweep(points: Iterable[SweepPoint], title: str = "") -> str:
+    """Figure 9-11 series as text: one row per (B, R) configuration."""
+    rows = []
+    for p in points:
+        row = {
+            "config": p.label,
+            "resource_consumption": round(p.resource_consumption),
+            "completed_jobs": p.completed_jobs,
+        }
+        if p.tasks_per_second is not None:
+            row["tasks_per_second"] = round(p.tasks_per_second, 2)
+        rows.append(row)
+    return render_table(rows, title=title)
+
+
+def render_consolidated(figures: ConsolidatedFigures) -> str:
+    """Figures 12-14 as one text table."""
+    rows = [
+        {
+            "system": s.system,
+            "total_consumption_node_hours": round(s.total_consumption_node_hours),
+            "peak_nodes_per_hour": round(s.peak_nodes_per_hour),
+            "adjusted_nodes": s.adjusted_nodes,
+            "overhead_s_per_hour": round(s.overhead_s_per_hour(figures.horizon_s), 1),
+        }
+        for s in figures.series
+    ]
+    return render_table(rows, title="Figures 12-14: resource provider metrics")

@@ -1,0 +1,34 @@
+"""Run one workload through all four systems (a Tables 2-4 experiment)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.metrics.results import ProviderMetrics
+from repro.systems.base import WorkloadBundle
+from repro.systems.drp import run_drp
+from repro.systems.dsp_runner import (
+    DEFAULT_CAPACITY,
+    run_dawningcloud_htc,
+    run_dawningcloud_mtc,
+)
+from repro.systems.fixed import run_dcs, run_ssp
+
+
+def run_four_systems(
+    bundle: WorkloadBundle,
+    policy: ResourceManagementPolicy,
+    capacity: int = DEFAULT_CAPACITY,
+) -> dict[str, ProviderMetrics]:
+    """DCS, SSP, DRP and DawningCloud results for one service provider."""
+    if bundle.kind == "htc":
+        dawning = run_dawningcloud_htc(bundle, policy, capacity=capacity)
+    else:
+        dawning = run_dawningcloud_mtc(bundle, policy, capacity=capacity)
+    return {
+        "DCS": run_dcs(bundle),
+        "SSP": run_ssp(bundle),
+        "DRP": run_drp(bundle),
+        "DawningCloud": dawning,
+    }

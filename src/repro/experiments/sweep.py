@@ -1,0 +1,105 @@
+"""B×R parameter sweeps (Figures 9-11, §4.5.1).
+
+The paper tunes DawningCloud's two policy parameters per workload by
+sweeping the initial resources B and the threshold ratio R and plotting
+resource consumption together with throughput (completed jobs for HTC,
+tasks per second for MTC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.experiments.config import SWEEP_B, SWEEP_R_HTC, SWEEP_R_MTC
+from repro.systems.base import WorkloadBundle
+from repro.systems.dsp_runner import (
+    DEFAULT_CAPACITY,
+    run_dawningcloud_htc,
+    run_dawningcloud_mtc,
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (B, R) configuration's outcome."""
+
+    initial_nodes: int
+    threshold_ratio: float
+    resource_consumption: float
+    completed_jobs: int
+    tasks_per_second: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        r = self.threshold_ratio
+        r_str = f"{r:g}"
+        return f"B{self.initial_nodes}_R{r_str}"
+
+
+def sweep_htc_parameters(
+    bundle: WorkloadBundle,
+    initial_nodes: Sequence[int] = SWEEP_B,
+    threshold_ratios: Sequence[float] = SWEEP_R_HTC,
+    capacity: int = DEFAULT_CAPACITY,
+) -> list[SweepPoint]:
+    """Figure 9/10: DawningCloud over the (B, R) grid for an HTC trace."""
+    points = []
+    for b in initial_nodes:
+        for r in threshold_ratios:
+            policy = ResourceManagementPolicy.for_htc(b, r)
+            metrics = run_dawningcloud_htc(bundle, policy, capacity=capacity)
+            points.append(
+                SweepPoint(
+                    initial_nodes=b,
+                    threshold_ratio=r,
+                    resource_consumption=metrics.resource_consumption,
+                    completed_jobs=metrics.completed_jobs,
+                )
+            )
+    return points
+
+
+def sweep_mtc_parameters(
+    bundle: WorkloadBundle,
+    initial_nodes: Sequence[int] = SWEEP_B,
+    threshold_ratios: Sequence[float] = SWEEP_R_MTC,
+    capacity: int = DEFAULT_CAPACITY,
+) -> list[SweepPoint]:
+    """Figure 11: DawningCloud over the (B, R) grid for the MTC workflow."""
+    points = []
+    for b in initial_nodes:
+        for r in threshold_ratios:
+            policy = ResourceManagementPolicy.for_mtc(b, r)
+            metrics = run_dawningcloud_mtc(bundle, policy, capacity=capacity)
+            points.append(
+                SweepPoint(
+                    initial_nodes=b,
+                    threshold_ratio=r,
+                    resource_consumption=metrics.resource_consumption,
+                    completed_jobs=metrics.completed_jobs,
+                    tasks_per_second=metrics.tasks_per_second,
+                )
+            )
+    return points
+
+
+def best_point(
+    points: Iterable[SweepPoint], throughput_tolerance: float = 0.005
+) -> SweepPoint:
+    """The paper's selection rule: "to save the resource consumption and
+    improve the throughputs" — among points whose throughput is within
+    ``throughput_tolerance`` of the best, pick the cheapest."""
+    points = list(points)
+    if not points:
+        raise ValueError("empty sweep")
+
+    def throughput(p: SweepPoint) -> float:
+        return p.tasks_per_second if p.tasks_per_second is not None else p.completed_jobs
+
+    best_thr = max(throughput(p) for p in points)
+    eligible = [
+        p for p in points if throughput(p) >= best_thr * (1.0 - throughput_tolerance)
+    ]
+    return min(eligible, key=lambda p: p.resource_consumption)

@@ -1,0 +1,85 @@
+"""Tables 1-4 as structured rows.
+
+Each table function returns a list of dicts (one per row) so callers can
+render text (``repro.experiments.report``), assert invariants (tests), or
+serialize.  "Saved resources" percentages are computed against the DCS
+baseline, exactly as the paper's Tables 2-4 footnote describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dsp import MODEL_COMPARISON
+from repro.core.policies import ResourceManagementPolicy
+from repro.experiments.runner import run_four_systems
+from repro.metrics.accounting import savings_vs_baseline
+from repro.metrics.results import ProviderMetrics
+from repro.systems.base import WorkloadBundle
+
+SYSTEM_ORDER = ("DCS", "SSP", "DRP", "DawningCloud")
+
+
+def table1() -> list[dict]:
+    """Table 1: the comparison of different usage models."""
+    return [
+        {
+            "model": props.model.value,
+            "resource_property": props.resource_property,
+            "runtime_environment": props.runtime_environment,
+            "resources_provision": props.resource_provision,
+        }
+        for props in MODEL_COMPARISON
+    ]
+
+
+def _row(metrics: ProviderMetrics, baseline: float, kind: str) -> dict:
+    row = {
+        "configuration": f"{metrics.system} system"
+        if metrics.system != "DawningCloud"
+        else "DawningCloud",
+        "resource_consumption": round(metrics.resource_consumption),
+        "saved_resources": (
+            None
+            if metrics.system == "DCS"
+            else savings_vs_baseline(metrics.resource_consumption, baseline)
+        ),
+    }
+    if kind == "htc":
+        row["number_of_completed_jobs"] = metrics.completed_jobs
+    else:
+        row["tasks_per_second"] = (
+            None
+            if metrics.tasks_per_second is None
+            else round(metrics.tasks_per_second, 2)
+        )
+    return row
+
+
+def table_for_bundle(
+    bundle: WorkloadBundle,
+    policy: ResourceManagementPolicy,
+    capacity: int = 500,
+    results: Optional[dict[str, ProviderMetrics]] = None,
+) -> list[dict]:
+    """Tables 2-4: per-service-provider metrics across the four systems.
+
+    Pass ``results`` to reuse an existing :func:`run_four_systems` output.
+    """
+    if results is None:
+        results = run_four_systems(bundle, policy, capacity=capacity)
+    baseline = results["DCS"].resource_consumption
+    return [_row(results[s], baseline, bundle.kind) for s in SYSTEM_ORDER]
+
+
+def table_from_consolidated(result, workload_name: str, kind: str) -> list[dict]:
+    """Tables 2-4 extracted from one consolidated run.
+
+    The paper's per-provider DawningCloud figures come from the consolidated
+    experiment (the Figure-12 totals are exactly the sums of the Table 2-4
+    rows), so this is the canonical way to regenerate the tables.
+    ``result`` is a :class:`repro.systems.consolidation.ConsolidationResult`.
+    """
+    results = {s: result.provider(s, workload_name) for s in SYSTEM_ORDER}
+    baseline = results["DCS"].resource_consumption
+    return [_row(results[s], baseline, kind) for s in SYSTEM_ORDER]

@@ -1,0 +1,38 @@
+"""Generalized n×m provisioning (the paper's stated future work).
+
+Section 6: "In the near future, we will focus on building a more formal
+framework to model and discuss the generalized case in that *n* resource
+providers provision resources to *m* service providers of heterogeneous
+workloads."  This package provides that framework: placement strategies
+that assign service providers' workloads to resource providers, and a
+runner that evaluates the placement with the same DawningCloud machinery
+used in the main reproduction.
+"""
+
+from repro.federation.market import (
+    MarketResult,
+    ProviderRate,
+    cheapest_feasible_placement,
+    run_market,
+    scale_economies_experiment,
+)
+from repro.federation.model import (
+    FederatedResourceProvider,
+    Federation,
+    FederationResult,
+    least_loaded_placement,
+    round_robin_placement,
+)
+
+__all__ = [
+    "FederatedResourceProvider",
+    "Federation",
+    "FederationResult",
+    "MarketResult",
+    "ProviderRate",
+    "cheapest_feasible_placement",
+    "least_loaded_placement",
+    "round_robin_placement",
+    "run_market",
+    "scale_economies_experiment",
+]

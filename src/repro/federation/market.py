@@ -1,0 +1,182 @@
+"""A priced federation: resource providers with rates, cost-aware placement.
+
+The paper's future work (§6) sketches "n resource provider provisions
+resources to m service providers".  :mod:`repro.federation.model` gives
+the mechanics (placement + per-provider consolidation); this module adds
+the economics:
+
+* :class:`ProviderRate` — a resource provider's $/node-hour (so federated
+  providers can *compete* on price);
+* :func:`cheapest_feasible_placement` — each bundle goes to the cheapest
+  provider whose pool can hold its widest single request (the fixed-system
+  configuration is the natural feasibility proxy the paper itself uses to
+  size machines in §4.4);
+* :class:`MarketResult` / :func:`run_market` — a federated run with per-
+  provider and per-service-provider bills;
+* :func:`scale_economies_experiment` — the question behind the paper's
+  title at federation scale: given a fixed total capacity, does one big
+  cloud beat k smaller ones?  (Consolidation says yes: one pool absorbs
+  the providers' uncorrelated bursts; fragments reject more dynamic
+  requests and queue longer.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.federation.model import (
+    FederatedResourceProvider,
+    Federation,
+    FederationResult,
+    least_loaded_placement,
+)
+from repro.systems.base import WorkloadBundle
+
+
+@dataclass(frozen=True)
+class ProviderRate:
+    """One federated resource provider's price."""
+
+    provider: str
+    usd_per_node_hour: float
+
+    def __post_init__(self) -> None:
+        if self.usd_per_node_hour < 0:
+            raise ValueError("rate must be >= 0")
+
+
+def cheapest_feasible_placement(
+    bundles: Sequence[WorkloadBundle],
+    providers: Sequence[FederatedResourceProvider],
+    rates: dict[str, float],
+) -> dict[str, str]:
+    """Place every bundle on the cheapest provider that can hold it.
+
+    Feasibility: the provider's capacity must cover the bundle's fixed-
+    system configuration (§4.4's sizing rule — the widest demand a TRE
+    will steady-state at).  Ties break toward the larger pool, then name.
+    """
+    missing = [p.name for p in providers if p.name not in rates]
+    if missing:
+        raise ValueError(f"no rate for providers {missing}")
+    placement: dict[str, str] = {}
+    for bundle in bundles:
+        need = int(bundle.fixed_nodes or 1)
+        feasible = [p for p in providers if p.capacity >= need]
+        if not feasible:
+            raise ValueError(
+                f"bundle {bundle.name!r} needs {need} nodes; no provider "
+                f"is large enough"
+            )
+        best = min(feasible, key=lambda p: (rates[p.name], -p.capacity, p.name))
+        placement[bundle.name] = best.name
+    return placement
+
+
+@dataclass
+class MarketResult:
+    """A federated run plus the money flows it implies."""
+
+    federation_result: FederationResult
+    rates: dict[str, float]
+    #: provider name -> billed revenue (node-hours × rate)
+    revenue: dict[str, float] = field(default_factory=dict)
+    #: service provider name -> bill
+    bills: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_billed(self) -> float:
+        return sum(self.revenue.values())
+
+    def to_rows(self) -> list[dict]:
+        rows = []
+        for name, metrics in self.federation_result.per_provider.items():
+            rows.append(
+                {
+                    "resource_provider": name,
+                    "usd_per_node_hour": self.rates[name],
+                    "node_hours": round(metrics.total_consumption, 1),
+                    "revenue_usd": round(self.revenue[name], 2),
+                    "service_providers": len(metrics.providers),
+                }
+            )
+        return rows
+
+
+def run_market(
+    bundles: Sequence[WorkloadBundle],
+    policies: dict[str, ResourceManagementPolicy],
+    providers: Sequence[FederatedResourceProvider],
+    rates: Sequence[ProviderRate],
+    placement: Optional[dict[str, str]] = None,
+    horizon: Optional[float] = None,
+) -> MarketResult:
+    """Run a priced federation and compute revenues and bills."""
+    rate_map = {r.provider: r.usd_per_node_hour for r in rates}
+    federation = Federation(providers, policies)
+    if placement is None:
+        placement = cheapest_feasible_placement(bundles, providers, rate_map)
+    result = federation.run(bundles, placement=placement, horizon=horizon)
+
+    revenue: dict[str, float] = {}
+    bills: dict[str, float] = {}
+    for name, metrics in result.per_provider.items():
+        rate = rate_map[name]
+        revenue[name] = metrics.total_consumption * rate
+        for p in metrics.providers:
+            bills[p.provider] = p.resource_consumption * rate
+    return MarketResult(
+        federation_result=result, rates=rate_map, revenue=revenue, bills=bills
+    )
+
+
+def scale_economies_experiment(
+    bundles: Sequence[WorkloadBundle],
+    policies: dict[str, ResourceManagementPolicy],
+    total_capacity: int,
+    splits: Sequence[int] = (1, 2, 3),
+    horizon: Optional[float] = None,
+) -> list[dict]:
+    """One big cloud versus k equal fragments of the same total capacity.
+
+    For each split k, the federation holds k providers of
+    ``total_capacity // k`` nodes, bundles placed least-loaded.  Rows
+    report total consumption, jobs completed, and the summed peak — the
+    three quantities Figure 12/13 track for the single-provider case.
+
+    Splits that would leave a fragment smaller than some bundle's initial
+    resources are still run (the DSP model lets TREs start small); what
+    degrades is dynamic-request rejection, visible as fewer completed jobs.
+    """
+    if total_capacity < 1:
+        raise ValueError("total_capacity must be >= 1")
+    rows: list[dict] = []
+    for k in splits:
+        if k < 1:
+            raise ValueError("splits must be >= 1")
+        if k > len(bundles):
+            # more fragments than workloads: the extras idle, same economics
+            k_effective = len(bundles)
+        else:
+            k_effective = k
+        capacity = total_capacity // k_effective
+        providers = [
+            FederatedResourceProvider(f"cloud-{i}", capacity)
+            for i in range(k_effective)
+        ]
+        federation = Federation(providers, policies)
+        placement = federation.place(list(bundles), least_loaded_placement)
+        result = federation.run(list(bundles), placement=placement,
+                                horizon=horizon)
+        rows.append(
+            {
+                "n_providers": k_effective,
+                "capacity_each": capacity,
+                "total_consumption": round(result.total_consumption, 1),
+                "completed_jobs": result.completed_jobs(),
+                "summed_peak_nodes": result.total_peak,
+            }
+        )
+    return rows

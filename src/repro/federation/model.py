@@ -1,0 +1,168 @@
+"""The n-resource-provider × m-service-provider framework.
+
+Model
+-----
+* A :class:`FederatedResourceProvider` is one cloud platform: a capacity
+  and (after a run) a DawningCloud instance consolidating the service
+  providers placed on it.
+* A *placement* maps each workload bundle to a resource provider.  Two
+  strategies ship: round-robin and least-loaded (by expected work
+  normalized by provider capacity); custom strategies are any callable
+  with the same signature.
+* :meth:`Federation.run` executes every provider's consolidation and
+  returns per-provider and federation-wide metrics, enabling questions
+  like "do two 200-node providers beat one 400-node provider?" — the
+  economies-of-scale question at federation scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.metrics.results import ResourceProviderMetrics
+from repro.systems.base import WorkloadBundle
+from repro.systems.dsp_runner import run_dawningcloud_consolidated
+
+HOUR = 3600.0
+
+#: A placement strategy maps bundles onto provider names.
+PlacementStrategy = Callable[
+    [Sequence[WorkloadBundle], Sequence["FederatedResourceProvider"]],
+    dict[str, str],
+]
+
+
+@dataclass(frozen=True)
+class FederatedResourceProvider:
+    """One cloud platform in the federation."""
+
+    name: str
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+
+
+def _expected_work(bundle: WorkloadBundle) -> float:
+    if bundle.kind == "htc":
+        return bundle.trace.total_work  # type: ignore[union-attr]
+    return bundle.workflow.total_work()  # type: ignore[union-attr]
+
+
+def round_robin_placement(
+    bundles: Sequence[WorkloadBundle],
+    providers: Sequence[FederatedResourceProvider],
+) -> dict[str, str]:
+    """Assign bundles to providers cyclically, in bundle order."""
+    if not providers:
+        raise ValueError("need at least one resource provider")
+    return {
+        b.name: providers[i % len(providers)].name for i, b in enumerate(bundles)
+    }
+
+
+def least_loaded_placement(
+    bundles: Sequence[WorkloadBundle],
+    providers: Sequence[FederatedResourceProvider],
+) -> dict[str, str]:
+    """Greedy: biggest workloads first onto the relatively emptiest cloud.
+
+    Load is accumulated expected work divided by provider capacity, so a
+    twice-as-large provider absorbs twice the work before being considered
+    equally loaded.
+    """
+    if not providers:
+        raise ValueError("need at least one resource provider")
+    load = {p.name: 0.0 for p in providers}
+    capacity = {p.name: float(p.capacity) for p in providers}
+    placement: dict[str, str] = {}
+    for bundle in sorted(bundles, key=_expected_work, reverse=True):
+        target = min(load, key=lambda n: load[n] / capacity[n])
+        placement[bundle.name] = target
+        load[target] += _expected_work(bundle)
+    return placement
+
+
+@dataclass
+class FederationResult:
+    """Outcome of one federated run."""
+
+    placement: dict[str, str]
+    per_provider: dict[str, ResourceProviderMetrics]
+
+    @property
+    def total_consumption(self) -> float:
+        return sum(m.total_consumption for m in self.per_provider.values())
+
+    @property
+    def total_peak(self) -> float:
+        return sum(m.peak_nodes for m in self.per_provider.values())
+
+    def completed_jobs(self) -> int:
+        return sum(
+            p.completed_jobs
+            for m in self.per_provider.values()
+            for p in m.providers
+        )
+
+
+class Federation:
+    """n resource providers serving m service providers."""
+
+    def __init__(
+        self,
+        providers: Sequence[FederatedResourceProvider],
+        policies: dict[str, ResourceManagementPolicy],
+    ) -> None:
+        if not providers:
+            raise ValueError("need at least one resource provider")
+        names = [p.name for p in providers]
+        if len(set(names)) != len(names):
+            raise ValueError("provider names must be unique")
+        self.providers = list(providers)
+        self.policies = dict(policies)
+
+    def place(
+        self,
+        bundles: Sequence[WorkloadBundle],
+        strategy: PlacementStrategy = least_loaded_placement,
+    ) -> dict[str, str]:
+        placement = strategy(bundles, self.providers)
+        known = {p.name for p in self.providers}
+        unknown = set(placement.values()) - known
+        if unknown:
+            raise ValueError(f"placement targets unknown providers {unknown}")
+        missing = {b.name for b in bundles} - set(placement)
+        if missing:
+            raise ValueError(f"placement leaves bundles unplaced: {missing}")
+        return placement
+
+    def run(
+        self,
+        bundles: Sequence[WorkloadBundle],
+        placement: Optional[dict[str, str]] = None,
+        horizon: Optional[float] = None,
+    ) -> FederationResult:
+        """Run every resource provider's consolidated DawningCloud."""
+        if placement is None:
+            placement = self.place(bundles)
+        if horizon is None:
+            htc_horizons = [float(b.horizon) for b in bundles if b.kind == "htc"]
+            horizon = max(htc_horizons) if htc_horizons else max(
+                float(b.horizon) for b in bundles
+            )
+        per_provider: dict[str, ResourceProviderMetrics] = {}
+        for provider in self.providers:
+            mine = [b for b in bundles if placement[b.name] == provider.name]
+            if not mine:
+                continue
+            per_provider[provider.name] = run_dawningcloud_consolidated(
+                mine,
+                {b.name: self.policies[b.name] for b in mine},
+                capacity=provider.capacity,
+                horizon=horizon,
+            )
+        return FederationResult(placement=placement, per_provider=per_provider)

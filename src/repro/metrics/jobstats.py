@@ -1,0 +1,156 @@
+"""Job-level quality-of-service statistics.
+
+The paper evaluates throughput (completed jobs, tasks/s) and cost
+(node-hours); the scheduler and policy ablations additionally need the
+classic job-level metrics of the parallel-scheduling literature:
+
+* **wait time** — queueing delay between submission and start;
+* **response time** — submission to completion;
+* **bounded slowdown** — ``(wait + max(runtime, τ)) / max(runtime, τ)``
+  with the usual τ = 10 s floor, so sub-second jobs cannot dominate;
+* **achieved utilization** — executed work over the owned-node integral.
+
+Everything operates on completed :class:`~repro.workloads.job.Job` records
+(they carry ``start_time``/``finish_time`` after a run), is NumPy-
+vectorized, and returns plain floats, so the benchmark tables stay cheap
+to build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.workloads.job import Job, JobState
+
+#: Bounded-slowdown runtime floor (Feitelson's τ), seconds.
+SLOWDOWN_TAU_S = 10.0
+
+
+def _completed(jobs: Iterable[Job]) -> list[Job]:
+    out = [j for j in jobs if j.state is JobState.COMPLETED]
+    for j in out:
+        if j.start_time is None or j.finish_time is None:  # pragma: no cover
+            raise ValueError(f"job {j.job_id} completed without timestamps")
+    return out
+
+
+@dataclass(frozen=True)
+class JobStatistics:
+    """Aggregate QoS statistics over one run's completed jobs."""
+
+    n_jobs: int
+    mean_wait_s: float
+    median_wait_s: float
+    p95_wait_s: float
+    max_wait_s: float
+    mean_response_s: float
+    mean_bounded_slowdown: float
+    p95_bounded_slowdown: float
+
+    def to_row(self) -> dict:
+        return {
+            "n_jobs": self.n_jobs,
+            "mean_wait_s": round(self.mean_wait_s, 1),
+            "median_wait_s": round(self.median_wait_s, 1),
+            "p95_wait_s": round(self.p95_wait_s, 1),
+            "max_wait_s": round(self.max_wait_s, 1),
+            "mean_response_s": round(self.mean_response_s, 1),
+            "mean_bounded_slowdown": round(self.mean_bounded_slowdown, 2),
+            "p95_bounded_slowdown": round(self.p95_bounded_slowdown, 2),
+        }
+
+
+def wait_times(jobs: Iterable[Job]) -> np.ndarray:
+    """Queueing delays of the completed jobs, in submission order."""
+    done = _completed(jobs)
+    return np.array([j.start_time - j.submit_time for j in done], dtype=float)
+
+
+def response_times(jobs: Iterable[Job]) -> np.ndarray:
+    """Submission-to-completion spans of the completed jobs."""
+    done = _completed(jobs)
+    return np.array([j.finish_time - j.submit_time for j in done], dtype=float)
+
+
+def bounded_slowdowns(
+    jobs: Iterable[Job], tau_s: float = SLOWDOWN_TAU_S
+) -> np.ndarray:
+    """Bounded slowdowns of the completed jobs.
+
+    ``max((wait + runtime) / max(runtime, τ), 1)`` — the standard formula;
+    values are clipped below at 1 (a job cannot be faster than itself).
+    """
+    if tau_s <= 0:
+        raise ValueError("tau_s must be positive")
+    done = _completed(jobs)
+    wait = np.array([j.start_time - j.submit_time for j in done], dtype=float)
+    run = np.array([j.runtime for j in done], dtype=float)
+    denom = np.maximum(run, tau_s)
+    return np.maximum((wait + run) / denom, 1.0)
+
+
+def compute_statistics(
+    jobs: Iterable[Job], tau_s: float = SLOWDOWN_TAU_S
+) -> JobStatistics:
+    """One-stop aggregate over a run's completed jobs."""
+    done = _completed(jobs)
+    if not done:
+        return JobStatistics(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    wait = wait_times(done)
+    resp = response_times(done)
+    slow = bounded_slowdowns(done, tau_s)
+    return JobStatistics(
+        n_jobs=len(done),
+        mean_wait_s=float(wait.mean()),
+        median_wait_s=float(np.median(wait)),
+        p95_wait_s=float(np.percentile(wait, 95)),
+        max_wait_s=float(wait.max()),
+        mean_response_s=float(resp.mean()),
+        mean_bounded_slowdown=float(slow.mean()),
+        p95_bounded_slowdown=float(np.percentile(slow, 95)),
+    )
+
+
+def achieved_utilization(
+    jobs: Iterable[Job], owned_node_seconds: float
+) -> float:
+    """Executed work / owned capacity, in [0, 1] for a feasible schedule.
+
+    ``owned_node_seconds`` is the integral of the owned-node level over the
+    run (``UsageRecorder.integral_node_seconds``); the numerator counts the
+    completed jobs' ``size × runtime``.
+    """
+    if owned_node_seconds <= 0:
+        raise ValueError("owned_node_seconds must be positive")
+    work = sum(j.work for j in _completed(jobs))
+    return work / owned_node_seconds
+
+
+def per_user_waits(jobs: Iterable[Job]) -> dict[int, float]:
+    """Mean wait per end user — the fair-share scheduler's report card."""
+    sums: dict[int, list[float]] = {}
+    for j in _completed(jobs):
+        sums.setdefault(j.user_id, []).append(j.start_time - j.submit_time)
+    return {u: float(np.mean(w)) for u, w in sorted(sums.items())}
+
+
+def jains_fairness_index(values: Sequence[float]) -> float:
+    """Jain's index over per-user means: 1 = perfectly fair, 1/n = worst.
+
+    The standard fairness summary for the weighted-fair-share ablation;
+    degenerate all-zero inputs (nobody waited) count as perfectly fair.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(arr < 0):
+        raise ValueError("values must be >= 0")
+    peak = arr.max()
+    if peak == 0:
+        return 1.0
+    arr = arr / peak  # normalize so squares cannot underflow to 0
+    total = arr.sum()
+    return float(total**2 / (arr.size * np.sum(arr**2)))

@@ -1,0 +1,112 @@
+"""Usage time series.
+
+Every system records node usage as a sequence of ``(time, ±nodes)`` deltas.
+:class:`UsageRecorder` turns those into:
+
+* the exact integral (node-seconds → node-hours of *occupancy*, as opposed
+  to *billed* node-hours, which the lease ledger tracks);
+* an hourly-peak series ("nodes per hour", Figure 13's unit) — the maximum
+  instantaneous usage inside each hour;
+* the overall peak.
+
+Series construction is vectorized with NumPy: deltas are bucketed with
+``np.add.at`` and peaks derived from the running level at bucket boundaries
+plus the within-bucket maxima.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+HOUR = 3600.0
+
+
+class UsageRecorder:
+    """Accumulates ``(time, delta_nodes)`` events for one client/system."""
+
+    def __init__(self, name: str = "usage") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._deltas: list[int] = []
+
+    def record(self, t: float, delta: int) -> None:
+        if delta == 0:
+            return
+        self._times.append(float(t))
+        self._deltas.append(int(delta))
+
+    def extend(self, events: Iterable[tuple[float, int]]) -> None:
+        for t, d in events:
+            self.record(t, d)
+
+    @property
+    def events(self) -> list[tuple[float, int]]:
+        return sorted(zip(self._times, self._deltas))
+
+    # ------------------------------------------------------------------ #
+    def level_steps(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, levels)``: usage level after each event time."""
+        if not self._times:
+            return np.array([]), np.array([])
+        order = np.argsort(self._times, kind="stable")
+        times = np.asarray(self._times)[order]
+        deltas = np.asarray(self._deltas)[order]
+        # merge simultaneous events
+        uniq, inverse = np.unique(times, return_inverse=True)
+        merged = np.zeros(len(uniq))
+        np.add.at(merged, inverse, deltas)
+        levels = np.cumsum(merged)
+        return uniq, levels
+
+    def integral_node_seconds(self, horizon: float) -> float:
+        """Exact integral of usage over ``[0, horizon]``."""
+        times, levels = self.level_steps()
+        if len(times) == 0:
+            return 0.0
+        mask = times <= horizon
+        times = times[mask]
+        levels = levels[: len(times)]
+        if len(times) == 0:
+            return 0.0
+        bounded = np.append(times, horizon)
+        widths = np.diff(bounded)
+        return float(np.sum(levels * widths))
+
+    def hourly_peak_series(self, horizon: float) -> np.ndarray:
+        """Max instantaneous usage within each hour of ``[0, horizon]``."""
+        n_hours = int(np.ceil(horizon / HOUR))
+        peaks = np.zeros(max(n_hours, 1))
+        times, levels = self.level_steps()
+        if len(times) == 0:
+            return peaks
+        # level entering each hour boundary
+        level_before = 0.0
+        idx = 0
+        for h in range(n_hours):
+            start, end = h * HOUR, (h + 1) * HOUR
+            best = level_before
+            while idx < len(times) and times[idx] < end:
+                if times[idx] >= start:
+                    best = max(best, levels[idx])
+                level_before = levels[idx]
+                idx += 1
+            peaks[h] = best
+        return peaks
+
+    def peak(self, horizon: float) -> float:
+        """Overall maximum instantaneous usage inside the horizon."""
+        series = self.hourly_peak_series(horizon)
+        return float(series.max()) if len(series) else 0.0
+
+    def current_level(self) -> int:
+        return int(sum(self._deltas))
+
+
+def merge_usage(recorders: Sequence[UsageRecorder], name: str = "merged") -> UsageRecorder:
+    """Combine several recorders into one (the resource provider's view)."""
+    merged = UsageRecorder(name)
+    for rec in recorders:
+        merged.extend(zip(rec._times, rec._deltas))
+    return merged

@@ -1,0 +1,51 @@
+"""Scheduler interface.
+
+A scheduler is a pure policy object: given the queue (in arrival order),
+the number of free nodes and the currently running jobs, it returns which
+queued jobs to start *now*.  All state (queue membership, resource counts)
+lives in the runtime-environment server, which makes policies trivially
+testable and swappable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.workloads.job import Job
+
+
+@dataclass(frozen=True)
+class RunningJob:
+    """What a scheduler may know about a running job."""
+
+    job: Job
+    finish_time: float
+
+    @property
+    def size(self) -> int:
+        return self.job.size
+
+
+class Scheduler(abc.ABC):
+    """Decides which queued jobs start now."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        now: float,
+        queued: Sequence[Job],
+        free_nodes: int,
+        running: Sequence[RunningJob] = (),
+    ) -> list[Job]:
+        """Return the queued jobs to start at ``now``.
+
+        Implementations must never select more aggregate width than
+        ``free_nodes`` and must preserve queue membership (no duplicates).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__}>"

@@ -1,0 +1,66 @@
+"""The job queue shared by every runtime-environment server.
+
+Keeps arrival order, supports O(1) membership checks, and provides the two
+demand aggregates the paper's resource-management policy needs (§3.2.2.1):
+
+* ``total_demand`` — "the accumulated resource demands of all jobs in the
+  queue" (numerator of the ratio of obtaining resources);
+* ``biggest_demand`` — "the resource demand of the present biggest job in
+  the queue" (the DR2 trigger).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.workloads.job import Job
+
+
+class JobQueue:
+    """FIFO of queued jobs with demand aggregates."""
+
+    def __init__(self) -> None:
+        self._jobs: list[Job] = []
+        self._members: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __contains__(self, job: Job) -> bool:
+        return job.job_id in self._members
+
+    @property
+    def jobs(self) -> list[Job]:
+        """The queue in arrival order (a copy; safe to mutate)."""
+        return list(self._jobs)
+
+    def push(self, job: Job) -> None:
+        if job.job_id in self._members:
+            raise ValueError(f"job {job.job_id} already queued")
+        self._jobs.append(job)
+        self._members.add(job.job_id)
+
+    def remove(self, job: Job) -> None:
+        if job.job_id not in self._members:
+            raise ValueError(f"job {job.job_id} not in queue")
+        self._jobs.remove(job)
+        self._members.discard(job.job_id)
+
+    def head(self) -> Optional[Job]:
+        return self._jobs[0] if self._jobs else None
+
+    # ------------------------------------------------------------------ #
+    # policy aggregates (§3.2.2.1)
+    # ------------------------------------------------------------------ #
+    @property
+    def total_demand(self) -> int:
+        """Accumulated resource demand of all queued jobs, in nodes."""
+        return sum(j.size for j in self._jobs)
+
+    @property
+    def biggest_demand(self) -> int:
+        """Width of the widest queued job (0 when empty)."""
+        return max((j.size for j in self._jobs), default=0)

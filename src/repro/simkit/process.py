@@ -1,0 +1,66 @@
+"""Generator-based simulation processes.
+
+Most components in this reproduction are event-callback objects, but a few
+sequential behaviours (the TRE lifecycle walk-through, deployment sequences)
+read more naturally as coroutines.  :class:`SimProcess` runs a Python
+generator that yields delays::
+
+    def boot_sequence(env):
+        yield 5.0           # deploy packages
+        env.mark_created()
+        yield 1.0           # start daemons
+        env.mark_running()
+
+    SimProcess(engine, boot_sequence(env))
+
+Each ``yield delay`` suspends the process for ``delay`` simulated seconds.
+Yielding a negative number is an error; returning ends the process.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.simkit.engine import SimulationEngine
+from repro.simkit.events import Event
+
+
+class SimProcess:
+    """Drives a generator of delays on the simulation engine."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        generator: Generator[float, None, None],
+        start_delay: float = 0.0,
+    ) -> None:
+        self._engine = engine
+        self._gen = generator
+        self._event: Optional[Event] = engine.schedule(start_delay, self._advance)
+        self.finished = False
+
+    @property
+    def active(self) -> bool:
+        return not self.finished and self._event is not None
+
+    def interrupt(self) -> None:
+        """Stop the process; the generator is closed immediately."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if not self.finished:
+            self.finished = True
+            self._gen.close()
+
+    def _advance(self) -> None:
+        self._event = None
+        try:
+            delay = next(self._gen)
+        except StopIteration:
+            self.finished = True
+            return
+        if delay is None or delay < 0:
+            self.finished = True
+            self._gen.close()
+            raise ValueError(f"process yielded invalid delay {delay!r}")
+        self._event = self._engine.schedule(float(delay), self._advance)

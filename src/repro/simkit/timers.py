@@ -1,0 +1,101 @@
+"""Timers built on the simulation engine.
+
+Two small helpers wrap the raw engine API:
+
+* :class:`PeriodicTimer` — the paper's scan loops ("the HTC server scans jobs
+  in queue per minute", "a MTC server scans jobs in queue per three seconds")
+  and the hourly idle-resource checks registered after each dynamic request.
+* :class:`OneShotTimer` — a cancellable single callback, used for TRE
+  lifecycle steps and workload injection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simkit.engine import SimulationEngine
+from repro.simkit.events import Event
+
+
+class OneShotTimer:
+    """A single cancellable callback ``delay`` seconds in the future."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+    ) -> None:
+        self._engine = engine
+        self._event: Optional[Event] = engine.schedule(delay, self._fire)
+        self._fn = fn
+        self._args = args
+        self.fired = False
+
+    def _fire(self) -> None:
+        self._event = None
+        self.fired = True
+        self._fn(*self._args)
+
+    @property
+    def active(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+
+class PeriodicTimer:
+    """Fires ``fn(*args)`` every ``interval`` seconds until stopped.
+
+    The first firing happens ``interval`` seconds after :meth:`start` (not
+    immediately), matching how the paper's servers begin scanning after the
+    runtime environment starts.  Re-arming happens *before* the callback so
+    the callback may safely call :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self._engine = engine
+        self.interval = float(interval)
+        self._fn = fn
+        self._args = args
+        self._priority = priority
+        self._event: Optional[Event] = None
+        self.fire_count = 0
+
+    @property
+    def active(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self) -> "PeriodicTimer":
+        if self.active:
+            raise RuntimeError("timer already started")
+        self._arm()
+        return self
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _arm(self) -> None:
+        self._event = self._engine.schedule(
+            self.interval, self._tick, priority=self._priority
+        )
+
+    def _tick(self) -> None:
+        self._arm()
+        self.fire_count += 1
+        self._fn(*self._args)

@@ -1,0 +1,41 @@
+"""The four evaluated systems (§4).
+
+* :mod:`repro.systems.fixed` — DCS and SSP: fixed-size resources, queuing
+  runtime environment (they share one code path; only ownership/accounting
+  differs, which is why the paper reports identical performance for them).
+* :mod:`repro.systems.drp` — direct resource provision: end users lease
+  from the provider per job (HTC) or through a per-user reusable VM pool
+  (MTC); no queueing.
+* :mod:`repro.systems.dsp_runner` — DawningCloud runners (standalone per
+  provider, as in Tables 2-4, and consolidated, as in Figures 12-14).
+* :mod:`repro.systems.consolidation` — drives all four systems over the
+  same workload set and aggregates the resource provider's metrics.
+* :mod:`repro.systems.base` — workload bundles shared by every runner.
+* :mod:`repro.systems.emulator` — submission scheduling (the paper's "job
+  emulator").
+"""
+
+from repro.systems.base import WorkloadBundle, clone_workflow
+from repro.systems.consolidation import ConsolidationResult, run_all_systems
+from repro.systems.drp import run_drp
+from repro.systems.dsp_runner import (
+    run_dawningcloud_consolidated,
+    run_dawningcloud_htc,
+    run_dawningcloud_mtc,
+)
+from repro.systems.emulator import JobEmulator
+from repro.systems.fixed import run_dcs, run_ssp
+
+__all__ = [
+    "ConsolidationResult",
+    "JobEmulator",
+    "WorkloadBundle",
+    "clone_workflow",
+    "run_all_systems",
+    "run_dawningcloud_consolidated",
+    "run_dawningcloud_htc",
+    "run_dawningcloud_mtc",
+    "run_dcs",
+    "run_drp",
+    "run_ssp",
+]

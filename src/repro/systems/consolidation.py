@@ -1,0 +1,75 @@
+"""Consolidated comparison of all four systems (§4.5.3-4.5.4).
+
+For the resource-provider perspective the paper consolidates the three
+service providers' workloads and compares total consumption (Figure 12),
+peak consumption (Figure 13) and accumulated node adjustments (Figure 14)
+across DawningCloud, SSP, DRP and DCS.
+
+DCS/SSP/DRP have no cross-provider interaction (fixed machines or an
+effectively unbounded pool), so each provider runs on its own engine and
+the aggregates are merged; DawningCloud genuinely shares one provision
+service across TREs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.metrics.results import ProviderMetrics, ResourceProviderMetrics
+from repro.systems.base import WorkloadBundle
+from repro.systems.drp import run_drp
+from repro.systems.dsp_runner import (
+    DEFAULT_CAPACITY,
+    run_dawningcloud_consolidated,
+)
+from repro.systems.fixed import run_dcs, run_ssp
+
+SYSTEMS = ("DCS", "SSP", "DRP", "DawningCloud")
+
+
+@dataclass
+class ConsolidationResult:
+    """Per-system aggregates plus the per-provider breakdown."""
+
+    aggregates: dict[str, ResourceProviderMetrics] = field(default_factory=dict)
+
+    def aggregate(self, system: str) -> ResourceProviderMetrics:
+        return self.aggregates[system]
+
+    def provider(self, system: str, name: str) -> ProviderMetrics:
+        for p in self.aggregates[system].providers:
+            if p.provider == name:
+                return p
+        raise KeyError(f"{system}/{name}")
+
+    def savings_vs(self, system: str, baseline: str) -> float:
+        """Total-consumption saving of ``system`` against ``baseline``."""
+        base = self.aggregates[baseline].total_consumption
+        return 1.0 - self.aggregates[system].total_consumption / base
+
+    def peak_ratio(self, system: str, baseline: str) -> float:
+        base = self.aggregates[baseline].peak_nodes
+        return self.aggregates[system].peak_nodes / base if base else float("nan")
+
+
+def run_all_systems(
+    bundles: list[WorkloadBundle],
+    policies: dict[str, ResourceManagementPolicy],
+    capacity: int = DEFAULT_CAPACITY,
+    horizon: Optional[float] = None,
+) -> ConsolidationResult:
+    """Run every bundle through all four systems and aggregate."""
+    if horizon is None:
+        horizon = max(float(b.horizon) for b in bundles if b.kind == "htc")  # type: ignore[arg-type]
+    result = ConsolidationResult()
+    for system, runner in (("DCS", run_dcs), ("SSP", run_ssp), ("DRP", run_drp)):
+        providers = [runner(b) for b in bundles]
+        result.aggregates[system] = ResourceProviderMetrics.from_providers(
+            system, providers, horizon
+        )
+    result.aggregates["DawningCloud"] = run_dawningcloud_consolidated(
+        bundles, policies, capacity=capacity, horizon=horizon
+    )
+    return result

@@ -1,0 +1,102 @@
+"""DawningCloud runners.
+
+Two granularities, matching the paper's evaluation:
+
+* :func:`run_dawningcloud_htc` / :func:`run_dawningcloud_mtc` — one service
+  provider alone on the cloud (the per-provider rows of Tables 2-4; the
+  provider-side metrics are unaffected by consolidation because the pool is
+  large enough that requests are never rejected).
+* :func:`run_dawningcloud_consolidated` — all service providers together on
+  one resource provider (Figures 12-14), which is the configuration that
+  realizes the economies of scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dawningcloud import DawningCloud
+from repro.core.policies import ResourceManagementPolicy
+from repro.metrics.results import ProviderMetrics, ResourceProviderMetrics
+from repro.systems.base import WorkloadBundle, run_until
+
+HOUR = 3600.0
+
+#: Default cloud-pool size.  The paper's consolidated DawningCloud peak is
+#: only 1.06× the DCS total (438 nodes), i.e. the platform partition backing
+#: the experiment was barely larger than the three dedicated systems
+#: combined — the all-or-nothing provision policy *rejecting* oversized
+#: dynamic requests is what bounds DawningCloud's expansion under bursts.
+#: 420 nodes reproduces that regime.
+DEFAULT_CAPACITY = 420
+
+
+def run_dawningcloud_htc(
+    bundle: WorkloadBundle,
+    policy: ResourceManagementPolicy,
+    capacity: int = DEFAULT_CAPACITY,
+) -> ProviderMetrics:
+    """One HTC service provider on DawningCloud (standalone)."""
+    if bundle.kind != "htc":
+        raise ValueError("expected an HTC bundle")
+    cloud = DawningCloud(capacity=capacity)
+    cloud.add_htc_provider(bundle.name, policy)
+    cloud.submit_trace(bundle.name, bundle.materialize_trace())
+    horizon = float(bundle.horizon)  # type: ignore[arg-type]
+    cloud.run(until=horizon)
+    cloud.shutdown()
+    return cloud.provider_metrics(bundle.name, horizon)
+
+
+def run_dawningcloud_mtc(
+    bundle: WorkloadBundle,
+    policy: ResourceManagementPolicy,
+    capacity: int = DEFAULT_CAPACITY,
+) -> ProviderMetrics:
+    """One MTC service provider on DawningCloud (standalone).
+
+    The TRE is created on demand, the workflow runs, and the TRE is
+    destroyed at completion, so the leases are billed for the workload
+    period only (1 hour for Montage → the paper's 166 node-hours).
+    """
+    if bundle.kind != "mtc":
+        raise ValueError("expected an MTC bundle")
+    workflow = bundle.materialize_workflow()
+    cloud = DawningCloud(capacity=capacity)
+    cloud.add_mtc_provider(
+        bundle.name, policy, auto_destroy=True, create_at=workflow.submit_time
+    )
+    cloud.submit_workflow(bundle.name, workflow)
+    run_until(cloud.engine, workflow.completed, hard_limit=float(bundle.horizon))  # type: ignore[arg-type]
+    cloud.shutdown()
+    return cloud.provider_metrics(bundle.name, cloud.engine.now)
+
+
+def run_dawningcloud_consolidated(
+    bundles: list[WorkloadBundle],
+    policies: dict[str, ResourceManagementPolicy],
+    capacity: int = DEFAULT_CAPACITY,
+    horizon: Optional[float] = None,
+) -> ResourceProviderMetrics:
+    """All service providers consolidated on one DawningCloud platform."""
+    cloud = DawningCloud(capacity=capacity)
+    if horizon is None:
+        horizon = max(float(b.horizon) for b in bundles if b.kind == "htc")  # type: ignore[arg-type]
+    pending_workflows = []
+    for bundle in bundles:
+        policy = policies[bundle.name]
+        if bundle.kind == "htc":
+            cloud.add_htc_provider(bundle.name, policy)
+            cloud.submit_trace(bundle.name, bundle.materialize_trace())
+        else:
+            workflow = bundle.materialize_workflow()
+            pending_workflows.append(workflow)
+            cloud.add_mtc_provider(
+                bundle.name, policy, auto_destroy=True, create_at=workflow.submit_time
+            )
+            cloud.submit_workflow(bundle.name, workflow)
+    cloud.run(until=horizon)
+    # MTC workflows submitted near the horizon may still be in flight;
+    # in the paper's setup they complete well inside the window.
+    cloud.shutdown()
+    return cloud.resource_provider_metrics(horizon)

@@ -1,0 +1,301 @@
+"""Job and trace data model.
+
+A :class:`Job` is the unit every emulated system schedules: an HTC batch job
+(independent, sized in nodes) or one task of an MTC workflow (size 1 node in
+the Montage evaluation, with dependencies).  A :class:`Trace` is an ordered
+collection of jobs plus the machine context they were recorded on.
+
+Jobs carry *immutable workload facts* (submit time, size, runtime,
+dependencies) set by generators/parsers, and *mutable execution state*
+(state, start/finish time) written by the simulators.  ``Job.reset()``
+clears execution state so one trace object can be replayed through several
+systems.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job inside a simulated system."""
+
+    PENDING = "pending"  # created, not yet submitted to any system
+    QUEUED = "queued"  # submitted, waiting for resources / dependencies
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass
+class Job:
+    """One schedulable job (or workflow task).
+
+    Parameters
+    ----------
+    job_id:
+        Unique within a trace/workflow.
+    submit_time:
+        Seconds from trace start at which the job enters the system.  For
+        workflow tasks this is the workflow submission instant; dependency
+        readiness additionally gates execution.
+    size:
+        Number of nodes the job occupies while running (the evaluation
+        normalizes every platform to one CPU per node, per §4.4).
+    runtime:
+        Execution duration in seconds once started.
+    user_id:
+        Submitting end user (DRP accounts per end user).
+    task_type:
+        Free-form label; Montage uses the transformation name
+        (``mProjectPP``, ``mDiffFit``, ...), batch traces use ``batch``.
+    workflow_id:
+        Identifier of the enclosing workflow, or ``None`` for independent
+        jobs.
+    dependencies:
+        Job ids (same trace) that must complete before this job may start.
+    """
+
+    job_id: int
+    submit_time: float
+    size: int
+    runtime: float
+    user_id: int = 0
+    task_type: str = "batch"
+    workflow_id: Optional[int] = None
+    dependencies: tuple[int, ...] = ()
+
+    # --- mutable execution state (reset between simulations) ---
+    state: JobState = field(default=JobState.PENDING, compare=False)
+    start_time: Optional[float] = field(default=None, compare=False)
+    finish_time: Optional[float] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"job {self.job_id}: size must be >= 1, got {self.size}")
+        if self.runtime < 0:
+            raise ValueError(
+                f"job {self.job_id}: runtime must be >= 0, got {self.runtime}"
+            )
+        if self.submit_time < 0:
+            raise ValueError(
+                f"job {self.job_id}: submit_time must be >= 0, got {self.submit_time}"
+            )
+        self.dependencies = tuple(self.dependencies)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def work(self) -> float:
+        """Node-seconds of computation (size × runtime)."""
+        return self.size * self.runtime
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queueing delay, available once the job has started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def is_workflow_task(self) -> bool:
+        return self.workflow_id is not None
+
+    def reset(self) -> None:
+        """Clear execution state so the job can be replayed."""
+        self.state = JobState.PENDING
+        self.start_time = None
+        self.finish_time = None
+
+    def mark_queued(self, now: float) -> None:
+        if self.state not in (JobState.PENDING,):
+            raise RuntimeError(f"job {self.job_id}: cannot queue from {self.state}")
+        self.state = JobState.QUEUED
+
+    def mark_running(self, now: float) -> None:
+        if self.state is not JobState.QUEUED:
+            raise RuntimeError(f"job {self.job_id}: cannot start from {self.state}")
+        self.state = JobState.RUNNING
+        self.start_time = now
+
+    def mark_completed(self, now: float) -> None:
+        if self.state is not JobState.RUNNING:
+            raise RuntimeError(f"job {self.job_id}: cannot complete from {self.state}")
+        self.state = JobState.COMPLETED
+        self.finish_time = now
+
+
+class Trace:
+    """An ordered job collection with machine context.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (``nasa-ipsc``, ``sdsc-blue``, ``montage``).
+    jobs:
+        Jobs sorted (or sortable) by submit time.
+    machine_nodes:
+        Node count of the platform the trace targets — also the fixed
+        configuration the DCS/SSP systems use (per §4.4 the paper sizes
+        them to the trace's maximum resource requirement).
+    duration:
+        Nominal trace period in seconds.  Metrics such as "completed jobs"
+        are evaluated at this horizon.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        jobs: Iterable[Job],
+        machine_nodes: int,
+        duration: float,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.jobs: list[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        self.machine_nodes = int(machine_nodes)
+        self.duration = float(duration)
+        self.metadata = dict(metadata or {})
+        if self.machine_nodes <= 0:
+            raise ValueError("machine_nodes must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        ids = [j.job_id for j in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"trace {name!r}: duplicate job ids")
+        oversized = [j.job_id for j in self.jobs if j.size > self.machine_nodes]
+        if oversized:
+            raise ValueError(
+                f"trace {name!r}: jobs {oversized[:5]} exceed machine size "
+                f"{self.machine_nodes}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, idx: int) -> Job:
+        return self.jobs[idx]
+
+    def job_by_id(self, job_id: int) -> Job:
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        raise KeyError(job_id)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_work(self) -> float:
+        """Total node-seconds demanded by the trace."""
+        return sum(j.work for j in self.jobs)
+
+    @property
+    def utilization(self) -> float:
+        """Offered load relative to ``machine_nodes`` over ``duration``."""
+        return self.total_work / (self.machine_nodes * self.duration)
+
+    @property
+    def max_size(self) -> int:
+        return max((j.size for j in self.jobs), default=0)
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration / 3600.0
+
+    def reset(self) -> None:
+        """Clear execution state on every job (replay support)."""
+        for job in self.jobs:
+            job.reset()
+
+    def subset(self, start: float, end: float, name: Optional[str] = None) -> "Trace":
+        """Jobs submitted in ``[start, end)``, re-based to t=0."""
+        if not (0 <= start < end):
+            raise ValueError("need 0 <= start < end")
+        picked = [
+            Job(
+                job_id=j.job_id,
+                submit_time=j.submit_time - start,
+                size=j.size,
+                runtime=j.runtime,
+                user_id=j.user_id,
+                task_type=j.task_type,
+                workflow_id=j.workflow_id,
+                dependencies=j.dependencies,
+            )
+            for j in self.jobs
+            if start <= j.submit_time < end
+        ]
+        return Trace(
+            name or f"{self.name}[{start:.0f}:{end:.0f}]",
+            picked,
+            self.machine_nodes,
+            min(end - start, self.duration),
+            metadata=dict(self.metadata),
+        )
+
+    def copy(self) -> "Trace":
+        """Deep-ish copy with fresh execution state."""
+        jobs = [
+            Job(
+                job_id=j.job_id,
+                submit_time=j.submit_time,
+                size=j.size,
+                runtime=j.runtime,
+                user_id=j.user_id,
+                task_type=j.task_type,
+                workflow_id=j.workflow_id,
+                dependencies=j.dependencies,
+            )
+            for j in self.jobs
+        ]
+        return Trace(
+            self.name, jobs, self.machine_nodes, self.duration, dict(self.metadata)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Trace {self.name!r} jobs={len(self.jobs)} "
+            f"nodes={self.machine_nodes} util={self.utilization:.3f}>"
+        )
+
+
+def hour_ceil(seconds: float, unit: float = 3600.0) -> int:
+    """Billing helper: round a duration up to whole lease units.
+
+    Zero-length durations are charged one unit (a lease was still opened),
+    matching EC2-style per-started-hour billing.
+    """
+    if seconds < 0:
+        raise ValueError(f"negative duration {seconds!r}")
+    units = math.ceil(seconds / unit)
+    return max(1, int(units))
+
+
+def validate_dependencies(jobs: Sequence[Job]) -> None:
+    """Check that dependencies reference known jobs and form no cycle."""
+    by_id = {j.job_id: j for j in jobs}
+    for job in jobs:
+        for dep in job.dependencies:
+            if dep not in by_id:
+                raise ValueError(f"job {job.job_id} depends on unknown job {dep}")
+    # Kahn's algorithm for cycle detection.
+    indegree = {j.job_id: len(j.dependencies) for j in jobs}
+    children: dict[int, list[int]] = {j.job_id: [] for j in jobs}
+    for job in jobs:
+        for dep in job.dependencies:
+            children[dep].append(job.job_id)
+    ready = [jid for jid, deg in indegree.items() if deg == 0]
+    seen = 0
+    while ready:
+        jid = ready.pop()
+        seen += 1
+        for child in children[jid]:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+    if seen != len(jobs):
+        raise ValueError("dependency graph contains a cycle")

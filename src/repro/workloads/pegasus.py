@@ -1,0 +1,206 @@
+"""Synthetic generators for the classic Pegasus workflow family.
+
+The paper obtains its Montage instance from the Pegasus WorkflowGenerator
+site [15], which also publishes the other canonical scientific workflows
+used throughout the MTC literature: **CyberShake** (seismic hazard),
+**Epigenomics** (genome sequencing pipelines), **LIGO Inspiral** (gravity
+wave analysis) and **SIPHT** (sRNA identification).  This module
+synthesizes all four with their published level structures, so the
+workflow-zoo benchmark can check that the Table-4 story — DawningCloud's
+demand-driven sizing matching the fixed system while DRP pays for the
+widest ready level — holds across workflow *shapes*, not just for Montage.
+
+Shapes (entry level first; ``n`` is the generator's size parameter):
+
+* **CyberShake**: 2 ExtractSGT fan out to ``n`` SeismogramSynthesis, each
+  feeding one ZipSeis + one PeakValCalc; all PeakValCalc join into ZipPSA.
+  Very wide and shallow — the DRP-hostile shape.
+* **Epigenomics**: ``k`` independent lanes, each a 4-stage chain
+  (filterContams → sol2sanger → fastq2bfq → map) of ``n/k`` parallel
+  tasks, merging through mapMerge → maqIndex → pileup.  Deep with
+  sustained mid-level parallelism.
+* **LIGO Inspiral**: ``g`` groups; each group fans TmpltBank out to
+  ``n/g`` Inspiral tasks joined by a Thinca, a second Inspiral stage and a
+  final group join; all groups join into a trigger bank.  Two humps of
+  parallelism with synchronization valleys.
+* **SIPHT**: a broad first level of Patser tasks joined by PatserConcat,
+  beside mid-width Blast/SRNA stages that all meet in FindTerm → SrnaAnnotate.
+  Asymmetric fan-in — exercises ready-set accounting with uneven branches.
+
+Every task is single-node (the paper's MTC normalization) and runtimes are
+drawn per task type with mild lognormal jitter, deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.simkit.rng import RandomStreams
+from repro.workloads.job import Job
+from repro.workloads.workflow import Workflow
+
+
+@dataclass(frozen=True)
+class PegasusSpec:
+    """Size/runtime parameters shared by the four generators."""
+
+    n_tasks_hint: int = 1000
+    #: multiplicative rescale so the workflow-wide mean runtime matches;
+    #: None keeps the per-type means as drawn.
+    mean_runtime: Optional[float] = None
+    submit_time: float = 0.0
+    workflow_id: int = 1
+
+
+class _Builder:
+    """Incremental DAG builder with per-type runtime sampling."""
+
+    def __init__(self, name: str, spec: PegasusSpec, seed: int) -> None:
+        self.name = name
+        self.spec = spec
+        self.rng = RandomStreams(seed).stream(f"pegasus/{name}")
+        self._next_id = 1
+        self.tasks: list[Job] = []
+
+    def add(self, task_type: str, mean_s: float, jitter: float,
+            deps: tuple[int, ...] = ()) -> int:
+        rt = mean_s * math.exp(jitter * float(self.rng.standard_normal()))
+        job = Job(
+            job_id=self._next_id,
+            submit_time=self.spec.submit_time,
+            size=1,
+            runtime=max(rt, 0.5),
+            task_type=task_type,
+            workflow_id=self.spec.workflow_id,
+            dependencies=deps,
+        )
+        self.tasks.append(job)
+        self._next_id += 1
+        return job.job_id
+
+    def add_many(self, n: int, task_type: str, mean_s: float, jitter: float,
+                 deps: tuple[int, ...] = ()) -> list[int]:
+        return [self.add(task_type, mean_s, jitter, deps) for _ in range(n)]
+
+    def build(self) -> Workflow:
+        if self.spec.mean_runtime is not None:
+            current = sum(t.runtime for t in self.tasks) / len(self.tasks)
+            scale = self.spec.mean_runtime / current
+            rescaled = [
+                Job(
+                    job_id=t.job_id,
+                    submit_time=t.submit_time,
+                    size=t.size,
+                    runtime=t.runtime * scale,
+                    task_type=t.task_type,
+                    workflow_id=t.workflow_id,
+                    dependencies=t.dependencies,
+                )
+                for t in self.tasks
+            ]
+            self.tasks = rescaled
+        return Workflow(
+            workflow_id=self.spec.workflow_id,
+            tasks=self.tasks,
+            name=self.name,
+            submit_time=self.spec.submit_time,
+        )
+
+
+def generate_cybershake(spec: PegasusSpec = PegasusSpec(), seed: int = 0) -> Workflow:
+    """CyberShake: 2 → n → 2n → 1 (wide, shallow)."""
+    n = max((spec.n_tasks_hint - 3) // 3, 2)
+    b = _Builder("cybershake", spec, seed)
+    sgt = b.add_many(2, "ExtractSGT", 110.0, 0.20)
+    synth = b.add_many(n, "SeismogramSynthesis", 48.0, 0.35, tuple(sgt))
+    for s in synth:
+        b.add("ZipSeis", 2.0, 0.10, (s,))
+    peaks = [b.add("PeakValCalc", 1.0, 0.20, (s,)) for s in synth]
+    b.add("ZipPSA", 5.0, 0.10, tuple(peaks))
+    return b.build()
+
+
+def generate_epigenomics(
+    spec: PegasusSpec = PegasusSpec(), lanes: int = 4, seed: int = 0
+) -> Workflow:
+    """Epigenomics: k lanes of 4-stage chains merging into a 3-deep tail."""
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    per_lane = max((spec.n_tasks_hint - 3 - 2 * lanes) // (4 * lanes), 1)
+    b = _Builder("epigenomics", spec, seed)
+    lane_merges: list[int] = []
+    for _ in range(lanes):
+        split = b.add("fastQSplit", 35.0, 0.15)
+        filt = b.add_many(per_lane, "filterContams", 2.5, 0.30, (split,))
+        sol = [b.add("sol2sanger", 0.5, 0.20, (f,)) for f in filt]
+        bfq = [b.add("fastq2bfq", 1.5, 0.25, (s,)) for s in sol]
+        mapped = [b.add("map", 100.0, 0.30, (q,)) for q in bfq]
+        lane_merges.append(b.add("mapMerge", 10.0, 0.15, tuple(mapped)))
+    index = b.add("maqIndex", 45.0, 0.10, tuple(lane_merges))
+    b.add("pileup", 56.0, 0.10, (index,))
+    return b.build()
+
+
+def generate_ligo_inspiral(
+    spec: PegasusSpec = PegasusSpec(), groups: int = 5, seed: int = 0
+) -> Workflow:
+    """LIGO Inspiral: g groups of fan-out/join/fan-out/join, global join."""
+    if groups < 1:
+        raise ValueError("groups must be >= 1")
+    per_group = max((spec.n_tasks_hint - 1 - 3 * groups) // (2 * groups), 1)
+    b = _Builder("ligo-inspiral", spec, seed)
+    group_joins: list[int] = []
+    for _ in range(groups):
+        bank = b.add("TmpltBank", 18.0, 0.15)
+        insp1 = b.add_many(per_group, "Inspiral", 460.0, 0.30, (bank,))
+        thinca1 = b.add("Thinca", 5.0, 0.15, tuple(insp1))
+        insp2 = b.add_many(per_group, "Inspiral2", 450.0, 0.30, (thinca1,))
+        group_joins.append(b.add("Thinca2", 5.0, 0.15, tuple(insp2)))
+    b.add("TrigBank", 30.0, 0.10, tuple(group_joins))
+    return b.build()
+
+
+def generate_sipht(spec: PegasusSpec = PegasusSpec(), seed: int = 0) -> Workflow:
+    """SIPHT: broad Patser level + mid-width Blast branch, uneven fan-in."""
+    n_patser = max(int(spec.n_tasks_hint * 0.55), 2)
+    n_blast = max(int(spec.n_tasks_hint * 0.35), 2)
+    b = _Builder("sipht", spec, seed)
+    patser = b.add_many(n_patser, "Patser", 1.0, 0.25)
+    patser_concat = b.add("PatserConcat", 1.5, 0.10, tuple(patser))
+    blasts = b.add_many(n_blast, "Blast", 95.0, 0.35)
+    srna = b.add("SRNA", 60.0, 0.15, tuple(blasts[: max(n_blast // 2, 1)]))
+    ffn = b.add("FFN_Parse", 2.0, 0.10, (srna,))
+    candidates = b.add_many(
+        max(spec.n_tasks_hint - n_patser - n_blast - 5, 1),
+        "BlastCandidate",
+        28.0,
+        0.30,
+        (ffn,),
+    )
+    findterm = b.add("FindTerm", 120.0, 0.15, tuple(candidates + [patser_concat]))
+    b.add("SrnaAnnotate", 3.0, 0.10, (findterm,))
+    return b.build()
+
+
+#: name → generator, for the workflow-zoo benchmark and CLI.
+PEGASUS_GENERATORS: dict[str, Callable[..., Workflow]] = {
+    "cybershake": generate_cybershake,
+    "epigenomics": generate_epigenomics,
+    "ligo-inspiral": generate_ligo_inspiral,
+    "sipht": generate_sipht,
+}
+
+
+def generate_pegasus(name: str, spec: PegasusSpec = PegasusSpec(),
+                     seed: int = 0) -> Workflow:
+    """Generate a named Pegasus-family workflow."""
+    try:
+        gen = PEGASUS_GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown pegasus workflow {name!r}; known: "
+            f"{sorted(PEGASUS_GENERATORS)}"
+        ) from None
+    return gen(spec=spec, seed=seed)

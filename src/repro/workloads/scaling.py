@@ -1,0 +1,123 @@
+"""Trace rescaling utilities.
+
+Section 4.4 of the paper: "the workload traces are obtained from the
+platforms with different configurations ... In our experiments, we scale
+workload traces with different values to the same configuration of which
+each node owns one CPU."  (SDSC BLUE's nodes had eight CPUs; NASA iPSC's
+had one.)  These helpers perform that normalization and general rescaling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.workloads.job import Job, Trace
+
+
+def _rebuild(trace: Trace, jobs: list[Job], name: str, nodes: int) -> Trace:
+    return Trace(
+        name,
+        jobs,
+        machine_nodes=nodes,
+        duration=trace.duration,
+        metadata=dict(trace.metadata),
+    )
+
+
+def scale_sizes(trace: Trace, factor: float, name: Optional[str] = None) -> Trace:
+    """Multiply every job width (and the machine size) by ``factor``.
+
+    Widths are rounded up to at least one node, so work is approximately
+    preserved for factor < 1 and exactly scaled for integer factors.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    new_nodes = max(1, int(math.ceil(trace.machine_nodes * factor)))
+    jobs = [
+        Job(
+            job_id=j.job_id,
+            submit_time=j.submit_time,
+            size=min(new_nodes, max(1, int(math.ceil(j.size * factor)))),
+            runtime=j.runtime,
+            user_id=j.user_id,
+            task_type=j.task_type,
+            workflow_id=j.workflow_id,
+            dependencies=j.dependencies,
+        )
+        for j in trace
+    ]
+    return _rebuild(trace, jobs, name or f"{trace.name}-x{factor:g}", new_nodes)
+
+
+def normalize_to_single_cpu(
+    trace: Trace, cpus_per_node: int, name: Optional[str] = None
+) -> Trace:
+    """Re-express a trace recorded on ``cpus_per_node``-way nodes on a
+    platform where each node owns exactly one CPU (the paper's §4.4 step).
+
+    A job that used ``k`` multi-CPU nodes becomes a job of ``k *
+    cpus_per_node`` single-CPU nodes; runtimes are unchanged.
+    """
+    if cpus_per_node < 1:
+        raise ValueError("cpus_per_node must be >= 1")
+    return scale_sizes(
+        trace, float(cpus_per_node), name=name or f"{trace.name}-1cpu"
+    )
+
+
+def scale_load(
+    trace: Trace, factor: float, name: Optional[str] = None
+) -> Trace:
+    """Scale offered load by stretching/compressing inter-arrival gaps.
+
+    ``factor > 1`` compresses arrivals (higher load); runtimes, sizes and
+    the trace duration are unchanged, so utilization scales by ``factor``
+    for the portion of the trace that still fits in the window.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    jobs = []
+    for j in trace:
+        submit = j.submit_time / factor
+        if submit >= trace.duration:
+            continue
+        jobs.append(
+            Job(
+                job_id=j.job_id,
+                submit_time=submit,
+                size=j.size,
+                runtime=j.runtime,
+                user_id=j.user_id,
+                task_type=j.task_type,
+                workflow_id=j.workflow_id,
+                dependencies=j.dependencies,
+            )
+        )
+    return _rebuild(
+        trace, jobs, name or f"{trace.name}-load{factor:g}", trace.machine_nodes
+    )
+
+
+def transform_runtimes(
+    trace: Trace, fn: Callable[[float], float], name: Optional[str] = None
+) -> Trace:
+    """Apply ``fn`` to every runtime (e.g. for sensitivity studies)."""
+    jobs = []
+    for j in trace:
+        runtime = float(fn(j.runtime))
+        if runtime < 0:
+            raise ValueError(f"transform produced negative runtime for job {j.job_id}")
+        jobs.append(
+            Job(
+                job_id=j.job_id,
+                submit_time=j.submit_time,
+                size=j.size,
+                runtime=runtime,
+                user_id=j.user_id,
+                task_type=j.task_type,
+                workflow_id=j.workflow_id,
+                dependencies=j.dependencies,
+            )
+        )
+    return _rebuild(trace, jobs, name or f"{trace.name}-rt", trace.machine_nodes)

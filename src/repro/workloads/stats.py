@@ -1,0 +1,114 @@
+"""Workload statistics.
+
+These are the quantities the paper quotes when describing its traces
+(utilization, job counts, arrival behaviour) plus a few diagnostics used by
+tests and the experiment reports (hour-rounded demand — the lower bound of
+any per-started-hour billing scheme — and instantaneous no-queue demand,
+which bounds the DRP system's peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.job import Trace, hour_ceil
+
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Headline statistics of a trace."""
+
+    name: str
+    n_jobs: int
+    machine_nodes: int
+    duration_hours: float
+    utilization: float
+    total_work_node_hours: float
+    mean_size: float
+    max_size: int
+    mean_runtime_s: float
+    median_runtime_s: float
+    frac_sub_hour: float
+    hour_rounded_demand_node_hours: float
+    interarrival_cov: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.n_jobs} jobs on {self.machine_nodes} nodes over "
+            f"{self.duration_hours:.0f} h | util {self.utilization:.1%} | "
+            f"work {self.total_work_node_hours:.0f} node-h | "
+            f"mean size {self.mean_size:.1f} | mean rt {self.mean_runtime_s:.0f} s | "
+            f"{self.frac_sub_hour:.0%} sub-hour jobs"
+        )
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute a :class:`TraceSummary` for ``trace``."""
+    sizes = np.array([j.size for j in trace], dtype=float)
+    runtimes = np.array([j.runtime for j in trace], dtype=float)
+    submits = np.array([j.submit_time for j in trace], dtype=float)
+    gaps = np.diff(np.sort(submits))
+    cov = float(np.std(gaps) / np.mean(gaps)) if len(gaps) > 1 and np.mean(gaps) > 0 else 0.0
+    rounded = float(
+        sum(j.size * hour_ceil(j.runtime) for j in trace)
+    )
+    return TraceSummary(
+        name=trace.name,
+        n_jobs=len(trace),
+        machine_nodes=trace.machine_nodes,
+        duration_hours=trace.duration / HOUR,
+        utilization=trace.utilization,
+        total_work_node_hours=trace.total_work / HOUR,
+        mean_size=float(sizes.mean()),
+        max_size=int(sizes.max()),
+        mean_runtime_s=float(runtimes.mean()),
+        median_runtime_s=float(np.median(runtimes)),
+        frac_sub_hour=float(np.mean(runtimes < HOUR)),
+        hour_rounded_demand_node_hours=rounded,
+        interarrival_cov=cov,
+    )
+
+
+def hourly_arrival_counts(trace: Trace) -> np.ndarray:
+    """Number of job arrivals in each hour of the trace window."""
+    n_hours = int(np.ceil(trace.duration / HOUR))
+    submits = np.array([j.submit_time for j in trace], dtype=float)
+    counts, _ = np.histogram(submits, bins=n_hours, range=(0.0, n_hours * HOUR))
+    return counts
+
+
+def no_queue_demand_series(trace: Trace, step: float = 60.0) -> np.ndarray:
+    """Instantaneous node demand if every job ran exactly at submission.
+
+    This is the usage profile of an idealized DRP system (infinite cloud,
+    no queueing, no billing granularity); its maximum bounds DRP's peak.
+    Computed with a vectorized difference array over ``step``-second bins.
+    """
+    n_bins = int(np.ceil(trace.duration / step)) + 1
+    delta = np.zeros(n_bins + 1)
+    for j in trace:
+        start = int(j.submit_time // step)
+        end = int(np.ceil((j.submit_time + j.runtime) / step))
+        end = min(end, n_bins)
+        if end > start:
+            delta[start] += j.size
+            delta[end] -= j.size
+    return np.cumsum(delta[:-1])
+
+
+def half_split_arrival_ratio(trace: Trace) -> float:
+    """Arrivals in the second half divided by arrivals in the first half.
+
+    The paper's BLUE description ("first half infrequent, second half
+    frequent") corresponds to a ratio well above 1; NASA's smooth profile
+    is close to 1.
+    """
+    submits = np.array([j.submit_time for j in trace], dtype=float)
+    half = trace.duration / 2.0
+    first = int(np.sum(submits < half))
+    second = len(submits) - first
+    return second / max(first, 1)

@@ -1,0 +1,146 @@
+"""Workflow (DAG) model on top of the job record.
+
+A :class:`Workflow` bundles a set of dependent :class:`~repro.workloads.job.Job`
+tasks and exposes the structural queries the MTC server and the experiment
+harness need: topological levels, critical-path length, ready-set
+computation, and validation.  The DAG itself is a :class:`networkx.DiGraph`
+whose nodes are job ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import networkx as nx
+
+from repro.workloads.job import Job, JobState, validate_dependencies
+
+
+class Workflow:
+    """A validated DAG of tasks submitted as one unit."""
+
+    def __init__(
+        self,
+        workflow_id: int,
+        tasks: Iterable[Job],
+        name: str = "workflow",
+        submit_time: float = 0.0,
+    ) -> None:
+        self.workflow_id = int(workflow_id)
+        self.name = name
+        self.submit_time = float(submit_time)
+        self.tasks: list[Job] = sorted(tasks, key=lambda t: t.job_id)
+        if not self.tasks:
+            raise ValueError("workflow must contain at least one task")
+        for task in self.tasks:
+            if task.workflow_id != self.workflow_id:
+                raise ValueError(
+                    f"task {task.job_id} carries workflow_id {task.workflow_id!r}, "
+                    f"expected {self.workflow_id}"
+                )
+        validate_dependencies(self.tasks)
+        self._by_id = {t.job_id: t for t in self.tasks}
+        self.graph = nx.DiGraph()
+        self.graph.add_nodes_from(self._by_id)
+        for task in self.tasks:
+            for dep in task.dependencies:
+                self.graph.add_edge(dep, task.job_id)
+        if not nx.is_directed_acyclic_graph(self.graph):  # defensive; validated above
+            raise ValueError("workflow graph is not acyclic")
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task(self, job_id: int) -> Job:
+        return self._by_id[job_id]
+
+    def levels(self) -> list[list[int]]:
+        """Topological generations (task ids), entry tasks first."""
+        return [sorted(gen) for gen in nx.topological_generations(self.graph)]
+
+    def level_widths(self) -> list[int]:
+        return [len(level) for level in self.levels()]
+
+    def max_width(self) -> int:
+        """Widest topological level — peak no-queue parallelism."""
+        return max(self.level_widths())
+
+    def critical_path_length(self) -> float:
+        """Longest runtime-weighted path; lower bound on any makespan."""
+        longest: dict[int, float] = {}
+        for gen in nx.topological_generations(self.graph):
+            for jid in gen:
+                preds = list(self.graph.predecessors(jid))
+                base = max((longest[p] for p in preds), default=0.0)
+                longest[jid] = base + self._by_id[jid].runtime
+        return max(longest.values())
+
+    def total_work(self) -> float:
+        return sum(t.work for t in self.tasks)
+
+    def mean_task_runtime(self) -> float:
+        return sum(t.runtime for t in self.tasks) / len(self.tasks)
+
+    def type_census(self) -> dict[str, int]:
+        census: dict[str, int] = {}
+        for t in self.tasks:
+            census[t.task_type] = census.get(t.task_type, 0) + 1
+        return census
+
+    # ------------------------------------------------------------------ #
+    # execution support
+    # ------------------------------------------------------------------ #
+    def ready_tasks(self) -> list[Job]:
+        """Tasks whose dependencies are all completed and which have not
+        started, in id order."""
+        out = []
+        for t in self.tasks:
+            if t.state in (JobState.PENDING, JobState.QUEUED) and all(
+                self._by_id[d].state is JobState.COMPLETED for d in t.dependencies
+            ):
+                out.append(t)
+        return out
+
+    def completed(self) -> bool:
+        return all(t.state is JobState.COMPLETED for t in self.tasks)
+
+    def reset(self) -> None:
+        for t in self.tasks:
+            t.reset()
+
+    def makespan(self) -> Optional[float]:
+        """Finish of the last task minus workflow submit, once complete."""
+        if not self.completed():
+            return None
+        finish = max(t.finish_time for t in self.tasks)  # type: ignore[arg-type]
+        return finish - self.submit_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Workflow {self.name!r} id={self.workflow_id} tasks={len(self.tasks)} "
+            f"levels={len(self.level_widths())} width={self.max_width()}>"
+        )
+
+
+def relabel_tasks(
+    tasks: Sequence[Job], id_offset: int, workflow_id: int, submit_time: float
+) -> list[Job]:
+    """Clone tasks with shifted ids — used when embedding a workflow in a
+    trace that already contains other jobs."""
+    mapping = {t.job_id: t.job_id + id_offset for t in tasks}
+    return [
+        Job(
+            job_id=mapping[t.job_id],
+            submit_time=submit_time,
+            size=t.size,
+            runtime=t.runtime,
+            user_id=t.user_id,
+            task_type=t.task_type,
+            workflow_id=workflow_id,
+            dependencies=tuple(mapping[d] for d in t.dependencies),
+        )
+        for t in tasks
+    ]

@@ -1,0 +1,201 @@
+"""Generic workflow generators.
+
+Beyond the Montage instance the paper evaluates, the library ships a few
+parametric DAG families that are useful for policy experiments and tests:
+
+* :func:`bag_of_tasks` — independent single-node tasks (degenerate DAG).
+* :func:`fork_join` — one entry task fans out to ``width`` workers that
+  join into one exit task.
+* :func:`layered_random` — a random layered DAG where each task depends on
+  1..k tasks of the previous layer (the classic "LU-like" synthetic shape).
+* :func:`chain` — a purely sequential pipeline.
+
+All generators return :class:`~repro.workloads.workflow.Workflow` objects
+and are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.simkit.rng import RandomStreams
+from repro.workloads.job import Job
+from repro.workloads.workflow import Workflow
+
+
+def _runtime_sampler(
+    rng: np.random.Generator, mean_runtime: float, jitter: float
+):
+    def draw() -> float:
+        value = mean_runtime * (1.0 + jitter * float(rng.standard_normal()))
+        return max(value, 0.1 * mean_runtime)
+
+    return draw
+
+
+def bag_of_tasks(
+    n_tasks: int,
+    mean_runtime: float = 60.0,
+    jitter: float = 0.3,
+    seed: int = 0,
+    workflow_id: int = 1,
+    submit_time: float = 0.0,
+) -> Workflow:
+    """``n_tasks`` independent single-node tasks."""
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    rng = RandomStreams(seed).stream(f"bag/{workflow_id}")
+    draw = _runtime_sampler(rng, mean_runtime, jitter)
+    tasks = [
+        Job(
+            job_id=i + 1,
+            submit_time=submit_time,
+            size=1,
+            runtime=draw(),
+            task_type="bag-task",
+            workflow_id=workflow_id,
+        )
+        for i in range(n_tasks)
+    ]
+    return Workflow(workflow_id, tasks, name=f"bag-{n_tasks}", submit_time=submit_time)
+
+
+def chain(
+    length: int,
+    mean_runtime: float = 60.0,
+    jitter: float = 0.2,
+    seed: int = 0,
+    workflow_id: int = 1,
+    submit_time: float = 0.0,
+) -> Workflow:
+    """A purely sequential pipeline of ``length`` tasks."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rng = RandomStreams(seed).stream(f"chain/{workflow_id}")
+    draw = _runtime_sampler(rng, mean_runtime, jitter)
+    tasks = []
+    for i in range(length):
+        deps = (i,) if i >= 1 else ()
+        tasks.append(
+            Job(
+                job_id=i + 1,
+                submit_time=submit_time,
+                size=1,
+                runtime=draw(),
+                task_type="stage",
+                workflow_id=workflow_id,
+                dependencies=deps,
+            )
+        )
+    return Workflow(workflow_id, tasks, name=f"chain-{length}", submit_time=submit_time)
+
+
+def fork_join(
+    width: int,
+    mean_runtime: float = 60.0,
+    jitter: float = 0.3,
+    seed: int = 0,
+    workflow_id: int = 1,
+    submit_time: float = 0.0,
+) -> Workflow:
+    """Entry task → ``width`` parallel workers → exit task."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    rng = RandomStreams(seed).stream(f"forkjoin/{workflow_id}")
+    draw = _runtime_sampler(rng, mean_runtime, jitter)
+    tasks = [
+        Job(
+            job_id=1,
+            submit_time=submit_time,
+            size=1,
+            runtime=draw(),
+            task_type="fork",
+            workflow_id=workflow_id,
+        )
+    ]
+    worker_ids = []
+    for i in range(width):
+        jid = 2 + i
+        worker_ids.append(jid)
+        tasks.append(
+            Job(
+                job_id=jid,
+                submit_time=submit_time,
+                size=1,
+                runtime=draw(),
+                task_type="worker",
+                workflow_id=workflow_id,
+                dependencies=(1,),
+            )
+        )
+    tasks.append(
+        Job(
+            job_id=width + 2,
+            submit_time=submit_time,
+            size=1,
+            runtime=draw(),
+            task_type="join",
+            workflow_id=workflow_id,
+            dependencies=tuple(worker_ids),
+        )
+    )
+    return Workflow(
+        workflow_id, tasks, name=f"forkjoin-{width}", submit_time=submit_time
+    )
+
+
+def layered_random(
+    layer_widths: Sequence[int],
+    mean_runtime: float = 60.0,
+    jitter: float = 0.3,
+    max_fanin: int = 3,
+    seed: int = 0,
+    workflow_id: int = 1,
+    submit_time: float = 0.0,
+) -> Workflow:
+    """Random layered DAG; each task depends on 1..``max_fanin`` tasks of
+    the previous layer (always at least one, so layers are genuine)."""
+    if not layer_widths or any(w < 1 for w in layer_widths):
+        raise ValueError("layer_widths must be non-empty positive ints")
+    if max_fanin < 1:
+        raise ValueError("max_fanin must be >= 1")
+    rng = RandomStreams(seed).stream(f"layered/{workflow_id}")
+    draw = _runtime_sampler(rng, mean_runtime, jitter)
+    tasks: list[Job] = []
+    next_id = 1
+    prev_layer: list[int] = []
+    for layer_index, width in enumerate(layer_widths):
+        this_layer: list[int] = []
+        for _ in range(width):
+            if prev_layer:
+                fanin = int(rng.integers(1, min(max_fanin, len(prev_layer)) + 1))
+                deps = tuple(
+                    sorted(
+                        int(prev_layer[i])
+                        for i in rng.choice(len(prev_layer), size=fanin, replace=False)
+                    )
+                )
+            else:
+                deps = ()
+            tasks.append(
+                Job(
+                    job_id=next_id,
+                    submit_time=submit_time,
+                    size=1,
+                    runtime=draw(),
+                    task_type=f"layer-{layer_index}",
+                    workflow_id=workflow_id,
+                    dependencies=deps,
+                )
+            )
+            this_layer.append(next_id)
+            next_id += 1
+        prev_layer = this_layer
+    return Workflow(
+        workflow_id,
+        tasks,
+        name=f"layered-{'x'.join(str(w) for w in layer_widths)}",
+        submit_time=submit_time,
+    )

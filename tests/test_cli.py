@@ -1,0 +1,46 @@
+"""Tests for the command-line entry point (fast commands only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "DSP" in out and "flexible" in out
+
+    def test_tco(self, capsys):
+        assert main(["tco"]) == 0
+        out = capsys.readouterr().out
+        assert "$3,162" in out or "$3,160" in out
+        assert "71.5%" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_seed_flag_parsed(self, capsys):
+        assert main(["table1", "--seed", "3"]) == 0
+
+    def test_breakeven(self, capsys):
+        assert main(["breakeven"]) == 0
+        out = capsys.readouterr().out
+        assert "Break-even EC2 price" in out
+        assert "lease" in out
+
+    def test_extension_commands_registered(self):
+        from repro.cli import _COMMANDS
+
+        expected = {
+            "ablation-lease-unit",
+            "ablation-scan-interval",
+            "ablation-scheduler",
+            "ablation-policy",
+            "ablation-utilization",
+            "breakeven",
+            "zoo",
+            "federation",
+        }
+        assert expected <= set(_COMMANDS)

@@ -1,0 +1,99 @@
+"""Tests for hour-granular lease accounting."""
+
+import pytest
+
+from repro.cluster.lease import HOUR, Lease, LeaseLedger
+
+
+class TestLease:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Lease("c", 0, 0.0)
+
+    def test_held_seconds_open_needs_now(self):
+        lease = Lease("c", 2, 10.0)
+        with pytest.raises(ValueError):
+            lease.held_seconds()
+        assert lease.held_seconds(now=70.0) == 60.0
+
+    def test_charged_units_rounds_up(self):
+        lease = Lease("c", 3, 0.0)
+        lease.t_close = 3601.0
+        assert lease.charged_units() == 6  # 3 nodes × 2 hours
+
+    def test_minimum_one_unit_per_node(self):
+        lease = Lease("c", 4, 100.0)
+        lease.t_close = 100.0
+        assert lease.charged_units() == 4
+
+
+class TestLedger:
+    def test_open_close_charges(self):
+        ledger = LeaseLedger()
+        lease = ledger.open_lease("a", 5, 0.0)
+        charged = ledger.close_lease(lease, 2 * HOUR)
+        assert charged == 10
+        assert ledger.charged_units_total("a") == 10
+
+    def test_exact_hour_boundary_not_inflated(self):
+        ledger = LeaseLedger()
+        lease = ledger.open_lease("a", 2, 0.0)
+        assert ledger.close_lease(lease, HOUR) == 2
+
+    def test_double_close_rejected(self):
+        ledger = LeaseLedger()
+        lease = ledger.open_lease("a", 1, 0.0)
+        ledger.close_lease(lease, 10.0)
+        with pytest.raises(ValueError):
+            ledger.close_lease(lease, 20.0)
+
+    def test_close_before_open_rejected(self):
+        ledger = LeaseLedger()
+        lease = ledger.open_lease("a", 1, 100.0)
+        with pytest.raises(ValueError):
+            ledger.close_lease(lease, 50.0)
+
+    def test_open_nodes_by_client(self):
+        ledger = LeaseLedger()
+        ledger.open_lease("a", 3, 0.0)
+        ledger.open_lease("b", 7, 0.0)
+        assert ledger.open_nodes("a") == 3
+        assert ledger.open_nodes() == 10
+
+    def test_close_all_for_client(self):
+        ledger = LeaseLedger()
+        ledger.open_lease("a", 3, 0.0)
+        ledger.open_lease("a", 2, 0.0)
+        ledger.open_lease("b", 1, 0.0)
+        charged = ledger.close_all(HOUR, client="a")
+        assert charged == 5
+        assert ledger.open_nodes("b") == 1
+
+    def test_events_are_signed_deltas(self):
+        ledger = LeaseLedger()
+        lease = ledger.open_lease("a", 4, 10.0)
+        ledger.close_lease(lease, 20.0)
+        assert ledger.events("a") == [(10.0, 4), (20.0, -4)]
+
+    def test_charged_is_at_least_exact_integral(self):
+        """Billing property: charge >= held node-seconds / unit."""
+        ledger = LeaseLedger()
+        spans = [(0.0, 1800.0, 4), (100.0, 9000.0, 2), (50.0, 50.0, 7)]
+        exact = 0.0
+        for t0, t1, n in spans:
+            lease = ledger.open_lease("a", n, t0)
+            ledger.close_lease(lease, t1)
+            exact += n * (t1 - t0) / HOUR
+        assert ledger.charged_units_total("a") >= exact
+
+    def test_custom_unit(self):
+        ledger = LeaseLedger(unit=60.0)
+        lease = ledger.open_lease("a", 1, 0.0)
+        assert ledger.close_lease(lease, 61.0) == 2
+
+    def test_initial_lease_full_period_charge(self):
+        """The paper's B×336 figure: an initial lease over two weeks."""
+        ledger = LeaseLedger()
+        lease = ledger.open_lease("htc", 40, 0.0, kind="initial")
+        charged = ledger.close_lease(lease, 336 * HOUR)
+        assert charged == 40 * 336

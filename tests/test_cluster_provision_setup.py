@@ -1,0 +1,101 @@
+"""Tests for the resource provision service and setup cost model."""
+
+import pytest
+
+from repro.cluster.provision import ProvisionError, ResourceProvisionService
+from repro.cluster.setup import DEFAULT_ADJUST_COST_S, SetupCostModel, SetupPolicy
+
+HOUR = 3600.0
+
+
+class TestProvisionService:
+    def test_grant_when_available(self):
+        svc = ResourceProvisionService(100)
+        lease = svc.request("a", 40, 0.0)
+        assert lease is not None
+        assert svc.free_nodes == 60
+        assert svc.allocated_nodes("a") == 40
+
+    def test_all_or_nothing_reject(self):
+        """§3.2.2.3: assign enough or reject — no partial grants."""
+        svc = ResourceProvisionService(100)
+        svc.request("a", 80, 0.0)
+        assert svc.request("b", 30, 1.0) is None
+        assert svc.rejected_requests == 1
+        assert svc.free_nodes == 20  # untouched by the rejection
+
+    def test_release_reclaims_and_bills(self):
+        svc = ResourceProvisionService(100)
+        lease = svc.request("a", 10, 0.0)
+        charged = svc.release(lease, HOUR + 1)
+        assert charged == 20  # 10 nodes × 2 started hours
+        assert svc.free_nodes == 100
+        assert svc.consumption_node_hours("a") == 20
+
+    def test_double_release_rejected(self):
+        svc = ResourceProvisionService(100)
+        lease = svc.request("a", 10, 0.0)
+        svc.release(lease, 10.0)
+        with pytest.raises(ProvisionError):
+            svc.release(lease, 20.0)
+
+    def test_nonpositive_request_rejected(self):
+        svc = ResourceProvisionService(10)
+        with pytest.raises(ProvisionError):
+            svc.request("a", 0, 0.0)
+
+    def test_shutdown_client_closes_everything(self):
+        svc = ResourceProvisionService(100)
+        svc.request("a", 10, 0.0, kind="initial")
+        svc.request("a", 5, 0.0)
+        svc.request("b", 7, 0.0)
+        svc.shutdown_client("a", HOUR)
+        assert svc.allocated_nodes("a") == 0
+        assert svc.allocated_nodes("b") == 7
+        assert svc.consumption_node_hours("a") == 15
+
+    def test_adjustment_accounting(self):
+        svc = ResourceProvisionService(100)
+        lease = svc.request("a", 10, 0.0)
+        svc.release(lease, 60.0)
+        assert svc.adjusted_node_count("a") == 20  # 10 out + 10 back
+        assert svc.setup.adjusted_nodes == 20
+
+    def test_usage_events(self):
+        svc = ResourceProvisionService(100)
+        lease = svc.request("a", 4, 5.0)
+        svc.release(lease, 50.0)
+        assert svc.usage_events("a") == [(5.0, 4), (50.0, -4)]
+
+    def test_grant_after_release_reuses_capacity(self):
+        svc = ResourceProvisionService(50)
+        lease = svc.request("a", 50, 0.0)
+        assert svc.request("b", 1, 1.0) is None
+        svc.release(lease, 2.0)
+        assert svc.request("b", 50, 3.0) is not None
+
+
+class TestSetupCost:
+    def test_paper_per_node_cost(self):
+        assert SetupPolicy().per_node_cost_s == pytest.approx(15.743)
+
+    def test_wipe_os_adds_cost(self):
+        policy = SetupPolicy(wipe_os=True, os_wipe_cost_s=100.0)
+        assert policy.per_node_cost_s == pytest.approx(115.743)
+
+    def test_overhead_accumulates(self):
+        model = SetupCostModel()
+        model.record_adjustment(10)
+        model.record_adjustment(5)
+        assert model.adjusted_nodes == 15
+        assert model.total_overhead_s == pytest.approx(15 * DEFAULT_ADJUST_COST_S)
+
+    def test_overhead_per_hour(self):
+        model = SetupCostModel()
+        model.record_adjustment(100)
+        # 100 × 15.743 s over 10 hours
+        assert model.overhead_per_hour(10 * HOUR) == pytest.approx(157.43)
+
+    def test_negative_adjustment_rejected(self):
+        with pytest.raises(ValueError):
+            SetupCostModel().record_adjustment(-1)

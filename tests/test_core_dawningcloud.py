@@ -1,0 +1,125 @@
+"""Tests for the assembled DawningCloud system."""
+
+import pytest
+
+from repro.core.dawningcloud import DawningCloud
+from repro.core.policies import ResourceManagementPolicy
+from repro.workloads.job import JobState
+from repro.workloads.workflow import Workflow
+from tests.conftest import make_job, make_trace
+
+HOUR = 3600.0
+
+
+def small_workflow(submit=0.0):
+    tasks = [
+        make_job(1, submit=submit, runtime=30, workflow_id=1),
+        make_job(2, submit=submit, runtime=30, deps=(1,), workflow_id=1),
+        make_job(3, submit=submit, runtime=30, deps=(1,), workflow_id=1),
+        make_job(4, submit=submit, runtime=30, deps=(2, 3), workflow_id=1),
+    ]
+    return Workflow(1, tasks, name="wf", submit_time=submit)
+
+
+class TestHtcProvider:
+    def test_trace_runs_to_completion(self):
+        cloud = DawningCloud(capacity=64)
+        cloud.add_htc_provider("org", ResourceManagementPolicy.for_htc(4, 1.5))
+        trace = make_trace(
+            [make_job(i, submit=i * 100.0, size=2, runtime=300.0) for i in range(1, 9)],
+            nodes=16,
+            duration=2 * HOUR,
+        )
+        cloud.submit_trace("org", trace)
+        cloud.run(until=trace.duration)
+        cloud.shutdown()
+        metrics = cloud.provider_metrics("org", trace.duration)
+        assert metrics.completed_jobs == 8
+        assert metrics.submitted_jobs == 8
+        assert metrics.resource_consumption >= 4 * 2  # B × 2 started hours
+
+    def test_duplicate_provider_rejected(self):
+        cloud = DawningCloud(capacity=16)
+        cloud.add_htc_provider("org")
+        with pytest.raises(ValueError):
+            cloud.add_htc_provider("org")
+
+    def test_consumption_includes_full_initial_lease(self):
+        cloud = DawningCloud(capacity=16)
+        cloud.add_htc_provider("org", ResourceManagementPolicy.for_htc(4, 1.5))
+        cloud.run(until=10 * HOUR)
+        cloud.shutdown()
+        metrics = cloud.provider_metrics("org", 10 * HOUR)
+        assert metrics.resource_consumption == pytest.approx(40)
+
+
+class TestMtcProvider:
+    def test_workflow_completes_and_tre_auto_destroys(self):
+        cloud = DawningCloud(capacity=64)
+        cloud.add_mtc_provider("mtc", ResourceManagementPolicy.for_mtc(2, 8.0))
+        wf = small_workflow()
+        cloud.submit_workflow("mtc", wf)
+        cloud.run(until=HOUR)
+        assert wf.completed()
+        assert cloud.provision.allocated_nodes("mtc") == 0  # auto-destroyed
+
+    def test_on_demand_creation_defers_initial_lease(self):
+        cloud = DawningCloud(capacity=64)
+        wf = small_workflow(submit=5 * HOUR)
+        cloud.add_mtc_provider(
+            "mtc", ResourceManagementPolicy.for_mtc(2, 8.0), create_at=wf.submit_time
+        )
+        cloud.submit_workflow("mtc", wf)
+        cloud.run(until=6 * HOUR)
+        metrics = cloud.provider_metrics("mtc", 6 * HOUR)
+        # the TRE existed for well under an hour: B=2 × 1 started hour,
+        # plus any dynamic lease — not B × 5 hours of idle wait
+        assert metrics.resource_consumption <= 6
+        assert wf.completed()
+
+    def test_tasks_per_second_reported(self):
+        cloud = DawningCloud(capacity=64)
+        cloud.add_mtc_provider("mtc", ResourceManagementPolicy.for_mtc(2, 8.0))
+        cloud.submit_workflow("mtc", small_workflow())
+        cloud.run(until=HOUR)
+        metrics = cloud.provider_metrics("mtc", HOUR)
+        assert metrics.tasks_per_second == pytest.approx(
+            4 / metrics.makespan_s, rel=1e-6
+        )
+
+
+class TestConsolidation:
+    def test_two_providers_share_the_pool(self):
+        cloud = DawningCloud(capacity=32)
+        cloud.add_htc_provider("a", ResourceManagementPolicy.for_htc(4, 1.0))
+        cloud.add_htc_provider("b", ResourceManagementPolicy.for_htc(4, 1.0))
+        for name in ("a", "b"):
+            trace = make_trace(
+                [make_job(i, size=2, runtime=600.0) for i in range(1, 7)],
+                nodes=16,
+                duration=2 * HOUR,
+                name=name,
+            )
+            cloud.submit_trace(name, trace)
+        cloud.run(until=2 * HOUR)
+        cloud.shutdown()
+        agg = cloud.resource_provider_metrics(2 * HOUR)
+        assert {p.provider for p in agg.providers} == {"a", "b"}
+        assert agg.total_consumption == sum(
+            p.resource_consumption for p in agg.providers
+        )
+
+    def test_pool_exhaustion_rejects_but_does_not_crash(self):
+        cloud = DawningCloud(capacity=10)
+        cloud.add_htc_provider("a", ResourceManagementPolicy.for_htc(8, 1.0))
+        trace = make_trace(
+            [make_job(i, size=4, runtime=600.0) for i in range(1, 9)],
+            nodes=8,
+            duration=3 * HOUR,
+        )
+        cloud.submit_trace("a", trace)
+        cloud.run(until=3 * HOUR)
+        cloud.shutdown()
+        metrics = cloud.provider_metrics("a", 3 * HOUR)
+        assert metrics.completed_jobs == 8  # drained on owned resources
+        assert cloud.provision.rejected_requests > 0

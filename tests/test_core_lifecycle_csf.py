@@ -1,0 +1,157 @@
+"""Tests for TRE lifecycle, the CSF and the TRE bundle."""
+
+import pytest
+
+from repro.cluster.provision import ResourceProvisionService
+from repro.core.csf import CommonServiceFramework
+from repro.core.lifecycle import (
+    LifecycleError,
+    LifecycleService,
+    LifecycleStateMachine,
+    TREState,
+)
+from repro.core.policies import ResourceManagementPolicy
+from repro.core.tre import RuntimeEnvironmentSpec
+from repro.scheduling.fcfs import FcfsScheduler
+from repro.scheduling.firstfit import FirstFitScheduler
+from tests.conftest import make_job
+
+
+class TestStateMachine:
+    def test_full_walk(self):
+        machine = LifecycleStateMachine()
+        for state in (TREState.PLANNING, TREState.CREATED, TREState.RUNNING,
+                      TREState.INEXISTENT):
+            machine.transition(state, 0.0)
+        assert machine.state is TREState.INEXISTENT
+        assert [s for s, _ in machine.history] == [
+            TREState.PLANNING,
+            TREState.CREATED,
+            TREState.RUNNING,
+            TREState.INEXISTENT,
+        ]
+
+    def test_illegal_transition_rejected(self):
+        machine = LifecycleStateMachine()
+        with pytest.raises(LifecycleError):
+            machine.transition(TREState.RUNNING, 0.0)
+
+    def test_cannot_destroy_before_running(self):
+        machine = LifecycleStateMachine()
+        machine.transition(TREState.PLANNING, 0.0)
+        with pytest.raises(LifecycleError):
+            machine.transition(TREState.INEXISTENT, 0.0)
+
+
+class TestLifecycleService:
+    def test_deploy_and_start_latencies(self, engine):
+        svc = LifecycleService(engine, deploy_latency_s=10.0, start_latency_s=5.0)
+        machine = LifecycleStateMachine()
+        running_at = []
+        svc.create(machine, on_running=lambda: running_at.append(engine.now))
+        engine.run()
+        assert running_at == [15.0]
+        assert machine.state is TREState.RUNNING
+
+    def test_destroy_requires_running(self, engine):
+        svc = LifecycleService(engine)
+        machine = LifecycleStateMachine()
+        with pytest.raises(LifecycleError):
+            svc.destroy(machine)
+
+    def test_destroy_callback(self, engine):
+        svc = LifecycleService(engine)
+        machine = LifecycleStateMachine()
+        svc.create(machine)
+        engine.run()
+        destroyed = []
+        svc.destroy(machine, on_destroyed=lambda: destroyed.append(True))
+        assert destroyed == [True]
+        assert machine.state is TREState.INEXISTENT
+
+
+class TestSpec:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            RuntimeEnvironmentSpec(
+                provider="x", kind="web", policy=ResourceManagementPolicy.for_htc()
+            )
+
+    def test_default_scheduler_per_kind(self):
+        htc = RuntimeEnvironmentSpec(
+            provider="a", kind="htc", policy=ResourceManagementPolicy.for_htc()
+        )
+        mtc = RuntimeEnvironmentSpec(
+            provider="b", kind="mtc", policy=ResourceManagementPolicy.for_mtc()
+        )
+        assert isinstance(htc.default_scheduler(), FirstFitScheduler)
+        assert isinstance(mtc.default_scheduler(), FcfsScheduler)
+
+
+class TestCsf:
+    def _csf(self, engine, capacity=100):
+        return CommonServiceFramework(engine, ResourceProvisionService(capacity))
+
+    def test_create_tre_acquires_initial_resources(self, engine):
+        csf = self._csf(engine)
+        spec = RuntimeEnvironmentSpec(
+            provider="a", kind="htc", policy=ResourceManagementPolicy.for_htc(8, 1.5)
+        )
+        tre = csf.create_tre(spec)
+        engine.run(until=1.0)
+        assert tre.lifecycle.state is TREState.RUNNING
+        assert tre.server.owned == 8
+
+    def test_duplicate_provider_rejected(self, engine):
+        csf = self._csf(engine)
+        spec = RuntimeEnvironmentSpec(
+            provider="a", kind="htc", policy=ResourceManagementPolicy.for_htc(8, 1.5)
+        )
+        csf.create_tre(spec)
+        with pytest.raises(ValueError):
+            csf.create_tre(spec)
+
+    def test_destroy_returns_resources(self, engine):
+        csf = self._csf(engine)
+        spec = RuntimeEnvironmentSpec(
+            provider="a", kind="htc", policy=ResourceManagementPolicy.for_htc(8, 1.5)
+        )
+        csf.create_tre(spec)
+        engine.run(until=1.0)
+        csf.destroy_tre("a")
+        assert csf.provision.allocated_nodes("a") == 0
+        with pytest.raises(KeyError):
+            csf.destroy_tre("a")
+
+    def test_fixed_tre_never_resizes(self, engine):
+        csf = self._csf(engine)
+        spec = RuntimeEnvironmentSpec(
+            provider="a", kind="htc", policy=ResourceManagementPolicy.for_htc(4, 1.0)
+        )
+        tre = csf.create_tre(spec, dynamic=False)
+        engine.run(until=1.0)
+        for i in range(6):
+            tre.server.submit_job(make_job(i + 1, size=2, runtime=7200.0))
+        engine.run(until=600.0)
+        assert tre.server.owned == 4  # demand 12, ratio 3 > 1, still fixed
+
+    def test_mtc_tre_has_trigger_monitor(self, engine):
+        csf = self._csf(engine)
+        spec = RuntimeEnvironmentSpec(
+            provider="m", kind="mtc", policy=ResourceManagementPolicy.for_mtc(2, 8.0)
+        )
+        tre = csf.create_tre(spec)
+        assert tre.trigger_monitor is not None
+
+    def test_running_tres_listing(self, engine):
+        csf = self._csf(engine)
+        for name in ("a", "b"):
+            csf.create_tre(
+                RuntimeEnvironmentSpec(
+                    provider=name,
+                    kind="htc",
+                    policy=ResourceManagementPolicy.for_htc(4, 1.5),
+                )
+            )
+        engine.run(until=1.0)
+        assert {t.name for t in csf.running_tres()} == {"a", "b"}

@@ -1,0 +1,99 @@
+"""Tests for the resource management policy rules (§3.2.2)."""
+
+import pytest
+
+from repro.core.policies import (
+    HTC_SCAN_INTERVAL_S,
+    MTC_SCAN_INTERVAL_S,
+    ResourceManagementPolicy,
+    ResourceProvisionPolicy,
+)
+
+
+class TestConstruction:
+    def test_htc_default_scan_interval_is_one_minute(self):
+        assert ResourceManagementPolicy.for_htc().scan_interval_s == 60.0
+        assert HTC_SCAN_INTERVAL_S == 60.0
+
+    def test_mtc_default_scan_interval_is_three_seconds(self):
+        assert ResourceManagementPolicy.for_mtc().scan_interval_s == 3.0
+        assert MTC_SCAN_INTERVAL_S == 3.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceManagementPolicy(0, 1.5, 60.0)
+        with pytest.raises(ValueError):
+            ResourceManagementPolicy(10, 0.0, 60.0)
+        with pytest.raises(ValueError):
+            ResourceManagementPolicy(10, 1.5, 0.0)
+        with pytest.raises(ValueError):
+            ResourceManagementPolicy(10, 1.5, 60.0, release_check_interval_s=0)
+
+    def test_frozen(self):
+        policy = ResourceManagementPolicy.for_htc()
+        with pytest.raises(AttributeError):
+            policy.initial_nodes = 99  # type: ignore[misc]
+
+
+class TestObtainRatio:
+    def test_basic_ratio(self):
+        policy = ResourceManagementPolicy.for_htc(40, 1.5)
+        assert policy.obtain_ratio(60, 40) == pytest.approx(1.5)
+
+    def test_zero_owned_with_demand_is_infinite(self):
+        policy = ResourceManagementPolicy.for_htc()
+        assert policy.obtain_ratio(10, 0) == float("inf")
+
+    def test_zero_owned_zero_demand(self):
+        policy = ResourceManagementPolicy.for_htc()
+        assert policy.obtain_ratio(0, 0) == 0.0
+
+
+class TestDynamicRequestSize:
+    """The DR1/DR2 rules from §3.2.2.1."""
+
+    def test_dr1_fires_above_threshold(self):
+        policy = ResourceManagementPolicy.for_htc(40, 1.5)
+        # demand 100 on owned 40: ratio 2.5 > 1.5 -> DR1 = 100 - 40
+        assert policy.dynamic_request_size(100, 30, 40) == 60
+
+    def test_no_request_at_or_below_threshold(self):
+        policy = ResourceManagementPolicy.for_htc(40, 1.5)
+        # ratio exactly 1.5 does not exceed the threshold
+        assert policy.dynamic_request_size(60, 30, 40) == 0
+
+    def test_dr2_fires_for_oversized_job_below_threshold(self):
+        policy = ResourceManagementPolicy.for_htc(40, 1.5)
+        # demand 50 (ratio 1.25 <= R) but the biggest job needs 48 > 40
+        assert policy.dynamic_request_size(50, 48, 40) == 8
+
+    def test_dr1_wins_over_dr2_above_threshold(self):
+        policy = ResourceManagementPolicy.for_htc(40, 1.5)
+        # ratio 2.5: rule 2 applies, not rule 3
+        assert policy.dynamic_request_size(100, 90, 40) == 60
+
+    def test_empty_queue_requests_nothing(self):
+        policy = ResourceManagementPolicy.for_htc(40, 1.5)
+        assert policy.dynamic_request_size(0, 0, 40) == 0
+
+    def test_montage_first_scan_reaches_166(self):
+        """§4.5.2: B=10, R=8, 166 ready projections -> owned becomes 166."""
+        policy = ResourceManagementPolicy.for_mtc(10, 8.0)
+        assert policy.dynamic_request_size(166, 1, 10) == 156
+
+    def test_montage_diff_level_does_not_expand(self):
+        """662 ready diffs on 166 owned: ratio 3.99 < 8 and tasks are
+        single-node, so the TRE stays at 166 (the R=8 choice's purpose)."""
+        policy = ResourceManagementPolicy.for_mtc(10, 8.0)
+        assert policy.dynamic_request_size(662, 1, 166) == 0
+
+    def test_low_mtc_threshold_would_expand_on_diff_level(self):
+        policy = ResourceManagementPolicy.for_mtc(10, 2.0)
+        assert policy.dynamic_request_size(662, 1, 166) == 496
+
+
+class TestProvisionPolicy:
+    def test_defaults_match_paper(self):
+        policy = ResourceProvisionPolicy()
+        assert policy.all_or_nothing
+        assert policy.passive_reclaim

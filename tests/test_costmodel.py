@@ -1,0 +1,94 @@
+"""Tests for the TCO cost models (§4.5.5)."""
+
+import pytest
+
+from repro.costmodel.compare import compare_dcs_vs_ssp, paper_case_study
+from repro.costmodel.pricing import EC2_2009_SMALL, HOURS_PER_MONTH, InstancePricing
+from repro.costmodel.tco import (
+    BJUT_DCS_CASE,
+    BJUT_SSP_CASE,
+    DCSCostModel,
+    SSPCostModel,
+)
+
+
+class TestPricing:
+    def test_paper_ec2_rates(self):
+        assert EC2_2009_SMALL.usd_per_instance_hour == 0.10
+        assert EC2_2009_SMALL.usd_per_gb_inbound == 0.10
+
+    def test_monthly_instance_cost(self):
+        # 30 instances × 30 days × 24 hours × $0.1 = $2160 (the paper's sum)
+        assert EC2_2009_SMALL.monthly_instance_cost(30) == pytest.approx(2160)
+
+    def test_transfer_cost(self):
+        assert EC2_2009_SMALL.transfer_cost(1000) == pytest.approx(100)
+
+    def test_hours_per_month_is_30_days(self):
+        assert HOURS_PER_MONTH == 720
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            InstancePricing("x", -0.1, 0.0)
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ValueError):
+            EC2_2009_SMALL.instance_cost(-1, 10)
+        with pytest.raises(ValueError):
+            EC2_2009_SMALL.transfer_cost(-1)
+
+
+class TestDcsModel:
+    def test_paper_case_monthly_tco(self):
+        # $120,000/96 + $30,000/96 + $1,600 = $3,162.50 (the paper's $3,160)
+        assert BJUT_DCS_CASE.tco_per_month() == pytest.approx(3162.5)
+
+    def test_components(self):
+        assert BJUT_DCS_CASE.capex_per_month == pytest.approx(1250.0)
+        assert BJUT_DCS_CASE.maintenance_per_month == pytest.approx(312.5)
+        assert BJUT_DCS_CASE.opex_per_month == pytest.approx(1912.5)
+
+    def test_depreciation_cycle_validation(self):
+        with pytest.raises(ValueError):
+            DCSCostModel(1000, 0, 0, 0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            DCSCostModel(-1, 8, 0, 0)
+
+
+class TestSspModel:
+    def test_paper_case_monthly_tco(self):
+        # $2,160 instances + $100 inbound = $2,260
+        assert BJUT_SSP_CASE.tco_per_month() == pytest.approx(2260.0)
+
+    def test_components(self):
+        assert BJUT_SSP_CASE.instance_cost_per_month == pytest.approx(2160.0)
+        assert BJUT_SSP_CASE.transfer_cost_per_month == pytest.approx(100.0)
+
+    def test_negative_instances_rejected(self):
+        with pytest.raises(ValueError):
+            SSPCostModel(EC2_2009_SMALL, -1, 0)
+
+
+class TestComparison:
+    def test_paper_ratio(self):
+        """§4.5.5: the SSP TCO is 71.5% of the DCS TCO."""
+        comparison = paper_case_study()
+        assert comparison.ssp_over_dcs == pytest.approx(0.715, abs=0.002)
+        assert comparison.ssp_cheaper
+
+    def test_monthly_saving(self):
+        comparison = paper_case_study()
+        assert comparison.monthly_saving() == pytest.approx(902.5)
+
+    def test_custom_comparison(self):
+        dcs = DCSCostModel(96_000, 8, 0, 1000)
+        ssp = SSPCostModel(EC2_2009_SMALL, 10, 0)
+        comparison = compare_dcs_vs_ssp(dcs, ssp)
+        assert comparison.dcs_tco_per_month == pytest.approx(2000)
+        assert comparison.ssp_tco_per_month == pytest.approx(720)
+
+    def test_str_rendering(self):
+        text = str(paper_case_study())
+        assert "71.5%" in text

@@ -1,0 +1,81 @@
+"""Tests for the simulation-to-dollars bridge (costmodel.billing)."""
+
+import pytest
+
+from repro.costmodel.billing import Invoice, bill, billing_table
+from repro.costmodel.pricing import EC2_2009_SMALL, InstancePricing
+from repro.metrics.results import ProviderMetrics
+
+HOUR = 3600.0
+TWO_WEEKS = 14 * 24 * HOUR
+
+
+def _metrics(system: str, node_hours: float) -> ProviderMetrics:
+    return ProviderMetrics(
+        provider="lab",
+        system=system,
+        workload="trace",
+        resource_consumption=node_hours,
+        completed_jobs=100,
+        submitted_jobs=100,
+    )
+
+
+class TestInvoice:
+    def test_usage_and_total(self):
+        inv = Invoice("lab", "DCS", 1000.0, TWO_WEEKS, 0.10, transfer_usd=50.0)
+        assert inv.usage_usd == pytest.approx(100.0)
+        assert inv.total_usd == pytest.approx(150.0)
+
+    def test_monthly_extrapolation(self):
+        # two weeks is 14/30 of a month: monthly = total * 30/14
+        inv = Invoice("lab", "DCS", 1000.0, TWO_WEEKS, 0.10)
+        assert inv.monthly_usd == pytest.approx(100.0 * 30 / 14)
+
+    def test_invalid_period(self):
+        inv = Invoice("lab", "DCS", 1.0, 0.0, 0.10)
+        with pytest.raises(ValueError):
+            _ = inv.monthly_usd
+
+
+class TestBill:
+    def test_bill_uses_pricing(self):
+        inv = bill(_metrics("DawningCloud", 29014.0), TWO_WEEKS)
+        assert inv.usd_per_node_hour == EC2_2009_SMALL.usd_per_instance_hour
+        assert inv.usage_usd == pytest.approx(2901.4)
+
+    def test_transfer_added(self):
+        inv = bill(_metrics("SSP", 100.0), TWO_WEEKS, inbound_gb=500.0)
+        assert inv.transfer_usd == pytest.approx(50.0)
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            bill(_metrics("DCS", 1.0), 0.0)
+
+
+class TestBillingTable:
+    def test_paper_table2_in_dollars(self):
+        """Table 2 node-hours priced at EC2 rates, two-week period."""
+        results = {
+            "DCS": _metrics("DCS", 43008),
+            "SSP": _metrics("SSP", 43008),
+            "DRP": _metrics("DRP", 54118),
+            "DawningCloud": _metrics("DawningCloud", 29014),
+        }
+        rows = billing_table(
+            results, TWO_WEEKS,
+            order=("DCS", "SSP", "DRP", "DawningCloud"),
+        )
+        assert [r["system"] for r in rows] == [
+            "DCS", "SSP", "DRP", "DawningCloud",
+        ]
+        # the dollar ordering mirrors the node-hour ordering
+        assert rows[3]["total_usd"] < rows[0]["total_usd"] < rows[2]["total_usd"]
+        # DawningCloud's two weeks cost $2,901.40 at 2009 prices
+        assert rows[3]["usage_usd"] == pytest.approx(2901.4)
+
+    def test_custom_pricing(self):
+        results = {"DCS": _metrics("DCS", 100.0)}
+        cheap = InstancePricing("spot", 0.01, 0.0)
+        rows = billing_table(results, TWO_WEEKS, pricing=cheap)
+        assert rows[0]["usage_usd"] == pytest.approx(1.0)

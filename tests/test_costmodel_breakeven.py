@@ -1,0 +1,172 @@
+"""Tests for the own-vs-lease break-even analysis (costmodel.breakeven)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.breakeven import (
+    breakeven_price,
+    breakeven_utilization,
+    leasing_cost_at_utilization,
+    reserved_crossover_hours,
+    sensitivity_table,
+    utilization_cost_curve,
+)
+from repro.costmodel.pricing import (
+    EC2_2009_SMALL,
+    EC2_2009_SMALL_RESERVED,
+    HOURS_PER_MONTH,
+    InstancePricing,
+    ReservedInstancePricing,
+)
+from repro.costmodel.tco import BJUT_DCS_CASE, BJUT_SSP_CASE, DCSCostModel, SSPCostModel
+
+
+class TestLeasingCurve:
+    def test_zero_utilization_pays_only_transfer(self):
+        assert leasing_cost_at_utilization(BJUT_SSP_CASE, 0.0) == pytest.approx(
+            BJUT_SSP_CASE.transfer_cost_per_month
+        )
+
+    def test_full_utilization_matches_paper_tco(self):
+        assert leasing_cost_at_utilization(BJUT_SSP_CASE, 1.0) == pytest.approx(
+            BJUT_SSP_CASE.tco_per_month()
+        )
+        assert BJUT_SSP_CASE.tco_per_month() == pytest.approx(2260.0)
+
+    def test_linear_in_utilization(self):
+        lo = leasing_cost_at_utilization(BJUT_SSP_CASE, 0.25)
+        hi = leasing_cost_at_utilization(BJUT_SSP_CASE, 0.75)
+        mid = leasing_cost_at_utilization(BJUT_SSP_CASE, 0.50)
+        assert mid == pytest.approx((lo + hi) / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            leasing_cost_at_utilization(BJUT_SSP_CASE, 1.5)
+
+
+class TestBreakevenUtilization:
+    def test_paper_case_has_no_breakeven(self):
+        """BJUT: leasing is cheaper even always-on -> always lease."""
+        assert breakeven_utilization(BJUT_DCS_CASE, BJUT_SSP_CASE) is None
+
+    def test_expensive_cloud_has_breakeven(self):
+        pricey = SSPCostModel(
+            pricing=InstancePricing("x", usd_per_instance_hour=0.20,
+                                    usd_per_gb_inbound=0.10),
+            n_instances=30,
+            inbound_gb_per_month=1000.0,
+        )
+        u = breakeven_utilization(BJUT_DCS_CASE, pricey)
+        assert u is not None and 0.0 < u < 1.0
+        # at the break-even the two costs agree
+        assert leasing_cost_at_utilization(pricey, u) == pytest.approx(
+            BJUT_DCS_CASE.tco_per_month()
+        )
+
+    def test_breakeven_price_of_the_paper_case(self):
+        p = breakeven_price(BJUT_DCS_CASE, BJUT_SSP_CASE)
+        # $3,160 - $100 transfer over 30 instances × 720 h = $0.1417/h
+        assert p == pytest.approx(0.1417, abs=1e-4)
+        assert p > EC2_2009_SMALL.usd_per_instance_hour  # hence: lease
+
+
+class TestReservedCrossover:
+    def test_ec2_2009_reserved_pays_off_within_a_month(self):
+        h = reserved_crossover_hours(EC2_2009_SMALL, EC2_2009_SMALL_RESERVED)
+        assert h is not None
+        # $227.50/12 months = $18.96/mo upfront; discount $0.07/h -> ~271 h
+        assert h == pytest.approx(270.8, abs=0.5)
+        assert h < HOURS_PER_MONTH
+
+    def test_no_discount_never_crosses(self):
+        bad = ReservedInstancePricing("bad", 100.0, 1.0, 0.10)
+        assert reserved_crossover_hours(EC2_2009_SMALL, bad) is None
+
+    def test_crossover_is_exact(self):
+        h = reserved_crossover_hours(EC2_2009_SMALL, EC2_2009_SMALL_RESERVED)
+        od = EC2_2009_SMALL.instance_cost(1, h)
+        res = EC2_2009_SMALL_RESERVED.monthly_cost(1, h)
+        assert od == pytest.approx(res)
+
+
+class TestSensitivity:
+    def test_one_at_a_time_rows(self):
+        rows = sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)
+        params = {r.parameter for r in rows}
+        assert params == {"ec2_price_factor", "depreciation_years",
+                          "energy_factor"}
+
+    def test_base_case_reproduces_paper_ratio(self):
+        rows = sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)
+        base = [r for r in rows
+                if r.parameter == "ec2_price_factor" and r.value == 1.0][0]
+        assert base.ssp_over_dcs == pytest.approx(0.715, abs=0.001)
+
+    def test_price_monotone(self):
+        rows = [r for r in sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)
+                if r.parameter == "ec2_price_factor"]
+        ratios = [r.ssp_over_dcs for r in sorted(rows, key=lambda r: r.value)]
+        assert ratios == sorted(ratios)
+
+    def test_tripled_price_flips_the_decision(self):
+        rows = sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE,
+                                 price_factors=(3.0,))
+        assert rows[0].ssp_over_dcs > 1.0  # owning wins at 3x the price
+
+    def test_to_row_shape(self):
+        row = sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)[0].to_row()
+        assert set(row) == {"parameter", "value", "dcs_tco_per_month",
+                            "ssp_tco_per_month", "ssp_over_dcs"}
+
+
+class TestUtilizationCurve:
+    def test_default_grid_contains_paper_loads(self):
+        rows = utilization_cost_curve(BJUT_DCS_CASE, BJUT_SSP_CASE)
+        utils = [r["utilization"] for r in rows]
+        assert 0.466 in utils and 0.762 in utils
+
+    def test_paper_case_always_lease(self):
+        rows = utilization_cost_curve(BJUT_DCS_CASE, BJUT_SSP_CASE)
+        assert all(r["winner"] == "lease" for r in rows)
+
+    def test_winner_flips_with_expensive_cloud(self):
+        pricey = SSPCostModel(
+            pricing=InstancePricing("x", 0.25, 0.10),
+            n_instances=30,
+            inbound_gb_per_month=1000.0,
+        )
+        rows = utilization_cost_curve(BJUT_DCS_CASE, pricey)
+        winners = [r["winner"] for r in rows]
+        assert "lease" in winners and "own" in winners
+        # monotone: once owning wins it keeps winning at higher load
+        first_own = winners.index("own")
+        assert all(w == "own" for w in winners[first_own:])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    price=st.floats(min_value=0.01, max_value=1.0),
+    capex=st.floats(min_value=1e4, max_value=1e6),
+    energy=st.floats(min_value=100.0, max_value=10_000.0),
+)
+def test_breakeven_consistency_property(price, capex, energy):
+    """Whenever a break-even exists, costs really do cross there."""
+    dcs = DCSCostModel(
+        capex_usd=capex,
+        depreciation_years=8.0,
+        maintenance_total_usd=capex * 0.25,
+        energy_and_space_usd_per_month=energy,
+    )
+    ssp = SSPCostModel(
+        pricing=InstancePricing("x", price, 0.10),
+        n_instances=30,
+        inbound_gb_per_month=1000.0,
+    )
+    u = breakeven_utilization(dcs, ssp)
+    if u is None:
+        assert leasing_cost_at_utilization(ssp, 1.0) <= dcs.tco_per_month() + 1e-6
+    elif u <= 1.0:
+        assert leasing_cost_at_utilization(ssp, min(u, 1.0)) == pytest.approx(
+            dcs.tco_per_month(), rel=1e-9
+        )

@@ -1,0 +1,118 @@
+"""Tests for CSF deploy/start latencies and the VM provisioning layer.
+
+The paper's emulation strips the deployment/VM services out (§4.1), so the
+main evaluation runs with zero latencies — but the CSF still implements
+§3.1.3's full walk, and these tests pin the timed paths.
+"""
+
+import pytest
+
+from repro.cluster.provision import ResourceProvisionService
+from repro.cluster.vm import VMProvisionService, VMState, VirtualMachine
+from repro.core.csf import CommonServiceFramework
+from repro.core.lifecycle import TREState
+from repro.core.policies import ResourceManagementPolicy
+from repro.core.tre import RuntimeEnvironmentSpec
+from repro.simkit.engine import SimulationEngine
+
+
+def _spec(name="lab", kind="htc"):
+    return RuntimeEnvironmentSpec(
+        provider=name, kind=kind, policy=ResourceManagementPolicy.for_htc(8, 1.5)
+    )
+
+
+class TestCsfLatencies:
+    def test_tre_reaches_running_after_deploy_plus_start(self):
+        engine = SimulationEngine()
+        csf = CommonServiceFramework(
+            engine,
+            ResourceProvisionService(64),
+            deploy_latency_s=120.0,
+            start_latency_s=30.0,
+        )
+        tre = csf.create_tre(_spec())
+        assert tre.lifecycle.state is TREState.PLANNING
+        engine.run(until=119.0)
+        assert tre.lifecycle.state is TREState.PLANNING
+        engine.run(until=121.0)
+        assert tre.lifecycle.state is TREState.CREATED
+        engine.run(until=151.0)
+        assert tre.lifecycle.state is TREState.RUNNING
+
+    def test_initial_resources_granted_only_at_running(self):
+        engine = SimulationEngine()
+        provision = ResourceProvisionService(64)
+        csf = CommonServiceFramework(
+            engine, provision, deploy_latency_s=60.0, start_latency_s=60.0
+        )
+        csf.create_tre(_spec())
+        engine.run(until=100.0)
+        assert provision.allocated_nodes("lab") == 0  # still starting
+        engine.run(until=121.0)
+        assert provision.allocated_nodes("lab") == 8  # B granted at RUNNING
+
+    def test_running_tres_listing(self):
+        engine = SimulationEngine()
+        csf = CommonServiceFramework(
+            engine, ResourceProvisionService(64), deploy_latency_s=50.0
+        )
+        csf.create_tre(_spec("a"))
+        assert csf.running_tres() == []
+        engine.run(until=60.0)
+        assert [t.name for t in csf.running_tres()] == ["a"]
+
+    def test_latency_validation(self):
+        engine = SimulationEngine()
+        from repro.core.lifecycle import LifecycleService
+
+        with pytest.raises(ValueError):
+            LifecycleService(engine, deploy_latency_s=-1.0)
+
+
+class TestVmService:
+    def test_boot_sequence_and_callback(self):
+        engine = SimulationEngine()
+        svc = VMProvisionService(engine, boot_latency_s=30.0)
+        up = []
+        vm = svc.create(node_id=7, image="htc-tre", on_running=up.append)
+        assert vm.state is VMState.BOOTING
+        engine.run(until=29.0)
+        assert not up
+        engine.run(until=31.0)
+        assert up == [vm]
+        assert vm.state is VMState.RUNNING
+        assert vm.boot_time == 30.0
+        assert svc.running_count() == 1
+
+    def test_destroy_mid_boot_suppresses_callback(self):
+        engine = SimulationEngine()
+        svc = VMProvisionService(engine, boot_latency_s=30.0)
+        up = []
+        vm = svc.create(node_id=1, on_running=up.append)
+        svc.destroy(vm)
+        engine.run(until=60.0)
+        assert vm.state is VMState.DESTROYED
+        assert not up
+        assert svc.running_count() == 0
+
+    def test_illegal_transitions_rejected(self):
+        vm = VirtualMachine(node_id=1)
+        vm._transition(VMState.BOOTING)
+        vm._transition(VMState.RUNNING)
+        vm._transition(VMState.DESTROYED)
+        with pytest.raises(RuntimeError, match="illegal transition"):
+            vm._transition(VMState.RUNNING)
+
+    def test_negative_boot_latency_rejected(self):
+        with pytest.raises(ValueError):
+            VMProvisionService(SimulationEngine(), boot_latency_s=-1.0)
+
+    def test_zero_latency_boot_is_still_asynchronous(self):
+        """Even at zero latency the VM is RUNNING only after an event."""
+        engine = SimulationEngine()
+        svc = VMProvisionService(engine, boot_latency_s=0.0)
+        vm = svc.create(node_id=1)
+        assert vm.state is VMState.BOOTING
+        engine.run()
+        assert vm.state is VMState.RUNNING

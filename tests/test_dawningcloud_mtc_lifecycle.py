@@ -1,0 +1,117 @@
+"""DawningCloud MTC lifecycle paths: on-demand creation, multi-workflow
+providers, auto-destroy timing and billing consequences (§2.2 steps 1-8)."""
+
+import pytest
+
+from repro.core.dawningcloud import DawningCloud
+from repro.core.lifecycle import TREState
+from repro.core.policies import ResourceManagementPolicy
+from repro.workloads.workflowgen import chain, fork_join
+
+HOUR = 3600.0
+
+
+def _wf(width=8, submit=0.0, wf_id=1, seed=0):
+    wf = fork_join(width=width, mean_runtime=20.0, seed=seed, workflow_id=wf_id)
+    wf.submit_time = submit
+    for t in wf.tasks:
+        t.submit_time = submit
+    return wf
+
+
+class TestOnDemandCreation:
+    def test_tre_does_not_exist_before_create_at(self):
+        cloud = DawningCloud(capacity=64)
+        wf = _wf(submit=2 * HOUR)
+        cloud.add_mtc_provider("astro", ResourceManagementPolicy.for_mtc(4, 4.0),
+                               create_at=wf.submit_time)
+        cloud.submit_workflow("astro", wf)
+        cloud.run(until=HOUR)
+        with pytest.raises(KeyError):
+            cloud.tre("astro")
+        # no lease billed while the TRE does not exist
+        assert cloud.provision.consumption_node_hours("astro") == 0.0
+        assert cloud.provision.allocated_nodes("astro") == 0
+
+    def test_on_demand_tre_bills_only_its_lifetime(self):
+        cloud = DawningCloud(capacity=64)
+        wf = _wf(submit=10 * HOUR)
+        cloud.add_mtc_provider("astro", ResourceManagementPolicy.for_mtc(4, 4.0),
+                               create_at=wf.submit_time)
+        cloud.submit_workflow("astro", wf)
+        cloud.run(until=14 * HOUR)
+        cloud.shutdown()
+        # the workflow finishes within one lease unit of its creation: the
+        # bill must not include the 10 idle hours before the TRE existed
+        consumed = cloud.provision.consumption_node_hours("astro")
+        assert 0 < consumed <= 2 * 8 + 4  # at most ~peak nodes × 1-2 hours
+
+
+class TestAutoDestroy:
+    def test_tre_destroyed_when_last_workflow_completes(self):
+        cloud = DawningCloud(capacity=64)
+        wf = _wf()
+        cloud.add_mtc_provider("astro", ResourceManagementPolicy.for_mtc(4, 4.0))
+        cloud.submit_workflow("astro", wf)
+        cloud.run(until=2 * HOUR)
+        assert wf.completed()
+        assert cloud.tre("astro").lifecycle.state is TREState.INEXISTENT
+        assert cloud.provision.allocated_nodes("astro") == 0
+
+    def test_two_workflows_keep_tre_alive_until_both_finish(self):
+        cloud = DawningCloud(capacity=64)
+        first = _wf(submit=0.0, wf_id=1, seed=1)
+        second = _wf(submit=0.25 * HOUR, wf_id=2, seed=2)
+        cloud.add_mtc_provider("astro", ResourceManagementPolicy.for_mtc(4, 4.0))
+        cloud.submit_workflow("astro", first)
+        cloud.submit_workflow("astro", second)
+        cloud.run(until=4 * HOUR)
+        assert first.completed() and second.completed()
+        server = cloud.tre("astro").server
+        assert server.completed_count == len(first.tasks) + len(second.tasks)
+        # destroyed exactly once, after the second workflow
+        assert cloud.tre("astro").lifecycle.state is TREState.INEXISTENT
+
+    def test_auto_destroy_disabled_keeps_tre_running(self):
+        cloud = DawningCloud(capacity=64)
+        wf = _wf()
+        cloud.add_mtc_provider("astro", ResourceManagementPolicy.for_mtc(4, 4.0),
+                               auto_destroy=False)
+        cloud.submit_workflow("astro", wf)
+        cloud.run(until=2 * HOUR)
+        assert wf.completed()
+        assert cloud.tre("astro").lifecycle.state is TREState.RUNNING
+        cloud.shutdown()
+        assert cloud.tre("astro").lifecycle.state is TREState.INEXISTENT
+
+
+class TestTriggerMonitor:
+    def test_trigger_monitor_notified_per_workflow(self):
+        cloud = DawningCloud(capacity=64)
+        wf = _wf()
+        cloud.add_mtc_provider("astro", ResourceManagementPolicy.for_mtc(4, 4.0),
+                               auto_destroy=False)
+        cloud.submit_workflow("astro", wf)
+        cloud.run(until=0.1)  # let the TRE come up
+        monitor = cloud.tre("astro").trigger_monitor
+        seen = []
+        monitor.subscribe(seen.append)
+        cloud.run(until=2 * HOUR)
+        assert seen == [wf]
+        assert monitor.notifications == 1
+
+
+class TestChainWorkflows:
+    def test_deep_chain_runs_sequentially_on_one_node(self):
+        cloud = DawningCloud(capacity=16)
+        wf = chain(length=12, mean_runtime=5.0, seed=0)
+        cloud.add_mtc_provider("deep", ResourceManagementPolicy.for_mtc(1, 4.0))
+        cloud.submit_workflow("deep", wf)
+        cloud.run(until=HOUR)
+        server_done = sum(
+            1 for t in wf.tasks if t.finish_time is not None
+        )
+        assert server_done == 12
+        # a pure chain never needs more than the single initial node
+        metrics = cloud.provider_metrics("deep")
+        assert metrics.peak_nodes == 1

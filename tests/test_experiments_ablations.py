@@ -1,0 +1,171 @@
+"""Tests for the ablation experiment harness (experiments.ablations).
+
+The sweeps run on a small synthetic bundle so the suite stays fast; the
+benchmarks run them on the paper's real workloads.
+"""
+
+import pytest
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.experiments.ablations import (
+    lease_unit_ablation,
+    policy_ablation,
+    scan_interval_ablation,
+    scheduler_ablation,
+    setup_cost_ablation,
+    utilization_sweep,
+)
+from repro.systems.base import WorkloadBundle
+from repro.workloads.job import Job, Trace
+from repro.workloads.traces import NASA_IPSC, HTCTraceSpec
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def bundle() -> WorkloadBundle:
+    """A 6-hour, 80-job bundle with mixed widths and sub-hour runtimes."""
+    jobs = []
+    for i in range(80):
+        jobs.append(
+            Job(
+                job_id=i + 1,
+                submit_time=240.0 * i,
+                size=2 + 6 * (i % 3),
+                runtime=600.0 + 120.0 * (i % 5),
+                user_id=i % 4,
+            )
+        )
+    trace = Trace("ablate", jobs, machine_nodes=32, duration=8 * HOUR)
+    return WorkloadBundle.from_trace("ablate", trace)
+
+
+@pytest.fixture(scope="module")
+def policy() -> ResourceManagementPolicy:
+    return ResourceManagementPolicy.for_htc(initial_nodes=8, threshold_ratio=1.5)
+
+
+class TestLeaseUnit:
+    def test_rows_and_columns(self, bundle, policy):
+        rows = lease_unit_ablation(bundle, policy, lease_units_s=(600.0, HOUR),
+                                   capacity=128)
+        assert len(rows) == 2
+        assert {"lease_unit_s", "node_hours_equiv", "completed_jobs",
+                "overhead_s_per_hour"} <= set(rows[0])
+
+    def test_all_jobs_complete_at_every_unit(self, bundle, policy):
+        rows = lease_unit_ablation(bundle, policy,
+                                   lease_units_s=(600.0, HOUR, 4 * HOUR),
+                                   capacity=128)
+        assert all(r["completed_jobs"] == 80 for r in rows)
+
+    def test_finer_units_bill_no_more_node_hours(self, bundle, policy):
+        rows = lease_unit_ablation(bundle, policy,
+                                   lease_units_s=(600.0, 24 * HOUR),
+                                   capacity=128)
+        fine, coarse = rows[0], rows[1]
+        assert fine["node_hours_equiv"] <= coarse["node_hours_equiv"]
+
+
+class TestScanInterval:
+    def test_throughput_degrades_gracefully_with_cadence(self, bundle, policy):
+        rows = scan_interval_ablation(bundle, policy,
+                                      scan_intervals_s=(15.0, 900.0),
+                                      capacity=128)
+        fast, slow = rows
+        assert fast["completed_jobs"] >= slow["completed_jobs"]
+        assert fast["mean_wait_s"] <= slow["mean_wait_s"]
+
+    def test_row_shape(self, bundle, policy):
+        rows = scan_interval_ablation(bundle, policy, scan_intervals_s=(60.0,),
+                                      capacity=128)
+        assert rows[0]["scan_interval_s"] == 60.0
+        assert rows[0]["resource_consumption"] > 0
+
+
+class TestScheduler:
+    def test_all_registered_schedulers_run(self, bundle, policy):
+        rows = scheduler_ablation(bundle, policy, capacity=128)
+        from repro.scheduling import SCHEDULER_REGISTRY
+
+        assert {r["scheduler"] for r in rows} == set(SCHEDULER_REGISTRY)
+        assert all(r["completed_jobs"] == 80 for r in rows)
+
+    def test_subset_selection(self, bundle, policy):
+        rows = scheduler_ablation(bundle, policy,
+                                  scheduler_names=("first-fit", "sjf"),
+                                  capacity=128)
+        assert [r["scheduler"] for r in rows] == ["first-fit", "sjf"]
+
+
+class TestPolicyAblation:
+    def test_catalog_policies_all_run(self, bundle):
+        rows = policy_ablation(bundle, initial_nodes=8, capacity=128)
+        names = {r["policy"] for r in rows}
+        assert "paper(B,R)" in names and "static" in names
+        assert len(rows) == len(names)
+
+    def test_static_policy_peaks_at_b(self, bundle):
+        rows = policy_ablation(bundle, initial_nodes=8, capacity=128)
+        static = [r for r in rows if r["policy"] == "static"][0]
+        assert static["peak_nodes"] == 8
+
+    def test_demand_tracking_completes_everything(self, bundle):
+        rows = policy_ablation(bundle, initial_nodes=8, capacity=128)
+        tracking = [r for r in rows if r["policy"] == "demand-tracking"][0]
+        assert tracking["completed_jobs"] == 80
+
+
+class TestUtilizationSweep:
+    @pytest.fixture(scope="class")
+    def small_spec(self) -> HTCTraceSpec:
+        from dataclasses import replace
+
+        return replace(
+            NASA_IPSC,
+            name="mini",
+            n_jobs=250,
+            duration=3 * 24 * HOUR,
+            machine_nodes=64,
+            size_pmf=tuple((min(s, 64), p) for s, p in NASA_IPSC.size_pmf[:6])
+            + ((64, NASA_IPSC.size_pmf[6][1] + NASA_IPSC.size_pmf[7][1]),),
+        )
+
+    def test_savings_shrink_with_load(self, small_spec):
+        rows = utilization_sweep(
+            small_spec,
+            utilizations=(0.25, 0.80),
+            policy=ResourceManagementPolicy.for_htc(16, 1.5),
+            capacity=256,
+            seed=1,
+        )
+        lo, hi = rows
+        assert lo["utilization"] == 0.25 and hi["utilization"] == 0.80
+        assert lo["dawningcloud_saving_vs_dcs"] > hi["dawningcloud_saving_vs_dcs"]
+
+    def test_dcs_cost_is_load_independent(self, small_spec):
+        rows = utilization_sweep(
+            small_spec,
+            utilizations=(0.3, 0.6),
+            policy=ResourceManagementPolicy.for_htc(16, 1.5),
+            capacity=256,
+            seed=1,
+        )
+        assert rows[0]["dcs_node_hours"] == rows[1]["dcs_node_hours"]
+
+
+class TestSetupCost:
+    def test_overhead_linear_in_cost(self, bundle, policy):
+        rows = setup_cost_ablation(bundle, policy,
+                                   per_node_costs_s=(0.0, 10.0, 20.0),
+                                   capacity=128)
+        assert rows[0]["total_overhead_s"] == 0.0
+        assert rows[2]["total_overhead_s"] == pytest.approx(
+            2 * rows[1]["total_overhead_s"], rel=1e-6
+        )
+
+    def test_adjustment_counts_identical_across_costs(self, bundle, policy):
+        rows = setup_cost_ablation(bundle, policy,
+                                   per_node_costs_s=(0.0, 300.0),
+                                   capacity=128)
+        assert rows[0]["adjusted_nodes"] == rows[1]["adjusted_nodes"]

@@ -1,0 +1,51 @@
+"""Tests for the EXPERIMENTS.md generator's rendering helpers.
+
+The full render reruns the complete evaluation (it is exercised by the
+repository's own EXPERIMENTS.md and the CLI); these tests pin the cheap,
+pure rendering pieces.
+"""
+
+from repro.experiments.expmd import _md_table, _pct, _verdict
+
+
+class TestMdTable:
+    def test_basic_layout(self):
+        text = _md_table(("a", "b"), ((1, 2), (3, None)))
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert lines[3] == "| 3 | — |"
+
+    def test_float_formatting(self):
+        text = _md_table(("x",), ((2.494999,), (43008.0,)))
+        assert "2.49" in text
+        assert "43,008" in text
+
+
+class TestVerdict:
+    def test_clean(self):
+        assert "all published shapes hold" in _verdict([])
+
+    def test_violations_listed(self):
+        out = _verdict(["first", "second"])
+        assert "VIOLATIONS" in out and "first; second" in out
+
+
+class TestPct:
+    def test_none_is_dash(self):
+        assert _pct(None) == "—"
+
+    def test_value(self):
+        assert _pct(0.325) == "32.5%"
+        assert _pct(-0.258) == "-25.8%"
+
+
+def test_repository_experiments_md_up_to_date_header():
+    """The checked-in EXPERIMENTS.md is this module's output format."""
+    from pathlib import Path
+
+    text = Path(__file__).resolve().parents[1].joinpath("EXPERIMENTS.md").read_text()
+    assert text.startswith("# EXPERIMENTS — paper vs. measured")
+    assert "Shape check" in text
+    assert "experiments-md" in text

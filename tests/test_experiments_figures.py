@@ -1,0 +1,95 @@
+"""Tests for the Figures 12-14 extraction (experiments.figures).
+
+Runs a miniature consolidation (two small HTC providers + one tiny
+workflow) so the series semantics — especially the concurrent-peak choice
+for Figure 13 — are pinned without the full two-week evaluation.
+"""
+
+import pytest
+
+from repro.cluster.setup import DEFAULT_ADJUST_COST_S
+from repro.core.policies import ResourceManagementPolicy
+from repro.experiments.figures import figure12_13_14
+from repro.systems.base import WorkloadBundle
+from repro.systems.consolidation import run_all_systems
+from repro.workloads.job import Job, Trace
+from repro.workloads.workflowgen import fork_join
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def figures():
+    def htc(name, offset):
+        jobs = [
+            Job(job_id=i + 1, submit_time=offset + 400.0 * i, size=4,
+                runtime=900.0)
+            for i in range(24)
+        ]
+        trace = Trace(name, jobs, machine_nodes=16, duration=6 * HOUR)
+        return WorkloadBundle.from_trace(name, trace)
+
+    wf = fork_join(width=8, mean_runtime=30.0, seed=0)
+    wf.submit_time = 2 * HOUR
+    for t in wf.tasks:
+        t.submit_time = wf.submit_time
+    bundles = [
+        htc("alpha", 0.0),
+        htc("beta", 200.0),
+        WorkloadBundle.from_workflow("gamma", wf, fixed_nodes=8),
+    ]
+    policies = {
+        "alpha": ResourceManagementPolicy.for_htc(4, 1.5),
+        "beta": ResourceManagementPolicy.for_htc(4, 1.5),
+        "gamma": ResourceManagementPolicy.for_mtc(4, 4.0),
+    }
+    result = run_all_systems(bundles, policies, capacity=128,
+                             horizon=6 * HOUR)
+    return figure12_13_14(result=result)
+
+
+class TestSeries:
+    def test_four_systems_present(self, figures):
+        assert {s.system for s in figures.series} == {
+            "DCS", "SSP", "DRP", "DawningCloud",
+        }
+
+    def test_by_system_lookup(self, figures):
+        assert figures.by_system("DCS").system == "DCS"
+        with pytest.raises(KeyError):
+            figures.by_system("EC3")
+
+    def test_dcs_and_ssp_coincide_except_adjustments(self, figures):
+        dcs = figures.by_system("DCS")
+        ssp = figures.by_system("SSP")
+        assert dcs.total_consumption_node_hours == ssp.total_consumption_node_hours
+        assert dcs.peak_nodes_per_hour == ssp.peak_nodes_per_hour
+        assert dcs.adjusted_nodes == 0
+        # SSP: one grant + one release per machine (16 + 16 + 8 nodes)
+        assert ssp.adjusted_nodes == 2 * (16 + 16 + 8)
+
+    def test_fixed_peak_is_sum_of_machines_when_overlapping(self, figures):
+        # the workflow lands mid-window, so all three machines coexist
+        assert figures.by_system("DCS").peak_nodes_per_hour == 16 + 16 + 8
+
+    def test_dawningcloud_peak_is_concurrent_not_summed(self, figures):
+        """Fig 13 must not double-count a time-multiplexed shared pool."""
+        dc_agg = figures.result.aggregates["DawningCloud"]
+        series = figures.by_system("DawningCloud")
+        assert series.peak_nodes_per_hour == dc_agg.concurrent_peak_nodes
+        assert dc_agg.concurrent_peak_nodes <= dc_agg.peak_nodes
+
+    def test_overhead_derivation(self, figures):
+        s = figures.by_system("DawningCloud")
+        assert s.management_overhead_s == pytest.approx(
+            s.adjusted_nodes * DEFAULT_ADJUST_COST_S
+        )
+        assert s.overhead_s_per_hour(figures.horizon_s) == pytest.approx(
+            s.management_overhead_s / (figures.horizon_s / HOUR)
+        )
+
+    def test_every_system_completed_the_workload(self, figures):
+        for system, agg in figures.result.aggregates.items():
+            done = sum(p.completed_jobs for p in agg.providers)
+            submitted = sum(p.submitted_jobs for p in agg.providers)
+            assert done == submitted, (system, done, submitted)

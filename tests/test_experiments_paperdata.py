@@ -1,0 +1,100 @@
+"""Tests for the published-values module (experiments.paperdata)."""
+
+import pytest
+
+from repro.experiments.paperdata import (
+    CHOSEN_PARAMETERS,
+    CONSOLIDATED_CLAIMS,
+    HEADLINE,
+    PAPER_TABLES,
+    TABLE2_NASA,
+    TABLE3_BLUE,
+    TABLE4_MONTAGE,
+    TCO_CLAIMS,
+    check_headline_shapes,
+    check_table_shapes,
+)
+
+
+class TestConstants:
+    def test_tables_internally_consistent(self):
+        """Published 'saved resources' percentages match the consumptions."""
+        for table in (TABLE2_NASA, TABLE3_BLUE, TABLE4_MONTAGE):
+            dcs = table[0].resource_consumption
+            for row in table[1:]:
+                expected = 1.0 - row.resource_consumption / dcs
+                assert row.saved_resources == pytest.approx(expected, abs=0.002), row
+
+    def test_tco_ratio_matches(self):
+        assert (
+            TCO_CLAIMS.ssp_tco_per_month / TCO_CLAIMS.dcs_tco_per_month
+        ) == pytest.approx(TCO_CLAIMS.ssp_over_dcs, abs=0.001)
+
+    def test_headline_savings_recoverable_from_tables(self):
+        # 46.4% HTC max vs DRP is NASA: 1 - 29014/54118
+        nasa = {r.system: r.resource_consumption for r in TABLE2_NASA}
+        assert 1 - nasa["DawningCloud"] / nasa["DRP"] == pytest.approx(
+            HEADLINE["max_htc_saving_vs_drp"], abs=0.001
+        )
+        mont = {r.system: r.resource_consumption for r in TABLE4_MONTAGE}
+        assert 1 - mont["DawningCloud"] / mont["DRP"] == pytest.approx(
+            HEADLINE["max_mtc_saving_vs_drp"], abs=0.001
+        )
+
+    def test_chosen_parameters_cover_all_workloads(self):
+        assert set(CHOSEN_PARAMETERS) == {"nasa-ipsc", "sdsc-blue", "montage"}
+
+    def test_table_registry(self):
+        assert set(PAPER_TABLES) == {"table2", "table3", "table4"}
+
+
+class TestTableShapeChecks:
+    def test_published_values_pass_their_own_checks(self):
+        for tid, table in PAPER_TABLES.items():
+            measured = {r.system: r.resource_consumption for r in table}
+            assert check_table_shapes(tid, measured) == []
+
+    def test_nasa_violation_detected(self):
+        measured = {"DCS": 43008, "SSP": 43008, "DRP": 40000,
+                    "DawningCloud": 29014}
+        v = check_table_shapes("table2", measured)
+        assert any("DRP must cost MORE" in msg for msg in v)
+
+    def test_fixed_systems_must_agree(self):
+        measured = {"DCS": 100, "SSP": 101, "DRP": 200, "DawningCloud": 80}
+        v = check_table_shapes("table2", measured)
+        assert any("identically" in msg for msg in v)
+
+    def test_montage_equality_enforced(self):
+        measured = {"DCS": 166, "SSP": 166, "DRP": 662, "DawningCloud": 170}
+        v = check_table_shapes("table4", measured)
+        assert any("equal the fixed system" in msg for msg in v)
+
+
+class TestHeadlineShapeChecks:
+    def _good(self):
+        totals = {"DCS": 91558, "SSP": 91558, "DRP": 90618,
+                  "DawningCloud": 64381}
+        peaks = {"DCS": 438, "SSP": 438, "DRP": 2100, "DawningCloud": 464}
+        adjustments = {"SSP": 876, "DawningCloud": 5000, "DRP": 20000,
+                       "DCS": 0}
+        return totals, peaks, adjustments
+
+    def test_paper_claims_pass(self):
+        totals, peaks, adjustments = self._good()
+        assert check_headline_shapes(totals, peaks, adjustments) == []
+
+    def test_each_violation_detected(self):
+        totals, peaks, adjustments = self._good()
+        bad_totals = dict(totals, DawningCloud=95000)
+        assert check_headline_shapes(bad_totals, peaks, adjustments)
+        bad_peaks = dict(peaks, DawningCloud=1500)
+        assert check_headline_shapes(totals, bad_peaks, adjustments)
+        bad_adj = dict(adjustments, SSP=10_000)
+        assert check_headline_shapes(totals, peaks, bad_adj)
+
+    def test_consolidated_claim_constants(self):
+        assert CONSOLIDATED_CLAIMS.dc_peak_over_fixed == 1.06
+        assert CONSOLIDATED_CLAIMS.adjustment_order == (
+            "SSP", "DawningCloud", "DRP",
+        )

@@ -1,0 +1,66 @@
+"""Edge-case tests for the text rendering layer (experiments.report)."""
+
+from repro.experiments.report import (
+    render_percentage_rows,
+    render_sweep,
+    render_table,
+)
+from repro.experiments.sweep import SweepPoint
+
+
+class TestRenderTable:
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([])
+        assert "t\n(no rows)" in render_table([], title="t")
+
+    def test_none_renders_as_slash(self):
+        out = render_table([{"a": None}])
+        assert "/" in out
+
+    def test_column_widths_accommodate_long_values(self):
+        out = render_table([{"x": "short"}, {"x": "a-much-longer-value"}])
+        lines = out.splitlines()
+        assert len(lines[1]) >= len("a-much-longer-value")
+
+    def test_small_floats_get_decimals_large_get_commas(self):
+        out = render_table([{"v": 2.49}, {"v": 43008.0}])
+        assert "2.49" in out
+        assert "43,008" in out
+
+    def test_missing_keys_render_as_slash(self):
+        out = render_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert out.splitlines()[-1].split()[-1] == "/"
+
+
+class TestPercentageRows:
+    def test_fraction_formatting(self):
+        rows = render_percentage_rows([
+            {"saved_resources": 0.325},
+            {"saved_resources": -0.258},
+            {"saved_resources": None},
+        ])
+        assert rows[0]["saved_resources"] == "32.5%"
+        assert rows[1]["saved_resources"] == "-25.8%"
+        assert rows[2]["saved_resources"] is None
+
+    def test_input_rows_not_mutated(self):
+        original = [{"saved_resources": 0.5}]
+        render_percentage_rows(original)
+        assert original[0]["saved_resources"] == 0.5
+
+
+class TestRenderSweep:
+    def test_htc_points_have_no_tasks_column(self):
+        out = render_sweep([
+            SweepPoint(40, 1.2, 29014.0, 2603),
+        ])
+        assert "B40_R1.2" in out
+        assert "tasks_per_second" not in out
+
+    def test_mtc_points_include_tasks_per_second(self):
+        out = render_sweep([
+            SweepPoint(10, 8.0, 166.0, 1000, tasks_per_second=2.49),
+        ])
+        assert "B10_R8" in out
+        assert "tasks_per_second" in out
+        assert "2.49" in out

@@ -1,0 +1,136 @@
+"""Tests for the n×m federation framework (the paper's future work)."""
+
+import pytest
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.federation.model import (
+    FederatedResourceProvider,
+    Federation,
+    least_loaded_placement,
+    round_robin_placement,
+)
+from repro.systems.base import WorkloadBundle
+from repro.workloads.workflow import Workflow
+from tests.conftest import make_job, make_trace
+
+HOUR = 3600.0
+
+
+def bundle_with_work(name, n_jobs, size=2, runtime=900.0):
+    jobs = [
+        make_job(i, submit=(i - 1) * 120.0, size=size, runtime=runtime)
+        for i in range(1, n_jobs + 1)
+    ]
+    return WorkloadBundle.from_trace(
+        name, make_trace(jobs, nodes=16, duration=3 * HOUR, name=name)
+    )
+
+
+PROVIDERS = [
+    FederatedResourceProvider("cloud-a", 64),
+    FederatedResourceProvider("cloud-b", 64),
+]
+POLICY = ResourceManagementPolicy.for_htc(2, 1.5)
+
+
+class TestProviders:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            FederatedResourceProvider("x", 0)
+
+    def test_unique_names_required(self):
+        with pytest.raises(ValueError):
+            Federation(
+                [FederatedResourceProvider("a", 8), FederatedResourceProvider("a", 8)],
+                {},
+            )
+
+    def test_at_least_one_provider(self):
+        with pytest.raises(ValueError):
+            Federation([], {})
+
+
+class TestPlacementStrategies:
+    def test_round_robin_cycles(self):
+        bundles = [bundle_with_work(f"w{i}", 2) for i in range(5)]
+        placement = round_robin_placement(bundles, PROVIDERS)
+        assert [placement[f"w{i}"] for i in range(5)] == [
+            "cloud-a",
+            "cloud-b",
+            "cloud-a",
+            "cloud-b",
+            "cloud-a",
+        ]
+
+    def test_least_loaded_balances_work(self):
+        bundles = [
+            bundle_with_work("big", 20),
+            bundle_with_work("small1", 2),
+            bundle_with_work("small2", 2),
+        ]
+        placement = least_loaded_placement(bundles, PROVIDERS)
+        # the big bundle lands alone; the small ones go to the other cloud
+        assert placement["small1"] == placement["small2"]
+        assert placement["big"] != placement["small1"]
+
+    def test_least_loaded_respects_capacity_ratio(self):
+        providers = [
+            FederatedResourceProvider("big-cloud", 128),
+            FederatedResourceProvider("small-cloud", 16),
+        ]
+        bundles = [bundle_with_work(f"w{i}", 4) for i in range(6)]
+        placement = least_loaded_placement(bundles, providers)
+        big_share = sum(1 for t in placement.values() if t == "big-cloud")
+        assert big_share >= 4  # the 8× larger cloud takes most of the work
+
+    def test_empty_provider_list_rejected(self):
+        with pytest.raises(ValueError):
+            round_robin_placement([bundle_with_work("w", 1)], [])
+
+
+class TestFederationRun:
+    def _federation(self, bundles):
+        return Federation(PROVIDERS, {b.name: POLICY for b in bundles})
+
+    def test_placement_validation(self):
+        bundles = [bundle_with_work("w0", 2)]
+        fed = self._federation(bundles)
+        with pytest.raises(ValueError):
+            fed.place(bundles, strategy=lambda b, p: {"w0": "nope"})
+        with pytest.raises(ValueError):
+            fed.place(bundles, strategy=lambda b, p: {})
+
+    def test_run_completes_all_jobs(self):
+        bundles = [bundle_with_work("w0", 6), bundle_with_work("w1", 6)]
+        fed = self._federation(bundles)
+        result = fed.run(bundles)
+        assert result.completed_jobs() == 12
+        assert set(result.placement) == {"w0", "w1"}
+
+    def test_total_consumption_sums_providers(self):
+        bundles = [bundle_with_work("w0", 6), bundle_with_work("w1", 6)]
+        result = self._federation(bundles).run(bundles)
+        assert result.total_consumption == pytest.approx(
+            sum(m.total_consumption for m in result.per_provider.values())
+        )
+
+    def test_unused_provider_not_reported(self):
+        bundles = [bundle_with_work("w0", 4)]
+        fed = self._federation(bundles)
+        result = fed.run(bundles, placement={"w0": "cloud-a"})
+        assert list(result.per_provider) == ["cloud-a"]
+
+    def test_mtc_bundle_supported(self):
+        tasks = [make_job(1, runtime=30, workflow_id=1)] + [
+            make_job(i, runtime=30, deps=(1,), workflow_id=1) for i in range(2, 6)
+        ]
+        wf_bundle = WorkloadBundle.from_workflow(
+            "wf", Workflow(1, tasks, name="wf"), fixed_nodes=2
+        )
+        htc = bundle_with_work("w0", 4)
+        fed = Federation(
+            PROVIDERS,
+            {"w0": POLICY, "wf": ResourceManagementPolicy.for_mtc(2, 8.0)},
+        )
+        result = fed.run([htc, wf_bundle])
+        assert result.completed_jobs() == 4 + 5

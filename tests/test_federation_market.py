@@ -1,0 +1,138 @@
+"""Tests for the priced federation (federation.market)."""
+
+import pytest
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.federation.market import (
+    MarketResult,
+    ProviderRate,
+    cheapest_feasible_placement,
+    run_market,
+    scale_economies_experiment,
+)
+from repro.federation.model import FederatedResourceProvider
+from repro.systems.base import WorkloadBundle
+from repro.workloads.job import Job, Trace
+
+HOUR = 3600.0
+
+
+def _bundle(name: str, n_jobs: int = 30, size: int = 4, nodes: int = 32,
+            runtime: float = 1200.0) -> WorkloadBundle:
+    jobs = [
+        Job(job_id=i + 1, submit_time=300.0 * i, size=size, runtime=runtime,
+            user_id=i % 3)
+        for i in range(n_jobs)
+    ]
+    trace = Trace(name, jobs, machine_nodes=nodes, duration=6 * HOUR)
+    return WorkloadBundle.from_trace(name, trace)
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    return [_bundle("alpha"), _bundle("beta", size=2), _bundle("gamma", size=8)]
+
+
+@pytest.fixture(scope="module")
+def policies():
+    return {
+        name: ResourceManagementPolicy.for_htc(8, 1.5)
+        for name in ("alpha", "beta", "gamma")
+    }
+
+
+class TestRates:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ProviderRate("x", -0.1)
+
+
+class TestCheapestPlacement:
+    def test_prefers_cheapest_feasible(self, bundles):
+        providers = [
+            FederatedResourceProvider("budget", 64),
+            FederatedResourceProvider("premium", 256),
+        ]
+        rates = {"budget": 0.05, "premium": 0.12}
+        placement = cheapest_feasible_placement(bundles, providers, rates)
+        assert set(placement.values()) == {"budget"}
+
+    def test_feasibility_overrides_price(self, bundles):
+        # budget pool is too small for the bundles' 32-node configuration
+        providers = [
+            FederatedResourceProvider("budget", 16),
+            FederatedResourceProvider("premium", 256),
+        ]
+        rates = {"budget": 0.01, "premium": 0.12}
+        placement = cheapest_feasible_placement(bundles, providers, rates)
+        assert set(placement.values()) == {"premium"}
+
+    def test_missing_rate_raises(self, bundles):
+        providers = [FederatedResourceProvider("a", 64)]
+        with pytest.raises(ValueError, match="no rate"):
+            cheapest_feasible_placement(bundles, providers, {})
+
+    def test_infeasible_bundle_raises(self, bundles):
+        providers = [FederatedResourceProvider("tiny", 8)]
+        with pytest.raises(ValueError, match="no provider"):
+            cheapest_feasible_placement(bundles, providers, {"tiny": 0.1})
+
+
+class TestRunMarket:
+    def test_revenue_equals_consumption_times_rate(self, bundles, policies):
+        providers = [
+            FederatedResourceProvider("east", 128),
+            FederatedResourceProvider("west", 128),
+        ]
+        rates = [ProviderRate("east", 0.10), ProviderRate("west", 0.08)]
+        result = run_market(bundles, policies, providers, rates)
+        for name, metrics in result.federation_result.per_provider.items():
+            assert result.revenue[name] == pytest.approx(
+                metrics.total_consumption * result.rates[name]
+            )
+
+    def test_bills_sum_to_revenue(self, bundles, policies):
+        providers = [FederatedResourceProvider("solo", 256)]
+        rates = [ProviderRate("solo", 0.10)]
+        result = run_market(bundles, policies, providers, rates)
+        assert sum(result.bills.values()) == pytest.approx(result.total_billed)
+        assert set(result.bills) == {"alpha", "beta", "gamma"}
+
+    def test_to_rows_shape(self, bundles, policies):
+        providers = [FederatedResourceProvider("solo", 256)]
+        result = run_market(bundles, policies, providers,
+                            [ProviderRate("solo", 0.10)])
+        rows = result.to_rows()
+        assert len(rows) == 1
+        assert rows[0]["service_providers"] == 3
+        assert rows[0]["revenue_usd"] > 0
+
+
+class TestScaleEconomies:
+    def test_rows_cover_requested_splits(self, bundles, policies):
+        rows = scale_economies_experiment(
+            bundles, policies, total_capacity=240, splits=(1, 3)
+        )
+        assert [r["n_providers"] for r in rows] == [1, 3]
+        assert rows[0]["capacity_each"] == 240
+        assert rows[1]["capacity_each"] == 80
+
+    def test_all_jobs_complete_when_capacity_ample(self, bundles, policies):
+        rows = scale_economies_experiment(
+            bundles, policies, total_capacity=300, splits=(1, 3)
+        )
+        expected = sum(b.n_jobs for b in bundles)
+        assert all(r["completed_jobs"] == expected for r in rows)
+
+    def test_splits_clamped_to_bundle_count(self, bundles, policies):
+        rows = scale_economies_experiment(
+            bundles, policies, total_capacity=300, splits=(5,)
+        )
+        assert rows[0]["n_providers"] == 3
+
+    def test_validation(self, bundles, policies):
+        with pytest.raises(ValueError):
+            scale_economies_experiment(bundles, policies, total_capacity=0)
+        with pytest.raises(ValueError):
+            scale_economies_experiment(bundles, policies, total_capacity=100,
+                                       splits=(0,))

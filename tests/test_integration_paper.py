@@ -1,0 +1,230 @@
+"""Full-scale integration tests: the paper's headline claims.
+
+These run the real two-week workloads, so they are the slowest tests in the
+suite (a few seconds each).  They assert the *shape* of the published
+results — orderings and rough factors — not exact node-hour counts (our
+substrate is a synthetic-trace simulator, not the authors' testbed; see
+EXPERIMENTS.md for the measured-vs-paper record).
+"""
+
+import pytest
+
+from repro.experiments.config import (
+    EvaluationSetup,
+    PAPER_POLICIES,
+    blue_bundle,
+    montage_bundle,
+    nasa_bundle,
+)
+from repro.systems.consolidation import run_all_systems
+from repro.systems.drp import run_drp
+from repro.systems.dsp_runner import run_dawningcloud_mtc
+from repro.systems.fixed import run_dcs
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def consolidated():
+    setup = EvaluationSetup(seed=0)
+    return run_all_systems(
+        setup.bundles(consolidated=True),
+        setup.policies,
+        capacity=setup.capacity,
+        horizon=setup.horizon,
+    )
+
+
+class TestFixedSystemIdentities:
+    """Exact closed-form figures the paper also gets exactly."""
+
+    def test_dcs_nasa_is_43008(self, consolidated):
+        assert consolidated.provider("DCS", "nasa-ipsc").resource_consumption == 43008
+
+    def test_dcs_blue_is_48384(self, consolidated):
+        assert consolidated.provider("DCS", "sdsc-blue").resource_consumption == 48384
+
+    def test_dcs_montage_is_166(self, consolidated):
+        assert consolidated.provider("DCS", "montage").resource_consumption == 166
+
+    def test_ssp_equals_dcs_everywhere(self, consolidated):
+        for name in ("nasa-ipsc", "sdsc-blue", "montage"):
+            assert (
+                consolidated.provider("SSP", name).resource_consumption
+                == consolidated.provider("DCS", name).resource_consumption
+            )
+
+    def test_dcs_ssp_aggregate_peak_is_438(self, consolidated):
+        assert consolidated.aggregate("DCS").peak_nodes == 438
+        assert consolidated.aggregate("SSP").peak_nodes == 438
+
+
+class TestTable2Shape:
+    """NASA: DawningCloud < DCS < DRP (the hour-rounding penalty)."""
+
+    def test_dawningcloud_beats_dcs(self, consolidated):
+        dc = consolidated.provider("DawningCloud", "nasa-ipsc")
+        dcs = consolidated.provider("DCS", "nasa-ipsc")
+        assert dc.resource_consumption < 0.85 * dcs.resource_consumption
+
+    def test_drp_worse_than_dcs(self, consolidated):
+        drp = consolidated.provider("DRP", "nasa-ipsc")
+        dcs = consolidated.provider("DCS", "nasa-ipsc")
+        assert drp.resource_consumption > dcs.resource_consumption
+
+    def test_dawningcloud_beats_drp_substantially(self, consolidated):
+        dc = consolidated.provider("DawningCloud", "nasa-ipsc")
+        drp = consolidated.provider("DRP", "nasa-ipsc")
+        assert dc.resource_consumption < 0.8 * drp.resource_consumption
+
+    def test_all_systems_complete_all_nasa_jobs(self, consolidated):
+        for system in ("DCS", "SSP", "DRP", "DawningCloud"):
+            assert consolidated.provider(system, "nasa-ipsc").completed_jobs >= 2590
+
+
+class TestTable3Shape:
+    """BLUE: long jobs — DRP ≈ DawningCloud, both well below DCS."""
+
+    def test_drp_beats_dcs(self, consolidated):
+        drp = consolidated.provider("DRP", "sdsc-blue")
+        dcs = consolidated.provider("DCS", "sdsc-blue")
+        assert drp.resource_consumption < 0.85 * dcs.resource_consumption
+
+    def test_dawningcloud_beats_dcs(self, consolidated):
+        dc = consolidated.provider("DawningCloud", "sdsc-blue")
+        dcs = consolidated.provider("DCS", "sdsc-blue")
+        assert dc.resource_consumption < 0.9 * dcs.resource_consumption
+
+    def test_dawningcloud_close_to_drp(self, consolidated):
+        dc = consolidated.provider("DawningCloud", "sdsc-blue")
+        drp = consolidated.provider("DRP", "sdsc-blue")
+        ratio = dc.resource_consumption / drp.resource_consumption
+        assert 0.8 < ratio < 1.25
+
+    def test_fixed_systems_leave_stragglers(self, consolidated):
+        dcs = consolidated.provider("DCS", "sdsc-blue")
+        drp = consolidated.provider("DRP", "sdsc-blue")
+        assert drp.completed_jobs >= dcs.completed_jobs
+
+
+class TestTable4Shape:
+    """Montage: DawningCloud == DCS (166), DRP ≈ 4× more expensive."""
+
+    def test_dawningcloud_equals_dcs_consumption(self, consolidated):
+        dc = consolidated.provider("DawningCloud", "montage")
+        assert dc.resource_consumption == 166
+
+    def test_drp_spends_several_times_more(self, consolidated):
+        drp = consolidated.provider("DRP", "montage")
+        dc = consolidated.provider("DawningCloud", "montage")
+        saving = 1 - dc.resource_consumption / drp.resource_consumption
+        assert saving > 0.6  # paper: 74.9%
+
+    def test_drp_throughput_at_least_queued_systems(self, consolidated):
+        drp = consolidated.provider("DRP", "montage")
+        dcs = consolidated.provider("DCS", "montage")
+        assert drp.tasks_per_second >= dcs.tasks_per_second
+
+    def test_tasks_per_second_magnitude(self, consolidated):
+        dcs = consolidated.provider("DCS", "montage")
+        assert 1.5 < dcs.tasks_per_second < 3.5  # paper: 2.49
+
+    def test_all_thousand_tasks_complete(self, consolidated):
+        for system in ("DCS", "SSP", "DRP", "DawningCloud"):
+            assert consolidated.provider(system, "montage").completed_jobs == 1000
+
+
+class TestFigure12Shape:
+    """Total resource consumption: DawningCloud lowest."""
+
+    def test_dawningcloud_saves_vs_dcs(self, consolidated):
+        assert consolidated.savings_vs("DawningCloud", "DCS") > 0.15  # paper 29.7%
+
+    def test_dawningcloud_saves_vs_drp(self, consolidated):
+        assert consolidated.savings_vs("DawningCloud", "DRP") > 0.05  # paper 29.0%
+
+    def test_total_is_sum_of_tables(self, consolidated):
+        agg = consolidated.aggregate("DawningCloud")
+        assert agg.total_consumption == pytest.approx(
+            sum(p.resource_consumption for p in agg.providers)
+        )
+
+
+class TestFigure13Shape:
+    """Peak consumption: DRP towers over everything; DawningCloud modest."""
+
+    def test_drp_peak_dominates(self, consolidated):
+        assert consolidated.peak_ratio("DawningCloud", "DRP") < 0.65  # paper 0.21
+
+    def test_dawningcloud_peak_near_dcs(self, consolidated):
+        assert consolidated.peak_ratio("DawningCloud", "DCS") < 2.2  # paper 1.06
+
+
+class TestFigure14Shape:
+    """Adjustment counts: SSP lowest, DawningCloud well below DRP."""
+
+    def test_ordering(self, consolidated):
+        ssp = consolidated.aggregate("SSP").adjusted_nodes
+        dc = consolidated.aggregate("DawningCloud").adjusted_nodes
+        drp = consolidated.aggregate("DRP").adjusted_nodes
+        assert ssp < dc < drp
+
+    def test_dcs_never_adjusts(self, consolidated):
+        assert consolidated.aggregate("DCS").adjusted_nodes == 0
+
+
+class TestStandaloneConsistency:
+    """Standalone runners agree with the closed-form/structural facts."""
+
+    def test_montage_drp_cost_is_peak_ready_width(self):
+        result = run_drp(montage_bundle(0))
+        # every task is 1 node and the whole run fits in one hour, so the
+        # billed pool cost equals the maximum concurrency reached
+        assert result.resource_consumption == result.peak_nodes
+        assert 400 <= result.resource_consumption <= 662
+
+    def test_montage_dawningcloud_standalone_is_166(self):
+        result = run_dawningcloud_mtc(montage_bundle(0), PAPER_POLICIES["montage"])
+        assert result.resource_consumption == 166
+
+    def test_nasa_dcs_standalone_matches_consolidated(self, consolidated):
+        standalone = run_dcs(nasa_bundle(0))
+        assert (
+            standalone.resource_consumption
+            == consolidated.provider("DCS", "nasa-ipsc").resource_consumption
+        )
+
+
+class TestPaperdataShapeChecks:
+    """The structured shape checkers agree with the consolidated run."""
+
+    def test_headline_shapes_pass(self, consolidated):
+        from repro.experiments.paperdata import check_headline_shapes
+
+        totals = {
+            s: consolidated.aggregates[s].total_consumption
+            for s in consolidated.aggregates
+        }
+        peaks = {
+            s: consolidated.aggregates[s].concurrent_peak_nodes
+            for s in consolidated.aggregates
+        }
+        adjustments = {
+            s: consolidated.aggregates[s].adjusted_nodes
+            for s in consolidated.aggregates
+        }
+        assert check_headline_shapes(totals, peaks, adjustments) == []
+
+    def test_table_shapes_pass(self, consolidated):
+        from repro.experiments.paperdata import check_table_shapes
+
+        for tid, workload in (
+            ("table2", "nasa-ipsc"),
+            ("table3", "sdsc-blue"),
+            ("table4", "montage"),
+        ):
+            measured = {
+                s: consolidated.provider(s, workload).resource_consumption
+                for s in ("DCS", "SSP", "DRP", "DawningCloud")
+            }
+            assert check_table_shapes(tid, measured) == [], (tid, measured)

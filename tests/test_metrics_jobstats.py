@@ -1,0 +1,138 @@
+"""Tests for job-level QoS statistics (metrics.jobstats)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.jobstats import (
+    SLOWDOWN_TAU_S,
+    achieved_utilization,
+    bounded_slowdowns,
+    compute_statistics,
+    jains_fairness_index,
+    per_user_waits,
+    response_times,
+    wait_times,
+)
+from repro.workloads.job import Job
+
+
+def done_job(jid, submit, start, runtime, size=1, user=0):
+    j = Job(job_id=jid, submit_time=submit, size=size, runtime=runtime,
+            user_id=user)
+    j.mark_queued(submit)
+    j.mark_running(start)
+    j.mark_completed(start + runtime)
+    return j
+
+
+class TestBasics:
+    def test_wait_and_response(self):
+        jobs = [done_job(1, 0.0, 5.0, 10.0), done_job(2, 2.0, 2.0, 3.0)]
+        assert wait_times(jobs).tolist() == [5.0, 0.0]
+        assert response_times(jobs).tolist() == [15.0, 3.0]
+
+    def test_incomplete_jobs_excluded(self):
+        running = Job(job_id=3, submit_time=0.0, size=1, runtime=5.0)
+        running.mark_queued(0.0)
+        jobs = [done_job(1, 0.0, 1.0, 2.0), running]
+        assert len(wait_times(jobs)) == 1
+
+    def test_bounded_slowdown_floor(self):
+        # 1-second job that waited 1 second: raw slowdown 2.0, but the
+        # τ=10 floor gives (1+1)/10 = 0.2 -> clipped to 1.0
+        short = done_job(1, 0.0, 1.0, 1.0)
+        assert bounded_slowdowns([short]).tolist() == [1.0]
+
+    def test_bounded_slowdown_above_floor(self):
+        j = done_job(1, 0.0, 100.0, 100.0)  # waited 100, ran 100
+        assert bounded_slowdowns([j]).tolist() == [2.0]
+
+    def test_tau_validation(self):
+        with pytest.raises(ValueError):
+            bounded_slowdowns([], tau_s=0.0)
+
+
+class TestAggregate:
+    def test_compute_statistics_values(self):
+        jobs = [done_job(i, 0.0, float(i), 100.0) for i in range(1, 11)]
+        s = compute_statistics(jobs)
+        assert s.n_jobs == 10
+        assert s.mean_wait_s == pytest.approx(np.mean(range(1, 11)))
+        assert s.max_wait_s == 10.0
+        assert s.mean_response_s == pytest.approx(s.mean_wait_s + 100.0)
+
+    def test_empty_input_gives_zero_record(self):
+        s = compute_statistics([])
+        assert s.n_jobs == 0
+        assert s.mean_wait_s == 0.0
+
+    def test_to_row_roundtrip(self):
+        s = compute_statistics([done_job(1, 0.0, 2.0, 50.0)])
+        row = s.to_row()
+        assert row["n_jobs"] == 1
+        assert row["mean_wait_s"] == 2.0
+
+
+class TestUtilization:
+    def test_perfect_packing_is_one(self):
+        jobs = [done_job(1, 0.0, 0.0, 100.0, size=4)]
+        assert achieved_utilization(jobs, 400.0) == pytest.approx(1.0)
+
+    def test_half_idle(self):
+        jobs = [done_job(1, 0.0, 0.0, 100.0, size=2)]
+        assert achieved_utilization(jobs, 400.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            achieved_utilization([], 0.0)
+
+
+class TestFairness:
+    def test_per_user_waits(self):
+        jobs = [
+            done_job(1, 0.0, 10.0, 5.0, user=1),
+            done_job(2, 0.0, 20.0, 5.0, user=1),
+            done_job(3, 0.0, 0.0, 5.0, user=2),
+        ]
+        waits = per_user_waits(jobs)
+        assert waits == {1: 15.0, 2: 0.0}
+
+    def test_jains_index_equal_is_one(self):
+        assert jains_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_jains_index_single_hog(self):
+        assert jains_fairness_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_jains_index_all_zero_is_fair(self):
+        assert jains_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_jains_index_validation(self):
+        with pytest.raises(ValueError):
+            jains_fairness_index([])
+        with pytest.raises(ValueError):
+            jains_fairness_index([-1.0])
+
+
+# --------------------------------------------------------------------- #
+# properties
+# --------------------------------------------------------------------- #
+@settings(max_examples=50, deadline=None)
+@given(
+    waits=st.lists(st.floats(min_value=0, max_value=1e5), min_size=1, max_size=30),
+    runtime=st.floats(min_value=0.1, max_value=1e5),
+)
+def test_slowdowns_at_least_one(waits, runtime):
+    jobs = [
+        done_job(i, 0.0, w, runtime) for i, w in enumerate(waits)
+    ]
+    assert (bounded_slowdowns(jobs) >= 1.0).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(min_value=0.01, max_value=1e4), min_size=1,
+                       max_size=20))
+def test_jains_index_bounds(values):
+    idx = jains_fairness_index(values)
+    assert 1.0 / len(values) - 1e-9 <= idx <= 1.0 + 1e-9

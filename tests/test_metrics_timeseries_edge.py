@@ -1,0 +1,113 @@
+"""Edge-case tests for the usage time series (metrics.timeseries)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.timeseries import UsageRecorder, merge_usage
+
+HOUR = 3600.0
+
+
+class TestLevelSteps:
+    def test_simultaneous_events_merge(self):
+        rec = UsageRecorder()
+        rec.record(10.0, 5)
+        rec.record(10.0, -2)
+        times, levels = rec.level_steps()
+        assert times.tolist() == [10.0]
+        assert levels.tolist() == [3.0]
+
+    def test_out_of_order_recording_is_sorted(self):
+        rec = UsageRecorder()
+        rec.record(100.0, 2)
+        rec.record(50.0, 4)
+        times, levels = rec.level_steps()
+        assert times.tolist() == [50.0, 100.0]
+        assert levels.tolist() == [4.0, 6.0]
+
+    def test_zero_delta_ignored(self):
+        rec = UsageRecorder()
+        rec.record(5.0, 0)
+        assert rec.events == []
+        assert rec.current_level() == 0
+
+
+class TestIntegral:
+    def test_rectangle(self):
+        rec = UsageRecorder()
+        rec.record(0.0, 10)
+        rec.record(100.0, -10)
+        assert rec.integral_node_seconds(200.0) == 1000.0
+
+    def test_horizon_truncates(self):
+        rec = UsageRecorder()
+        rec.record(0.0, 10)
+        assert rec.integral_node_seconds(50.0) == 500.0
+
+    def test_staircase(self):
+        rec = UsageRecorder()
+        rec.record(0.0, 4)     # [0,10): 4
+        rec.record(10.0, 4)    # [10,20): 8
+        rec.record(20.0, -8)   # after: 0
+        assert rec.integral_node_seconds(30.0) == 4 * 10 + 8 * 10
+
+    def test_empty_is_zero(self):
+        assert UsageRecorder().integral_node_seconds(100.0) == 0.0
+
+
+class TestHourlyPeaks:
+    def test_peak_carried_across_hour_boundaries(self):
+        rec = UsageRecorder()
+        rec.record(0.5 * HOUR, 10)  # rises mid hour 0, stays up
+        peaks = rec.hourly_peak_series(3 * HOUR)
+        assert peaks.tolist() == [10.0, 10.0, 10.0]
+
+    def test_spike_only_counts_in_its_hour(self):
+        rec = UsageRecorder()
+        rec.record(1.5 * HOUR, 20)
+        rec.record(1.6 * HOUR, -20)
+        peaks = rec.hourly_peak_series(3 * HOUR)
+        assert peaks.tolist() == [0.0, 20.0, 0.0]
+
+    def test_partial_last_hour(self):
+        rec = UsageRecorder()
+        rec.record(0.0, 3)
+        peaks = rec.hourly_peak_series(1.5 * HOUR)
+        assert len(peaks) == 2
+        assert peaks.tolist() == [3.0, 3.0]
+
+    def test_overall_peak(self):
+        rec = UsageRecorder()
+        rec.record(10.0, 7)
+        rec.record(20.0, 5)
+        rec.record(30.0, -12)
+        assert rec.peak(HOUR) == 12.0
+
+
+class TestMerge:
+    def test_merged_level_is_sum(self):
+        a, b = UsageRecorder("a"), UsageRecorder("b")
+        a.record(0.0, 5)
+        b.record(0.0, 3)
+        b.record(50.0, -3)
+        merged = merge_usage([a, b])
+        _, levels = merged.level_steps()
+        assert levels.tolist() == [8.0, 5.0]
+
+    def test_merged_integral_is_additive(self):
+        a, b = UsageRecorder("a"), UsageRecorder("b")
+        a.record(0.0, 2)
+        b.record(10.0, 4)
+        merged = merge_usage([a, b])
+        assert merged.integral_node_seconds(100.0) == pytest.approx(
+            a.integral_node_seconds(100.0) + b.integral_node_seconds(100.0)
+        )
+
+    def test_merged_peak_never_exceeds_sum_of_peaks(self):
+        a, b = UsageRecorder("a"), UsageRecorder("b")
+        a.record(0.0, 5)
+        a.record(10.0, -5)
+        b.record(20.0, 7)  # peaks do not overlap in time
+        merged = merge_usage([a, b])
+        assert merged.peak(HOUR) == 7.0
+        assert merged.peak(HOUR) <= a.peak(HOUR) + b.peak(HOUR)

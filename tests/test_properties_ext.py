@@ -1,0 +1,172 @@
+"""Property-based tests for the extension modules (policies, fair share,
+break-even, provision-service conservation)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.provision import ResourceProvisionService
+from repro.core.adaptive import (
+    ChunkedHysteresisPolicy,
+    DemandTrackingPolicy,
+    EwmaPredictivePolicy,
+)
+from repro.core.policies import ResourceManagementPolicy
+from repro.metrics.jobstats import jains_fairness_index
+from repro.scheduling.fairshare import WeightedFairShareScheduler
+from repro.workloads.job import Job
+
+policy_inputs = st.tuples(
+    st.integers(min_value=0, max_value=2000),   # queue_demand
+    st.integers(min_value=0, max_value=500),    # biggest_job
+    st.integers(min_value=0, max_value=1000),   # owned
+).filter(lambda t: t[1] <= t[0])  # the biggest job is part of the demand
+
+
+def _policies():
+    return [
+        ResourceManagementPolicy.for_htc(10, 1.5),
+        DemandTrackingPolicy(initial_nodes=10),
+        ChunkedHysteresisPolicy(initial_nodes=10, threshold_ratio=1.5,
+                                chunk_nodes=16),
+        EwmaPredictivePolicy(initial_nodes=10, alpha=0.4, headroom=1.2),
+    ]
+
+
+class TestResizePolicyProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(inp=policy_inputs)
+    def test_requests_never_negative(self, inp):
+        demand, biggest, owned = inp
+        for policy in _policies():
+            assert policy.dynamic_request_size(demand, biggest, owned) >= 0
+
+    @settings(max_examples=150, deadline=None)
+    @given(inp=policy_inputs)
+    def test_empty_queue_never_requests(self, inp):
+        _, _, owned = inp
+        for policy in _policies():
+            assert policy.dynamic_request_size(0, 0, owned) == 0
+
+    @settings(max_examples=150, deadline=None)
+    @given(inp=policy_inputs)
+    def test_grant_covers_widest_job_when_requested(self, inp):
+        """If a policy requests anything while the widest job doesn't fit,
+        the post-grant pool must fit that job (no futile growth)."""
+        demand, biggest, owned = inp
+        for policy in _policies():
+            req = policy.dynamic_request_size(demand, biggest, owned)
+            if req > 0 and biggest > owned:
+                assert owned + req >= biggest
+
+    @settings(max_examples=100, deadline=None)
+    @given(inp=policy_inputs)
+    def test_paper_policy_request_bounded_by_demand(self, inp):
+        demand, biggest, owned = inp
+        policy = ResourceManagementPolicy.for_htc(10, 1.5)
+        req = policy.dynamic_request_size(demand, biggest, owned)
+        assert owned + req <= max(demand, owned, biggest)
+
+    @settings(max_examples=100, deadline=None)
+    @given(inp=policy_inputs, chunk=st.integers(min_value=1, max_value=64))
+    def test_chunked_requests_are_chunk_multiples(self, inp, chunk):
+        demand, biggest, owned = inp
+        policy = ChunkedHysteresisPolicy(initial_nodes=10, threshold_ratio=1.5,
+                                         chunk_nodes=chunk)
+        req = policy.dynamic_request_size(demand, biggest, owned)
+        assert req % chunk == 0
+
+
+class TestEwmaProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        demands=st.lists(st.integers(min_value=0, max_value=500), min_size=1,
+                         max_size=60),
+        alpha=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_ewma_stays_within_observed_range(self, demands, alpha):
+        policy = EwmaPredictivePolicy(initial_nodes=10, alpha=alpha)
+        for d in demands:
+            policy.dynamic_request_size(d, min(d, 1), 10)
+        assert 0.0 <= policy.smoothed_demand <= max(demands)
+
+
+class TestFairShareProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        jobs=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=8),
+                      st.integers(min_value=0, max_value=3)),
+            min_size=0, max_size=20,
+        ),
+        free=st.integers(min_value=0, max_value=32),
+    )
+    def test_work_conserving(self, jobs, free):
+        """If any queued job fits, the fair-share scheduler starts one."""
+        queued = []
+        for i, (size, user) in enumerate(jobs):
+            j = Job(job_id=i, submit_time=0.0, size=size, runtime=10.0,
+                    user_id=user)
+            j.mark_queued(0.0)
+            queued.append(j)
+        picked = WeightedFairShareScheduler().select(0.0, queued, free)
+        fits = [j for j in queued if j.size <= free]
+        if fits:
+            assert picked
+        assert sum(j.size for j in picked) <= free
+
+
+class TestProvisionConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]),
+                      st.integers(min_value=1, max_value=20)),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_allocated_plus_free_is_capacity(self, ops):
+        svc = ResourceProvisionService(capacity=64)
+        leases = []
+        t = 0.0
+        for client, n in ops:
+            t += 60.0
+            lease = svc.request(client, n, t)
+            if lease is not None:
+                leases.append(lease)
+            elif leases:
+                svc.release(leases.pop(0), t)
+            assert svc.allocated_nodes() + svc.free_nodes == 64
+            assert svc.free_nodes >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        spans=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=16),
+                      st.floats(min_value=1.0, max_value=7200.0)),
+            min_size=1, max_size=20,
+        )
+    )
+    def test_billing_at_least_work_and_at_most_rounded_up(self, spans):
+        svc = ResourceProvisionService(capacity=1000)
+        total_expected = 0
+        for i, (n, held) in enumerate(spans):
+            t0 = i * 10_000.0
+            lease = svc.request("u", n, t0)
+            svc.release(lease, t0 + held)
+            total_expected += n * math.ceil(held / 3600.0)
+        assert svc.consumption_node_hours("u") == total_expected
+
+
+class TestBreakevenProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1e3),
+                           min_size=2, max_size=12))
+    def test_fairness_index_scale_invariant(self, values):
+        if sum(values) == 0:
+            return
+        a = jains_fairness_index(values)
+        b = jains_fairness_index([v * 7.5 for v in values])
+        assert a == pytest.approx(b, rel=1e-9)

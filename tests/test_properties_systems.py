@@ -1,0 +1,98 @@
+"""System-level invariants checked over randomized small workloads.
+
+These run whole simulations per example, so example counts are kept low;
+the invariants are the accounting identities every system must satisfy
+regardless of workload:
+
+* billed node-hours can never undercut the executed work (hourly billing
+  only rounds *up*);
+* the DRP bill is exactly ``Σ size × ceil(runtime/1h)`` (§4.3's
+  accumulated end-user consumption);
+* DCS consumption is ``machine × period`` by definition;
+* with ample capacity and horizon, DawningCloud completes everything.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.systems.base import WorkloadBundle
+from repro.systems.dsp_runner import run_dawningcloud_htc
+from repro.systems.drp import run_drp
+from repro.systems.fixed import run_dcs
+from repro.workloads.job import Job, Trace
+
+HOUR = 3600.0
+
+job_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=8),          # size
+        st.floats(min_value=30.0, max_value=5400.0),    # runtime
+        st.floats(min_value=0.0, max_value=4 * HOUR),   # submit
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+def _bundle(specs) -> WorkloadBundle:
+    jobs = [
+        Job(job_id=i + 1, submit_time=submit, size=size, runtime=runtime,
+            user_id=i % 3)
+        for i, (size, runtime, submit) in enumerate(specs)
+    ]
+    trace = Trace("prop", jobs, machine_nodes=8, duration=12 * HOUR)
+    return WorkloadBundle.from_trace("prop", trace)
+
+
+@settings(max_examples=15, deadline=None)
+@given(specs=job_specs)
+def test_drp_bill_is_exact_hour_ceiling(specs):
+    bundle = _bundle(specs)
+    metrics = run_drp(bundle)
+    expected = sum(
+        size * math.ceil(max(runtime, 1e-9) / HOUR)
+        for size, runtime, _ in specs
+    )
+    assert metrics.resource_consumption == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(specs=job_specs)
+def test_dcs_consumption_is_machine_times_period(specs):
+    bundle = _bundle(specs)
+    metrics = run_dcs(bundle)
+    assert metrics.resource_consumption == 8 * 12  # nodes × hours
+
+
+@settings(max_examples=10, deadline=None)
+@given(specs=job_specs)
+def test_dawningcloud_completes_and_never_bills_below_work(specs):
+    bundle = _bundle(specs)
+    policy = ResourceManagementPolicy.for_htc(initial_nodes=4,
+                                              threshold_ratio=1.2)
+    metrics = run_dawningcloud_htc(bundle, policy, capacity=64)
+    work_node_hours = sum(size * runtime for size, runtime, _ in specs) / HOUR
+    assert metrics.resource_consumption >= work_node_hours - 1e-9
+    assert metrics.completed_jobs == len(specs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(specs=job_specs)
+def test_elastic_systems_never_bill_below_executed_work(specs):
+    """DRP and DawningCloud run everything (ample capacity), so their
+    bills must cover the full work; DCS is excluded — an overloaded fixed
+    machine legitimately bills machine×period while leaving work undone."""
+    bundle = _bundle(specs)
+    work = sum(size * runtime for size, runtime, _ in specs) / HOUR
+    for metrics in (
+        run_drp(bundle),
+        run_dawningcloud_htc(
+            bundle, ResourceManagementPolicy.for_htc(4, 1.5), capacity=64
+        ),
+    ):
+        assert metrics.completed_jobs == len(specs)
+        assert metrics.resource_consumption >= work - 1e-9

@@ -1,0 +1,74 @@
+"""Edge-case tests for the conservative-backfill reservation profile."""
+
+from repro.scheduling.base import RunningJob
+from repro.scheduling.conservative import ConservativeBackfillScheduler, _Profile
+from repro.workloads.job import Job
+
+
+def J(jid, size, runtime):
+    j = Job(job_id=jid, submit_time=0.0, size=size, runtime=runtime)
+    j.mark_queued(0.0)
+    return j
+
+
+class TestProfile:
+    def test_initial_profile_reflects_running_completions(self):
+        running = [
+            RunningJob(J(1, 3, 10.0), finish_time=10.0),
+            RunningJob(J(2, 2, 20.0), finish_time=20.0),
+        ]
+        p = _Profile(0.0, 5, running)
+        assert p.times[:3] == [0.0, 10.0, 20.0]
+        assert p.free[:3] == [5, 8, 10]
+
+    def test_simultaneous_completions_merge(self):
+        running = [
+            RunningJob(J(1, 3, 10.0), finish_time=10.0),
+            RunningJob(J(2, 2, 10.0), finish_time=10.0),
+        ]
+        p = _Profile(0.0, 0, running)
+        assert p.times[:2] == [0.0, 10.0]
+        assert p.free[:2] == [0, 5]
+
+    def test_finish_in_past_clamps_to_now(self):
+        # a completion event at t < now is counted as already free
+        running = [RunningJob(J(1, 4, 1.0), finish_time=5.0)]
+        p = _Profile(10.0, 2, running)
+        assert p.times[0] == 10.0
+        assert p.free == [2, 6]
+
+    def test_earliest_start_spanning_steps(self):
+        running = [RunningJob(J(1, 4, 10.0), finish_time=10.0)]
+        p = _Profile(0.0, 4, running)
+        # 4 nodes are free the whole way: a 4-wide 100s job starts now
+        assert p.earliest_start(4, 100.0) == 0.0
+        # 8 nodes only from t=10
+        assert p.earliest_start(8, 100.0) == 10.0
+
+    def test_reserve_debits_exact_window(self):
+        p = _Profile(0.0, 10, [])
+        p.reserve(5.0, 4, 10.0)  # [5, 15): free 6
+        assert p.earliest_start(8, 1.0) == 0.0  # fits before the window
+        assert p.earliest_start(8, 10.0) == 15.0  # must wait it out
+        assert p.earliest_start(6, 10.0) == 0.0
+
+    def test_reserve_with_infinite_start_is_noop(self):
+        p = _Profile(0.0, 2, [])
+        start = p.earliest_start(5, 10.0)
+        assert start == float("inf")
+        p.reserve(start, 5, 10.0)
+        assert p.earliest_start(2, 1.0) == 0.0  # untouched
+
+
+class TestOversizedJobs:
+    def test_oversized_head_does_not_crash_or_block_profile(self):
+        # head wider than anything ever free: skipped; next job backfills
+        q = [J(1, 100, 10.0), J(2, 2, 5.0)]
+        picked = ConservativeBackfillScheduler().select(0.0, q, 4)
+        assert [j.job_id for j in picked] == [2]
+
+    def test_sequence_of_reservations_is_consistent(self):
+        # Three jobs, capacity 4: each reserves after the previous.
+        q = [J(1, 4, 10.0), J(2, 4, 10.0), J(3, 4, 10.0)]
+        picked = ConservativeBackfillScheduler().select(0.0, q, 4)
+        assert [j.job_id for j in picked] == [1]

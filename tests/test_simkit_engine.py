@@ -1,0 +1,163 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simkit.engine import SimulationEngine, SimulationError
+from repro.simkit.events import Event, EventCancelled
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, engine):
+        order = []
+        engine.schedule(5.0, order.append, "b")
+        engine.schedule(1.0, order.append, "a")
+        engine.schedule(9.0, order.append, "c")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self, engine):
+        order = []
+        for tag in "abcde":
+            engine.schedule(3.0, order.append, tag)
+        engine.run()
+        assert order == list("abcde")
+
+    def test_priority_breaks_ties_before_sequence(self, engine):
+        order = []
+        engine.schedule(1.0, order.append, "late", priority=1)
+        engine.schedule(1.0, order.append, "early", priority=-1)
+        engine.schedule(1.0, order.append, "mid", priority=0)
+        engine.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_clock_advances_to_event_time(self, engine):
+        seen = []
+        engine.schedule(42.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42.5]
+        assert engine.now == 42.5
+
+    def test_schedule_at_absolute_time(self, engine):
+        seen = []
+        engine.schedule_at(10.0, seen.append, 1)
+        engine.run()
+        assert seen == [1]
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self, engine):
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run_are_executed(self, engine):
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(1.0, order.append, "second")
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert order == ["first", "second"]
+
+
+class TestHorizon:
+    def test_run_until_stops_before_later_events(self, engine):
+        seen = []
+        engine.schedule(1.0, seen.append, "a")
+        engine.schedule(10.0, seen.append, "b")
+        engine.run(until=5.0)
+        assert seen == ["a"]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_event_exactly_at_horizon_fires(self, engine):
+        seen = []
+        engine.schedule(5.0, seen.append, "x")
+        engine.run(until=5.0)
+        assert seen == ["x"]
+
+    def test_run_is_resumable(self, engine):
+        seen = []
+        engine.schedule(1.0, seen.append, 1)
+        engine.schedule(10.0, seen.append, 2)
+        engine.run(until=5.0)
+        engine.run()
+        assert seen == [1, 2]
+
+    def test_clock_advances_to_horizon_when_no_events(self, engine):
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        seen = []
+        event = engine.schedule(1.0, seen.append, "x")
+        engine.cancel(event)
+        engine.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self, engine):
+        event = engine.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        engine.run()
+
+    def test_firing_a_cancelled_event_raises(self):
+        event = Event(0.0, 0, 0, lambda: None)
+        event.cancel()
+        with pytest.raises(EventCancelled):
+            event.fire()
+
+    def test_peek_time_skips_cancelled(self, engine):
+        e1 = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        e1.cancel()
+        assert engine.peek_time() == 2.0
+
+
+class TestSafety:
+    def test_max_events_guard(self):
+        engine = SimulationEngine(max_events=10)
+
+        def rearm():
+            engine.schedule(1.0, rearm)
+
+        engine.schedule(1.0, rearm)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_executed_event_count(self, engine):
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.executed_events == 5
+
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_reentrant_run_rejected(self, engine):
+        def nested():
+            engine.run()
+
+        engine.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestDeterminism:
+    def test_two_identical_runs_produce_identical_traces(self):
+        def run_once():
+            engine = SimulationEngine()
+            log = []
+            for i in range(100):
+                engine.schedule((i * 7919) % 13 + 0.5, log.append, i)
+            engine.run()
+            return log
+
+        assert run_once() == run_once()

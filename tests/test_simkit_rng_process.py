@@ -1,0 +1,100 @@
+"""Tests for random streams and generator-based processes."""
+
+import numpy as np
+import pytest
+
+from repro.simkit.process import SimProcess
+from repro.simkit.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(7).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(5)
+        b = RandomStreams(2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_memoized(self):
+        streams = RandomStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_fresh_replays_from_start(self):
+        streams = RandomStreams(0)
+        first = streams.stream("x").random(3)
+        replay = streams.fresh("x").random(3)
+        assert np.array_equal(first, replay)
+
+    def test_adding_consumer_does_not_perturb_existing(self):
+        s1 = RandomStreams(5)
+        a_only = s1.stream("a").random(4)
+        s2 = RandomStreams(5)
+        s2.stream("b").random(10)  # extra consumer first
+        a_after = s2.stream("a").random(4)
+        assert np.array_equal(a_only, a_after)
+
+
+class TestSimProcess:
+    def test_yields_advance_time(self, engine):
+        log = []
+
+        def proc():
+            log.append(engine.now)
+            yield 5.0
+            log.append(engine.now)
+            yield 10.0
+            log.append(engine.now)
+
+        SimProcess(engine, proc())
+        engine.run()
+        assert log == [0.0, 5.0, 15.0]
+
+    def test_start_delay(self, engine):
+        log = []
+
+        def proc():
+            log.append(engine.now)
+            yield 1.0
+
+        SimProcess(engine, proc(), start_delay=3.0)
+        engine.run()
+        assert log == [3.0]
+
+    def test_finished_flag(self, engine):
+        def proc():
+            yield 1.0
+
+        p = SimProcess(engine, proc())
+        assert not p.finished
+        engine.run()
+        assert p.finished
+
+    def test_interrupt_stops_process(self, engine):
+        log = []
+
+        def proc():
+            yield 5.0
+            log.append("never")
+
+        p = SimProcess(engine, proc())
+        engine.schedule(1.0, p.interrupt)
+        engine.run()
+        assert log == []
+        assert p.finished
+
+    def test_negative_yield_raises(self, engine):
+        def proc():
+            yield -1.0
+
+        SimProcess(engine, proc())
+        with pytest.raises(ValueError):
+            engine.run()

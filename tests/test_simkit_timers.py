@@ -1,0 +1,78 @@
+"""Tests for periodic and one-shot timers."""
+
+import pytest
+
+from repro.simkit.timers import OneShotTimer, PeriodicTimer
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self, engine):
+        ticks = []
+        PeriodicTimer(engine, 60.0, lambda: ticks.append(engine.now)).start()
+        engine.run(until=300.0)
+        assert ticks == [60.0, 120.0, 180.0, 240.0, 300.0]
+
+    def test_first_fire_is_one_interval_after_start(self, engine):
+        ticks = []
+        PeriodicTimer(engine, 10.0, lambda: ticks.append(engine.now)).start()
+        engine.run(until=9.0)
+        assert ticks == []
+
+    def test_stop_prevents_future_fires(self, engine):
+        ticks = []
+        timer = PeriodicTimer(engine, 10.0, lambda: ticks.append(engine.now))
+        timer.start()
+        engine.schedule(25.0, timer.stop)
+        engine.run(until=100.0)
+        assert ticks == [10.0, 20.0]
+
+    def test_callback_may_stop_its_own_timer(self, engine):
+        timer = PeriodicTimer(engine, 5.0, lambda: timer.stop())
+        timer.start()
+        engine.run(until=100.0)
+        assert timer.fire_count == 1
+        assert not timer.active
+
+    def test_fire_count(self, engine):
+        timer = PeriodicTimer(engine, 1.0, lambda: None)
+        timer.start()
+        engine.run(until=7.5)
+        assert timer.fire_count == 7
+
+    def test_double_start_rejected(self, engine):
+        timer = PeriodicTimer(engine, 1.0, lambda: None)
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_nonpositive_interval_rejected(self, engine):
+        with pytest.raises(ValueError):
+            PeriodicTimer(engine, 0.0, lambda: None)
+
+    def test_args_are_passed(self, engine):
+        seen = []
+        PeriodicTimer(engine, 1.0, seen.append, "payload").start()
+        engine.run(until=2.0)
+        assert seen == ["payload", "payload"]
+
+
+class TestOneShotTimer:
+    def test_fires_once(self, engine):
+        seen = []
+        OneShotTimer(engine, 5.0, seen.append, "x")
+        engine.run(until=100.0)
+        assert seen == ["x"]
+
+    def test_cancel_before_fire(self, engine):
+        seen = []
+        timer = OneShotTimer(engine, 5.0, seen.append, "x")
+        timer.cancel()
+        engine.run(until=100.0)
+        assert seen == []
+        assert not timer.active
+
+    def test_fired_flag(self, engine):
+        timer = OneShotTimer(engine, 1.0, lambda: None)
+        assert not timer.fired
+        engine.run(until=2.0)
+        assert timer.fired

@@ -1,0 +1,116 @@
+"""Tests for the DawningCloud runners and the four-system consolidation."""
+
+import pytest
+
+from repro.core.policies import ResourceManagementPolicy
+from repro.systems.base import WorkloadBundle
+from repro.systems.consolidation import run_all_systems
+from repro.systems.dsp_runner import (
+    run_dawningcloud_consolidated,
+    run_dawningcloud_htc,
+    run_dawningcloud_mtc,
+)
+from repro.workloads.workflow import Workflow
+from tests.conftest import make_job, make_trace
+
+HOUR = 3600.0
+
+
+def htc_bundle(n_jobs=8, nodes=16, duration=4 * HOUR, name="htc"):
+    jobs = [
+        make_job(i, submit=(i - 1) * 300.0, size=2, runtime=900.0)
+        for i in range(1, n_jobs + 1)
+    ]
+    return WorkloadBundle.from_trace(name, make_trace(jobs, nodes, duration, name))
+
+
+def mtc_bundle(width=6, name="mtc", submit=0.0):
+    tasks = [make_job(1, submit=submit, runtime=30, workflow_id=1)]
+    for i in range(width):
+        tasks.append(
+            make_job(2 + i, submit=submit, runtime=30, deps=(1,), workflow_id=1)
+        )
+    wf = Workflow(1, tasks, name=name, submit_time=submit)
+    return WorkloadBundle.from_workflow(name, wf, fixed_nodes=max(width // 2, 1))
+
+
+HTC_POLICY = ResourceManagementPolicy.for_htc(2, 1.5)
+MTC_POLICY = ResourceManagementPolicy.for_mtc(2, 8.0)
+
+
+class TestStandaloneRunners:
+    def test_htc_runner_completes_jobs(self):
+        result = run_dawningcloud_htc(htc_bundle(), HTC_POLICY, capacity=64)
+        assert result.system == "DawningCloud"
+        assert result.completed_jobs == 8
+
+    def test_htc_runner_rejects_mtc_bundle(self):
+        with pytest.raises(ValueError):
+            run_dawningcloud_htc(mtc_bundle(), HTC_POLICY)
+
+    def test_mtc_runner_rejects_htc_bundle(self):
+        with pytest.raises(ValueError):
+            run_dawningcloud_mtc(htc_bundle(), MTC_POLICY)
+
+    def test_mtc_runner_bills_only_workload_period(self):
+        result = run_dawningcloud_mtc(mtc_bundle(width=6), MTC_POLICY, capacity=64)
+        assert result.completed_jobs == 7
+        # everything fits into one started hour: consumption = peak owned
+        assert result.resource_consumption <= 8
+
+    def test_htc_consumption_at_least_initial_lease(self):
+        bundle = htc_bundle(duration=3 * HOUR)
+        result = run_dawningcloud_htc(bundle, HTC_POLICY, capacity=64)
+        assert result.resource_consumption >= 2 * 3  # B × horizon hours
+
+
+class TestConsolidated:
+    def test_aggregate_combines_all_providers(self):
+        bundles = [htc_bundle(name="a"), mtc_bundle(name="b", submit=HOUR)]
+        policies = {"a": HTC_POLICY, "b": MTC_POLICY}
+        agg = run_dawningcloud_consolidated(
+            bundles, policies, capacity=64, horizon=4 * HOUR
+        )
+        assert {p.provider for p in agg.providers} == {"a", "b"}
+        assert agg.total_consumption == pytest.approx(
+            sum(p.resource_consumption for p in agg.providers)
+        )
+
+    def test_horizon_defaults_to_longest_htc_bundle(self):
+        bundles = [htc_bundle(duration=2 * HOUR)]
+        agg = run_dawningcloud_consolidated(bundles, {"htc": HTC_POLICY}, capacity=64)
+        assert agg.horizon_s == 2 * HOUR
+
+
+class TestRunAllSystems:
+    def test_every_system_present_with_every_provider(self):
+        bundles = [htc_bundle(name="a"), mtc_bundle(name="b")]
+        policies = {"a": HTC_POLICY, "b": MTC_POLICY}
+        result = run_all_systems(bundles, policies, capacity=64)
+        assert set(result.aggregates) == {"DCS", "SSP", "DRP", "DawningCloud"}
+        for system in result.aggregates:
+            assert {p.provider for p in result.aggregates[system].providers} == {
+                "a",
+                "b",
+            }
+
+    def test_dcs_equals_ssp(self):
+        bundles = [htc_bundle(name="a")]
+        result = run_all_systems(bundles, {"a": HTC_POLICY}, capacity=64)
+        assert result.aggregate("DCS").total_consumption == result.aggregate(
+            "SSP"
+        ).total_consumption
+
+    def test_savings_and_peak_helpers(self):
+        bundles = [htc_bundle(name="a")]
+        result = run_all_systems(bundles, {"a": HTC_POLICY}, capacity=64)
+        saving = result.savings_vs("DawningCloud", "DCS")
+        assert -2.0 < saving < 1.0
+        assert result.peak_ratio("DCS", "DCS") == pytest.approx(1.0)
+
+    def test_provider_lookup(self):
+        bundles = [htc_bundle(name="a")]
+        result = run_all_systems(bundles, {"a": HTC_POLICY}, capacity=64)
+        assert result.provider("DRP", "a").system == "DRP"
+        with pytest.raises(KeyError):
+            result.provider("DRP", "nope")

@@ -1,0 +1,97 @@
+"""Tests for the job emulator (systems.emulator) and its speedup factor.
+
+The paper's emulation runs on real hardware and compresses time 100×
+(§4.1); the simulator keeps the factor as an option.  A speedup must
+compress the submission timeline uniformly and leave schedule-invariant
+quantities (counts, ordering) untouched.
+"""
+
+import pytest
+
+from repro.simkit.engine import SimulationEngine
+from repro.systems.emulator import JobEmulator
+from repro.workloads.job import Job, Trace
+from repro.workloads.workflowgen import fork_join
+
+HOUR = 3600.0
+
+
+def _trace(n=10, spacing=600.0):
+    jobs = [
+        Job(job_id=i + 1, submit_time=spacing * i, size=1, runtime=60.0)
+        for i in range(n)
+    ]
+    return Trace("emu", jobs, machine_nodes=4, duration=6 * HOUR)
+
+
+class TestSubmission:
+    def test_trace_jobs_arrive_at_submit_times(self):
+        engine = SimulationEngine()
+        emulator = JobEmulator(engine)
+        seen = []
+        emulator.submit_trace(_trace(), lambda j: seen.append((engine.now, j.job_id)))
+        engine.run()
+        assert [t for t, _ in seen] == [600.0 * i for i in range(10)]
+        assert [j for _, j in seen] == list(range(1, 11))
+        assert emulator.scheduled == 10
+
+    def test_workflow_arrives_once_at_its_submit_time(self):
+        engine = SimulationEngine()
+        emulator = JobEmulator(engine)
+        wf = fork_join(width=4, mean_runtime=10.0, seed=0)
+        wf.submit_time = 500.0
+        seen = []
+        emulator.submit_workflow(wf, lambda w: seen.append(engine.now))
+        engine.run()
+        assert seen == [500.0]
+        assert emulator.scheduled == 1
+
+
+class TestSpeedup:
+    def test_speedup_compresses_timeline_uniformly(self):
+        engine = SimulationEngine()
+        emulator = JobEmulator(engine, speedup=100.0)
+        times = []
+        emulator.submit_trace(_trace(), lambda j: times.append(engine.now))
+        engine.run()
+        assert times == [6.0 * i for i in range(10)]
+
+    def test_speedup_preserves_order_and_count(self):
+        engine = SimulationEngine()
+        emulator = JobEmulator(engine, speedup=7.0)
+        order = []
+        emulator.submit_trace(_trace(), lambda j: order.append(j.job_id))
+        engine.run()
+        assert order == list(range(1, 11))
+
+    def test_speedup_validation(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            JobEmulator(engine, speedup=0.0)
+        with pytest.raises(ValueError):
+            JobEmulator(engine, speedup=-1.0)
+
+    def test_speedup_100_run_matches_realtime_metrics(self):
+        """The paper's 100x emulation trick: schedule-level quantities are
+        invariant because every duration scales together."""
+        from repro.core.policies import HTC_SCAN_INTERVAL_S
+        from repro.core.servers import REServer
+        from repro.scheduling.firstfit import FirstFitScheduler
+
+        def run(speedup):
+            engine = SimulationEngine()
+            trace = _trace()
+            server = REServer(
+                engine, "emu", FirstFitScheduler(),
+                HTC_SCAN_INTERVAL_S / speedup,
+            )
+            server.add_nodes(4)
+            emulator = JobEmulator(engine, speedup=speedup)
+            # compress runtimes the same way the paper compresses the trace
+            for job in trace:
+                job.runtime = job.runtime / speedup
+            emulator.submit_trace(trace, server.submit_job)
+            engine.run(until=6 * HOUR / speedup)
+            return server.completed_count
+
+        assert run(1.0) == run(100.0) == 10

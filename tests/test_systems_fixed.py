@@ -1,0 +1,116 @@
+"""Tests for the DCS/SSP fixed-resource systems."""
+
+import pytest
+
+from repro.systems.base import WorkloadBundle
+from repro.systems.fixed import run_dcs, run_ssp
+from repro.workloads.workflow import Workflow
+from tests.conftest import make_job, make_trace
+
+HOUR = 3600.0
+
+
+@pytest.fixture
+def htc_bundle(small_trace):
+    return WorkloadBundle.from_trace("small", small_trace)
+
+
+@pytest.fixture
+def mtc_bundle():
+    tasks = [
+        make_job(1, runtime=60, workflow_id=1),
+        make_job(2, runtime=60, workflow_id=1),
+        make_job(3, runtime=60, deps=(1, 2), workflow_id=1),
+    ]
+    wf = Workflow(1, tasks, name="mini")
+    return WorkloadBundle.from_workflow("mini", wf, fixed_nodes=2)
+
+
+class TestHtc:
+    def test_dcs_consumption_is_size_times_period(self, htc_bundle):
+        result = run_dcs(htc_bundle)
+        assert result.resource_consumption == 16 * 4  # 16 nodes × 4 h
+
+    def test_all_jobs_complete(self, htc_bundle):
+        result = run_dcs(htc_bundle)
+        assert result.completed_jobs == 10
+        assert result.submitted_jobs == 10
+
+    def test_ssp_matches_dcs_performance(self, htc_bundle):
+        """§4.5.2: DCS and SSP have identical configurations and metrics."""
+        dcs, ssp = run_dcs(htc_bundle), run_ssp(htc_bundle)
+        assert dcs.resource_consumption == ssp.resource_consumption
+        assert dcs.completed_jobs == ssp.completed_jobs
+        assert dcs.peak_nodes == ssp.peak_nodes
+
+    def test_adjustments_zero_for_dcs_two_size_for_ssp(self, htc_bundle):
+        assert run_dcs(htc_bundle).adjusted_nodes == 0
+        assert run_ssp(htc_bundle).adjusted_nodes == 2 * 16
+
+    def test_peak_is_fixed_size(self, htc_bundle):
+        assert run_dcs(htc_bundle).peak_nodes == 16
+
+    def test_unfinished_jobs_at_horizon_not_counted(self):
+        trace = make_trace(
+            [make_job(1, size=16, runtime=2 * HOUR),
+             make_job(2, submit=1.0, size=16, runtime=10 * HOUR)],
+            nodes=16,
+            duration=4 * HOUR,
+        )
+        result = run_dcs(WorkloadBundle.from_trace("t", trace))
+        assert result.completed_jobs == 1
+
+    def test_system_labels(self, htc_bundle):
+        assert run_dcs(htc_bundle).system == "DCS"
+        assert run_ssp(htc_bundle).system == "SSP"
+
+
+class TestMtc:
+    def test_consumption_rounds_makespan_to_hour(self, mtc_bundle):
+        result = run_dcs(mtc_bundle)
+        # makespan of a few minutes rounds up to 1 hour × 2 nodes
+        assert result.resource_consumption == 2
+
+    def test_tasks_per_second(self, mtc_bundle):
+        result = run_dcs(mtc_bundle)
+        assert result.tasks_per_second == pytest.approx(
+            3 / result.makespan_s, rel=1e-9
+        )
+
+    def test_dependencies_respected(self, mtc_bundle):
+        run_dcs(mtc_bundle)  # raises inside REServer if capacity violated
+
+    def test_fixed_nodes_default_is_first_level_width(self):
+        tasks = [
+            make_job(1, runtime=10, workflow_id=1),
+            make_job(2, runtime=10, workflow_id=1),
+            make_job(3, runtime=10, deps=(1, 2), workflow_id=1),
+        ]
+        bundle = WorkloadBundle.from_workflow("w", Workflow(1, tasks))
+        assert bundle.fixed_nodes == 2
+
+
+class TestBundleValidation:
+    def test_htc_needs_trace(self):
+        with pytest.raises(ValueError):
+            WorkloadBundle(name="x", kind="htc")
+
+    def test_mtc_needs_workflow(self):
+        with pytest.raises(ValueError):
+            WorkloadBundle(name="x", kind="mtc")
+
+    def test_unknown_kind(self, small_trace):
+        with pytest.raises(ValueError):
+            WorkloadBundle(name="x", kind="web", trace=small_trace)
+
+    def test_materialize_returns_fresh_copies(self, htc_bundle):
+        a = htc_bundle.materialize_trace()
+        b = htc_bundle.materialize_trace()
+        a.jobs[0].mark_queued(0.0)
+        assert b.jobs[0].state.value == "pending"
+
+    def test_replay_same_bundle_through_both_systems(self, htc_bundle):
+        first = run_dcs(htc_bundle)
+        second = run_dcs(htc_bundle)
+        assert first.completed_jobs == second.completed_jobs
+        assert first.resource_consumption == second.resource_consumption

@@ -1,0 +1,56 @@
+"""Tests for the Montage scale family (workloads.montage extension)."""
+
+import pytest
+
+from repro.workloads.montage import (
+    MontageSpec,
+    generate_montage,
+    montage_family,
+    montage_spec_for_size,
+)
+
+
+class TestSpecForSize:
+    @pytest.mark.parametrize("n", [25, 50, 100, 500, 1000, 2000])
+    def test_exact_task_count(self, n):
+        spec = montage_spec_for_size(n)
+        spec.validate()
+        assert spec.n_tasks == n
+
+    def test_paper_instance_recovered(self):
+        spec = montage_spec_for_size(1000)
+        assert spec.n_images == 166
+        assert spec.n_diffs == 662
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            montage_spec_for_size(13)
+
+    def test_smallest_valid(self):
+        spec = montage_spec_for_size(14)
+        spec.validate()
+        assert spec.n_tasks == 14
+
+
+class TestFamily:
+    def test_published_sizes(self):
+        fam = montage_family()
+        assert set(fam) == {25, 50, 100, 1000}
+
+    def test_generated_workflows_keep_nine_levels(self):
+        for n, spec in montage_family().items():
+            wf = generate_montage(spec, seed=1)
+            assert len(wf) == n
+            assert len(wf.levels()) == 9
+
+    def test_diff_ratio_preserved_across_scales(self):
+        """Every instance keeps the 1000-task shape's ~4:1 diff burst."""
+        fam = montage_family()
+        for spec in fam.values():
+            assert 3.5 <= spec.n_diffs / spec.n_images <= 4.5
+
+    def test_mean_runtime_preserved_across_scales(self):
+        for spec in montage_family().values():
+            wf = generate_montage(spec, seed=0)
+            mean = sum(t.runtime for t in wf.tasks) / len(wf)
+            assert mean == pytest.approx(11.38, rel=1e-6)

@@ -1,0 +1,116 @@
+"""Tests for the Pegasus workflow family generators (workloads.pegasus)."""
+
+import pytest
+
+from repro.workloads.pegasus import (
+    PEGASUS_GENERATORS,
+    PegasusSpec,
+    generate_cybershake,
+    generate_epigenomics,
+    generate_ligo_inspiral,
+    generate_pegasus,
+    generate_sipht,
+)
+
+
+@pytest.mark.parametrize("name", sorted(PEGASUS_GENERATORS))
+class TestCommonProperties:
+    def test_valid_dag_and_single_node_tasks(self, name):
+        wf = generate_pegasus(name, PegasusSpec(n_tasks_hint=300), seed=1)
+        assert all(t.size == 1 for t in wf.tasks)
+        assert len(wf.levels()) >= 3
+        # entry tasks exist and the DAG has one final join
+        assert wf.level_widths()[0] >= 1
+        assert wf.level_widths()[-1] == 1
+
+    def test_task_count_near_hint(self, name):
+        for hint in (100, 500, 1000):
+            wf = generate_pegasus(name, PegasusSpec(n_tasks_hint=hint), seed=0)
+            assert 0.5 * hint <= len(wf) <= 1.5 * hint
+
+    def test_deterministic_in_seed(self, name):
+        a = generate_pegasus(name, PegasusSpec(n_tasks_hint=200), seed=7)
+        b = generate_pegasus(name, PegasusSpec(n_tasks_hint=200), seed=7)
+        assert [(t.job_id, t.runtime, t.dependencies) for t in a.tasks] == [
+            (t.job_id, t.runtime, t.dependencies) for t in b.tasks
+        ]
+
+    def test_seeds_change_runtimes_not_structure(self, name):
+        a = generate_pegasus(name, PegasusSpec(n_tasks_hint=200), seed=1)
+        b = generate_pegasus(name, PegasusSpec(n_tasks_hint=200), seed=2)
+        assert [t.dependencies for t in a.tasks] == [t.dependencies for t in b.tasks]
+        assert [t.runtime for t in a.tasks] != [t.runtime for t in b.tasks]
+
+    def test_mean_runtime_rescaling(self, name):
+        wf = generate_pegasus(
+            name, PegasusSpec(n_tasks_hint=200, mean_runtime=11.38), seed=0
+        )
+        mean = sum(t.runtime for t in wf.tasks) / len(wf)
+        assert mean == pytest.approx(11.38, rel=1e-6)
+
+    def test_submit_time_propagates(self, name):
+        wf = generate_pegasus(
+            name, PegasusSpec(n_tasks_hint=150, submit_time=500.0), seed=0
+        )
+        assert wf.submit_time == 500.0
+        assert all(t.submit_time == 500.0 for t in wf.tasks)
+
+
+class TestShapes:
+    def test_cybershake_is_wide_and_shallow(self):
+        wf = generate_cybershake(PegasusSpec(n_tasks_hint=1000), seed=0)
+        assert wf.max_width() >= 0.3 * len(wf)
+        assert len(wf.levels()) <= 6
+
+    def test_epigenomics_lane_structure(self):
+        wf = generate_epigenomics(PegasusSpec(n_tasks_hint=400), lanes=4, seed=0)
+        types = {t.task_type for t in wf.tasks}
+        assert {"fastQSplit", "filterContams", "map", "mapMerge",
+                "maqIndex", "pileup"} <= types
+        assert sum(1 for t in wf.tasks if t.task_type == "mapMerge") == 4
+        # the four chain stages keep lanes independent until mapMerge
+        assert len(wf.levels()) >= 7
+
+    def test_ligo_two_humps(self):
+        wf = generate_ligo_inspiral(PegasusSpec(n_tasks_hint=300), groups=3, seed=0)
+        widths = wf.level_widths()
+        insp = sum(1 for t in wf.tasks if t.task_type == "Inspiral")
+        insp2 = sum(1 for t in wf.tasks if t.task_type == "Inspiral2")
+        assert insp == insp2  # symmetric humps
+        assert max(widths) >= insp  # all groups' stage-1 can be ready at once
+
+    def test_sipht_uneven_fan_in(self):
+        wf = generate_sipht(PegasusSpec(n_tasks_hint=500), seed=0)
+        findterm = [t for t in wf.tasks if t.task_type == "FindTerm"]
+        assert len(findterm) == 1
+        assert len(findterm[0].dependencies) > 10  # massive join
+
+    def test_lanes_groups_validation(self):
+        with pytest.raises(ValueError):
+            generate_epigenomics(lanes=0)
+        with pytest.raises(ValueError):
+            generate_ligo_inspiral(groups=0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown pegasus workflow"):
+            generate_pegasus("galaxy")
+
+
+class TestRunnability:
+    """Each workflow actually executes through the MTC server."""
+
+    @pytest.mark.parametrize("name", sorted(PEGASUS_GENERATORS))
+    def test_runs_to_completion_on_dawningcloud(self, name):
+        from repro.core.policies import ResourceManagementPolicy
+        from repro.systems.base import WorkloadBundle
+        from repro.systems.dsp_runner import run_dawningcloud_mtc
+
+        wf = generate_pegasus(
+            name, PegasusSpec(n_tasks_hint=120, mean_runtime=8.0), seed=0
+        )
+        bundle = WorkloadBundle.from_workflow(name, wf, fixed_nodes=wf.max_width())
+        metrics = run_dawningcloud_mtc(
+            bundle, ResourceManagementPolicy.for_mtc(10, 4.0), capacity=2000
+        )
+        assert metrics.completed_jobs == len(wf)
+        assert metrics.tasks_per_second is not None and metrics.tasks_per_second > 0

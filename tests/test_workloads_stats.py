@@ -1,0 +1,93 @@
+"""Tests for workload statistics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.stats import (
+    half_split_arrival_ratio,
+    hourly_arrival_counts,
+    no_queue_demand_series,
+    summarize,
+)
+from tests.conftest import make_job, make_trace
+
+HOUR = 3600.0
+
+
+class TestSummarize:
+    def test_basic_fields(self, small_trace):
+        s = summarize(small_trace)
+        assert s.n_jobs == 10
+        assert s.machine_nodes == 16
+        assert s.max_size == 16
+        assert s.duration_hours == pytest.approx(4.0)
+
+    def test_utilization_matches_trace(self, small_trace):
+        assert summarize(small_trace).utilization == pytest.approx(
+            small_trace.utilization
+        )
+
+    def test_hour_rounded_demand_at_least_breadth(self, small_trace):
+        s = summarize(small_trace)
+        breadth = sum(j.size for j in small_trace)
+        assert s.hour_rounded_demand_node_hours >= breadth
+
+    def test_frac_sub_hour(self):
+        trace = make_trace(
+            [make_job(1, runtime=100), make_job(2, runtime=7200)],
+            duration=3 * HOUR,
+        )
+        assert summarize(trace).frac_sub_hour == pytest.approx(0.5)
+
+    def test_str_rendering(self, small_trace):
+        text = str(summarize(small_trace))
+        assert "10 jobs" in text and "16 nodes" in text
+
+
+class TestHourlyArrivals:
+    def test_counts_per_hour(self):
+        jobs = [make_job(i, submit=t) for i, t in
+                enumerate([0, 100, 3700, 3800, 3900], start=1)]
+        counts = hourly_arrival_counts(make_trace(jobs, duration=2 * HOUR))
+        assert list(counts) == [2, 3]
+
+    def test_total_preserved(self, small_trace):
+        assert hourly_arrival_counts(small_trace).sum() == len(small_trace)
+
+
+class TestNoQueueDemand:
+    def test_single_job_plateau(self):
+        trace = make_trace([make_job(1, submit=0, size=5, runtime=600)],
+                           duration=1800)
+        series = no_queue_demand_series(trace, step=60.0)
+        assert series.max() == 5
+        assert series[0] == 5
+        assert series[-1] == 0
+
+    def test_overlapping_jobs_stack(self):
+        jobs = [
+            make_job(1, submit=0, size=3, runtime=600),
+            make_job(2, submit=60, size=4, runtime=600),
+        ]
+        series = no_queue_demand_series(make_trace(jobs, duration=1800), step=60.0)
+        assert series.max() == 7
+
+    def test_peak_bounds_drp_concurrency(self, small_trace):
+        # the max of this series is exactly the no-queue concurrency peak,
+        # which the DRP system's occupancy can never exceed
+        series = no_queue_demand_series(small_trace, step=60.0)
+        assert series.max() <= sum(j.size for j in small_trace)
+
+
+class TestHalfSplit:
+    def test_even_split_is_one(self):
+        jobs = [make_job(i, submit=t) for i, t in
+                enumerate([100, 200, 7300, 7400], start=1)]
+        trace = make_trace(jobs, duration=4 * HOUR)
+        assert half_split_arrival_ratio(trace) == pytest.approx(1.0)
+
+    def test_back_loaded_above_one(self):
+        jobs = [make_job(i, submit=t) for i, t in
+                enumerate([100, 7300, 7400, 7500], start=1)]
+        trace = make_trace(jobs, duration=4 * HOUR)
+        assert half_split_arrival_ratio(trace) == pytest.approx(3.0)

@@ -1,0 +1,111 @@
+"""Tests for the SWF parser/writer."""
+
+import io
+
+import pytest
+
+from repro.workloads.swf import SWFError, parse_swf, parse_swf_file, write_swf
+from tests.conftest import make_job, make_trace
+
+
+def swf_line(
+    job=1, submit=0, wait=10, run=100, used=4, req=4, status=1, user=3
+) -> str:
+    fields = [job, submit, wait, run, used, -1, -1, req, run, -1, status,
+              user, -1, -1, -1, -1, -1, -1]
+    return " ".join(str(f) for f in fields)
+
+
+class TestParsing:
+    def test_single_job(self):
+        trace = parse_swf(swf_line(job=7, submit=50, run=300, used=8))
+        assert len(trace) == 1
+        job = trace[0]
+        assert job.job_id == 7
+        assert job.submit_time == 50
+        assert job.runtime == 300
+        assert job.size == 8
+
+    def test_header_max_procs_sets_machine(self):
+        text = "; MaxProcs: 128\n" + swf_line()
+        trace = parse_swf(text)
+        assert trace.machine_nodes == 128
+
+    def test_machine_defaults_to_largest_job(self):
+        text = swf_line(job=1, used=4) + "\n" + swf_line(job=2, used=9)
+        assert parse_swf(text).machine_nodes == 9
+
+    def test_failed_jobs_dropped_by_default(self):
+        text = swf_line(job=1, status=1) + "\n" + swf_line(job=2, status=0)
+        assert len(parse_swf(text)) == 1
+
+    def test_failed_jobs_kept_on_request(self):
+        text = swf_line(job=1, status=1) + "\n" + swf_line(job=2, status=0)
+        assert len(parse_swf(text, include_failed=True)) == 2
+
+    def test_cancelled_jobs_dropped(self):
+        text = swf_line(job=1) + "\n" + swf_line(job=2, status=5)
+        assert len(parse_swf(text)) == 1
+
+    def test_requested_procs_used_when_used_missing(self):
+        trace = parse_swf(swf_line(used=-1, req=6))
+        assert trace[0].size == 6
+
+    def test_unusable_records_skipped(self):
+        text = swf_line(job=1) + "\n" + swf_line(job=2, used=-1, req=-1)
+        assert len(parse_swf(text)) == 1
+
+    def test_short_line_rejected(self):
+        with pytest.raises(SWFError):
+            parse_swf("1 2 3")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(SWFError):
+            parse_swf(swf_line().replace("100", "abc", 1))
+
+    def test_duplicate_job_number_rejected(self):
+        with pytest.raises(SWFError):
+            parse_swf(swf_line(job=1) + "\n" + swf_line(job=1))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SWFError):
+            parse_swf("; just a header\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "\n; Comment: hi\n\n" + swf_line() + "\n\n"
+        assert len(parse_swf(text)) == 1
+
+    def test_duration_defaults_to_last_event(self):
+        text = swf_line(job=1, submit=0, run=100) + "\n" + swf_line(
+            job=2, submit=500, run=250
+        )
+        assert parse_swf(text).duration == 750
+
+    def test_header_preserved_in_metadata(self):
+        text = "; Computer: iPSC/860\n" + swf_line()
+        trace = parse_swf(text)
+        assert trace.metadata["swf_header"]["Computer"] == "iPSC/860"
+
+
+class TestRoundTrip:
+    def test_write_then_parse_preserves_jobs(self, small_trace):
+        text = write_swf(small_trace)
+        parsed = parse_swf(text, name=small_trace.name)
+        assert len(parsed) == len(small_trace)
+        for a, b in zip(small_trace, parsed):
+            assert a.job_id == b.job_id
+            assert a.size == b.size
+            assert b.runtime == pytest.approx(a.runtime, abs=1)
+            assert b.submit_time == pytest.approx(a.submit_time, abs=1)
+
+    def test_write_to_stream(self, small_trace):
+        buf = io.StringIO()
+        write_swf(small_trace, buf)
+        assert "MaxProcs: 16" in buf.getvalue()
+
+    def test_parse_file(self, small_trace, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(write_swf(small_trace))
+        parsed = parse_swf_file(path)
+        assert len(parsed) == len(small_trace)
+        assert parsed.name == "trace.swf"

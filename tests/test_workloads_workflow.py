@@ -1,0 +1,96 @@
+"""Tests for the workflow DAG model."""
+
+import pytest
+
+from repro.workloads.job import JobState
+from repro.workloads.workflow import Workflow, relabel_tasks
+from tests.conftest import make_job
+
+
+class TestConstruction:
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(ValueError):
+            Workflow(1, [])
+
+    def test_mismatched_workflow_id_rejected(self):
+        with pytest.raises(ValueError):
+            Workflow(1, [make_job(1, workflow_id=2)])
+
+    def test_cycle_rejected(self):
+        tasks = [
+            make_job(1, deps=(2,), workflow_id=1),
+            make_job(2, deps=(1,), workflow_id=1),
+        ]
+        with pytest.raises(ValueError):
+            Workflow(1, tasks)
+
+
+class TestStructure:
+    def test_levels_of_diamond(self, diamond_workflow):
+        assert diamond_workflow.levels() == [[1], [2, 3], [4]]
+
+    def test_level_widths_and_max_width(self, diamond_workflow):
+        assert diamond_workflow.level_widths() == [1, 2, 1]
+        assert diamond_workflow.max_width() == 2
+
+    def test_critical_path_takes_longest_branch(self, diamond_workflow):
+        # 100 + max(200, 50) + 100
+        assert diamond_workflow.critical_path_length() == pytest.approx(400)
+
+    def test_total_work(self, diamond_workflow):
+        assert diamond_workflow.total_work() == pytest.approx(450)
+
+    def test_mean_task_runtime(self, diamond_workflow):
+        assert diamond_workflow.mean_task_runtime() == pytest.approx(450 / 4)
+
+    def test_type_census(self, diamond_workflow):
+        assert diamond_workflow.type_census() == {"batch": 4}
+
+
+class TestExecutionSupport:
+    def test_initial_ready_set_is_entry_tasks(self, diamond_workflow):
+        assert [t.job_id for t in diamond_workflow.ready_tasks()] == [1]
+
+    def test_ready_set_grows_as_dependencies_complete(self, diamond_workflow):
+        t1 = diamond_workflow.task(1)
+        t1.mark_queued(0)
+        t1.mark_running(0)
+        t1.mark_completed(100)
+        ready = [t.job_id for t in diamond_workflow.ready_tasks()]
+        assert ready == [2, 3]
+
+    def test_join_waits_for_all_parents(self, diamond_workflow):
+        for jid, t_done in ((1, 100), (2, 300)):
+            t = diamond_workflow.task(jid)
+            t.mark_queued(0)
+            t.mark_running(0)
+            t.mark_completed(t_done)
+        assert [t.job_id for t in diamond_workflow.ready_tasks()] == [3]
+
+    def test_completed_and_makespan(self, diamond_workflow):
+        assert not diamond_workflow.completed()
+        times = {1: 100, 2: 300, 3: 150, 4: 400}
+        for jid in (1, 2, 3, 4):
+            t = diamond_workflow.task(jid)
+            t.mark_queued(0)
+            t.mark_running(0)
+            t.mark_completed(times[jid])
+        assert diamond_workflow.completed()
+        assert diamond_workflow.makespan() == pytest.approx(400)
+
+    def test_makespan_none_while_incomplete(self, diamond_workflow):
+        assert diamond_workflow.makespan() is None
+
+    def test_reset(self, diamond_workflow):
+        t1 = diamond_workflow.task(1)
+        t1.mark_queued(0)
+        diamond_workflow.reset()
+        assert all(t.state is JobState.PENDING for t in diamond_workflow.tasks)
+
+
+class TestRelabel:
+    def test_relabel_shifts_ids_and_deps(self, diamond_workflow):
+        clones = relabel_tasks(diamond_workflow.tasks, 100, 9, submit_time=50.0)
+        wf = Workflow(9, clones, submit_time=50.0)
+        assert wf.levels() == [[101], [102, 103], [104]]
+        assert all(t.submit_time == 50.0 for t in wf.tasks)
