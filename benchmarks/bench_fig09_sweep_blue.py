@@ -4,20 +4,17 @@ Paper: "we tune two parameters through changing B from 10 to 80, and R from
 1.0 to 2.0 ... we choose B80_R1.5 as the final configuration for BLUE."
 """
 
-from repro.experiments.config import blue_bundle
 from repro.experiments.report import render_sweep
-from repro.experiments.sweep import best_point, sweep_htc_parameters
+from repro.experiments.sweep import best_point, points_from_payload
 
 
-def test_fig09_blue_parameter_sweep(benchmark, setup):
-    bundle = blue_bundle(setup.seed)
-    points = benchmark.pedantic(
-        sweep_htc_parameters,
-        args=(bundle,),
-        kwargs={"capacity": setup.capacity},
+def test_fig09_blue_parameter_sweep(benchmark, orchestrator):
+    payload = benchmark.pedantic(
+        lambda: orchestrator.run_one("fig09-sweep-blue").payload,
         rounds=1,
         iterations=1,
     )
+    points = points_from_payload(payload)
     assert len(points) == 16
     print()
     print(render_sweep(points, title="Figure 9: BLUE trace (B, R) sweep"))

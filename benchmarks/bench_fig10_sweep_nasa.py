@@ -3,20 +3,17 @@
 Paper: "we choose B40_R1.2 as the final configuration for NASA trace."
 """
 
-from repro.experiments.config import nasa_bundle
 from repro.experiments.report import render_sweep
-from repro.experiments.sweep import best_point, sweep_htc_parameters
+from repro.experiments.sweep import best_point, points_from_payload
 
 
-def test_fig10_nasa_parameter_sweep(benchmark, setup):
-    bundle = nasa_bundle(setup.seed)
-    points = benchmark.pedantic(
-        sweep_htc_parameters,
-        args=(bundle,),
-        kwargs={"capacity": setup.capacity},
+def test_fig10_nasa_parameter_sweep(benchmark, orchestrator):
+    payload = benchmark.pedantic(
+        lambda: orchestrator.run_one("fig10-sweep-nasa").payload,
         rounds=1,
         iterations=1,
     )
+    points = points_from_payload(payload)
     assert len(points) == 16
     print()
     print(render_sweep(points, title="Figure 10: NASA trace (B, R) sweep"))

@@ -4,20 +4,17 @@ Paper: "changing B from 10 to 80 and R from 2 to 16 ... we choose B10_R8 as
 the final configuration for the Montage workload."
 """
 
-from repro.experiments.config import montage_bundle
 from repro.experiments.report import render_sweep
-from repro.experiments.sweep import best_point, sweep_mtc_parameters
+from repro.experiments.sweep import best_point, points_from_payload
 
 
-def test_fig11_montage_parameter_sweep(benchmark, setup):
-    bundle = montage_bundle(setup.seed)
-    points = benchmark.pedantic(
-        sweep_mtc_parameters,
-        args=(bundle,),
-        kwargs={"capacity": setup.capacity},
+def test_fig11_montage_parameter_sweep(benchmark, orchestrator):
+    payload = benchmark.pedantic(
+        lambda: orchestrator.run_one("fig11-sweep-montage").payload,
         rounds=1,
         iterations=1,
     )
+    points = points_from_payload(payload)
     assert len(points) == 16
     print()
     print(render_sweep(points, title="Figure 11: Montage (B, R) sweep"))

@@ -7,14 +7,22 @@ DRP (90618 → 64381).
 from repro.experiments.report import render_table
 
 
-def test_fig12_total_resource_consumption(benchmark, consolidated_cache):
-    result = benchmark.pedantic(consolidated_cache.get, rounds=1, iterations=1)
+def test_fig12_total_resource_consumption(benchmark, orchestrator):
+    # the first figure/table benchmark to run pays for the consolidated
+    # simulation (or its cache load); later ones hit the in-memory memo
+    payload = benchmark.pedantic(
+        lambda: orchestrator.run_one("fig12-14-consolidated").payload,
+        rounds=1,
+        iterations=1,
+    )
+    series = payload["series"]
+    totals = {s["system"]: s["total_consumption_node_hours"] for s in series}
     rows = [
         {
             "system": system,
-            "total_consumption_node_hours": round(agg.total_consumption),
+            "total_consumption_node_hours": round(total),
         }
-        for system, agg in result.aggregates.items()
+        for system, total in totals.items()
     ]
     print()
     print(
@@ -24,11 +32,11 @@ def test_fig12_total_resource_consumption(benchmark, consolidated_cache):
             "(paper: DCS/SSP 91558, DRP 90618, DawningCloud 64381)",
         )
     )
+    saving_vs_dcs = 1 - totals["DawningCloud"] / totals["DCS"]
+    saving_vs_drp = 1 - totals["DawningCloud"] / totals["DRP"]
     print(
-        f"DawningCloud saving vs DCS/SSP: "
-        f"{result.savings_vs('DawningCloud', 'DCS'):.1%} (paper 29.7%)\n"
-        f"DawningCloud saving vs DRP:     "
-        f"{result.savings_vs('DawningCloud', 'DRP'):.1%} (paper 29.0%)"
+        f"DawningCloud saving vs DCS/SSP: {saving_vs_dcs:.1%} (paper 29.7%)\n"
+        f"DawningCloud saving vs DRP:     {saving_vs_drp:.1%} (paper 29.0%)"
     )
-    assert result.savings_vs("DawningCloud", "DCS") > 0.15
-    assert result.savings_vs("DawningCloud", "DRP") > 0.05
+    assert saving_vs_dcs > 0.15
+    assert saving_vs_drp > 0.05

@@ -9,15 +9,21 @@ merged-timeline concurrent peak is printed alongside.
 from repro.experiments.report import render_table
 
 
-def test_fig13_peak_resource_consumption(benchmark, consolidated_cache):
-    result = benchmark.pedantic(consolidated_cache.get, rounds=1, iterations=1)
+def test_fig13_peak_resource_consumption(benchmark, orchestrator):
+    payload = benchmark.pedantic(
+        lambda: orchestrator.run_one("fig12-14-consolidated").payload,
+        rounds=1,
+        iterations=1,
+    )
+    series = payload["series"]
+    peaks = {s["system"]: s["capacity_peak_nodes"] for s in series}
     rows = [
         {
-            "system": system,
-            "peak_nodes_per_hour": round(agg.peak_nodes),
-            "concurrent_peak": round(agg.concurrent_peak_nodes),
+            "system": s["system"],
+            "peak_nodes_per_hour": round(s["capacity_peak_nodes"]),
+            "concurrent_peak": round(s["concurrent_peak_nodes"]),
         }
-        for system, agg in result.aggregates.items()
+        for s in series
     ]
     print()
     print(
@@ -29,9 +35,9 @@ def test_fig13_peak_resource_consumption(benchmark, consolidated_cache):
     )
     print(
         f"DawningCloud/DCS peak ratio: "
-        f"{result.peak_ratio('DawningCloud', 'DCS'):.2f} (paper 1.06)\n"
+        f"{peaks['DawningCloud'] / peaks['DCS']:.2f} (paper 1.06)\n"
         f"DawningCloud/DRP peak ratio: "
-        f"{result.peak_ratio('DawningCloud', 'DRP'):.2f} (paper 0.21)"
+        f"{peaks['DawningCloud'] / peaks['DRP']:.2f} (paper 0.21)"
     )
-    assert result.aggregate("DCS").peak_nodes == 438
-    assert result.peak_ratio("DawningCloud", "DRP") < 0.7
+    assert peaks["DCS"] == 438
+    assert peaks["DawningCloud"] / peaks["DRP"] < 0.7

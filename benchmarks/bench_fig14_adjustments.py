@@ -5,24 +5,27 @@ DRP because initial resources are never reclaimed mid-run; adjusting one
 node costs 15.743 s and DawningCloud's average overhead is ≈341 s/hour.
 """
 
-from repro.cluster.setup import DEFAULT_ADJUST_COST_S
+from repro.experiments.figures import overhead_s_per_hour
 from repro.experiments.report import render_table
 
-HOUR = 3600.0
 
-
-def test_fig14_accumulated_adjustments(benchmark, consolidated_cache):
-    result = benchmark.pedantic(consolidated_cache.get, rounds=1, iterations=1)
-    horizon_h = next(iter(result.aggregates.values())).horizon_s / HOUR
+def test_fig14_accumulated_adjustments(benchmark, orchestrator):
+    payload = benchmark.pedantic(
+        lambda: orchestrator.run_one("fig12-14-consolidated").payload,
+        rounds=1,
+        iterations=1,
+    )
+    series = payload["series"]
+    adjusted = {s["system"]: s["adjusted_nodes"] for s in series}
     rows = [
         {
-            "system": system,
-            "accumulated_adjusted_nodes": agg.adjusted_nodes,
+            "system": s["system"],
+            "accumulated_adjusted_nodes": s["adjusted_nodes"],
             "overhead_s_per_hour": round(
-                agg.adjusted_nodes * DEFAULT_ADJUST_COST_S / horizon_h, 1
+                overhead_s_per_hour(s["adjusted_nodes"], payload["horizon_s"]), 1
             ),
         }
-        for system, agg in result.aggregates.items()
+        for s in series
     ]
     print()
     print(
@@ -33,8 +36,5 @@ def test_fig14_accumulated_adjustments(benchmark, consolidated_cache):
             "DawningCloud overhead ~341 s/h)",
         )
     )
-    ssp = result.aggregate("SSP").adjusted_nodes
-    dc = result.aggregate("DawningCloud").adjusted_nodes
-    drp = result.aggregate("DRP").adjusted_nodes
-    assert ssp < dc < drp
-    assert result.aggregate("DCS").adjusted_nodes == 0
+    assert adjusted["SSP"] < adjusted["DawningCloud"] < adjusted["DRP"]
+    assert adjusted["DCS"] == 0

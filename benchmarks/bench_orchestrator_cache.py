@@ -1,0 +1,89 @@
+"""Orchestrator acceptance benchmarks: cache speedup + parallel determinism.
+
+Two claims the orchestration subsystem makes, demonstrated end to end:
+
+1. **Incremental regeneration** — a warm-cache rerun of the complete
+   EXPERIMENTS.md generation is at least 5× faster than the cold run
+   (in practice it is orders of magnitude faster: every scenario collapses
+   to one JSON load).
+2. **Parallel determinism** — running scenarios with ``workers=4``
+   produces byte-identical canonical-JSON results to ``workers=1``
+   (fresh caches on both sides, so both actually execute).
+
+Run as a pytest module (``pytest benchmarks/bench_orchestrator_cache.py
+-s``) or directly (``python benchmarks/bench_orchestrator_cache.py``).
+The cold pass reruns the full evaluation — expect minutes, not seconds.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.cache import ResultCache, canonical_json
+from repro.experiments.expmd import render_experiments_md
+from repro.experiments.orchestrator import Orchestrator, payloads
+
+#: Cheap-but-representative subset for the parallel-equivalence check:
+#: closed-form scenarios plus one real (short) simulation.
+EQUIVALENCE_SCENARIOS = (
+    "table1-models",
+    "tco-case",
+    "breakeven",
+    "table4-montage",
+)
+
+
+def _render(cache_dir: Path, workers: int) -> tuple[str, float]:
+    orch = Orchestrator(
+        cache=ResultCache(cache_dir), workers=workers, seed=0
+    )
+    t0 = time.perf_counter()
+    text = render_experiments_md(0, orchestrator=orch)
+    return text, time.perf_counter() - t0
+
+
+def test_warm_cache_rerun_is_5x_faster(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold_text, cold_s = _render(cache_dir, workers=4)
+    warm_text, warm_s = _render(cache_dir, workers=1)
+    print()
+    print(f"cold EXPERIMENTS.md generation (4 workers): {cold_s:8.2f} s")
+    print(f"warm EXPERIMENTS.md generation (cache hit): {warm_s:8.2f} s")
+    print(f"speedup: {cold_s / warm_s:.0f}x")
+    assert warm_text == cold_text, "warm rerun must render identical bytes"
+    assert cold_s / warm_s >= 5, (
+        f"warm rerun only {cold_s / warm_s:.1f}x faster (acceptance: >=5x)"
+    )
+
+
+def test_parallel_matches_serial(tmp_path):
+    serial = Orchestrator(
+        cache=ResultCache(tmp_path / "serial"), workers=1, seed=0
+    ).run(names=EQUIVALENCE_SCENARIOS)
+    parallel = Orchestrator(
+        cache=ResultCache(tmp_path / "parallel"), workers=4, seed=0
+    ).run(names=EQUIVALENCE_SCENARIOS)
+    assert not any(r.cached for r in serial.values())
+    assert not any(r.cached for r in parallel.values())
+    serial_json = canonical_json(payloads(serial))
+    parallel_json = canonical_json(payloads(parallel))
+    print()
+    print(f"serial and parallel payloads: {len(serial_json)} bytes each")
+    assert serial_json == parallel_json, (
+        "workers=4 must be byte-identical to workers=1"
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        test_parallel_matches_serial(Path(tmp))
+        test_warm_cache_rerun_is_5x_faster(Path(tmp))
+    print("orchestrator acceptance benchmarks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

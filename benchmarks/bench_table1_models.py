@@ -1,11 +1,14 @@
 """Table 1: the comparison of different usage models."""
 
 from repro.experiments.report import render_table
-from repro.experiments.tables import table1
 
 
-def test_table1_usage_models(benchmark):
-    rows = benchmark(table1)
+def test_table1_usage_models(benchmark, orchestrator):
+    rows = benchmark.pedantic(
+        lambda: orchestrator.run_one("table1-models").payload,
+        rounds=1,
+        iterations=1,
+    )
     assert [r["model"] for r in rows] == ["DCS", "SSP", "DRP", "DSP"]
     print()
     print(render_table(rows, title="Table 1: the comparison of usage models"))

@@ -5,14 +5,16 @@ DawningCloud 29014 (32.5%), all completing 2603 jobs.
 """
 
 from repro.experiments.report import render_percentage_rows, render_table
-from repro.experiments.tables import table_from_consolidated
+from repro.experiments.tables import table_rows_from_consolidated_payload
 
 
-def test_table2_nasa_service_provider(benchmark, consolidated_cache):
-    result = benchmark.pedantic(
-        consolidated_cache.get, rounds=1, iterations=1
+def test_table2_nasa_service_provider(benchmark, consolidated_payload):
+    rows = benchmark.pedantic(
+        table_rows_from_consolidated_payload,
+        args=(consolidated_payload, "nasa-ipsc", "htc"),
+        rounds=1,
+        iterations=1,
     )
-    rows = table_from_consolidated(result, "nasa-ipsc", "htc")
     print()
     print(
         render_table(

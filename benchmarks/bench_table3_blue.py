@@ -5,14 +5,16 @@ DawningCloud 35201 (27.2%), completing 2649/2649/2657/2653 jobs.
 """
 
 from repro.experiments.report import render_percentage_rows, render_table
-from repro.experiments.tables import table_from_consolidated
+from repro.experiments.tables import table_rows_from_consolidated_payload
 
 
-def test_table3_blue_service_provider(benchmark, consolidated_cache):
-    result = benchmark.pedantic(
-        consolidated_cache.get, rounds=1, iterations=1
+def test_table3_blue_service_provider(benchmark, consolidated_payload):
+    rows = benchmark.pedantic(
+        table_rows_from_consolidated_payload,
+        args=(consolidated_payload, "sdsc-blue", "htc"),
+        rounds=1,
+        iterations=1,
     )
-    rows = table_from_consolidated(result, "sdsc-blue", "htc")
     print()
     print(
         render_table(

@@ -5,14 +5,16 @@ DawningCloud 166 (0%, 2.49 t/s) — DawningCloud saves 74.9% vs DRP.
 """
 
 from repro.experiments.report import render_percentage_rows, render_table
-from repro.experiments.tables import table_from_consolidated
+from repro.experiments.tables import table_rows_from_consolidated_payload
 
 
-def test_table4_montage_service_provider(benchmark, consolidated_cache):
-    result = benchmark.pedantic(
-        consolidated_cache.get, rounds=1, iterations=1
+def test_table4_montage_service_provider(benchmark, consolidated_payload):
+    rows = benchmark.pedantic(
+        table_rows_from_consolidated_payload,
+        args=(consolidated_payload, "montage", "mtc"),
+        rounds=1,
+        iterations=1,
     )
-    rows = table_from_consolidated(result, "montage", "mtc")
     print()
     print(
         render_table(

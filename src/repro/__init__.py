@@ -23,6 +23,13 @@ Quickstart::
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
+
+Every experiment is a named scenario in
+:mod:`repro.experiments.registry`, executed through the parallel,
+cached :mod:`repro.experiments.orchestrator` (``repro-experiments
+list-scenarios`` / ``run --parallel N --scenario PAT``); see
+docs/orchestration.md for the registry, cache layout and
+cache-invalidation rules.
 """
 
 from repro.core.dawningcloud import DawningCloud

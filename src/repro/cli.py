@@ -21,6 +21,21 @@ Extensions beyond the paper (ablations and future-work experiments)::
     repro-experiments federation          # one big cloud vs k fragments
     repro-experiments experiments-md      # regenerate EXPERIMENTS.md text
     repro-experiments export --outdir D   # CSV dump of every artifact
+
+Orchestration (the scenario registry; see docs/orchestration.md)::
+
+    repro-experiments list-scenarios      # every registered scenario
+    repro-experiments run --scenario 'table*' --parallel 4
+    repro-experiments cache-info | cache-clear
+
+Every simulation command except ``export`` routes through the scenario
+registry and the content-addressed result cache (``--cache-dir``,
+``$REPRO_CACHE_DIR``, default ``./.repro-cache``), so reruns are
+incremental and ``--parallel N`` fans independent scenarios over N
+worker processes.  ``run`` prints one canonical-JSON document,
+byte-identical for any worker count.  ``export`` still recomputes the
+evaluation directly (its artifacts predate the registry) and ignores
+the cache/parallel flags.
 """
 
 from __future__ import annotations
@@ -29,210 +44,157 @@ import argparse
 import sys
 from typing import Callable
 
-from repro.costmodel.compare import paper_case_study
-from repro.experiments.config import (
-    EvaluationSetup,
-    PAPER_POLICIES,
-    blue_bundle,
-    montage_bundle,
-    nasa_bundle,
-)
-from repro.experiments.figures import figure12_13_14
+from repro.experiments.cache import NullCache, ResultCache, canonical_json
+from repro.experiments.orchestrator import Orchestrator, payloads
 from repro.experiments.report import (
-    render_consolidated,
+    render_consolidated_payload,
     render_percentage_rows,
     render_sweep,
     render_table,
 )
-from repro.experiments.sweep import sweep_htc_parameters, sweep_mtc_parameters
-from repro.experiments.tables import table1, table_for_bundle
+from repro.experiments.sweep import points_from_payload
+from repro.experiments.tables import table_rows_from_payload
 
 
-def _cmd_table1(seed: int) -> str:
-    return render_table(table1(), title="Table 1: usage-model comparison")
+def _cmd_table1(orch: Orchestrator) -> str:
+    rows = orch.run_one(_COMMAND_SCENARIOS["table1"][0]).payload
+    return render_table(rows, title="Table 1: usage-model comparison")
 
 
-def _cmd_table2(seed: int) -> str:
-    rows = table_for_bundle(nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"])
-    return render_table(
-        render_percentage_rows(rows), title="Table 2: service provider, NASA trace"
+def _table_cmd(orch: Orchestrator, scenario: str, title: str) -> str:
+    rows = table_rows_from_payload(orch.run_one(scenario).payload)
+    return render_table(render_percentage_rows(rows), title=title)
+
+
+def _cmd_table2(orch: Orchestrator) -> str:
+    return _table_cmd(orch, _COMMAND_SCENARIOS["table2"][0],
+                      "Table 2: service provider, NASA trace")
+
+
+def _cmd_table3(orch: Orchestrator) -> str:
+    return _table_cmd(orch, _COMMAND_SCENARIOS["table3"][0],
+                      "Table 3: service provider, BLUE trace")
+
+
+def _cmd_table4(orch: Orchestrator) -> str:
+    return _table_cmd(orch, _COMMAND_SCENARIOS["table4"][0],
+                      "Table 4: service provider, Montage")
+
+
+def _sweep_cmd(orch: Orchestrator, scenario: str, title: str) -> str:
+    points = points_from_payload(orch.run_one(scenario).payload)
+    return render_sweep(points, title=title)
+
+
+def _cmd_sweep_nasa(orch: Orchestrator) -> str:
+    return _sweep_cmd(orch, _COMMAND_SCENARIOS["sweep-nasa"][0],
+                      "Figure 10: NASA trace, (B, R) sweep")
+
+
+def _cmd_sweep_blue(orch: Orchestrator) -> str:
+    return _sweep_cmd(orch, _COMMAND_SCENARIOS["sweep-blue"][0],
+                      "Figure 9: BLUE trace, (B, R) sweep")
+
+
+def _cmd_sweep_montage(orch: Orchestrator) -> str:
+    return _sweep_cmd(orch, _COMMAND_SCENARIOS["sweep-montage"][0],
+                      "Figure 11: Montage, (B, R) sweep")
+
+
+def _cmd_figures(orch: Orchestrator) -> str:
+    return render_consolidated_payload(
+        orch.run_one(_COMMAND_SCENARIOS["figures"][0]).payload
     )
 
 
-def _cmd_table3(seed: int) -> str:
-    rows = table_for_bundle(blue_bundle(seed), PAPER_POLICIES["sdsc-blue"])
-    return render_table(
-        render_percentage_rows(rows), title="Table 3: service provider, BLUE trace"
-    )
-
-
-def _cmd_table4(seed: int) -> str:
-    rows = table_for_bundle(montage_bundle(seed), PAPER_POLICIES["montage"])
-    return render_table(
-        render_percentage_rows(rows), title="Table 4: service provider, Montage"
-    )
-
-
-def _cmd_sweep_nasa(seed: int) -> str:
-    return render_sweep(
-        sweep_htc_parameters(nasa_bundle(seed)),
-        title="Figure 10: NASA trace, (B, R) sweep",
-    )
-
-
-def _cmd_sweep_blue(seed: int) -> str:
-    return render_sweep(
-        sweep_htc_parameters(blue_bundle(seed)),
-        title="Figure 9: BLUE trace, (B, R) sweep",
-    )
-
-
-def _cmd_sweep_montage(seed: int) -> str:
-    return render_sweep(
-        sweep_mtc_parameters(montage_bundle(seed)),
-        title="Figure 11: Montage, (B, R) sweep",
-    )
-
-
-def _cmd_figures(seed: int) -> str:
-    figures = figure12_13_14(EvaluationSetup(seed=seed))
-    return render_consolidated(figures)
-
-
-def _cmd_tco(seed: int) -> str:
-    comparison = paper_case_study()
+def _cmd_tco(orch: Orchestrator) -> str:
+    tco = orch.run_one(_COMMAND_SCENARIOS["tco"][0]).payload
     return (
         "Section 4.5.5: TCO of the service provider (BJUT grid-lab case)\n"
-        f"  DCS: ${comparison.dcs_tco_per_month:,.0f} per month\n"
-        f"  SSP: ${comparison.ssp_tco_per_month:,.0f} per month\n"
-        f"  SSP/DCS = {comparison.ssp_over_dcs:.1%}\n"
+        f"  DCS: ${tco['dcs_tco_per_month']:,.0f} per month\n"
+        f"  SSP: ${tco['ssp_tco_per_month']:,.0f} per month\n"
+        f"  SSP/DCS = {tco['ssp_over_dcs']:.1%}\n"
     )
 
 
-def _cmd_ablation_lease_unit(seed: int) -> str:
-    from repro.experiments.ablations import lease_unit_ablation
-
-    rows = lease_unit_ablation(nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"])
-    return render_table(rows, title="Ablation: lease time unit (NASA trace)")
+def _ablation_cmd(orch: Orchestrator, scenario: str, title: str) -> str:
+    return render_table(orch.run_one(scenario).payload, title=title)
 
 
-def _cmd_ablation_scan_interval(seed: int) -> str:
-    from repro.experiments.ablations import scan_interval_ablation
-
-    rows = scan_interval_ablation(nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"])
-    return render_table(rows, title="Ablation: server scan interval (NASA trace)")
+def _cmd_ablation_lease_unit(orch: Orchestrator) -> str:
+    return _ablation_cmd(orch, "ablation-lease-unit",
+                         "Ablation: lease time unit (NASA trace)")
 
 
-def _cmd_ablation_scheduler(seed: int) -> str:
-    from repro.experiments.ablations import scheduler_ablation
-
-    rows = scheduler_ablation(nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"])
-    return render_table(rows, title="Ablation: scheduling policy (NASA trace)")
+def _cmd_ablation_scan_interval(orch: Orchestrator) -> str:
+    return _ablation_cmd(orch, "ablation-scan-interval",
+                         "Ablation: server scan interval (NASA trace)")
 
 
-def _cmd_ablation_policy(seed: int) -> str:
-    from repro.experiments.ablations import policy_ablation
-
-    rows = policy_ablation(nasa_bundle(seed), initial_nodes=40)
-    return render_table(
-        rows, title="Ablation: resource-management policies (NASA trace, B=40)"
-    )
+def _cmd_ablation_scheduler(orch: Orchestrator) -> str:
+    return _ablation_cmd(orch, "ablation-scheduler",
+                         "Ablation: scheduling policy (NASA trace)")
 
 
-def _cmd_ablation_utilization(seed: int) -> str:
-    from repro.experiments.ablations import utilization_sweep
-
-    rows = utilization_sweep(policy=PAPER_POLICIES["nasa-ipsc"], seed=seed)
-    return render_table(
-        rows, title="Ablation: economies of scale vs offered load (24.4%-86.5%)"
-    )
+def _cmd_ablation_policy(orch: Orchestrator) -> str:
+    return _ablation_cmd(
+        orch, "ablation-policy",
+        "Ablation: resource-management policies (NASA trace, B=40)")
 
 
-def _cmd_breakeven(seed: int) -> str:
-    from repro.costmodel.breakeven import (
-        breakeven_price,
-        breakeven_utilization,
-        sensitivity_table,
-        utilization_cost_curve,
-    )
-    from repro.costmodel.tco import BJUT_DCS_CASE, BJUT_SSP_CASE
+def _cmd_ablation_utilization(orch: Orchestrator) -> str:
+    return _ablation_cmd(
+        orch, "ablation-utilization",
+        "Ablation: economies of scale vs offered load (24.4%-86.5%)")
 
+
+def _cmd_breakeven(orch: Orchestrator) -> str:
+    be = orch.run_one("breakeven").payload
     out = [
         render_table(
-            utilization_cost_curve(BJUT_DCS_CASE, BJUT_SSP_CASE),
+            be["cost_curve"],
             title="Own vs lease: monthly cost by duty level (BJUT case)",
         ),
-        render_table(
-            [p.to_row() for p in sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)],
-            title="TCO sensitivity (one-at-a-time)",
-        ),
+        render_table(be["sensitivity"], title="TCO sensitivity (one-at-a-time)"),
         f"Break-even EC2 price: "
-        f"${breakeven_price(BJUT_DCS_CASE, BJUT_SSP_CASE):.4f}/instance-hour",
+        f"${be['breakeven_price']:.4f}/instance-hour",
         f"Break-even duty level: "
-        f"{breakeven_utilization(BJUT_DCS_CASE, BJUT_SSP_CASE)} "
+        f"{be['breakeven_utilization']} "
         f"(None = lease always wins)",
     ]
     return "\n".join(out)
 
 
-def _cmd_zoo(seed: int) -> str:
-    from repro.core.policies import ResourceManagementPolicy
-    from repro.experiments.runner import run_four_systems
-    from repro.systems.base import WorkloadBundle
-    from repro.workloads.pegasus import (
-        PEGASUS_GENERATORS,
-        PegasusSpec,
-        generate_pegasus,
-    )
-
-    policy = ResourceManagementPolicy.for_mtc(10, 8.0)
-    rows = []
-    for name in sorted(PEGASUS_GENERATORS):
-        wf = generate_pegasus(
-            name, PegasusSpec(n_tasks_hint=1000, mean_runtime=11.38), seed=seed
-        )
-        width = max(
-            (sum(wf.task(j).runtime for j in lvl), len(lvl))
-            for lvl in wf.levels()
-        )[1]
-        bundle = WorkloadBundle.from_workflow(name, wf, fixed_nodes=width)
-        results = run_four_systems(bundle, policy, capacity=3000)
-        rows.append(
-            {
-                "workflow": name,
-                "dcs": round(results["DCS"].resource_consumption),
-                "drp": round(results["DRP"].resource_consumption),
-                "dawningcloud": round(
-                    results["DawningCloud"].resource_consumption
-                ),
-            }
-        )
-    return render_table(rows, title="Workflow zoo (node-hours)")
+def _cmd_zoo(orch: Orchestrator) -> str:
+    return _ablation_cmd(orch, "workflow-zoo", "Workflow zoo (node-hours)")
 
 
-def _cmd_federation(seed: int) -> str:
-    from repro.federation.market import scale_economies_experiment
-
-    setup = EvaluationSetup(seed=seed)
-    rows = scale_economies_experiment(
-        setup.bundles(consolidated=True),
-        setup.policies,
-        total_capacity=setup.capacity,
-        splits=(1, 2, 3),
-        horizon=setup.horizon,
-    )
-    return render_table(
-        rows, title="Federation: one big cloud vs k equal fragments"
-    )
+def _cmd_federation(orch: Orchestrator) -> str:
+    return _ablation_cmd(
+        orch, "federation-scale",
+        "Federation: one big cloud vs k equal fragments")
 
 
-def _cmd_experiments_md(seed: int) -> str:
+def _cmd_experiments_md(orch: Orchestrator) -> str:
     from repro.experiments.expmd import render_experiments_md
 
-    return render_experiments_md(seed)
+    return render_experiments_md(orch.seed, orchestrator=orch)
 
 
-_COMMANDS: dict[str, Callable[[int], str]] = {
+def _cmd_list_scenarios(orch: Orchestrator) -> str:
+    rows = [
+        {
+            "scenario": spec.name,
+            "tags": ",".join(sorted(spec.tags)),
+            "params": canonical_json(dict(spec.defaults)),
+            "description": spec.description,
+        }
+        for spec in orch.registry.specs()
+    ]
+    return render_table(rows, title=f"{len(rows)} registered scenarios")
+
+
+_COMMANDS: dict[str, Callable[[Orchestrator], str]] = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "table3": _cmd_table3,
@@ -251,6 +213,23 @@ _COMMANDS: dict[str, Callable[[int], str]] = {
     "zoo": _cmd_zoo,
     "federation": _cmd_federation,
     "experiments-md": _cmd_experiments_md,
+    "list-scenarios": _cmd_list_scenarios,
+}
+
+#: Scenario names for the paper commands (``_ALL_ORDER``): their _cmd_*
+#: helpers read from here and ``all`` prefetches from here, so the two
+#: cannot drift.  The ablation/extension commands (never part of ``all``)
+#: name their scenarios inline.
+_COMMAND_SCENARIOS: dict[str, tuple[str, ...]] = {
+    "table1": ("table1-models",),
+    "table2": ("table2-nasa",),
+    "table3": ("table3-blue",),
+    "table4": ("table4-montage",),
+    "sweep-nasa": ("fig10-sweep-nasa",),
+    "sweep-blue": ("fig09-sweep-blue",),
+    "sweep-montage": ("fig11-sweep-montage",),
+    "figures": ("fig12-14-consolidated",),
+    "tco": ("tco-case",),
 }
 
 _ALL_ORDER = (
@@ -271,8 +250,33 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("command", choices=[*_COMMANDS, "all", "export"])
+    parser.add_argument(
+        "command",
+        choices=[*_COMMANDS, "run", "all", "export", "cache-info", "cache-clear"],
+    )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="fan independent scenarios over N worker processes",
+    )
+    parser.add_argument(
+        "--scenario", default="*", metavar="PAT",
+        help="glob pattern(s) selecting scenarios for 'run' "
+             "(comma-separated alternatives allowed)",
+    )
+    parser.add_argument(
+        "--tag", action="append", default=[], metavar="TAG",
+        help="restrict 'run' to scenarios carrying TAG (repeatable)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "./.repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
     parser.add_argument(
         "--outdir", default="artifacts",
         help="target directory for the 'export' command",
@@ -282,18 +286,54 @@ def main(argv: list[str] | None = None) -> int:
         help="file format for the 'export' command",
     )
     args = parser.parse_args(argv)
+
+    if args.no_cache:
+        cache = NullCache()
+    elif args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = ResultCache.default()
+    orch = Orchestrator(cache=cache, workers=args.parallel, seed=args.seed)
+
     if args.command == "export":
+        from repro.experiments.config import EvaluationSetup
         from repro.experiments.export import export_all
 
         paths = export_all(args.outdir, EvaluationSetup(seed=args.seed),
                            fmt=args.format)
         for path in paths:
             print(path)
+    elif args.command == "run":
+        runs = orch.run(pattern=args.scenario, tags=args.tag)
+        if not runs:
+            selection = f"pattern {args.scenario!r}"
+            if args.tag:
+                selection += f" with tag(s) {args.tag}"
+            print(f"no scenarios match {selection}", file=sys.stderr)
+            return 1
+        for run in runs.values():
+            state = "cached" if run.cached else f"ran in {run.duration_s:.1f}s"
+            print(f"# {run.name}: {state}", file=sys.stderr)
+        print(canonical_json(payloads(runs)))
+    elif args.command == "cache-info":
+        entries = cache.entries()
+        print(f"cache directory: {cache.directory}")
+        print(f"entries: {len(entries)}")
+        for path in entries:
+            print(f"  {path.relative_to(cache.directory)}")
+    elif args.command == "cache-clear":
+        print(f"removed {cache.clear()} cache entries from {cache.directory}")
     elif args.command == "all":
+        # warm every needed scenario in one parallel wave; the per-command
+        # renders below hit the orchestrator's in-memory memo (and the
+        # disk cache, when enabled).
+        orch.run(names=[
+            s for cmd in _ALL_ORDER for s in _COMMAND_SCENARIOS.get(cmd, ())
+        ])
         for name in _ALL_ORDER:
-            print(_COMMANDS[name](args.seed))
+            print(_COMMANDS[name](orch))
     else:
-        print(_COMMANDS[args.command](args.seed))
+        print(_COMMANDS[args.command](orch))
     return 0
 
 

@@ -15,6 +15,13 @@
 * :mod:`repro.experiments.paperdata` — the published numbers as data, plus
   qualitative shape checks.
 * :mod:`repro.experiments.export` — CSV/JSON export of every artifact.
+* :mod:`repro.experiments.registry` — the scenario registry: every
+  artifact as a named, parameterized, picklable spec.
+* :mod:`repro.experiments.orchestrator` — parallel, cached execution of
+  registered scenarios (see docs/orchestration.md).
+* :mod:`repro.experiments.cache` — the content-addressed on-disk result
+  cache keyed by (scenario, params, seed, code version).
+* :mod:`repro.experiments.scenarios` — the built-in scenario definitions.
 """
 
 from repro.experiments.ablations import (
@@ -34,8 +41,15 @@ from repro.experiments.config import (
     montage_bundle,
     nasa_bundle,
 )
+from repro.experiments.cache import NullCache, ResultCache
 from repro.experiments.figures import figure12_13_14
 from repro.experiments.export import export_all, rows_to_csv, rows_to_json
+from repro.experiments.orchestrator import Orchestrator, ScenarioRun
+from repro.experiments.registry import (
+    ScenarioRegistry,
+    ScenarioSpec,
+    default_registry,
+)
 from repro.experiments.paperdata import (
     CONSOLIDATED_CLAIMS,
     PAPER_TABLES,
@@ -49,9 +63,16 @@ from repro.experiments.tables import table1, table_for_bundle
 __all__ = [
     "CONSOLIDATED_CLAIMS",
     "EvaluationSetup",
+    "NullCache",
+    "Orchestrator",
     "PAPER_TABLES",
     "PAPER_POLICIES",
+    "ResultCache",
+    "ScenarioRegistry",
+    "ScenarioRun",
+    "ScenarioSpec",
     "SweepPoint",
+    "default_registry",
     "blue_bundle",
     "check_headline_shapes",
     "check_table_shapes",

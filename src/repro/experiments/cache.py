@@ -1,0 +1,184 @@
+"""Content-addressed on-disk cache for scenario results.
+
+Every entry is keyed by the complete recipe that produced it — scenario
+name, canonical-JSON parameters, base seed, and a *code version* digest
+over the ``repro`` package sources — so a cache hit is only possible when
+rerunning the exact same computation on the exact same code.  Editing any
+``src/repro`` module therefore invalidates the whole cache implicitly;
+there is no staleness to reason about and no manual invalidation beyond
+:meth:`ResultCache.clear`.
+
+Layout
+------
+``<cache_dir>/<scenario name>/<key>.json`` where ``key`` is the first 32
+hex digits of SHA-256 over the canonical recipe.  Each file stores the
+recipe alongside the payload so entries are self-describing::
+
+    {"scenario": ..., "params": ..., "seed": ..., "code_version": ...,
+     "payload": ...}
+
+Payloads are canonical JSON (sorted keys, no whitespace surprises), which
+is what makes parallel and serial orchestrator runs byte-identical: every
+payload passes through one JSON round-trip before it is stored or
+returned, collapsing tuples to lists and dict-insertion orders to a
+sorted form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Optional
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text for ``value`` (sorted keys, stable floats).
+
+    Raises ``TypeError`` for non-JSON-serializable payloads, which is the
+    registry's contract: scenario functions return plain rows/scalars.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def canonicalize(value: Any) -> Any:
+    """One JSON round-trip: tuples become lists, keys become strings.
+
+    Applying this to every payload — cached or fresh, serial or parallel —
+    is what guarantees byte-identical results across worker counts.
+    """
+    return json.loads(canonical_json(value))
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the ``repro`` sources plus the numeric-stack versions.
+
+    Computed once per process.  Any source edit changes the digest and
+    thereby invalidates every cache entry; so does upgrading numpy or
+    Python itself, whose RNG/float behavior the simulations depend on.
+    """
+    import sys
+
+    import numpy
+
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    digest.update(
+        f"python={sys.version_info[:3]} numpy={numpy.__version__}\0".encode()
+    )
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def scenario_key(
+    name: str, params: dict, seed: int, version: Optional[str] = None
+) -> str:
+    """Content address for one (scenario, params, seed, code) recipe."""
+    recipe = canonical_json(
+        {
+            "scenario": name,
+            "params": params,
+            "seed": seed,
+            "code_version": version if version is not None else code_version(),
+        }
+    )
+    return hashlib.sha256(recipe.encode()).hexdigest()[:32]
+
+
+class ResultCache:
+    """Content-addressed JSON store for orchestrator results."""
+
+    def __init__(self, directory: os.PathLike | str = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """Cache at ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+        return cls(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+    # ------------------------------------------------------------------ #
+    def _path(self, name: str, key: str) -> Path:
+        return self.directory / name / f"{key}.json"
+
+    def get(self, name: str, key: str) -> Optional[Any]:
+        """Stored payload for ``key``, or None on a miss/corrupt entry."""
+        path = self._path(name, key)
+        try:
+            payload = json.loads(path.read_text())["payload"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            # unreadable, unparseable, or foreign JSON without a payload:
+            # all equally a miss, never an error
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(
+        self, name: str, key: str, payload: Any, *, params: dict, seed: int
+    ) -> Path:
+        """Store ``payload`` (already canonicalized) under ``key``."""
+        path = self._path(name, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "scenario": name,
+            "params": params,
+            "seed": seed,
+            "code_version": code_version(),
+            "payload": payload,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(canonical_json(entry))
+        tmp.replace(path)  # atomic: concurrent writers converge
+        return path
+
+    # ------------------------------------------------------------------ #
+    def entries(self) -> list[Path]:
+        """All cache entry files, sorted."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ResultCache dir={self.directory} hits={self.hits} "
+            f"misses={self.misses}>"
+        )
+
+
+class NullCache(ResultCache):
+    """A cache that never hits and never writes (``--no-cache``)."""
+
+    def __init__(self) -> None:
+        super().__init__(directory=os.devnull)
+
+    def get(self, name: str, key: str) -> Optional[Any]:
+        self.misses += 1
+        return None
+
+    def put(self, name: str, key: str, payload: Any, *, params: dict, seed: int):
+        return None

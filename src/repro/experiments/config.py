@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.core.policies import ResourceManagementPolicy
 from repro.systems.base import WorkloadBundle
+from repro.systems.dsp_runner import DEFAULT_CAPACITY
 from repro.workloads.montage import MontageSpec, generate_montage
 from repro.workloads.traces import generate_nasa_ipsc, generate_sdsc_blue
 
@@ -76,7 +77,7 @@ class EvaluationSetup:
     """Everything needed to rerun the paper's §4 end to end."""
 
     seed: int = 0
-    capacity: int = 420
+    capacity: int = DEFAULT_CAPACITY
     horizon: float = TWO_WEEKS
     #: where in the two-week window the Montage workflow lands in the
     #: consolidated experiments (mid-window by default)

@@ -21,6 +21,15 @@ from repro.systems.consolidation import ConsolidationResult, run_all_systems
 HOUR = 3600.0
 
 
+def overhead_s_per_hour(adjusted_nodes: int, horizon_s: float) -> float:
+    """§4.5.4 management-overhead rate: adjustments × 15.743 s, per hour.
+
+    The one formula shared by the payload-level consumers (EXPERIMENTS.md,
+    the CLI figures renderer, the Figure 14 benchmark).
+    """
+    return adjusted_nodes * DEFAULT_ADJUST_COST_S / (horizon_s / HOUR)
+
+
 @dataclass(frozen=True)
 class ProviderFigureSeries:
     """One system's bar in Figures 12-14."""
@@ -36,7 +45,7 @@ class ProviderFigureSeries:
         return self.adjusted_nodes * DEFAULT_ADJUST_COST_S
 
     def overhead_s_per_hour(self, horizon_s: float) -> float:
-        return self.management_overhead_s / (horizon_s / HOUR)
+        return overhead_s_per_hour(self.adjusted_nodes, horizon_s)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,215 @@
+"""Parallel, cached execution of registered scenarios.
+
+The :class:`Orchestrator` is the one funnel through which every consumer —
+the CLI's ``run`` verb, EXPERIMENTS.md generation, the benchmark harness —
+executes scenarios:
+
+* **selection** comes from the :class:`~repro.experiments.registry
+  .ScenarioRegistry` (glob patterns and tags);
+* **fan-out** uses a ``multiprocessing`` pool when ``workers > 1`` (the
+  simulations are pure CPU-bound Python, so processes — not threads — are
+  the only way to actual parallelism), with a serial in-process fallback
+  that produces byte-identical results;
+* **caching** is content-addressed through
+  :class:`~repro.experiments.cache.ResultCache`: the key covers scenario
+  name, params, seed and a digest of the package sources, so warm reruns
+  are pure JSON loads and any code edit invalidates everything.
+
+Determinism
+-----------
+Scenario functions receive the orchestrator's base ``seed`` unchanged.
+Per-scenario stream independence is already guaranteed one layer down by
+:class:`repro.simkit.rng.RandomStreams` (named SeedSequence children), and
+sharing the base seed is load-bearing: the standalone ``table2-nasa``
+scenario and the ``fig10-sweep-nasa`` sweep must replay the *same* seed-0
+NASA trace the paper tables pin.  Every payload is canonicalized through
+one JSON round-trip before it is returned or stored, which makes
+``workers=4`` and ``workers=1`` runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.experiments.cache import NullCache, ResultCache, canonicalize, scenario_key
+from repro.experiments.registry import (
+    ScenarioRegistry,
+    ScenarioSpec,
+    default_registry,
+)
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of one orchestrated scenario execution."""
+
+    name: str
+    params: dict
+    seed: int
+    key: str
+    payload: Any
+    cached: bool
+    duration_s: float
+
+
+def _execute_spec(fn, name: str, params: dict, seed: int) -> tuple[Any, float]:
+    """Worker entry point: run one scenario function and canonicalize.
+
+    Module-level so it pickles by reference into pool workers; ``fn``
+    itself must be module-level too (the registry's contract).  Returns
+    ``(payload, duration_s)`` — timing happens here so parallel runs
+    report each scenario's own execution time, not pool wall-clock.
+    """
+    t0 = time.perf_counter()
+    try:
+        payload = canonicalize(fn(seed, **params))
+    except Exception as exc:
+        raise RuntimeError(f"scenario {name!r} failed: {exc}") from exc
+    return payload, time.perf_counter() - t0
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits loaded modules); fall back to default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class Orchestrator:
+    """Fan scenario runs out over processes, through the result cache."""
+
+    def __init__(
+        self,
+        registry: Optional[ScenarioRegistry] = None,
+        cache: Optional[ResultCache] = None,
+        workers: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.cache = cache if cache is not None else NullCache()
+        self.workers = max(1, int(workers))
+        self.seed = int(seed)
+        # in-process memo keyed like the disk cache: lets one Orchestrator
+        # serve repeated requests (e.g. CLI `all` prefetching in parallel,
+        # then rendering per command) without a disk cache
+        self._memo: dict[str, ScenarioRun] = {}
+
+    # ------------------------------------------------------------------ #
+    def run_one(
+        self, name: str, overrides: Optional[Mapping[str, Any]] = None
+    ) -> ScenarioRun:
+        """Run a single scenario (through the cache)."""
+        return self.run(names=[name], overrides={name: dict(overrides or {})})[name]
+
+    def run(
+        self,
+        pattern: Optional[str] = None,
+        tags: Iterable[str] = (),
+        names: Optional[Iterable[str]] = None,
+        overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    ) -> dict[str, ScenarioRun]:
+        """Run every selected scenario; returns ``{name: ScenarioRun}``.
+
+        ``names`` selects explicitly (preserving registry validation);
+        otherwise ``pattern``/``tags`` select from the registry.
+        ``overrides`` maps scenario name → parameter overrides.  Results
+        are keyed in sorted-name order regardless of completion order, so
+        the mapping itself is deterministic.
+        """
+        if names is not None:
+            specs = [self.registry.get(n) for n in names]
+        else:
+            specs = self.registry.select(pattern, tags)
+        # dedupe: a name listed twice must not queue (and run) twice
+        specs = list({s.name: s for s in specs}.values())
+        overrides = overrides or {}
+
+        jobs: list[tuple[ScenarioSpec, dict, str]] = []
+        runs: dict[str, ScenarioRun] = {}
+        for spec in sorted(specs, key=lambda s: s.name):
+            params = spec.params_with(overrides.get(spec.name))
+            canonical_params = canonicalize(params)
+            key = scenario_key(spec.name, canonical_params, self.seed)
+            memo = self._memo.get(key)
+            if memo is not None:
+                runs[spec.name] = replace(memo, cached=True)
+                continue
+            hit = self.cache.get(spec.name, key)
+            if hit is not None:
+                run = ScenarioRun(
+                    name=spec.name,
+                    params=canonical_params,
+                    seed=self.seed,
+                    key=key,
+                    payload=hit,
+                    cached=True,
+                    duration_s=0.0,
+                )
+                self._memo[key] = run
+                runs[spec.name] = run
+            else:
+                jobs.append((spec, params, key))
+
+        if jobs:
+            fresh = (
+                self._run_parallel(jobs)
+                if self.workers > 1 and len(jobs) > 1
+                else self._run_serial(jobs)
+            )
+            runs.update(fresh)
+        return {name: runs[name] for name in sorted(runs)}
+
+    # ------------------------------------------------------------------ #
+    def _finish(
+        self, spec: ScenarioSpec, params: dict, key: str, payload: Any, dt: float
+    ) -> ScenarioRun:
+        canonical_params = canonicalize(params)
+        self.cache.put(
+            spec.name, key, payload, params=canonical_params, seed=self.seed
+        )
+        run = ScenarioRun(
+            name=spec.name,
+            params=canonical_params,
+            seed=self.seed,
+            key=key,
+            payload=payload,
+            cached=False,
+            duration_s=dt,
+        )
+        self._memo[key] = run
+        return run
+
+    def _run_serial(
+        self, jobs: list[tuple[ScenarioSpec, dict, str]]
+    ) -> dict[str, ScenarioRun]:
+        runs = {}
+        for spec, params, key in jobs:
+            payload, dt = _execute_spec(spec.fn, spec.name, params, self.seed)
+            runs[spec.name] = self._finish(spec, params, key, payload, dt)
+        return runs
+
+    def _run_parallel(
+        self, jobs: list[tuple[ScenarioSpec, dict, str]]
+    ) -> dict[str, ScenarioRun]:
+        runs = {}
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(jobs)), mp_context=_pool_context()
+        ) as pool:
+            futures: dict[str, tuple[ScenarioSpec, dict, str, Future]] = {}
+            for spec, params, key in jobs:
+                fut = pool.submit(_execute_spec, spec.fn, spec.name, params, self.seed)
+                futures[spec.name] = (spec, params, key, fut)
+            for name, (spec, params, key, fut) in futures.items():
+                payload, dt = fut.result()
+                runs[name] = self._finish(spec, params, key, payload, dt)
+        return runs
+
+
+def payloads(runs: Mapping[str, ScenarioRun]) -> dict[str, Any]:
+    """Collapse ``{name: ScenarioRun}`` to ``{name: payload}``."""
+    return {name: run.payload for name, run in runs.items()}

@@ -1,0 +1,172 @@
+"""The scenario registry: every experiment as a named, parameterized spec.
+
+A *scenario* is one reproducible unit of the evaluation — a paper table,
+a figure sweep, an ablation, an extension experiment — expressed as a
+module-level function of ``(seed, **params)`` that returns a plain
+JSON-serializable payload (row dicts, scalars, nested lists).  Scenarios
+register themselves in a :class:`ScenarioRegistry` via the
+:func:`scenario` decorator; the orchestrator, the CLI, EXPERIMENTS.md
+generation and the benchmark harness all select work from the registry
+instead of hard-coding call sites.
+
+The constraints on scenario functions are exactly what parallel fan-out
+and on-disk caching need:
+
+* **module-level and picklable** — so ``multiprocessing`` workers can
+  receive the spec by name and import it on the other side;
+* **deterministic in (seed, params)** — all randomness must flow from the
+  ``seed`` argument (the workload generators' named
+  :class:`~repro.simkit.rng.RandomStreams` take care of independence
+  between scenarios sharing one base seed);
+* **JSON payloads only** — the contract that makes results cacheable and
+  byte-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+ScenarioFn = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered scenario.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"table2-nasa"``.
+    fn:
+        Module-level callable ``fn(seed, **params)`` returning a
+        JSON-serializable payload.
+    defaults:
+        Default parameters, overridable per run.
+    tags:
+        Free-form labels (``"table"``, ``"figure"``, ``"ablation"``,
+        ``"extension"``, ...) for selection.
+    description:
+        One-line summary (defaults to the function's first docstring line).
+    """
+
+    name: str
+    fn: ScenarioFn
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    tags: frozenset[str] = frozenset()
+    description: str = ""
+
+    def params_with(self, overrides: Optional[Mapping[str, Any]] = None) -> dict:
+        params = dict(self.defaults)
+        if overrides:
+            unknown = set(overrides) - set(self.defaults)
+            if unknown:
+                raise KeyError(
+                    f"scenario {self.name!r} has no parameter(s) "
+                    f"{sorted(unknown)}; known: {sorted(self.defaults)}"
+                )
+            params.update(overrides)
+        return params
+
+    def run(self, seed: int, overrides: Optional[Mapping[str, Any]] = None) -> Any:
+        """Execute the scenario in-process (no cache, no canonicalization)."""
+        return self.fn(seed, **self.params_with(overrides))
+
+
+class ScenarioRegistry:
+    """Name → :class:`ScenarioSpec` mapping with pattern/tag selection."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ScenarioSpec] = {}
+
+    # ------------------------------------------------------------------ #
+    def register(self, spec: ScenarioSpec) -> ScenarioSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"scenario {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def scenario(
+        self,
+        name: str,
+        *,
+        tags: Iterable[str] = (),
+        description: str = "",
+        **defaults: Any,
+    ) -> Callable[[ScenarioFn], ScenarioFn]:
+        """Decorator form: register ``fn`` under ``name`` with defaults."""
+
+        def decorate(fn: ScenarioFn) -> ScenarioFn:
+            doc = (fn.__doc__ or "").strip().splitlines()
+            self.register(
+                ScenarioSpec(
+                    name=name,
+                    fn=fn,
+                    defaults=dict(defaults),
+                    tags=frozenset(tags),
+                    description=description or (doc[0] if doc else ""),
+                )
+            )
+            return fn
+
+        return decorate
+
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> ScenarioSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return iter(self.specs())
+
+    def specs(self) -> list[ScenarioSpec]:
+        return [self._specs[n] for n in self.names()]
+
+    def select(
+        self,
+        pattern: Optional[str] = None,
+        tags: Iterable[str] = (),
+    ) -> list[ScenarioSpec]:
+        """Scenarios whose name matches ``pattern`` and carry all ``tags``.
+
+        ``pattern`` is a shell glob (``fnmatch``); comma-separated
+        alternatives are allowed (``"table*,fig*"``).  ``None`` selects
+        everything.
+        """
+        wanted = frozenset(tags)
+        globs = [g.strip() for g in pattern.split(",")] if pattern else ["*"]
+        return [
+            spec
+            for spec in self.specs()
+            if any(fnmatch(spec.name, g) for g in globs)
+            and wanted <= spec.tags
+        ]
+
+
+#: The process-wide registry that built-in scenarios populate on import of
+#: :mod:`repro.experiments.scenarios` (see :func:`default_registry`).
+DEFAULT_REGISTRY = ScenarioRegistry()
+
+#: Decorator bound to the default registry.
+scenario = DEFAULT_REGISTRY.scenario
+
+
+def default_registry() -> ScenarioRegistry:
+    """The default registry with all built-in scenarios loaded."""
+    import repro.experiments.scenarios  # noqa: F401  (registers on import)
+
+    return DEFAULT_REGISTRY

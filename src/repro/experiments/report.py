@@ -68,6 +68,27 @@ def render_sweep(points: Iterable[SweepPoint], title: str = "") -> str:
     return render_table(rows, title=title)
 
 
+def render_consolidated_payload(payload: dict) -> str:
+    """Figures 12-14 from a ``fig12-14-consolidated`` scenario payload."""
+    from repro.experiments.figures import overhead_s_per_hour
+
+    rows = [
+        {
+            "system": s["system"],
+            "total_consumption_node_hours": round(
+                s["total_consumption_node_hours"]
+            ),
+            "peak_nodes_per_hour": round(s["concurrent_peak_nodes"]),
+            "adjusted_nodes": s["adjusted_nodes"],
+            "overhead_s_per_hour": round(
+                overhead_s_per_hour(s["adjusted_nodes"], payload["horizon_s"]), 1
+            ),
+        }
+        for s in payload["series"]
+    ]
+    return render_table(rows, title="Figures 12-14: resource provider metrics")
+
+
 def render_consolidated(figures: ConsolidatedFigures) -> str:
     """Figures 12-14 as one text table."""
     rows = [

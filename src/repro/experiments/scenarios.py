@@ -1,0 +1,349 @@
+"""Built-in scenarios: every table, figure, sweep, ablation and extension.
+
+Importing this module populates :data:`repro.experiments.registry
+.DEFAULT_REGISTRY` with one named scenario per paper artifact plus the
+extension experiments.  Each scenario is a module-level function
+``fn(seed, **params)`` returning a JSON payload (the orchestrator/cache
+contract), so the whole evaluation is enumerable, parallelizable and
+incremental::
+
+    from repro.experiments.orchestrator import Orchestrator
+    from repro.experiments.cache import ResultCache
+
+    orch = Orchestrator(cache=ResultCache.default(), workers=4)
+    runs = orch.run(pattern="table*")
+
+Tag conventions
+---------------
+``paper``      artifacts the MTAGS'09 paper publishes;
+``table`` / ``sweep`` / ``figure``  the artifact family;
+``ablation`` / ``extension``        beyond-the-paper experiments;
+``fast``       closed-form scenarios safe for quick smoke runs;
+``slow``       multi-week-trace simulations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import (
+    EvaluationSetup,
+    PAPER_POLICIES,
+    blue_bundle,
+    montage_bundle,
+    nasa_bundle,
+)
+from repro.experiments.registry import scenario
+from repro.experiments.tables import SYSTEM_ORDER
+from repro.metrics.results import ProviderMetrics
+from repro.systems.dsp_runner import DEFAULT_CAPACITY
+
+_BUNDLES = {
+    "nasa-ipsc": nasa_bundle,
+    "sdsc-blue": blue_bundle,
+    "montage": montage_bundle,
+}
+
+
+def _metrics_payload(m: ProviderMetrics) -> dict:
+    """Unrounded, JSON-safe projection of one provider's metrics."""
+    return {
+        "provider": m.provider,
+        "system": m.system,
+        "workload": m.workload,
+        "resource_consumption": m.resource_consumption,
+        "completed_jobs": m.completed_jobs,
+        "submitted_jobs": m.submitted_jobs,
+        "tasks_per_second": m.tasks_per_second,
+        "makespan_s": m.makespan_s,
+        "adjusted_nodes": m.adjusted_nodes,
+        "peak_nodes": m.peak_nodes,
+    }
+
+
+def _four_systems(seed: int, workload: str, capacity: int) -> dict:
+    from repro.experiments.runner import run_four_systems
+
+    bundle = _BUNDLES[workload](seed)
+    results = run_four_systems(
+        bundle, PAPER_POLICIES[workload], capacity=capacity
+    )
+    return {
+        "workload": workload,
+        "kind": bundle.kind,
+        "systems": {s: _metrics_payload(results[s]) for s in SYSTEM_ORDER},
+    }
+
+
+# --------------------------------------------------------------------- #
+# Tables 1-4
+# --------------------------------------------------------------------- #
+@scenario("table1-models", tags=("paper", "table", "fast"))
+def scenario_table1(seed: int) -> list[dict]:
+    """Table 1: the comparison of different usage models (closed form)."""
+    from repro.experiments.tables import table1
+
+    return table1()
+
+
+@scenario("table2-nasa", tags=("paper", "table", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_table2(seed: int, capacity: int) -> dict:
+    """Table 2: the four systems on the NASA iPSC trace (HTC)."""
+    return _four_systems(seed, "nasa-ipsc", capacity)
+
+
+@scenario("table3-blue", tags=("paper", "table", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_table3(seed: int, capacity: int) -> dict:
+    """Table 3: the four systems on the SDSC BLUE trace (HTC)."""
+    return _four_systems(seed, "sdsc-blue", capacity)
+
+
+@scenario("table4-montage", tags=("paper", "table", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_table4(seed: int, capacity: int) -> dict:
+    """Table 4: the four systems on the Montage workflow (MTC)."""
+    return _four_systems(seed, "montage", capacity)
+
+
+# --------------------------------------------------------------------- #
+# Figures 9-11: (B, R) sweeps
+# --------------------------------------------------------------------- #
+def _sweep(seed: int, workload: str, capacity: int) -> dict:
+    from repro.experiments.sweep import sweep_htc_parameters, sweep_mtc_parameters
+
+    bundle = _BUNDLES[workload](seed)
+    sweep = sweep_mtc_parameters if bundle.kind == "mtc" else sweep_htc_parameters
+    points = sweep(bundle, capacity=capacity)
+    return {
+        "workload": workload,
+        "kind": bundle.kind,
+        "points": [
+            {
+                "B": p.initial_nodes,
+                "R": p.threshold_ratio,
+                "label": p.label,
+                "resource_consumption": p.resource_consumption,
+                "completed_jobs": p.completed_jobs,
+                "tasks_per_second": p.tasks_per_second,
+            }
+            for p in points
+        ],
+    }
+
+
+@scenario("fig09-sweep-blue", tags=("paper", "sweep", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_fig09(seed: int, capacity: int) -> dict:
+    """Figure 9: DawningCloud over the (B, R) grid, SDSC BLUE trace."""
+    return _sweep(seed, "sdsc-blue", capacity)
+
+
+@scenario("fig10-sweep-nasa", tags=("paper", "sweep", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_fig10(seed: int, capacity: int) -> dict:
+    """Figure 10: DawningCloud over the (B, R) grid, NASA iPSC trace."""
+    return _sweep(seed, "nasa-ipsc", capacity)
+
+
+@scenario("fig11-sweep-montage", tags=("paper", "sweep", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_fig11(seed: int, capacity: int) -> dict:
+    """Figure 11: DawningCloud over the (B, R) grid, Montage workflow."""
+    return _sweep(seed, "montage", capacity)
+
+
+# --------------------------------------------------------------------- #
+# Figures 12-14: the consolidated resource-provider run
+# --------------------------------------------------------------------- #
+@scenario("fig12-14-consolidated", tags=("paper", "figure", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_consolidated(seed: int, capacity: int) -> dict:
+    """Figures 12-14: all providers consolidated on one resource provider."""
+    from repro.experiments.figures import figure12_13_14
+
+    setup = EvaluationSetup(seed=seed, capacity=capacity)
+    figures = figure12_13_14(setup)
+    aggregates = figures.result.aggregates
+    return {
+        "horizon_s": figures.horizon_s,
+        "series": [
+            {
+                "system": s.system,
+                "total_consumption_node_hours": s.total_consumption_node_hours,
+                "concurrent_peak_nodes": s.peak_nodes_per_hour,
+                # Figure 13's capacity-planning peak: sum of per-provider
+                # peaks (the paper's 438 = 128 + 144 + 166), as opposed to
+                # the merged-timeline concurrent peak above.
+                "capacity_peak_nodes": aggregates[s.system].peak_nodes,
+                "adjusted_nodes": s.adjusted_nodes,
+            }
+            for s in figures.series
+        ],
+        "providers": {
+            system: [
+                _metrics_payload(p)
+                for p in figures.result.aggregates[system].providers
+            ]
+            for system in SYSTEM_ORDER
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
+# §4.5.5 TCO and the break-even extension
+# --------------------------------------------------------------------- #
+@scenario("tco-case", tags=("paper", "fast"))
+def scenario_tco(seed: int) -> dict:
+    """§4.5.5: total cost of ownership, BJUT grid-lab case (closed form)."""
+    from repro.costmodel.compare import paper_case_study
+
+    tco = paper_case_study()
+    return {
+        "dcs_tco_per_month": tco.dcs_tco_per_month,
+        "ssp_tco_per_month": tco.ssp_tco_per_month,
+        "ssp_over_dcs": tco.ssp_over_dcs,
+    }
+
+
+@scenario("breakeven", tags=("extension", "fast"))
+def scenario_breakeven(seed: int) -> dict:
+    """Own-vs-lease break-even surface extending the §4.5.5 case."""
+    from repro.costmodel.breakeven import (
+        breakeven_price,
+        breakeven_utilization,
+        sensitivity_table,
+        utilization_cost_curve,
+    )
+    from repro.costmodel.tco import BJUT_DCS_CASE, BJUT_SSP_CASE
+
+    return {
+        "breakeven_utilization": breakeven_utilization(
+            BJUT_DCS_CASE, BJUT_SSP_CASE
+        ),
+        "breakeven_price": breakeven_price(BJUT_DCS_CASE, BJUT_SSP_CASE),
+        "cost_curve": utilization_cost_curve(BJUT_DCS_CASE, BJUT_SSP_CASE),
+        "sensitivity": [
+            p.to_row() for p in sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)
+        ],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Ablations
+# --------------------------------------------------------------------- #
+@scenario("ablation-lease-unit", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_ablation_lease_unit(seed: int, capacity: int) -> list[dict]:
+    """Lease time-unit granularity ablation (NASA trace)."""
+    from repro.experiments.ablations import lease_unit_ablation
+
+    return lease_unit_ablation(
+        nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"], capacity=capacity
+    )
+
+
+@scenario("ablation-scan-interval", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_ablation_scan_interval(seed: int, capacity: int) -> list[dict]:
+    """Server scan-interval ablation (NASA trace)."""
+    from repro.experiments.ablations import scan_interval_ablation
+
+    return scan_interval_ablation(
+        nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"], capacity=capacity
+    )
+
+
+@scenario("ablation-scheduler", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_ablation_scheduler(seed: int, capacity: int) -> list[dict]:
+    """Scheduling-policy ablation under identical resizing (NASA trace)."""
+    from repro.experiments.ablations import scheduler_ablation
+
+    return scheduler_ablation(
+        nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"], capacity=capacity
+    )
+
+
+@scenario("ablation-policy", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY, initial_nodes=40)
+def scenario_ablation_policy(seed: int, capacity: int, initial_nodes: int) -> list[dict]:
+    """Resource-management policy ablation (NASA trace)."""
+    from repro.experiments.ablations import policy_ablation
+
+    return policy_ablation(
+        nasa_bundle(seed), initial_nodes=initial_nodes, capacity=capacity
+    )
+
+
+@scenario("ablation-utilization", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_ablation_utilization(seed: int, capacity: int) -> list[dict]:
+    """Economies of scale versus offered load (archive range)."""
+    from repro.experiments.ablations import utilization_sweep
+
+    return utilization_sweep(
+        policy=PAPER_POLICIES["nasa-ipsc"], seed=seed, capacity=capacity
+    )
+
+
+@scenario("ablation-setup-cost", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_ablation_setup_cost(seed: int, capacity: int) -> list[dict]:
+    """Management overhead versus the per-node adjustment cost."""
+    from repro.experiments.ablations import setup_cost_ablation
+
+    return setup_cost_ablation(
+        nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"], capacity=capacity
+    )
+
+
+@scenario("ablation-drp-pooling", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+def scenario_ablation_drp_pooling(seed: int, capacity: int) -> list[dict]:
+    """The DRP manual-management ladder (NASA trace)."""
+    from repro.experiments.ablations import drp_pooling_ablation
+
+    return drp_pooling_ablation(
+        nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"], capacity=capacity
+    )
+
+
+# --------------------------------------------------------------------- #
+# Extensions
+# --------------------------------------------------------------------- #
+@scenario("workflow-zoo", tags=("extension", "slow"), capacity=3000, n_tasks=1000)
+def scenario_workflow_zoo(seed: int, capacity: int, n_tasks: int) -> list[dict]:
+    """Pegasus workflow family through all four systems."""
+    from repro.core.policies import ResourceManagementPolicy
+    from repro.experiments.runner import run_four_systems
+    from repro.systems.base import WorkloadBundle
+    from repro.workloads.pegasus import (
+        PEGASUS_GENERATORS,
+        PegasusSpec,
+        generate_pegasus,
+    )
+
+    policy = ResourceManagementPolicy.for_mtc(10, 8.0)
+    rows = []
+    for name in sorted(PEGASUS_GENERATORS):
+        wf = generate_pegasus(
+            name, PegasusSpec(n_tasks_hint=n_tasks, mean_runtime=11.38), seed=seed
+        )
+        width = max(
+            (sum(wf.task(j).runtime for j in lvl), len(lvl))
+            for lvl in wf.levels()
+        )[1]
+        bundle = WorkloadBundle.from_workflow(name, wf, fixed_nodes=width)
+        results = run_four_systems(bundle, policy, capacity=capacity)
+        rows.append(
+            {
+                "workflow": name,
+                "dcs": round(results["DCS"].resource_consumption),
+                "drp": round(results["DRP"].resource_consumption),
+                "dawningcloud": round(
+                    results["DawningCloud"].resource_consumption
+                ),
+            }
+        )
+    return rows
+
+
+@scenario("federation-scale", tags=("extension", "slow"), capacity=DEFAULT_CAPACITY, splits=(1, 2, 3))
+def scenario_federation(seed: int, capacity: int, splits) -> list[dict]:
+    """One big cloud versus k equal fragments at fixed total capacity."""
+    from repro.federation.market import scale_economies_experiment
+
+    setup = EvaluationSetup(seed=seed, capacity=capacity)
+    return scale_economies_experiment(
+        setup.bundles(consolidated=True),
+        setup.policies,
+        total_capacity=setup.capacity,
+        splits=tuple(splits),
+        horizon=setup.horizon,
+    )

@@ -37,6 +37,22 @@ class SweepPoint:
         r_str = f"{r:g}"
         return f"B{self.initial_nodes}_R{r_str}"
 
+    @classmethod
+    def from_row(cls, row: dict) -> "SweepPoint":
+        """Rebuild a point from a scenario-payload row (see scenarios.py)."""
+        return cls(
+            initial_nodes=row["B"],
+            threshold_ratio=row["R"],
+            resource_consumption=row["resource_consumption"],
+            completed_jobs=row["completed_jobs"],
+            tasks_per_second=row.get("tasks_per_second"),
+        )
+
+
+def points_from_payload(payload: dict) -> list[SweepPoint]:
+    """Sweep-scenario payload → :class:`SweepPoint` list."""
+    return [SweepPoint.from_row(row) for row in payload["points"]]
+
 
 def sweep_htc_parameters(
     bundle: WorkloadBundle,

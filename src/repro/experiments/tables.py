@@ -33,27 +33,44 @@ def table1() -> list[dict]:
     ]
 
 
-def _row(metrics: ProviderMetrics, baseline: float, kind: str) -> dict:
+def _row_from_values(
+    system: str,
+    resource_consumption: float,
+    completed_jobs: int,
+    tasks_per_second: Optional[float],
+    baseline: float,
+    kind: str,
+) -> dict:
+    """The one Tables 2-4 row builder (shared by metrics and payload paths)."""
     row = {
-        "configuration": f"{metrics.system} system"
-        if metrics.system != "DawningCloud"
+        "configuration": f"{system} system"
+        if system != "DawningCloud"
         else "DawningCloud",
-        "resource_consumption": round(metrics.resource_consumption),
+        "resource_consumption": round(resource_consumption),
         "saved_resources": (
             None
-            if metrics.system == "DCS"
-            else savings_vs_baseline(metrics.resource_consumption, baseline)
+            if system == "DCS"
+            else savings_vs_baseline(resource_consumption, baseline)
         ),
     }
     if kind == "htc":
-        row["number_of_completed_jobs"] = metrics.completed_jobs
+        row["number_of_completed_jobs"] = completed_jobs
     else:
         row["tasks_per_second"] = (
-            None
-            if metrics.tasks_per_second is None
-            else round(metrics.tasks_per_second, 2)
+            None if tasks_per_second is None else round(tasks_per_second, 2)
         )
     return row
+
+
+def _row(metrics: ProviderMetrics, baseline: float, kind: str) -> dict:
+    return _row_from_values(
+        metrics.system,
+        metrics.resource_consumption,
+        metrics.completed_jobs,
+        metrics.tasks_per_second,
+        baseline,
+        kind,
+    )
 
 
 def table_for_bundle(
@@ -70,6 +87,49 @@ def table_for_bundle(
         results = run_four_systems(bundle, policy, capacity=capacity)
     baseline = results["DCS"].resource_consumption
     return [_row(results[s], baseline, bundle.kind) for s in SYSTEM_ORDER]
+
+
+def table_rows_from_payload(payload: dict) -> list[dict]:
+    """Tables 2-4 rows from a four-systems scenario payload.
+
+    ``payload`` is the output of the ``table2-nasa``/``table3-blue``/
+    ``table4-montage`` registry scenarios: ``{"kind": ..., "systems":
+    {name: metrics-dict}}`` with unrounded consumption values.
+    """
+    systems = payload["systems"]
+    baseline = systems["DCS"]["resource_consumption"]
+    kind = payload["kind"]
+    return [
+        _row_from_values(
+            name,
+            systems[name]["resource_consumption"],
+            systems[name]["completed_jobs"],
+            systems[name]["tasks_per_second"],
+            baseline,
+            kind,
+        )
+        for name in SYSTEM_ORDER
+    ]
+
+
+def table_rows_from_consolidated_payload(
+    payload: dict, workload_name: str, kind: str
+) -> list[dict]:
+    """Tables 2-4 rows for one provider from a consolidated-scenario payload.
+
+    ``payload`` is the ``fig12-14-consolidated`` registry scenario's output,
+    whose ``providers`` mapping carries the per-provider breakdown of the
+    consolidated run (the canonical source of the paper's table figures).
+    """
+    systems = {}
+    for system in SYSTEM_ORDER:
+        for p in payload["providers"][system]:
+            if p["provider"] == workload_name:
+                systems[system] = p
+                break
+        else:
+            raise KeyError(f"{system}/{workload_name}")
+    return table_rows_from_payload({"kind": kind, "systems": systems})
 
 
 def table_from_consolidated(result, workload_name: str, kind: str) -> list[dict]:

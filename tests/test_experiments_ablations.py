@@ -116,6 +116,7 @@ class TestPolicyAblation:
         assert tracking["completed_jobs"] == 80
 
 
+@pytest.mark.slow  # nine full-trace simulations
 class TestUtilizationSweep:
     @pytest.fixture(scope="class")
     def small_spec(self) -> HTCTraceSpec:

@@ -53,6 +53,7 @@ class TestWriteRows:
             write_rows(ROWS, tmp_path / "t.xlsx")
 
 
+@pytest.mark.slow  # full evaluation: every table, sweep and figure
 class TestExportAll:
     @pytest.fixture(scope="class")
     def exported(self, tmp_path_factory):

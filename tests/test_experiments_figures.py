@@ -17,6 +17,10 @@ from repro.workloads.workflowgen import fork_join
 
 HOUR = 3600.0
 
+#: miniature consolidation, still seconds of simulation
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.fixture(scope="module")
 def figures():

@@ -23,6 +23,10 @@ from repro.systems.fixed import run_dcs
 
 HOUR = 3600.0
 
+#: whole-simulation tests: excluded from the fast tier
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.fixture(scope="module")
 def consolidated():

@@ -1,0 +1,265 @@
+"""Tests for the scenario registry, result cache and orchestrator.
+
+The determinism properties here are the contract the parallel CLI rides
+on: same seed + params ⇒ byte-identical canonical JSON, no matter how
+many worker processes execute the scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cache import (
+    NullCache,
+    ResultCache,
+    canonical_json,
+    canonicalize,
+    code_version,
+    scenario_key,
+)
+from repro.experiments.orchestrator import Orchestrator, payloads
+from repro.experiments.registry import (
+    ScenarioRegistry,
+    ScenarioSpec,
+    default_registry,
+)
+from repro.simkit.rng import RandomStreams
+
+
+# --------------------------------------------------------------------- #
+# module-level scenario functions (picklable into pool workers)
+# --------------------------------------------------------------------- #
+def draw_scenario(seed: int, n: int = 8, stream: str = "draws") -> dict:
+    """Deterministic pseudo-random payload: n draws from a named stream."""
+    rng = RandomStreams(seed).stream(stream)
+    return {"seed": seed, "draws": [float(x) for x in rng.random(n)]}
+
+
+def square_scenario(seed: int, x: int = 3) -> dict:
+    return {"x": x, "x_squared": x * x, "seed": seed}
+
+
+def failing_scenario(seed: int) -> dict:
+    raise ValueError("intentional failure")
+
+
+def make_registry() -> ScenarioRegistry:
+    reg = ScenarioRegistry()
+    reg.scenario("draws", tags=("synthetic",), n=8, stream="draws")(draw_scenario)
+    reg.scenario("square", tags=("synthetic", "fast"), x=3)(square_scenario)
+    reg.scenario("boom", tags=("synthetic",))(failing_scenario)
+    return reg
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = make_registry()
+        spec = reg.get("square")
+        assert spec.defaults == {"x": 3}
+        assert "synthetic" in spec.tags
+        assert spec.run(seed=0) == {"x": 3, "x_squared": 9, "seed": 0}
+
+    def test_description_defaults_to_docstring(self):
+        reg = make_registry()
+        assert "Deterministic pseudo-random" in reg.get("draws").description
+
+    def test_duplicate_name_rejected(self):
+        reg = make_registry()
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(ScenarioSpec(name="square", fn=square_scenario))
+
+    def test_unknown_name_lists_known(self):
+        reg = make_registry()
+        with pytest.raises(KeyError, match="unknown scenario"):
+            reg.get("nope")
+
+    def test_select_by_glob_and_tags(self):
+        reg = make_registry()
+        assert [s.name for s in reg.select("s*")] == ["square"]
+        assert [s.name for s in reg.select("draws,square")] == ["draws", "square"]
+        assert [s.name for s in reg.select(tags=("fast",))] == ["square"]
+        assert len(reg.select()) == 3
+
+    def test_unknown_override_rejected(self):
+        reg = make_registry()
+        with pytest.raises(KeyError, match="no parameter"):
+            reg.get("square").params_with({"y": 1})
+
+    def test_default_registry_has_paper_scenarios(self):
+        reg = default_registry()
+        for name in (
+            "table1-models", "table2-nasa", "table3-blue", "table4-montage",
+            "fig09-sweep-blue", "fig10-sweep-nasa", "fig11-sweep-montage",
+            "fig12-14-consolidated", "tco-case", "breakeven",
+        ):
+            assert name in reg
+        # every paper scenario advertises the paper tag
+        assert all("paper" in s.tags for s in reg.select("table*"))
+
+
+# --------------------------------------------------------------------- #
+# cache
+# --------------------------------------------------------------------- #
+class TestCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key("s", {"a": 1}, 0)
+        assert cache.get("s", key) is None
+        cache.put("s", key, {"rows": [1, 2]}, params={"a": 1}, seed=0)
+        assert cache.get("s", key) == {"rows": [1, 2]}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_covers_name_params_seed_and_code(self):
+        base = scenario_key("s", {"a": 1}, 0, version="v1")
+        assert scenario_key("t", {"a": 1}, 0, version="v1") != base
+        assert scenario_key("s", {"a": 2}, 0, version="v1") != base
+        assert scenario_key("s", {"a": 1}, 1, version="v1") != base
+        assert scenario_key("s", {"a": 1}, 0, version="v2") != base
+        assert scenario_key("s", {"a": 1}, 0, version="v1") == base
+
+    def test_code_version_is_stable_within_process(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+    def test_clear_and_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put("s", f"k{i}", i, params={}, seed=0)
+        assert len(cache.entries()) == 3
+        assert cache.clear() == 3
+        assert cache.entries() == []
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "k", 1, params={}, seed=0)
+        (tmp_path / "s" / "k.json").write_text("{not json")
+        assert cache.get("s", "k") is None
+
+    def test_foreign_json_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "s").mkdir()
+        (tmp_path / "s" / "k.json").write_text("{}")  # parseable, no payload
+        assert cache.get("s", "k") is None
+        (tmp_path / "s" / "k.json").write_text("[1, 2]")  # not even a dict
+        assert cache.get("s", "k") is None
+
+    def test_null_cache_never_stores(self, tmp_path):
+        cache = NullCache()
+        cache.put("s", "k", 1, params={}, seed=0)
+        assert cache.get("s", "k") is None
+
+    def test_canonicalize_collapses_tuples(self):
+        assert canonicalize({"a": (1, 2)}) == {"a": [1, 2]}
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+# --------------------------------------------------------------------- #
+# orchestrator
+# --------------------------------------------------------------------- #
+class TestOrchestrator:
+    def test_serial_run_and_cache_hit(self, tmp_path):
+        orch = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path), seed=7
+        )
+        first = orch.run_one("square")
+        assert first.cached is False
+        assert first.payload == {"x": 3, "x_squared": 9, "seed": 7}
+        second = orch.run_one("square")
+        assert second.cached is True
+        assert second.payload == first.payload
+
+    def test_overrides_change_key(self, tmp_path):
+        orch = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path), seed=0
+        )
+        a = orch.run_one("square", overrides={"x": 4})
+        assert a.payload["x_squared"] == 16
+        assert a.key != orch.run_one("square").key
+
+    def test_pattern_selection(self):
+        orch = Orchestrator(registry=make_registry())
+        runs = orch.run(pattern="square,draws")
+        assert sorted(runs) == ["draws", "square"]
+
+    def test_failure_propagates_with_scenario_name(self):
+        orch = Orchestrator(registry=make_registry())
+        with pytest.raises(RuntimeError, match="scenario 'boom' failed"):
+            orch.run_one("boom")
+
+    def test_parallel_matches_serial_and_caches(self, tmp_path):
+        names = ["draws", "square"]
+        serial = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path / "a"), seed=3
+        ).run(names=names)
+        parallel = Orchestrator(
+            registry=make_registry(),
+            cache=ResultCache(tmp_path / "b"),
+            workers=2,
+            seed=3,
+        ).run(names=names)
+        assert canonical_json(payloads(serial)) == canonical_json(
+            payloads(parallel)
+        )
+        # parallel run populated its cache: a rerun is all hits
+        rerun = Orchestrator(
+            registry=make_registry(),
+            cache=ResultCache(tmp_path / "b"),
+            workers=2,
+            seed=3,
+        ).run(names=names)
+        assert all(r.cached for r in rerun.values())
+
+    def test_real_fast_scenarios_parallel_equals_serial(self):
+        serial = Orchestrator(seed=0).run(tags=("fast",))
+        parallel = Orchestrator(workers=3, seed=0).run(tags=("fast",))
+        assert canonical_json(payloads(serial)) == canonical_json(
+            payloads(parallel)
+        )
+
+    def test_payload_is_json_canonical(self):
+        run = Orchestrator(registry=make_registry()).run_one("draws")
+        assert run.payload == json.loads(canonical_json(run.payload))
+
+
+# --------------------------------------------------------------------- #
+# determinism property: same seed + params => identical results,
+# regardless of worker count
+# --------------------------------------------------------------------- #
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    workers=st.integers(min_value=1, max_value=3),
+    n=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=12, deadline=None)
+def test_orchestrator_determinism_property(seed, workers, n):
+    overrides = {"draws": {"n": n}}
+    baseline = Orchestrator(registry=make_registry(), seed=seed).run(
+        names=["draws", "square"], overrides=overrides
+    )
+    other = Orchestrator(
+        registry=make_registry(), workers=workers, seed=seed
+    ).run(names=["draws", "square"], overrides=overrides)
+    assert canonical_json(payloads(other)) == canonical_json(payloads(baseline))
+    assert other["draws"].payload["seed"] == seed
+    assert len(other["draws"].payload["draws"]) == n
+
+
+@given(
+    seed_a=st.integers(min_value=0, max_value=1000),
+    seed_b=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_different_seeds_give_different_draws(seed_a, seed_b):
+    a = Orchestrator(registry=make_registry(), seed=seed_a).run_one("draws")
+    b = Orchestrator(registry=make_registry(), seed=seed_b).run_one("draws")
+    if seed_a == seed_b:
+        assert a.payload == b.payload
+    else:
+        assert a.payload["draws"] != b.payload["draws"]

@@ -1,0 +1,107 @@
+"""Property-based tests for the simulation-engine invariants.
+
+Hypothesis drives :class:`repro.simkit.engine.SimulationEngine` with
+arbitrary schedules and checks the contracts the whole reproduction leans
+on: the clock never runs backwards, events fire in exact
+``(time, priority, seq)`` order, cancelled events never fire (and are
+lazily dropped), and ``run`` is resumable across arbitrary horizon splits.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkit.engine import SimulationEngine
+
+# (delay, priority) pairs; delays are coarse-grained floats so ties (the
+# interesting ordering case) actually happen.
+schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0).map(lambda d: round(d, 1)),
+        st.integers(min_value=-3, max_value=3),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(schedules)
+def test_clock_is_monotonic_and_order_is_stable(items):
+    engine = SimulationEngine()
+    fired: list[tuple[float, int, int]] = []
+    expected = []
+    for seq, (delay, priority) in enumerate(items):
+        engine.schedule(
+            delay,
+            lambda d=delay, p=priority, s=seq: fired.append((d, p, s)),
+            priority=priority,
+        )
+        expected.append((delay, priority, seq))
+    engine.run()
+    # every event fired exactly once, in (time, priority, seq) order
+    assert fired == sorted(expected)
+    # the clock ended at the last event's time and never exceeded it
+    assert engine.now == max(d for d, _, _ in expected)
+    assert engine.executed_events == len(items)
+
+
+@given(schedules, st.data())
+def test_cancelled_events_never_fire(items, data):
+    engine = SimulationEngine()
+    fired: list[int] = []
+    events = [
+        engine.schedule(delay, lambda s=seq: fired.append(s), priority=priority)
+        for seq, (delay, priority) in enumerate(items)
+    ]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(events) - 1))
+    )
+    for idx in to_cancel:
+        engine.cancel(events[idx])
+    engine.run()
+    assert set(fired) == set(range(len(events))) - to_cancel
+    # lazy removal: every heap entry (live or cancelled) has been drained
+    assert engine.pending_events == 0
+    assert engine.executed_events == len(events) - len(to_cancel)
+
+
+@given(schedules, st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=60)
+def test_run_is_resumable_across_any_horizon_split(items, split):
+    """Running to ``split`` then to the end equals one uninterrupted run."""
+    whole = SimulationEngine()
+    parts = SimulationEngine()
+    fired_whole: list[tuple[float, int, int]] = []
+    fired_parts: list[tuple[float, int, int]] = []
+    for engine, sink in ((whole, fired_whole), (parts, fired_parts)):
+        for seq, (delay, priority) in enumerate(items):
+            engine.schedule(
+                delay,
+                lambda d=delay, p=priority, s=seq, out=sink: out.append((d, p, s)),
+                priority=priority,
+            )
+    whole.run()
+    parts.run(until=split)
+    assert parts.now >= split or not items
+    parts.run()
+    assert fired_parts == fired_whole
+    assert parts.now == whole.now or parts.now == split  # split past the end
+    assert parts.executed_events == whole.executed_events
+
+
+@given(schedules)
+@settings(max_examples=40)
+def test_horizon_run_executes_exactly_the_due_events(items):
+    """run(until=h) fires events at t <= h (inclusive) and parks at h."""
+    horizon = 50.0
+    engine = SimulationEngine()
+    fired: list[float] = []
+    for delay, priority in items:
+        engine.schedule(delay, lambda d=delay: fired.append(d), priority=priority)
+    engine.run(until=horizon)
+    # the engine parks the clock exactly at the horizon
+    assert engine.now == horizon
+    due = sorted(d for d, _ in items if d <= horizon)
+    assert sorted(fired) == due
+    assert all(d <= horizon for d in fired)

@@ -27,6 +27,10 @@ from repro.workloads.job import Job, Trace
 
 HOUR = 3600.0
 
+#: whole-simulation tests: excluded from the fast tier
+pytestmark = pytest.mark.slow
+
+
 job_specs = st.lists(
     st.tuples(
         st.integers(min_value=1, max_value=8),          # size

@@ -1,0 +1,169 @@
+"""Golden-value regression tests for the registry scenarios.
+
+Every headline metric the reproduction reports is pinned here at seed 0,
+next to the qualitative shape checks from
+:mod:`repro.experiments.paperdata`.  The shape checks guard the paper's
+conclusions; the golden values guard the *reproduction itself* — a
+refactor that silently shifts a reproduced number (even in a direction
+that still satisfies the shapes) fails these tests and must either be
+fixed or consciously re-pin the goldens (and regenerate EXPERIMENTS.md,
+which is rendered from the same scenario payloads).
+
+The simulations are deterministic in (seed, params), so the comparisons
+are exact for integers and tight (1e-9 relative) for floats.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.orchestrator import Orchestrator
+from repro.experiments.paperdata import (
+    check_headline_shapes,
+    check_table_shapes,
+)
+
+pytestmark = pytest.mark.slow
+
+GOLDEN_SCENARIOS = (
+    "table2-nasa",
+    "table3-blue",
+    "table4-montage",
+    "fig12-14-consolidated",
+    "tco-case",
+    "breakeven",
+)
+
+#: node-hours per system, standalone runs at seed 0, capacity 420
+GOLDEN_CONSUMPTION = {
+    "table2-nasa": {
+        "DCS": 43008, "SSP": 43008, "DRP": 46702.0, "DawningCloud": 33899.0,
+    },
+    "table3-blue": {
+        "DCS": 48384, "SSP": 48384, "DRP": 36948.0, "DawningCloud": 38922.0,
+    },
+    "table4-montage": {
+        "DCS": 166, "SSP": 166, "DRP": 611.0, "DawningCloud": 166.0,
+    },
+}
+
+#: completed jobs (HTC) / completed tasks (MTC) per system
+GOLDEN_COMPLETED = {
+    "table2-nasa": {
+        "DCS": 2597, "SSP": 2597, "DRP": 2603, "DawningCloud": 2603,
+    },
+    "table3-blue": {
+        "DCS": 2656, "SSP": 2656, "DRP": 2657, "DawningCloud": 2657,
+    },
+    "table4-montage": {
+        "DCS": 1000, "SSP": 1000, "DRP": 1000, "DawningCloud": 1000,
+    },
+}
+
+#: Montage tasks/s per system
+GOLDEN_TASKS_PER_SECOND = {
+    "DCS": 2.108984494332287,
+    "SSP": 2.108984494332287,
+    "DRP": 2.3400519422232855,
+    "DawningCloud": 2.108984494332287,
+}
+
+#: consolidated run: total node-hours / concurrent peak / capacity peak /
+#: accumulated adjustments, per system
+GOLDEN_CONSOLIDATED = {
+    "DCS": (91558, 438.0, 438.0, 0),
+    "SSP": (91558, 438.0, 438.0, 876),
+    "DRP": (84261.0, 794.0, 1486.0, 99546),
+    "DawningCloud": (70133.0, 408.0, 758.0, 23594),
+}
+
+GOLDEN_TCO = {
+    "dcs_tco_per_month": 3162.5,
+    "ssp_tco_per_month": 2260.0,
+    "ssp_over_dcs": 0.7146245059288537,
+}
+
+GOLDEN_BREAKEVEN_PRICE = 0.1417824074074074
+
+
+@pytest.fixture(scope="module")
+def golden_runs(tmp_path_factory):
+    """All pinned scenarios at seed 0, computed fresh for this run.
+
+    A per-run cache directory (not the shared ``./.repro-cache``)
+    guarantees the goldens are recomputed rather than replayed from
+    payloads cached before e.g. a dependency upgrade — the code-version
+    digest only covers ``src/repro``.
+    """
+    from repro.experiments.cache import ResultCache
+
+    cache = ResultCache(tmp_path_factory.mktemp("golden-cache"))
+    orch = Orchestrator(cache=cache, seed=0)
+    return orch.run(names=GOLDEN_SCENARIOS)
+
+
+@pytest.mark.parametrize("scenario", sorted(GOLDEN_CONSUMPTION))
+def test_table_consumption_and_throughput_pinned(golden_runs, scenario):
+    systems = golden_runs[scenario].payload["systems"]
+    for system, expected in GOLDEN_CONSUMPTION[scenario].items():
+        measured = systems[system]["resource_consumption"]
+        assert measured == pytest.approx(expected, rel=1e-9), (
+            f"{scenario}/{system} consumption drifted: "
+            f"{measured} != golden {expected}"
+        )
+    for system, expected in GOLDEN_COMPLETED[scenario].items():
+        assert systems[system]["completed_jobs"] == expected
+    if scenario == "table4-montage":
+        for system, expected in GOLDEN_TASKS_PER_SECOND.items():
+            assert systems[system]["tasks_per_second"] == pytest.approx(
+                expected, rel=1e-9
+            )
+
+
+@pytest.mark.parametrize("tid,scenario", [
+    ("table2", "table2-nasa"),
+    ("table3", "table3-blue"),
+    ("table4", "table4-montage"),
+])
+def test_table_shapes_hold(golden_runs, tid, scenario):
+    systems = golden_runs[scenario].payload["systems"]
+    measured = {s: m["resource_consumption"] for s, m in systems.items()}
+    assert check_table_shapes(tid, measured) == []
+
+
+def test_consolidated_figures_pinned(golden_runs):
+    payload = golden_runs["fig12-14-consolidated"].payload
+    assert payload["horizon_s"] == 1209600.0
+    by = {s["system"]: s for s in payload["series"]}
+    for system, (total, peak, cap_peak, adjusted) in GOLDEN_CONSOLIDATED.items():
+        s = by[system]
+        assert s["total_consumption_node_hours"] == pytest.approx(
+            total, rel=1e-9
+        ), f"{system} total drifted"
+        assert s["concurrent_peak_nodes"] == pytest.approx(peak, rel=1e-9)
+        assert s["capacity_peak_nodes"] == pytest.approx(cap_peak, rel=1e-9)
+        assert s["adjusted_nodes"] == adjusted
+
+
+def test_consolidated_shapes_hold(golden_runs):
+    payload = golden_runs["fig12-14-consolidated"].payload
+    totals = {
+        s["system"]: s["total_consumption_node_hours"]
+        for s in payload["series"]
+    }
+    peaks = {s["system"]: s["concurrent_peak_nodes"] for s in payload["series"]}
+    adjustments = {
+        s["system"]: s["adjusted_nodes"] for s in payload["series"]
+    }
+    assert check_headline_shapes(totals, peaks, adjustments) == []
+
+
+def test_tco_and_breakeven_pinned(golden_runs):
+    tco = golden_runs["tco-case"].payload
+    for key, expected in GOLDEN_TCO.items():
+        assert tco[key] == pytest.approx(expected, rel=1e-12)
+    be = golden_runs["breakeven"].payload
+    assert be["breakeven_utilization"] is None  # leasing always wins
+    assert be["breakeven_price"] == pytest.approx(
+        GOLDEN_BREAKEVEN_PRICE, rel=1e-12
+    )

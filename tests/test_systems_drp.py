@@ -11,6 +11,7 @@ from tests.conftest import make_job, make_trace
 HOUR = 3600.0
 
 
+@pytest.mark.slow  # full-trace DRP runs
 class TestHtc:
     def test_consumption_matches_closed_form(self, small_trace):
         """The simulated DRP must agree with the Σ size×ceil(rt) oracle."""
@@ -55,6 +56,7 @@ class TestHtc:
         assert result.resource_consumption == 2 * 2  # billed for the window
 
 
+@pytest.mark.slow  # full-workflow DRP runs
 class TestMtc:
     def _fork_join(self, width):
         tasks = [make_job(1, runtime=60, workflow_id=1)]

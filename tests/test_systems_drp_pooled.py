@@ -10,6 +10,10 @@ from repro.workloads.job import Job, Trace
 
 HOUR = 3600.0
 
+#: whole-simulation tests: excluded from the fast tier
+pytestmark = pytest.mark.slow
+
+
 
 def _reuse_friendly_trace() -> WorkloadBundle:
     """One user submits back-to-back same-size short jobs: ideal for reuse."""

@@ -82,6 +82,7 @@ class TestConsolidated:
         assert agg.horizon_s == 2 * HOUR
 
 
+@pytest.mark.slow  # full two-week consolidated run
 class TestRunAllSystems:
     def test_every_system_present_with_every_provider(self):
         bundles = [htc_bundle(name="a"), mtc_bundle(name="b")]
