@@ -7,7 +7,6 @@ The benchmark also runs the priced market: two providers competing on
 $/node-hour, bundles placed cheapest-feasible.
 """
 
-from repro.experiments.config import EvaluationSetup
 from repro.experiments.report import render_table
 from repro.federation.market import (
     ProviderRate,

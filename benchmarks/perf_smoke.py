@@ -1,0 +1,83 @@
+"""Perf-trajectory smoke benchmark: writes a ``BENCH_pr.json`` baseline.
+
+CI runs this on every push (see ``.github/workflows/ci.yml``) and uploads
+the JSON as an artifact, so the repository accumulates a wall-time
+trajectory for the two hot paths that matter:
+
+* the **simulation engine** — raw discrete-event throughput
+  (events/second) under the timer-churn pattern every system produces;
+* the **cold (B, R) sweeps** (Figures 9 and 10) — 16 full two-week
+  DawningCloud simulations each, the workload the provisioning kernel's
+  incremental accounting is built for.
+
+Usage::
+
+    python benchmarks/perf_smoke.py [--out BENCH_pr.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+
+def engine_events_per_second(n_timers: int = 2_000, horizon_h: int = 40) -> dict:
+    """Raw engine throughput: periodic timers ticking over a horizon."""
+    from repro.simkit.engine import SimulationEngine
+    from repro.simkit.timers import PeriodicTimer
+
+    engine = SimulationEngine()
+    for i in range(n_timers):
+        PeriodicTimer(engine, 60.0 + (i % 7), lambda: None).start()
+    t0 = time.perf_counter()
+    engine.run(until=horizon_h * 3600.0)
+    wall = time.perf_counter() - t0
+    return {
+        "executed_events": engine.executed_events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(engine.executed_events / wall),
+    }
+
+
+def cold_sweep(scenario: str) -> dict:
+    """One cold sweep scenario (no cache), timed end to end."""
+    from repro.experiments.registry import default_registry
+
+    spec = default_registry().get(scenario)
+    t0 = time.perf_counter()
+    payload = spec.run(0)
+    wall = time.perf_counter() - t0
+    return {
+        "scenario": scenario,
+        "points": len(payload["points"]),
+        "wall_s": round(wall, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_pr.json")
+    args = parser.parse_args(argv)
+
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "engine": engine_events_per_second(),
+        "sweeps": [cold_sweep("fig10-sweep-nasa"), cold_sweep("fig09-sweep-blue")],
+    }
+    report["sweep_total_wall_s"] = round(
+        sum(s["wall_s"] for s in report["sweeps"]), 3
+    )
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ Orchestration (the scenario registry; see docs/orchestration.md)::
 
     repro-experiments list-scenarios      # every registered scenario
     repro-experiments run --scenario 'table*' --parallel 4
+    repro-experiments run --scenario 'table*' --billing per-second
     repro-experiments cache-info | cache-clear
 
 Every simulation command except ``export`` routes through the scenario
@@ -46,6 +47,7 @@ from typing import Callable
 
 from repro.experiments.cache import NullCache, ResultCache, canonical_json
 from repro.experiments.orchestrator import Orchestrator, payloads
+from repro.provisioning.billing import METER_FACTORIES
 from repro.experiments.report import (
     render_consolidated_payload,
     render_percentage_rows,
@@ -269,6 +271,12 @@ def main(argv: list[str] | None = None) -> int:
         help="restrict 'run' to scenarios carrying TAG (repeatable)",
     )
     parser.add_argument(
+        "--billing", choices=sorted(METER_FACTORIES), default=None,
+        metavar="METER",
+        help="re-bill 'run' scenarios that take a billing parameter under "
+             "this meter (per-hour = the paper's per-started-hour rule)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
              "./.repro-cache)",
@@ -304,7 +312,17 @@ def main(argv: list[str] | None = None) -> int:
         for path in paths:
             print(path)
     elif args.command == "run":
-        runs = orch.run(pattern=args.scenario, tags=args.tag)
+        overrides = None
+        if args.billing is not None:
+            # only scenarios that declare a billing parameter re-meter;
+            # the rest run (and cache) exactly as before
+            overrides = {
+                spec.name: {"billing": args.billing}
+                for spec in orch.registry.select(args.scenario, args.tag)
+                if "billing" in spec.defaults
+            }
+        runs = orch.run(pattern=args.scenario, tags=args.tag,
+                        overrides=overrides)
         if not runs:
             selection = f"pattern {args.scenario!r}"
             if args.tag:

@@ -3,8 +3,10 @@
 The paper charges leased resources in one-hour units ("we set a quite long
 time unit: one hour ... In fact, EC2 also charges resources with this time
 unit", §4.4).  A :class:`LeaseLedger` records every allocation as a
-:class:`Lease` and charges ``nodes × ceil(held/unit)`` lease units when the
-lease closes, with a minimum of one unit per opened lease.
+:class:`Lease` and bills it when it closes through a pluggable
+:class:`~repro.provisioning.billing.BillingMeter`; the default meter is the
+paper's per-started-unit rule — ``nodes × ceil(held/unit)`` lease units,
+with a minimum of one unit per opened lease.
 
 The ledger also keeps an event log of ``(time, ±nodes)`` deltas per client,
 from which hourly usage series and peaks are derived (see
@@ -14,9 +16,12 @@ from which hourly usage series and peaks are derived (see
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.workloads.job import hour_ceil
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.provisioning.billing import BillingMeter
 
 HOUR = 3600.0
 
@@ -26,7 +31,8 @@ class Lease:
 
     _ids = itertools.count(1)
 
-    __slots__ = ("lease_id", "client", "n_nodes", "t_open", "t_close", "kind")
+    __slots__ = ("lease_id", "client", "n_nodes", "t_open", "t_close", "kind",
+                 "open_nodes_at_open")
 
     def __init__(self, client: str, n_nodes: int, t_open: float, kind: str = "dynamic"):
         if n_nodes <= 0:
@@ -37,6 +43,9 @@ class Lease:
         self.t_open = float(t_open)
         self.t_close: Optional[float] = None
         self.kind = kind
+        #: the client's already-open nodes when this lease opened (set by
+        #: the ledger; tier assignment for two-tier billing meters)
+        self.open_nodes_at_open = 0
 
     @property
     def open(self) -> bool:
@@ -60,11 +69,19 @@ class Lease:
 class LeaseLedger:
     """Tracks leases and billed node-hours per client."""
 
-    def __init__(self, unit: float = HOUR) -> None:
+    def __init__(
+        self, unit: float = HOUR, meter: Optional["BillingMeter"] = None
+    ) -> None:
         if unit <= 0:
             raise ValueError("unit must be positive")
         self.unit = float(unit)
+        if meter is None:
+            from repro.provisioning.billing import PerStartedUnitMeter
+
+            meter = PerStartedUnitMeter(unit_s=self.unit)
+        self.meter = meter
         self._open: dict[int, Lease] = {}
+        self._open_nodes: dict[str, int] = {}  # incremental per-client count
         self._charged: dict[str, float] = {}
         self._events: dict[str, list[tuple[float, int]]] = {}
         self.closed_leases: list[Lease] = []
@@ -74,11 +91,13 @@ class LeaseLedger:
         self, client: str, n_nodes: int, t: float, kind: str = "dynamic"
     ) -> Lease:
         lease = Lease(client, n_nodes, t, kind)
+        lease.open_nodes_at_open = self._open_nodes.get(client, 0)
         self._open[lease.lease_id] = lease
+        self._open_nodes[client] = lease.open_nodes_at_open + n_nodes
         self._events.setdefault(client, []).append((t, n_nodes))
         return lease
 
-    def close_lease(self, lease: Lease, t: float) -> int:
+    def close_lease(self, lease: Lease, t: float) -> float:
         """Close ``lease`` at time ``t`` and bill it. Returns charged units."""
         if not lease.open:
             raise ValueError(f"lease #{lease.lease_id} already closed")
@@ -86,15 +105,18 @@ class LeaseLedger:
             raise ValueError("cannot close a lease before it opened")
         lease.t_close = float(t)
         del self._open[lease.lease_id]
-        charged = lease.charged_units(self.unit)
+        self._open_nodes[lease.client] -= lease.n_nodes
+        charged = self.meter.charge(
+            lease.n_nodes, lease.held_seconds(), lease.open_nodes_at_open
+        )
         self._charged[lease.client] = self._charged.get(lease.client, 0.0) + charged
         self._events.setdefault(lease.client, []).append((t, -lease.n_nodes))
         self.closed_leases.append(lease)
         return charged
 
-    def close_all(self, t: float, client: Optional[str] = None) -> int:
+    def close_all(self, t: float, client: Optional[str] = None) -> float:
         """Close every open lease (optionally only ``client``'s) at ``t``."""
-        total = 0
+        total = 0.0
         for lease in list(self._open.values()):
             if client is None or lease.client == client:
                 total += self.close_lease(lease, t)
@@ -102,11 +124,9 @@ class LeaseLedger:
 
     # ------------------------------------------------------------------ #
     def open_nodes(self, client: Optional[str] = None) -> int:
-        return sum(
-            l.n_nodes
-            for l in self._open.values()
-            if client is None or l.client == client
-        )
+        if client is not None:
+            return self._open_nodes.get(client, 0)
+        return sum(self._open_nodes.values())
 
     def open_leases(self, client: Optional[str] = None) -> list[Lease]:
         return [

@@ -14,12 +14,13 @@ The provision policy is the paper's simple one (§3.2.2.3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cluster.lease import HOUR, Lease, LeaseLedger
-from repro.cluster.node import NodePool
 from repro.cluster.setup import SetupCostModel, SetupPolicy
+from repro.provisioning.billing import BillingMeter
+from repro.provisioning.state import ClusterState
 
 
 class ProvisionError(RuntimeError):
@@ -44,9 +45,10 @@ class ResourceProvisionService:
         capacity: int,
         lease_unit: float = HOUR,
         setup_policy: SetupPolicy = SetupPolicy(),
+        meter: Optional[BillingMeter] = None,
     ) -> None:
-        self.pool = NodePool(capacity)
-        self.ledger = LeaseLedger(unit=lease_unit)
+        self.state = ClusterState(capacity)
+        self.ledger = LeaseLedger(unit=lease_unit, meter=meter)
         self.setup = SetupCostModel(setup_policy)
         self.adjustments: list[AdjustmentRecord] = []
         self.rejected_requests = 0
@@ -55,16 +57,20 @@ class ResourceProvisionService:
     # ------------------------------------------------------------------ #
     @property
     def capacity(self) -> int:
-        return self.pool.capacity
+        return self.state.capacity
 
     @property
     def free_nodes(self) -> int:
-        return self.pool.free_count
+        return self.state.free_count
+
+    @property
+    def meter(self) -> BillingMeter:
+        return self.ledger.meter
 
     def allocated_nodes(self, client: Optional[str] = None) -> int:
         if client is None:
-            return self.pool.capacity - self.pool.free_count
-        return self.pool.owned_count(client)
+            return self.state.allocated_count
+        return self.state.owned_count(client)
 
     # ------------------------------------------------------------------ #
     def request(
@@ -77,17 +83,17 @@ class ResourceProvisionService:
         """
         if n_nodes <= 0:
             raise ProvisionError(f"request must be positive, got {n_nodes}")
-        if n_nodes > self.pool.free_count:
+        if n_nodes > self.state.free_count:
             self.rejected_requests += 1
             return None
-        self.pool.assign(client, n_nodes)
+        self.state.assign(client, n_nodes, t)
         lease = self.ledger.open_lease(client, n_nodes, t, kind=kind)
         self.setup.record_adjustment(n_nodes)
         self.adjustments.append(AdjustmentRecord(t, client, n_nodes, kind))
         self.granted_requests += 1
         return lease
 
-    def release(self, lease: Lease, t: float, kind: str = "release") -> int:
+    def release(self, lease: Lease, t: float, kind: str = "release") -> float:
         """Release a lease; reclaims the nodes and bills the lease.
 
         Returns the billed lease units.
@@ -95,7 +101,7 @@ class ResourceProvisionService:
         if not lease.open:
             raise ProvisionError(f"lease #{lease.lease_id} already closed")
         charged = self.ledger.close_lease(lease, t)
-        self.pool.reclaim(lease.client, lease.n_nodes)
+        self.state.reclaim(lease.client, lease.n_nodes, t)
         self.setup.record_adjustment(lease.n_nodes)
         self.adjustments.append(
             AdjustmentRecord(t, lease.client, -lease.n_nodes, kind)
@@ -113,6 +119,15 @@ class ResourceProvisionService:
     def consumption_node_hours(self, client: Optional[str] = None) -> float:
         """Billed node-hours so far (open leases not yet included)."""
         return self.ledger.charged_units_total(client)
+
+    def occupancy_node_hours(self, now: float) -> float:
+        """Exact pool occupancy ∫allocated dt in node-hours, up to ``now``.
+
+        The meter-independent counterpart of billed consumption (what the
+        provider's hardware actually carried), accumulated incrementally
+        by the cluster state — O(1), no event-log scan.
+        """
+        return self.state.busy_node_seconds(now) / HOUR
 
     def adjusted_node_count(self, client: Optional[str] = None) -> int:
         """Accumulated size of adjusting nodes (Figure 14's metric)."""

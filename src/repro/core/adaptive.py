@@ -33,7 +33,7 @@ policy-comparison ablation sweeps.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.policies import (

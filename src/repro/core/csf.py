@@ -15,7 +15,6 @@ the shared resource provision service, and hands back a running
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cluster.provision import ResourceProvisionService
 from repro.cluster.vm import VMProvisionService

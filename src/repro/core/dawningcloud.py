@@ -30,6 +30,7 @@ from repro.cluster.lease import HOUR
 from repro.cluster.provision import ResourceProvisionService
 from repro.cluster.setup import SetupPolicy
 from repro.core.csf import CommonServiceFramework
+from repro.provisioning.billing import BillingMeter
 from repro.core.policies import ResourceManagementPolicy
 from repro.core.tre import RuntimeEnvironmentSpec, ThinRuntimeEnvironment
 from repro.metrics.results import ProviderMetrics, ResourceProviderMetrics
@@ -49,10 +50,12 @@ class DawningCloud:
         lease_unit_s: float = HOUR,
         setup_policy: SetupPolicy = SetupPolicy(),
         engine: Optional[SimulationEngine] = None,
+        meter: Optional[BillingMeter] = None,
     ) -> None:
         self.engine = engine or SimulationEngine()
         self.provision = ResourceProvisionService(
-            capacity, lease_unit=lease_unit_s, setup_policy=setup_policy
+            capacity, lease_unit=lease_unit_s, setup_policy=setup_policy,
+            meter=meter,
         )
         self.csf = CommonServiceFramework(self.engine, self.provision)
         self._tres: dict[str, ThinRuntimeEnvironment] = {}

@@ -1,133 +1,21 @@
 """The dynamic resource negotiation mechanism (§3.2.1).
 
-A :class:`DynamicResourceManager` connects one TRE server to the resource
-provision service:
-
-1. at startup it obtains the **initial resources** (B), which "will not be
-   reclaimed by the resource provision service until the TRE is destroyed";
-2. on every server scan it evaluates the resource management policy and
-   sends DR1/DR2 requests for **dynamic resources**;
-3. for every granted dynamic request it registers a once-per-hour timer
-   that releases exactly that amount back when the TRE has that much idle
-   capacity (§3.2.2.1 steps 2-3);
-4. at TRE destruction it releases everything and closes the leases.
-
-The negotiation is deliberately all-or-nothing on the provider side
-(§3.2.2.3): a rejected request simply leaves the queue to drain on what the
-TRE already owns, and a later scan may retry with a fresh demand estimate.
+The negotiation logic now lives in the provisioning kernel as
+:class:`repro.provisioning.policies.ConsolidatedAllocation` — it is one of
+the pluggable :class:`~repro.provisioning.policies.ProvisioningPolicy`
+strategies every system runner composes with.  This module keeps the
+historical name: the CSF (and a fair amount of test and downstream code)
+knows the service-provider side of the negotiation as the
+``DynamicResourceManager``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.cluster.lease import Lease
-from repro.cluster.provision import ResourceProvisionService
-from repro.core.policies import ResourceManagementPolicy
-from repro.core.servers import REServer
-from repro.simkit.engine import SimulationEngine
-from repro.simkit.timers import PeriodicTimer
+from repro.provisioning.policies import ConsolidatedAllocation
 
 
-class DynamicResourceManager:
-    """Implements the service-provider side of the negotiation."""
+class DynamicResourceManager(ConsolidatedAllocation):
+    """The service-provider side of the negotiation (kernel policy alias)."""
 
-    def __init__(
-        self,
-        engine: SimulationEngine,
-        server: REServer,
-        provision: ResourceProvisionService,
-        policy: ResourceManagementPolicy,
-    ) -> None:
-        self.engine = engine
-        self.server = server
-        self.provision = provision
-        self.policy = policy
-        self.initial_lease: Optional[Lease] = None
-        self._release_timers: dict[int, PeriodicTimer] = {}
-        self.dynamic_grants = 0
-        self.dynamic_rejections = 0
-        self._started = False
-        server.pre_dispatch_hooks.append(self._on_scan)
 
-    # ------------------------------------------------------------------ #
-    def start(self) -> None:
-        """Obtain the initial resources (TRE startup)."""
-        if self._started:
-            raise RuntimeError("already started")
-        self._started = True
-        lease = self.provision.request(
-            self.server.name, self.policy.initial_nodes, self.engine.now, kind="initial"
-        )
-        if lease is None:
-            raise RuntimeError(
-                f"{self.server.name}: provider could not supply the initial "
-                f"{self.policy.initial_nodes} nodes"
-            )
-        self.initial_lease = lease
-        self.server.add_nodes(lease.n_nodes)
-
-    # ------------------------------------------------------------------ #
-    def _on_scan(self) -> None:
-        """Policy evaluation, run by the server just before dispatch."""
-        if not self._started:
-            return
-        request = self.policy.dynamic_request_size(
-            self.server.queue.total_demand,
-            self.server.queue.biggest_demand,
-            self.server.owned,
-        )
-        if request > 0:
-            self._request_dynamic(request)
-
-    def _request_dynamic(self, n_nodes: int) -> None:
-        lease = self.provision.request(
-            self.server.name, n_nodes, self.engine.now, kind="dynamic"
-        )
-        if lease is None:
-            self.dynamic_rejections += 1
-            return
-        self.dynamic_grants += 1
-        self.server.add_nodes(lease.n_nodes)
-        timer = PeriodicTimer(
-            self.engine,
-            self.policy.release_check_interval_s,
-            self._check_release,
-            lease,
-        )
-        timer.start()
-        self._release_timers[lease.lease_id] = timer
-
-    def _check_release(self, lease: Lease) -> None:
-        """Hourly idle check for one dynamic grant (§3.2.2.1).
-
-        "If there are idle resources with the size equal with or more than
-        the value of DR1, the server will release the resources with the
-        size of the DR1 to the resource provision service."
-        """
-        if not lease.open:  # already force-released at shutdown
-            self._drop_timer(lease)
-            return
-        if self.server.idle >= lease.n_nodes:
-            self._drop_timer(lease)
-            self.server.remove_nodes(lease.n_nodes)
-            self.provision.release(lease, self.engine.now)
-
-    def _drop_timer(self, lease: Lease) -> None:
-        timer = self._release_timers.pop(lease.lease_id, None)
-        if timer is not None:
-            timer.stop()
-
-    # ------------------------------------------------------------------ #
-    def shutdown(self) -> None:
-        """TRE destruction: stop timers, return every lease (§2.2 step 8)."""
-        for timer in self._release_timers.values():
-            timer.stop()
-        self._release_timers.clear()
-        self.provision.shutdown_client(self.server.name, self.engine.now)
-        self.server.stop()
-
-    @property
-    def open_dynamic_nodes(self) -> int:
-        initial = self.initial_lease.n_nodes if self.initial_lease else 0
-        return self.provision.allocated_nodes(self.server.name) - initial
+__all__ = ["DynamicResourceManager"]

@@ -13,7 +13,7 @@ is delegated to the CSF.  This module bundles those pieces per flavour:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Literal, Optional
 
 from repro.core.lifecycle import LifecycleStateMachine

@@ -30,6 +30,9 @@ class Invoice:
     period_s: float
     usd_per_node_hour: float
     transfer_usd: float = 0.0
+    #: which billing meter produced ``node_hours`` (the paper's
+    #: per-started-hour meter unless a run overrode it)
+    billing: str = "per-hour"
 
     @property
     def usage_usd(self) -> float:
@@ -51,6 +54,7 @@ class Invoice:
         return {
             "provider": self.provider,
             "system": self.system,
+            "billing": self.billing,
             "node_hours": round(self.node_hours, 1),
             "usage_usd": round(self.usage_usd, 2),
             "transfer_usd": round(self.transfer_usd, 2),
@@ -64,12 +68,17 @@ def bill(
     period_s: float,
     pricing: InstancePricing = EC2_2009_SMALL,
     inbound_gb: float = 0.0,
+    billing: str = "per-hour",
 ) -> Invoice:
     """Price one provider's simulated consumption.
 
     ``period_s`` is the workload period the consumption covers (two weeks
     for the paper's traces; the makespan for an MTC run).  ``inbound_gb``
-    adds the §4.5.5 transfer charge for the same period.
+    adds the §4.5.5 transfer charge for the same period.  ``billing``
+    names the meter the run used (see
+    :data:`repro.provisioning.billing.METER_FACTORIES`) so invoices from
+    metered re-runs stay distinguishable; already-cost-weighted meters
+    (``reserved-spot``) pair with a $1-per-weighted-node-hour pricing.
     """
     if period_s <= 0:
         raise ValueError("period_s must be positive")
@@ -80,6 +89,7 @@ def bill(
         period_s=period_s,
         usd_per_node_hour=pricing.usd_per_instance_hour,
         transfer_usd=pricing.transfer_cost(inbound_gb),
+        billing=billing,
     )
 
 

@@ -103,3 +103,56 @@ EC2_2009_SMALL_RESERVED = ReservedInstancePricing(
     term_years=1.0,
     usd_per_instance_hour=0.03,
 )
+
+
+def two_tier_rates(
+    on_demand: InstancePricing = EC2_2009_SMALL,
+    reserved: "ReservedInstancePricing" = None,  # type: ignore[assignment]
+    hours_per_month: float = HOURS_PER_MONTH,
+) -> tuple[float, float]:
+    """``(reserved_rate, spot_rate)`` multipliers for a two-tier meter.
+
+    The reserved multiplier is the reservation's all-in effective hourly
+    rate at the given duty level over the on-demand price; the spot/
+    on-demand multiplier is 1 by construction.  With the 2009 EC2 list at
+    full duty this is ≈0.56 — the discount a service provider's steady
+    base load earns, which the
+    :class:`repro.provisioning.billing.TwoTierMeter` applies to the
+    reserved share of each lease.
+    """
+    if reserved is None:
+        reserved = EC2_2009_SMALL_RESERVED
+    if on_demand.usd_per_instance_hour <= 0:
+        raise ValueError("on-demand price must be positive")
+    return (
+        reserved.effective_hourly(hours_per_month)
+        / on_demand.usd_per_instance_hour,
+        1.0,
+    )
+
+
+def reserved_split_rates(
+    on_demand: InstancePricing = EC2_2009_SMALL,
+    reserved: "ReservedInstancePricing" = None,  # type: ignore[assignment]
+    hours_per_month: float = HOURS_PER_MONTH,
+) -> tuple[float, float]:
+    """``(usage_rate, standing_rate)`` for an explicit reservation model.
+
+    Unlike :func:`two_tier_rates` (which folds the upfront into one
+    full-duty effective rate), this splits the reservation into what a
+    capacity planner actually pays: ``usage_rate`` × the on-demand price
+    per node-hour *while running* (EC2 2009: 0.3), plus ``standing_rate``
+    × the on-demand price per reserved node-hour *of wall-clock*, running
+    or idle (the amortized upfront, ≈0.26).  The ``drp-spot-market``
+    scenario charges both, which is what makes over-reserving visibly
+    wasteful.
+    """
+    if reserved is None:
+        reserved = EC2_2009_SMALL_RESERVED
+    if on_demand.usd_per_instance_hour <= 0:
+        raise ValueError("on-demand price must be positive")
+    od = on_demand.usd_per_instance_hour
+    return (
+        reserved.usd_per_instance_hour / od,
+        reserved.upfront_per_month / hours_per_month / od,
+    )

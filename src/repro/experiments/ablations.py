@@ -34,12 +34,11 @@ from repro.cluster.setup import DEFAULT_ADJUST_COST_S, SetupPolicy
 from repro.core.adaptive import policy_catalog
 from repro.core.dawningcloud import DawningCloud
 from repro.core.policies import (
-    HTC_SCAN_INTERVAL_S,
     ResourceManagementPolicy,
 )
 from repro.metrics.jobstats import compute_statistics
 from repro.scheduling import SCHEDULER_REGISTRY
-from repro.systems.base import WorkloadBundle, run_until
+from repro.systems.base import WorkloadBundle
 from repro.systems.dsp_runner import DEFAULT_CAPACITY
 from repro.systems.fixed import run_dcs
 from repro.systems.drp import run_drp, run_drp_pooled

@@ -6,7 +6,7 @@ against the published tables is a one-glance exercise.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.experiments.figures import ConsolidatedFigures
 from repro.experiments.sweep import SweepPoint

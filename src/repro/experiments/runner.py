@@ -6,6 +6,7 @@ from typing import Optional
 
 from repro.core.policies import ResourceManagementPolicy
 from repro.metrics.results import ProviderMetrics
+from repro.provisioning.billing import BillingMeter
 from repro.systems.base import WorkloadBundle
 from repro.systems.drp import run_drp
 from repro.systems.dsp_runner import (
@@ -20,15 +21,23 @@ def run_four_systems(
     bundle: WorkloadBundle,
     policy: ResourceManagementPolicy,
     capacity: int = DEFAULT_CAPACITY,
+    meter: Optional[BillingMeter] = None,
 ) -> dict[str, ProviderMetrics]:
-    """DCS, SSP, DRP and DawningCloud results for one service provider."""
+    """DCS, SSP, DRP and DawningCloud results for one service provider.
+
+    ``meter`` overrides the billing rule for every leased system (the
+    paper's per-started-hour meter when ``None``); DCS is owned, so its
+    consumption is the meter-independent closed form.
+    """
     if bundle.kind == "htc":
-        dawning = run_dawningcloud_htc(bundle, policy, capacity=capacity)
+        dawning = run_dawningcloud_htc(bundle, policy, capacity=capacity,
+                                       meter=meter)
     else:
-        dawning = run_dawningcloud_mtc(bundle, policy, capacity=capacity)
+        dawning = run_dawningcloud_mtc(bundle, policy, capacity=capacity,
+                                       meter=meter)
     return {
-        "DCS": run_dcs(bundle),
-        "SSP": run_ssp(bundle),
-        "DRP": run_drp(bundle),
+        "DCS": run_dcs(bundle, meter=meter),
+        "SSP": run_ssp(bundle, meter=meter),
+        "DRP": run_drp(bundle, meter=meter),
         "DawningCloud": dawning,
     }

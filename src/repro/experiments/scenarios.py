@@ -59,16 +59,46 @@ def _metrics_payload(m: ProviderMetrics) -> dict:
     }
 
 
-def _four_systems(seed: int, workload: str, capacity: int) -> dict:
+def _meter_for(bundle, billing: str):
+    """The override meter for one bundle, or None for the paper's default.
+
+    ``reserved-spot`` needs a reservation size to mean anything: the
+    natural one is the workload's fixed-system configuration (its steady
+    base load), at the EC2-2009-derived tier rates.
+    """
+    if billing == "per-hour":
+        return None
+    if billing == "reserved-spot":
+        from repro.costmodel.pricing import two_tier_rates
+        from repro.provisioning.billing import TwoTierMeter
+
+        reserved_rate, spot_rate = two_tier_rates()
+        return TwoTierMeter(
+            reserved_nodes=int(bundle.fixed_nodes),
+            reserved_rate=reserved_rate,
+            spot_rate=spot_rate,
+        )
+    from repro.provisioning.billing import make_meter
+
+    return make_meter(billing)
+
+
+def _four_systems(
+    seed: int, workload: str, capacity: int, billing: str = "per-hour"
+) -> dict:
     from repro.experiments.runner import run_four_systems
 
     bundle = _BUNDLES[workload](seed)
+    # None keeps the paper's default path; any other meter re-bills the
+    # leased systems (the `run --billing METER` override lands here).
+    meter = _meter_for(bundle, billing)
     results = run_four_systems(
-        bundle, PAPER_POLICIES[workload], capacity=capacity
+        bundle, PAPER_POLICIES[workload], capacity=capacity, meter=meter
     )
     return {
         "workload": workload,
         "kind": bundle.kind,
+        "billing": billing,
         "systems": {s: _metrics_payload(results[s]) for s in SYSTEM_ORDER},
     }
 
@@ -84,22 +114,25 @@ def scenario_table1(seed: int) -> list[dict]:
     return table1()
 
 
-@scenario("table2-nasa", tags=("paper", "table", "slow"), capacity=DEFAULT_CAPACITY)
-def scenario_table2(seed: int, capacity: int) -> dict:
+@scenario("table2-nasa", tags=("paper", "table", "slow"),
+          capacity=DEFAULT_CAPACITY, billing="per-hour")
+def scenario_table2(seed: int, capacity: int, billing: str) -> dict:
     """Table 2: the four systems on the NASA iPSC trace (HTC)."""
-    return _four_systems(seed, "nasa-ipsc", capacity)
+    return _four_systems(seed, "nasa-ipsc", capacity, billing)
 
 
-@scenario("table3-blue", tags=("paper", "table", "slow"), capacity=DEFAULT_CAPACITY)
-def scenario_table3(seed: int, capacity: int) -> dict:
+@scenario("table3-blue", tags=("paper", "table", "slow"),
+          capacity=DEFAULT_CAPACITY, billing="per-hour")
+def scenario_table3(seed: int, capacity: int, billing: str) -> dict:
     """Table 3: the four systems on the SDSC BLUE trace (HTC)."""
-    return _four_systems(seed, "sdsc-blue", capacity)
+    return _four_systems(seed, "sdsc-blue", capacity, billing)
 
 
-@scenario("table4-montage", tags=("paper", "table", "slow"), capacity=DEFAULT_CAPACITY)
-def scenario_table4(seed: int, capacity: int) -> dict:
+@scenario("table4-montage", tags=("paper", "table", "slow"),
+          capacity=DEFAULT_CAPACITY, billing="per-hour")
+def scenario_table4(seed: int, capacity: int, billing: str) -> dict:
     """Table 4: the four systems on the Montage workflow (MTC)."""
-    return _four_systems(seed, "montage", capacity)
+    return _four_systems(seed, "montage", capacity, billing)
 
 
 # --------------------------------------------------------------------- #
@@ -347,3 +380,136 @@ def scenario_federation(seed: int, capacity: int, splits) -> list[dict]:
         splits=tuple(splits),
         horizon=setup.horizon,
     )
+
+
+# --------------------------------------------------------------------- #
+# Provisioning-kernel extensions: billing meters and policy crosses
+# --------------------------------------------------------------------- #
+@scenario("ablation-billing-meter", tags=("ablation", "extension", "slow"),
+          capacity=DEFAULT_CAPACITY)
+def scenario_billing_meter(seed: int, capacity: int) -> list[dict]:
+    """Billing-meter ablation: the four systems re-billed per meter (NASA).
+
+    The paper's per-started-hour meter is one market rule among several.
+    Re-billing the *same* simulated systems per second and under a
+    reserved+spot tier shows how much of Table 2's DRP penalty is billing
+    granularity rather than provisioning strategy: per-second billing
+    erases the hour-rounding penalty entirely (DCS, which owns its
+    machine, is the meter-independent anchor).
+    """
+    from repro.experiments.runner import run_four_systems
+
+    bundle = _BUNDLES["nasa-ipsc"](seed)
+    rows = []
+    for name in ("per-hour", "per-second", "reserved-spot"):
+        results = run_four_systems(
+            bundle, PAPER_POLICIES["nasa-ipsc"], capacity=capacity,
+            meter=_meter_for(bundle, name),
+        )
+        rows.append(
+            {
+                "billing": name,
+                **{
+                    s.lower().replace("cloud", "_cloud"): round(
+                        results[s].resource_consumption, 1
+                    )
+                    for s in SYSTEM_ORDER
+                },
+                "drp_saving_vs_dcs": round(
+                    1.0
+                    - results["DRP"].resource_consumption
+                    / results["DCS"].resource_consumption,
+                    3,
+                ),
+            }
+        )
+    return rows
+
+
+@scenario("drp-spot-market", tags=("extension", "slow"),
+          reserved_sizes=(0, 32, 64, 96, 128, 192))
+def scenario_drp_spot_market(seed: int, reserved_sizes) -> list[dict]:
+    """Spot-market DRP: how large a reservation should the community buy?
+
+    DRP under a two-tier meter (NASA trace): the first ``r`` concurrent
+    nodes bill at the reserved *usage* rate, overflow at on-demand, and
+    the reservation's amortized upfront accrues on all ``r`` nodes for
+    the whole period whether used or not.  Small reservations capture the
+    steady base load cheaply; big ones pay standing cost for burst
+    headroom that is rarely occupied — the total-cost curve has an
+    interior minimum, which is the capacity-planning answer the paper's
+    single-meter world cannot ask.
+    """
+    from repro.costmodel.pricing import reserved_split_rates
+    from repro.provisioning.billing import TwoTierMeter
+    from repro.systems.drp import run_drp
+    from repro.workloads.job import hour_ceil
+
+    bundle = _BUNDLES["nasa-ipsc"](seed)
+    usage_rate, standing_rate = reserved_split_rates()
+    period_h = hour_ceil(bundle.trace.duration)
+    baseline = run_drp(bundle).resource_consumption  # pure on-demand
+    rows = []
+    for r in reserved_sizes:
+        if r:
+            meter = TwoTierMeter(
+                reserved_nodes=r, reserved_rate=usage_rate, spot_rate=1.0
+            )
+            usage = run_drp(bundle, meter=meter).resource_consumption
+        else:
+            usage = baseline
+        standing = r * period_h * standing_rate
+        total = usage + standing
+        rows.append(
+            {
+                "reserved_nodes": r,
+                "usage_node_hours": round(usage, 1),
+                "reservation_node_hours": round(standing, 1),
+                "total_node_hours": round(total, 1),
+                "saving_vs_on_demand": round(1.0 - total / baseline, 3),
+            }
+        )
+    return rows
+
+
+@scenario("pooled-drp-scheduler-cross", tags=("extension", "slow"),
+          billing="per-hour")
+def scenario_pooled_drp_scheduler_cross(seed: int, billing: str) -> list[dict]:
+    """Pooled-DRP × scheduler: a queue over the community's lease pool.
+
+    The composable runner's flagship cross (NASA trace): jobs queue and a
+    real scheduler dispatches them over one bounded, elastically leased
+    pool (cap: the trace's machine size) with hourly idle reclaim — the
+    strongest strategy a cooperative user community can run *without* a
+    runtime environment.  Crossing every registered scheduler against it
+    separates what dispatch discipline buys from what only DawningCloud's
+    negotiated sharing delivers.
+    """
+    from repro.provisioning.runner import run_pooled_queue_htc
+    from repro.scheduling import SCHEDULER_REGISTRY
+    from repro.systems.drp import run_drp
+
+    bundle = _BUNDLES["nasa-ipsc"](seed)
+    meter = _meter_for(bundle, billing)
+    drp = run_drp(bundle, meter=meter)
+    baseline = drp.resource_consumption
+    rows = []
+    for name in sorted(SCHEDULER_REGISTRY):
+        m = run_pooled_queue_htc(bundle, SCHEDULER_REGISTRY[name], meter=meter)
+        rows.append(
+            {
+                "scheduler": name,
+                "billing": billing,
+                "resource_consumption": round(m.resource_consumption, 1),
+                "saving_vs_naive_drp": round(
+                    1.0 - m.resource_consumption / baseline, 3
+                ),
+                "completed_jobs": m.completed_jobs,
+                # savings are only comparable at equal work: queueing can
+                # push jobs past the horizon that DRP (no queue) finishes
+                "completed_vs_drp": round(m.completed_jobs / drp.completed_jobs, 3),
+                "peak_nodes": m.peak_nodes,
+                "adjusted_nodes": m.adjusted_nodes,
+            }
+        )
+    return rows

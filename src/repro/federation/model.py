@@ -17,7 +17,7 @@ Model
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.core.policies import ResourceManagementPolicy

@@ -13,6 +13,9 @@ The paper's cost metric is resource consumption in ``node*hour`` (§4.3):
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.provisioning.billing import BillingMeter, PerStartedUnitMeter
 from repro.workloads.job import Trace, hour_ceil
 
 HOUR = 3600.0
@@ -30,15 +33,21 @@ def dcs_consumption_node_hours(machine_nodes: int, period_s: float) -> float:
     return machine_nodes * hour_ceil(period_s, HOUR)
 
 
-def drp_htc_consumption_node_hours(trace: Trace) -> float:
-    """Closed-form DRP cost for an HTC trace.
+def drp_htc_consumption_node_hours(
+    trace: Trace, meter: Optional[BillingMeter] = None
+) -> float:
+    """Closed-form DRP cost for an HTC trace under any flat billing meter.
 
-    Every end user leases the job's nodes at submission and releases them at
-    completion, paying per started hour — so the cost is exactly
-    ``Σ size × ceil(runtime/1h)`` and needs no simulation.  The simulated
-    DRP system must agree with this (tested); it exists mostly as an oracle.
+    Every end user leases the job's nodes at submission and releases them
+    at completion, so the cost is exactly ``Σ meter.charge(size, runtime)``
+    — ``Σ size × ceil(runtime/1h)`` for the paper's per-started-hour meter
+    — and needs no simulation.  The simulated DRP system must agree with
+    this (tested); it exists mostly as an oracle.  (Two-tier meters are
+    not closed-form: the tier split depends on concurrent usage.)
     """
-    return float(sum(j.size * hour_ceil(j.runtime, HOUR) for j in trace))
+    if meter is None:
+        meter = PerStartedUnitMeter()
+    return float(sum(meter.charge(j.size, j.runtime) for j in trace))
 
 
 def work_node_hours(trace: Trace) -> float:

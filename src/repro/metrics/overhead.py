@@ -8,7 +8,7 @@ adjustment cost (15.743 s), reporting DawningCloud at ≈341 s/hour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.setup import DEFAULT_ADJUST_COST_S
 

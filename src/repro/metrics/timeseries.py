@@ -9,9 +9,15 @@ Every system records node usage as a sequence of ``(time, ±nodes)`` deltas.
   instantaneous usage inside each hour;
 * the overall peak.
 
-Series construction is vectorized with NumPy: deltas are bucketed with
-``np.add.at`` and peaks derived from the running level at bucket boundaries
-plus the within-bucket maxima.
+Simulations emit deltas in non-decreasing time order, so the recorder
+maintains everything **incrementally**: simultaneous deltas merge into one
+step, the integral accrues as each step closes, and per-hour peaks fold in
+as time advances — reads are O(answer), not a scan over every recorded
+event.  The last step stays *provisional* until a later instant arrives
+(only the net level at an instant may count toward a peak), and reads fold
+it in on the fly.  Out-of-order feeds (``merge_usage`` interleaving
+several recorders) drop to a vectorized NumPy path that produces identical
+results from the raw event list.
 """
 
 from __future__ import annotations
@@ -30,12 +36,42 @@ class UsageRecorder:
         self.name = name
         self._times: list[float] = []
         self._deltas: list[int] = []
+        # incremental fast-path state (valid while ``_sorted``)
+        self._sorted = True
+        self._m_times: list[float] = []   # merged step times
+        self._m_levels: list[float] = []  # level after each step
+        self._integral = 0.0              # ∫ level dt up to _m_times[-1]
+        self._level = 0                   # current level (= _m_levels[-1])
+        self._hour_peaks: list[float] = []  # folded per-hour maxima
+        self._folded_level = 0.0          # level after the last folded step
+        self._n_folded = 0                # merged steps folded into peaks
 
     def record(self, t: float, delta: int) -> None:
         if delta == 0:
             return
-        self._times.append(float(t))
-        self._deltas.append(int(delta))
+        t = float(t)
+        delta = int(delta)
+        self._times.append(t)
+        self._deltas.append(delta)
+        self._level += delta
+        if not self._sorted:
+            return
+        m_times = self._m_times
+        if not m_times:
+            self._m_times.append(t)
+            self._m_levels.append(float(delta))
+            return
+        last = m_times[-1]
+        if t == last:
+            # same instant: merge into the (still provisional) last step
+            self._m_levels[-1] += delta
+        elif t > last:
+            self._fold_last_step()
+            self._integral += self._m_levels[-1] * (t - last)
+            m_times.append(t)
+            self._m_levels.append(self._m_levels[-1] + delta)
+        else:
+            self._sorted = False  # out-of-order feed: numpy path takes over
 
     def extend(self, events: Iterable[tuple[float, int]]) -> None:
         for t, d in events:
@@ -46,8 +82,34 @@ class UsageRecorder:
         return sorted(zip(self._times, self._deltas))
 
     # ------------------------------------------------------------------ #
+    # incremental peak folding
+    # ------------------------------------------------------------------ #
+    def _fold_last_step(self) -> None:
+        """Fold the finalized last merged step into the per-hour peaks."""
+        i = len(self._m_times) - 1
+        if i < self._n_folded:
+            return
+        self._fold_into(self._hour_peaks, self._m_times[i], self._m_levels[i])
+        self._folded_level = self._m_levels[i]
+        self._n_folded = i + 1
+
+    def _fold_into(self, peaks: list[float], t: float, level: float) -> None:
+        """Fold one finalized step into a peaks list.
+
+        Hours that pass with no event peak at the level carried into them.
+        """
+        h = int(t // HOUR)
+        carried = self._folded_level
+        while len(peaks) <= h:
+            peaks.append(carried)
+        if level > peaks[h]:
+            peaks[h] = level
+
+    # ------------------------------------------------------------------ #
     def level_steps(self) -> tuple[np.ndarray, np.ndarray]:
         """``(times, levels)``: usage level after each event time."""
+        if self._sorted:
+            return np.asarray(self._m_times), np.asarray(self._m_levels)
         if not self._times:
             return np.array([]), np.array([])
         order = np.argsort(self._times, kind="stable")
@@ -62,6 +124,13 @@ class UsageRecorder:
 
     def integral_node_seconds(self, horizon: float) -> float:
         """Exact integral of usage over ``[0, horizon]``."""
+        if self._sorted:
+            if not self._m_times:
+                return 0.0
+            last = self._m_times[-1]
+            if horizon >= last:
+                return self._integral + self._m_levels[-1] * (horizon - last)
+            # horizon inside the recorded span: integrate the prefix
         times, levels = self.level_steps()
         if len(times) == 0:
             return 0.0
@@ -77,6 +146,20 @@ class UsageRecorder:
     def hourly_peak_series(self, horizon: float) -> np.ndarray:
         """Max instantaneous usage within each hour of ``[0, horizon]``."""
         n_hours = int(np.ceil(horizon / HOUR))
+        if self._sorted:
+            if n_hours <= 0:
+                # parity with the vectorized path: the per-hour loop
+                # below never runs, so nothing past t=0 may count
+                return np.zeros(1)
+            peaks = list(self._hour_peaks)
+            if self._n_folded < len(self._m_times):
+                # fold the provisional last step into the copy
+                self._fold_into(peaks, self._m_times[-1], self._m_levels[-1])
+            final = self._m_levels[-1] if self._m_levels else 0.0
+            size = max(n_hours, 1)
+            while len(peaks) < size:
+                peaks.append(final)
+            return np.asarray(peaks[:size], dtype=float)
         peaks = np.zeros(max(n_hours, 1))
         times, levels = self.level_steps()
         if len(times) == 0:
@@ -101,7 +184,7 @@ class UsageRecorder:
         return float(series.max()) if len(series) else 0.0
 
     def current_level(self) -> int:
-        return int(sum(self._deltas))
+        return self._level
 
 
 def merge_usage(recorders: Sequence[UsageRecorder], name: str = "merged") -> UsageRecorder:

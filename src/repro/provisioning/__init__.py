@@ -1,0 +1,47 @@
+"""The provisioning kernel: shared cluster state, billing meters, policies.
+
+Every system runner in :mod:`repro.systems` is a thin composition over
+this package (see docs/architecture.md):
+
+* :class:`~repro.provisioning.state.ClusterState` — the one node
+  inventory, range-indexed with incremental accounting;
+* :class:`~repro.provisioning.billing.BillingMeter` — how held leases
+  turn into billed units (per started hour, per second, reserved+spot);
+* :class:`~repro.provisioning.policies.ProvisioningPolicy` — how a
+  workload acquires, holds and returns nodes (per-job leases, pooled
+  leases with idle reclaim, fixed allocations, the DawningCloud dynamic
+  negotiation).
+"""
+
+from repro.provisioning.billing import (
+    BillingMeter,
+    METER_FACTORIES,
+    PerSecondMeter,
+    PerStartedUnitMeter,
+    TwoTierMeter,
+    make_meter,
+)
+from repro.provisioning.policies import (
+    ConsolidatedAllocation,
+    FixedAllocation,
+    PerJobLease,
+    PooledLease,
+    ProvisioningPolicy,
+)
+from repro.provisioning.state import ClusterState, ClusterStateError
+
+__all__ = [
+    "BillingMeter",
+    "ClusterState",
+    "ClusterStateError",
+    "ConsolidatedAllocation",
+    "FixedAllocation",
+    "METER_FACTORIES",
+    "PerJobLease",
+    "PerSecondMeter",
+    "PerStartedUnitMeter",
+    "PooledLease",
+    "ProvisioningPolicy",
+    "TwoTierMeter",
+    "make_meter",
+]

@@ -22,6 +22,12 @@ class JobQueue:
     def __init__(self) -> None:
         self._jobs: list[Job] = []
         self._members: set[int] = set()
+        # Incremental aggregates: the policy reads both once per scan
+        # (tens of thousands of scans per two-week run), so they must not
+        # rescan the queue.
+        self._total_demand = 0
+        self._size_counts: dict[int, int] = {}
+        self._biggest = 0
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -42,12 +48,24 @@ class JobQueue:
             raise ValueError(f"job {job.job_id} already queued")
         self._jobs.append(job)
         self._members.add(job.job_id)
+        self._total_demand += job.size
+        self._size_counts[job.size] = self._size_counts.get(job.size, 0) + 1
+        if job.size > self._biggest:
+            self._biggest = job.size
 
     def remove(self, job: Job) -> None:
         if job.job_id not in self._members:
             raise ValueError(f"job {job.job_id} not in queue")
         self._jobs.remove(job)
         self._members.discard(job.job_id)
+        self._total_demand -= job.size
+        count = self._size_counts[job.size] - 1
+        if count:
+            self._size_counts[job.size] = count
+        else:
+            del self._size_counts[job.size]
+            if job.size == self._biggest:
+                self._biggest = max(self._size_counts, default=0)
 
     def head(self) -> Optional[Job]:
         return self._jobs[0] if self._jobs else None
@@ -58,9 +76,9 @@ class JobQueue:
     @property
     def total_demand(self) -> int:
         """Accumulated resource demand of all queued jobs, in nodes."""
-        return sum(j.size for j in self._jobs)
+        return self._total_demand
 
     @property
     def biggest_demand(self) -> int:
         """Width of the widest queued job (0 when empty)."""
-        return max((j.size for j in self._jobs), default=0)
+        return self._biggest

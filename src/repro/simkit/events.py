@@ -71,6 +71,8 @@ class Event:
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
+        # The engine's heap holds (time, priority, seq, event) tuples, so
+        # this is off the hot path; it exists for direct Event sorting.
         return self.sort_key() < other.sort_key()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

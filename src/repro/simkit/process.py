@@ -46,7 +46,7 @@ class SimProcess:
     def interrupt(self) -> None:
         """Stop the process; the generator is closed immediately."""
         if self._event is not None:
-            self._event.cancel()
+            self._engine.cancel(self._event)
             self._event = None
         if not self.finished:
             self.finished = True

@@ -44,7 +44,7 @@ class OneShotTimer:
 
     def cancel(self) -> None:
         if self._event is not None:
-            self._event.cancel()
+            self._engine.cancel(self._event)
             self._event = None
 
 
@@ -87,7 +87,7 @@ class PeriodicTimer:
 
     def stop(self) -> None:
         if self._event is not None:
-            self._event.cancel()
+            self._engine.cancel(self._event)
             self._event = None
 
     def _arm(self) -> None:

@@ -9,7 +9,6 @@ execution state and each system must replay from a clean slate.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Literal, Optional
 
@@ -17,6 +16,14 @@ from repro.workloads.job import Job, Trace
 from repro.workloads.workflow import Workflow
 
 HOUR = 3600.0
+
+#: MTC horizon safety factor: runners stop at workflow *completion*, so the
+#: horizon is only a runaway guard.  A workflow can never take longer than
+#: ``critical_path + total_work`` on one node; the critical path is padded
+#: ``×10`` so pathological schedules (a starved one-node TRE executing the
+#: chain serially, schedulers that hold tasks for whole scan intervals)
+#: still finish inside the guard rather than tripping it.
+MTC_HORIZON_CP_FACTOR = 10.0
 
 
 def clone_workflow(workflow: Workflow) -> Workflow:
@@ -70,12 +77,15 @@ class WorkloadBundle:
                 # §4.4: "the accumulated resource demand in most of the
                 # running time" — the width of the workflow's steady level
                 # (166 for Montage: the projection/background stages).
-                self.fixed_nodes = self.workflow.levels().__getitem__(0).__len__()
+                self.fixed_nodes = len(self.workflow.levels()[0])
             if self.horizon is None:
-                # generous completion bound; runners stop at completion
                 cp = self.workflow.critical_path_length()
                 work = self.workflow.total_work()
-                self.horizon = self.workflow.submit_time + 10 * cp + work
+                self.horizon = (
+                    self.workflow.submit_time
+                    + MTC_HORIZON_CP_FACTOR * cp
+                    + work
+                )
         else:
             raise ValueError(f"kind must be 'htc' or 'mtc', got {self.kind!r}")
         if self.fixed_nodes is not None and self.fixed_nodes <= 0:

@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro.core.policies import ResourceManagementPolicy
 from repro.metrics.results import ProviderMetrics, ResourceProviderMetrics
+from repro.provisioning.billing import BillingMeter
 from repro.systems.base import WorkloadBundle
 from repro.systems.drp import run_drp
 from repro.systems.dsp_runner import (
@@ -59,17 +60,23 @@ def run_all_systems(
     policies: dict[str, ResourceManagementPolicy],
     capacity: int = DEFAULT_CAPACITY,
     horizon: Optional[float] = None,
+    meter: Optional[BillingMeter] = None,
 ) -> ConsolidationResult:
-    """Run every bundle through all four systems and aggregate."""
+    """Run every bundle through all four systems and aggregate.
+
+    ``meter`` re-bills every *leased* system (SSP, DRP, DawningCloud)
+    under a different billing rule; DCS owns its machine, so its §4.3
+    closed form is meter-independent.
+    """
     if horizon is None:
         horizon = max(float(b.horizon) for b in bundles if b.kind == "htc")  # type: ignore[arg-type]
     result = ConsolidationResult()
     for system, runner in (("DCS", run_dcs), ("SSP", run_ssp), ("DRP", run_drp)):
-        providers = [runner(b) for b in bundles]
+        providers = [runner(b, meter=meter) for b in bundles]
         result.aggregates[system] = ResourceProviderMetrics.from_providers(
             system, providers, horizon
         )
     result.aggregates["DawningCloud"] = run_dawningcloud_consolidated(
-        bundles, policies, capacity=capacity, horizon=horizon
+        bundles, policies, capacity=capacity, horizon=horizon, meter=meter
     )
     return result

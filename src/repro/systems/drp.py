@@ -15,21 +15,29 @@ hour.
   cost-aware user does under hourly billing).  For Montage this makes the
   cost equal the widest ready level — the paper's 662 node-hours against
   166 for DawningCloud (Table 4, the 74.9% saving).
+
+Since the provisioning-kernel refactor the lease handling itself lives in
+:mod:`repro.provisioning.policies` — the HTC runner is
+:class:`~repro.provisioning.policies.PerJobLease`, the MTC user pool and
+the pooling ablations are :class:`~repro.provisioning.policies.PooledLease`
+under different bucket keys — and every runner takes a pluggable
+:class:`~repro.provisioning.billing.BillingMeter`.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.cluster.lease import HOUR, Lease
+from repro.cluster.lease import Lease
 from repro.cluster.provision import ResourceProvisionService
 from repro.metrics.results import ProviderMetrics
 from repro.metrics.timeseries import UsageRecorder
+from repro.provisioning.billing import BillingMeter
+from repro.provisioning.policies import PerJobLease, PooledLease
 from repro.simkit.engine import SimulationEngine
-from repro.simkit.timers import PeriodicTimer
 from repro.systems.base import WorkloadBundle, run_until
 from repro.systems.emulator import JobEmulator
-from repro.workloads.job import Job, JobState, Trace
+from repro.workloads.job import Job, JobState
 from repro.workloads.workflow import Workflow
 
 #: The cloud is effectively unbounded from a single tenant's perspective.
@@ -39,27 +47,30 @@ DEFAULT_DRP_CAPACITY = 1_000_000
 class _DrpHtcRun:
     """One HTC trace through DRP: lease per job, no queue."""
 
-    def __init__(self, engine: SimulationEngine, name: str, capacity: int) -> None:
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        name: str,
+        capacity: int,
+        meter: Optional[BillingMeter] = None,
+    ) -> None:
         self.engine = engine
         self.name = name
-        self.provision = ResourceProvisionService(capacity)
+        self.provision = ResourceProvisionService(capacity, meter=meter)
         self.usage = UsageRecorder(name)
+        self.leasing = PerJobLease(engine, self.provision, name, self.usage)
         self.completed: list[Job] = []
         self.submitted = 0
 
     def submit(self, job: Job) -> None:
         self.submitted += 1
-        lease = self.provision.request(self.name, job.size, self.engine.now)
-        if lease is None:  # pragma: no cover - capacity is effectively infinite
-            raise RuntimeError("DRP pool exhausted")
+        lease = self.leasing.acquire(job.size)
         job.mark_queued(self.engine.now)
         job.mark_running(self.engine.now)
-        self.usage.record(self.engine.now, job.size)
         self.engine.schedule(job.runtime, self._finish, job, lease)
 
     def _finish(self, job: Job, lease: Lease) -> None:
-        self.provision.release(lease, self.engine.now)
-        self.usage.record(self.engine.now, -job.size)
+        self.leasing.release(lease)
         job.mark_completed(self.engine.now)
         self.completed.append(job)
 
@@ -67,13 +78,18 @@ class _DrpHtcRun:
 class _DrpMtcUserPool:
     """The MTC end user's manually managed lease pool."""
 
-    def __init__(self, engine: SimulationEngine, name: str, capacity: int) -> None:
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        name: str,
+        capacity: int,
+        meter: Optional[BillingMeter] = None,
+    ) -> None:
         self.engine = engine
         self.name = name
-        self.provision = ResourceProvisionService(capacity)
+        self.provision = ResourceProvisionService(capacity, meter=meter)
         self.usage = UsageRecorder(name)
-        self._idle: dict[int, list[Lease]] = {}  # size -> idle leases
-        self._timers: dict[int, PeriodicTimer] = {}
+        self.pool = PooledLease(engine, self.provision, name, self.usage)
         self.completed: list[Job] = []
         self.submitted = 0
         self.workflow: Optional[Workflow] = None
@@ -85,41 +101,14 @@ class _DrpMtcUserPool:
         for task in workflow.ready_tasks():
             self._start(task)
 
-    def _acquire(self, size: int) -> Lease:
-        bucket = self._idle.get(size)
-        if bucket:
-            return bucket.pop()
-        lease = self.provision.request(self.name, size, self.engine.now)
-        if lease is None:  # pragma: no cover - capacity effectively infinite
-            raise RuntimeError("DRP pool exhausted")
-        self.usage.record(self.engine.now, size)
-        timer = PeriodicTimer(self.engine, HOUR, self._hourly_check, lease)
-        timer.start()
-        self._timers[lease.lease_id] = timer
-        return lease
-
-    def _hourly_check(self, lease: Lease) -> None:
-        """Release the lease at an hour boundary if it sits idle."""
-        bucket = self._idle.get(lease.n_nodes, [])
-        if lease in bucket:
-            bucket.remove(lease)
-            self._release(lease)
-
-    def _release(self, lease: Lease) -> None:
-        timer = self._timers.pop(lease.lease_id, None)
-        if timer is not None:
-            timer.stop()
-        self.provision.release(lease, self.engine.now)
-        self.usage.record(self.engine.now, -lease.n_nodes)
-
     def _start(self, task: Job) -> None:
-        lease = self._acquire(task.size)
+        lease = self.pool.acquire(task.size)
         task.mark_queued(self.engine.now)
         task.mark_running(self.engine.now)
         self.engine.schedule(task.runtime, self._finish, task, lease)
 
     def _finish(self, task: Job, lease: Lease) -> None:
-        self._idle.setdefault(lease.n_nodes, []).append(lease)
+        self.pool.release(lease)
         task.mark_completed(self.engine.now)
         self.completed.append(task)
         assert self.workflow is not None
@@ -131,14 +120,13 @@ class _DrpMtcUserPool:
 
     def teardown(self) -> None:
         """Workflow done: the user returns every leased node."""
-        for bucket in self._idle.values():
-            for lease in list(bucket):
-                self._release(lease)
-        self._idle.clear()
+        self.pool.teardown()
 
 
 def run_drp(
-    bundle: WorkloadBundle, capacity: int = DEFAULT_DRP_CAPACITY
+    bundle: WorkloadBundle,
+    capacity: int = DEFAULT_DRP_CAPACITY,
+    meter: Optional[BillingMeter] = None,
 ) -> ProviderMetrics:
     """Run one bundle through the DRP system."""
     engine = SimulationEngine()
@@ -146,7 +134,7 @@ def run_drp(
 
     if bundle.kind == "htc":
         trace = bundle.materialize_trace()
-        run = _DrpHtcRun(engine, bundle.name, capacity)
+        run = _DrpHtcRun(engine, bundle.name, capacity, meter=meter)
         emulator.submit_trace(trace, run.submit)
         horizon = float(bundle.horizon)  # type: ignore[arg-type]
         engine.run(until=horizon)
@@ -160,7 +148,7 @@ def run_drp(
         makespan = None
     else:
         workflow = bundle.materialize_workflow()
-        pool = _DrpMtcUserPool(engine, bundle.name, capacity)
+        pool = _DrpMtcUserPool(engine, bundle.name, capacity, meter=meter)
         emulator.submit_workflow(workflow, pool.submit)
         run_until(engine, workflow.completed, hard_limit=float(bundle.horizon))  # type: ignore[arg-type]
         pool.teardown()
@@ -194,10 +182,10 @@ class _DrpPooledHtcRun:
     short-job traces (NASA) *more* expensive than owning (Table 2's
     -25.8%).  The obvious user-side optimization under hourly billing is
     to keep paid-for nodes and pack the next job onto them.  This run
-    models that: each end user holds per-size buckets of leased nodes; a
-    job first drains its user's idle bucket, and idle leases are returned
-    at the next hourly check — the same manual strategy as the MTC pool,
-    but per end user, because DRP has no cross-user runtime environment.
+    models that with a :class:`PooledLease` keyed per end user: a job
+    first drains its user's idle bucket, and idle leases are returned at
+    the next hourly check — the same manual strategy as the MTC pool, but
+    per end user, because DRP has no cross-user runtime environment.
 
     The gap that remains against DawningCloud is therefore exactly the
     value of *sharing*: a queue over one elastic pool spanning all users.
@@ -209,14 +197,14 @@ class _DrpPooledHtcRun:
         name: str,
         capacity: int,
         shared: bool = False,
+        meter: Optional[BillingMeter] = None,
     ) -> None:
         self.engine = engine
         self.name = name
         self.shared = shared
-        self.provision = ResourceProvisionService(capacity)
+        self.provision = ResourceProvisionService(capacity, meter=meter)
         self.usage = UsageRecorder(name)
-        self._idle: dict[tuple[int, int], list[Lease]] = {}
-        self._timers: dict[int, PeriodicTimer] = {}
+        self.pool = PooledLease(engine, self.provision, name, self.usage)
         self.completed: list[Job] = []
         self.submitted = 0
 
@@ -227,52 +215,25 @@ class _DrpPooledHtcRun:
 
     def submit(self, job: Job) -> None:
         self.submitted += 1
-        key = self._key(job)
-        bucket = self._idle.get(key)
-        if bucket:
-            lease = bucket.pop()
-        else:
-            lease = self.provision.request(self.name, job.size, self.engine.now)
-            if lease is None:  # pragma: no cover - capacity effectively infinite
-                raise RuntimeError("DRP pool exhausted")
-            self.usage.record(self.engine.now, job.size)
-            timer = PeriodicTimer(self.engine, HOUR, self._hourly_check,
-                                  lease, key)
-            timer.start()
-            self._timers[lease.lease_id] = timer
+        lease = self.pool.acquire(job.size, key=self._key(job))
         job.mark_queued(self.engine.now)
         job.mark_running(self.engine.now)
         self.engine.schedule(job.runtime, self._finish, job, lease)
 
     def _finish(self, job: Job, lease: Lease) -> None:
-        self._idle.setdefault(self._key(job), []).append(lease)
+        self.pool.release(lease)
         job.mark_completed(self.engine.now)
         self.completed.append(job)
 
-    def _hourly_check(self, lease: Lease, key: tuple[int, int]) -> None:
-        bucket = self._idle.get(key, [])
-        if lease in bucket:
-            bucket.remove(lease)
-            self._release(lease)
-
-    def _release(self, lease: Lease) -> None:
-        timer = self._timers.pop(lease.lease_id, None)
-        if timer is not None:
-            timer.stop()
-        self.provision.release(lease, self.engine.now)
-        self.usage.record(self.engine.now, -lease.n_nodes)
-
     def teardown(self) -> None:
-        for bucket in self._idle.values():
-            for lease in list(bucket):
-                self._release(lease)
-        self._idle.clear()
+        self.pool.teardown()
 
 
 def run_drp_pooled(
     bundle: WorkloadBundle,
     capacity: int = DEFAULT_DRP_CAPACITY,
     shared: bool = False,
+    meter: Optional[BillingMeter] = None,
 ) -> ProviderMetrics:
     """DRP with cost-aware per-user node pooling (HTC ablation).
 
@@ -283,7 +244,8 @@ def run_drp_pooled(
         raise ValueError("pooled DRP is an HTC ablation")
     engine = SimulationEngine()
     trace = bundle.materialize_trace()
-    run = _DrpPooledHtcRun(engine, bundle.name, capacity, shared=shared)
+    run = _DrpPooledHtcRun(engine, bundle.name, capacity, shared=shared,
+                           meter=meter)
     JobEmulator(engine).submit_trace(trace, run.submit)
     horizon = float(bundle.horizon)  # type: ignore[arg-type]
     engine.run(until=horizon)

@@ -18,6 +18,7 @@ from typing import Optional
 from repro.core.dawningcloud import DawningCloud
 from repro.core.policies import ResourceManagementPolicy
 from repro.metrics.results import ProviderMetrics, ResourceProviderMetrics
+from repro.provisioning.billing import BillingMeter
 from repro.systems.base import WorkloadBundle, run_until
 
 HOUR = 3600.0
@@ -35,11 +36,12 @@ def run_dawningcloud_htc(
     bundle: WorkloadBundle,
     policy: ResourceManagementPolicy,
     capacity: int = DEFAULT_CAPACITY,
+    meter: Optional[BillingMeter] = None,
 ) -> ProviderMetrics:
     """One HTC service provider on DawningCloud (standalone)."""
     if bundle.kind != "htc":
         raise ValueError("expected an HTC bundle")
-    cloud = DawningCloud(capacity=capacity)
+    cloud = DawningCloud(capacity=capacity, meter=meter)
     cloud.add_htc_provider(bundle.name, policy)
     cloud.submit_trace(bundle.name, bundle.materialize_trace())
     horizon = float(bundle.horizon)  # type: ignore[arg-type]
@@ -52,6 +54,7 @@ def run_dawningcloud_mtc(
     bundle: WorkloadBundle,
     policy: ResourceManagementPolicy,
     capacity: int = DEFAULT_CAPACITY,
+    meter: Optional[BillingMeter] = None,
 ) -> ProviderMetrics:
     """One MTC service provider on DawningCloud (standalone).
 
@@ -62,7 +65,7 @@ def run_dawningcloud_mtc(
     if bundle.kind != "mtc":
         raise ValueError("expected an MTC bundle")
     workflow = bundle.materialize_workflow()
-    cloud = DawningCloud(capacity=capacity)
+    cloud = DawningCloud(capacity=capacity, meter=meter)
     cloud.add_mtc_provider(
         bundle.name, policy, auto_destroy=True, create_at=workflow.submit_time
     )
@@ -77,9 +80,10 @@ def run_dawningcloud_consolidated(
     policies: dict[str, ResourceManagementPolicy],
     capacity: int = DEFAULT_CAPACITY,
     horizon: Optional[float] = None,
+    meter: Optional[BillingMeter] = None,
 ) -> ResourceProviderMetrics:
     """All service providers consolidated on one DawningCloud platform."""
-    cloud = DawningCloud(capacity=capacity)
+    cloud = DawningCloud(capacity=capacity, meter=meter)
     if horizon is None:
         horizon = max(float(b.horizon) for b in bundles if b.kind == "htc")  # type: ignore[arg-type]
     pending_workflows = []

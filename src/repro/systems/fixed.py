@@ -9,20 +9,29 @@ They differ only in *ownership*:
   by definition, and no node adjustments ever happen.
 * **SSP** leases the same size from the resource provider at RE startup
   and releases it at finalization: the billed node-hours equal DCS's
-  figure, and exactly ``2 × size`` node adjustments occur (Figure 14's
-  "SSP has the lowest management overhead").
+  figure under the paper's meter, and exactly ``2 × size`` node
+  adjustments occur (Figure 14's "SSP has the lowest management
+  overhead").
 
-Hence one simulation serves both; the runner just labels the accounting.
+Hence one simulation serves both; ownership is a
+:class:`~repro.provisioning.policies.FixedAllocation` with or without a
+provision service behind it, and SSP's node-hours flow through the
+service's :class:`~repro.provisioning.billing.BillingMeter` (the paper's
+per-started-hour meter reproduces the closed form; a per-second meter
+bills the same machine very differently).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.cluster.provision import ResourceProvisionService
 from repro.core.servers import REServer
 from repro.core.policies import HTC_SCAN_INTERVAL_S, MTC_SCAN_INTERVAL_S
 from repro.metrics.accounting import dcs_consumption_node_hours
 from repro.metrics.results import ProviderMetrics
+from repro.provisioning.billing import BillingMeter
+from repro.provisioning.policies import FixedAllocation
 from repro.scheduling.fcfs import FcfsScheduler
 from repro.scheduling.firstfit import FirstFitScheduler
 from repro.simkit.engine import SimulationEngine
@@ -32,18 +41,28 @@ from repro.systems.emulator import JobEmulator
 HOUR = 3600.0
 
 
-def _run_fixed(bundle: WorkloadBundle, system: str) -> ProviderMetrics:
+def _run_fixed(
+    bundle: WorkloadBundle, system: str, meter: Optional[BillingMeter] = None
+) -> ProviderMetrics:
     engine = SimulationEngine()
     emulator = JobEmulator(engine)
     nodes = int(bundle.fixed_nodes)  # type: ignore[arg-type]
 
+    # SSP leases its block through the provision service (and its meter);
+    # DCS owns the machine outright, so there is nothing to meter.
+    provision = (
+        ResourceProvisionService(nodes, meter=meter) if system == "SSP" else None
+    )
+
     if bundle.kind == "htc":
         trace = bundle.materialize_trace()
         server = REServer(engine, bundle.name, FirstFitScheduler(), HTC_SCAN_INTERVAL_S)
-        server.add_nodes(nodes)
+        allocation = FixedAllocation(engine, server, nodes, provision=provision)
+        allocation.start()
         emulator.submit_trace(trace, server.submit_job)
         horizon = float(bundle.horizon)  # type: ignore[arg-type]
         engine.run(until=horizon)
+        allocation.teardown()
         server.stop()
         period = trace.duration
         completed = server.completed_by(horizon)
@@ -53,11 +72,13 @@ def _run_fixed(bundle: WorkloadBundle, system: str) -> ProviderMetrics:
     else:
         workflow = bundle.materialize_workflow()
         server = REServer(engine, bundle.name, FcfsScheduler(), MTC_SCAN_INTERVAL_S)
+        allocation = FixedAllocation(engine, server, nodes, provision=provision)
         # the fixed machine exists only for the workload period
-        engine.schedule_at(workflow.submit_time, server.add_nodes, nodes)
+        engine.schedule_at(workflow.submit_time, allocation.start)
         emulator.submit_workflow(workflow, server.submit_workflow)
         run_until(engine, workflow.completed, hard_limit=float(bundle.horizon))  # type: ignore[arg-type]
         makespan = server.makespan()
+        allocation.teardown()
         server.stop()
         period = makespan or 0.0
         completed = server.completed_count
@@ -67,9 +88,14 @@ def _run_fixed(bundle: WorkloadBundle, system: str) -> ProviderMetrics:
         submitted = len(workflow.tasks)
         horizon = engine.now
 
-    consumption = dcs_consumption_node_hours(nodes, period)
-    # SSP leases: one grant at startup, one release at finalization.
-    adjusted = 2 * nodes if system == "SSP" else 0
+    if provision is not None:
+        # SSP: billed through the lease ledger (meter-dependent).
+        consumption = provision.consumption_node_hours(bundle.name)
+        adjusted = provision.adjusted_node_count(bundle.name)
+    else:
+        # DCS: owned — the §4.3 closed form, no adjustments ever.
+        consumption = dcs_consumption_node_hours(nodes, period)
+        adjusted = 0
     return ProviderMetrics(
         provider=bundle.name,
         system=system,
@@ -85,11 +111,15 @@ def _run_fixed(bundle: WorkloadBundle, system: str) -> ProviderMetrics:
     )
 
 
-def run_dcs(bundle: WorkloadBundle) -> ProviderMetrics:
+def run_dcs(
+    bundle: WorkloadBundle, meter: Optional[BillingMeter] = None
+) -> ProviderMetrics:
     """Run a workload on a dedicated cluster system (owned, fixed size)."""
-    return _run_fixed(bundle, "DCS")
+    return _run_fixed(bundle, "DCS", meter=meter)
 
 
-def run_ssp(bundle: WorkloadBundle) -> ProviderMetrics:
+def run_ssp(
+    bundle: WorkloadBundle, meter: Optional[BillingMeter] = None
+) -> ProviderMetrics:
     """Run a workload on a static-service-provision system (leased, fixed)."""
-    return _run_fixed(bundle, "SSP")
+    return _run_fixed(bundle, "SSP", meter=meter)

@@ -271,7 +271,10 @@ def hour_ceil(seconds: float, unit: float = 3600.0) -> int:
     """
     if seconds < 0:
         raise ValueError(f"negative duration {seconds!r}")
-    units = math.ceil(seconds / unit)
+    # A lease opened at a non-representable instant and held for exactly
+    # k units closes at open+held, whose float round-off can land a hair
+    # above k*unit; without the epsilon that bills a whole extra unit.
+    units = math.ceil(seconds / unit - 1e-9)
     return max(1, int(units))
 
 

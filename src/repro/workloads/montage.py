@@ -37,10 +37,9 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.simkit.rng import RandomStreams
 from repro.workloads.job import Job

@@ -32,7 +32,6 @@ Every generator is deterministic given its ``seed``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -16,7 +16,7 @@ and are deterministic given their seed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.node import Node, NodePool, NodeState
-from repro.cluster.vm import VirtualMachine, VMProvisionService, VMState
+from repro.cluster.vm import VMProvisionService, VMState
 from repro.simkit.engine import SimulationEngine
 
 

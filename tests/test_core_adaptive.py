@@ -1,6 +1,5 @@
 """Tests for the alternative resource-management policies (core.adaptive)."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.dawningcloud import DawningCloud
 from repro.core.policies import ResourceManagementPolicy
-from repro.workloads.job import JobState
 from repro.workloads.workflow import Workflow
 from tests.conftest import make_job, make_trace
 

@@ -7,8 +7,6 @@ from repro.core.negotiation import DynamicResourceManager
 from repro.core.policies import ResourceManagementPolicy
 from repro.core.servers import REServer
 from repro.scheduling.firstfit import FirstFitScheduler
-from repro.simkit.engine import SimulationEngine
-from repro.workloads.job import JobState
 from tests.conftest import make_job
 
 HOUR = 3600.0

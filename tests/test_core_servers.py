@@ -5,7 +5,6 @@ import pytest
 from repro.core.servers import REServer
 from repro.scheduling.fcfs import FcfsScheduler
 from repro.scheduling.firstfit import FirstFitScheduler
-from repro.simkit.engine import SimulationEngine
 from repro.workloads.job import JobState
 from repro.workloads.workflow import Workflow
 from tests.conftest import make_job

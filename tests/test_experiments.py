@@ -13,7 +13,6 @@ from repro.experiments.config import (
     montage_bundle,
 )
 from repro.experiments.report import (
-    render_consolidated,
     render_percentage_rows,
     render_sweep,
     render_table,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.policies import ResourceManagementPolicy
 from repro.federation.market import (
-    MarketResult,
     ProviderRate,
     cheapest_feasible_placement,
     run_market,

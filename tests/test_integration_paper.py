@@ -12,7 +12,6 @@ import pytest
 from repro.experiments.config import (
     EvaluationSetup,
     PAPER_POLICIES,
-    blue_bundle,
     montage_bundle,
     nasa_bundle,
 )

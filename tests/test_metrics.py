@@ -1,6 +1,5 @@
 """Tests for usage time series, accounting formulas and result records."""
 
-import numpy as np
 import pytest
 
 from repro.metrics.accounting import (

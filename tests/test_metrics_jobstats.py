@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.metrics.jobstats import (
-    SLOWDOWN_TAU_S,
     achieved_utilization,
     bounded_slowdowns,
     compute_statistics,

@@ -111,3 +111,62 @@ class TestMerge:
         merged = merge_usage([a, b])
         assert merged.peak(HOUR) == 7.0
         assert merged.peak(HOUR) <= a.peak(HOUR) + b.peak(HOUR)
+
+
+class TestIncrementalMatchesVectorized:
+    """The in-order fast path must be indistinguishable from the numpy path."""
+
+    def _pair(self, events):
+        """Same events fed in order (fast path) and shuffled (numpy path)."""
+        fast = UsageRecorder("fast")
+        for t, d in events:
+            fast.record(t, d)
+        slow = UsageRecorder("slow")
+        for t, d in reversed(events):  # reversed feed forces the fallback
+            slow.record(t, d)
+        if len(events) > 1:
+            assert not slow._sorted
+        return fast, slow
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_sequences_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 120))
+        times = np.sort(rng.uniform(0, 10 * HOUR, size=n))
+        if seed % 2:
+            times = np.round(times / 600) * 600  # force simultaneous events
+        events = []
+        level = 0
+        for t in times:
+            delta = int(rng.integers(-3, 8))
+            delta = max(delta, -level) or 1
+            level += delta
+            events.append((float(t), delta))
+        fast, slow = self._pair(events)
+        horizon = float(times[-1] + float(rng.uniform(0, 2 * HOUR)))
+        f_times, f_levels = fast.level_steps()
+        s_times, s_levels = slow.level_steps()
+        assert np.array_equal(f_times, s_times)
+        assert np.array_equal(f_levels, s_levels)
+        assert np.array_equal(
+            fast.hourly_peak_series(horizon), slow.hourly_peak_series(horizon)
+        )
+        assert fast.peak(horizon) == slow.peak(horizon)
+        assert fast.integral_node_seconds(horizon) == pytest.approx(
+            slow.integral_node_seconds(horizon), rel=1e-12
+        )
+        mid = horizon / 3  # horizon inside the recorded span
+        assert fast.integral_node_seconds(mid) == pytest.approx(
+            slow.integral_node_seconds(mid), rel=1e-12
+        )
+        assert np.array_equal(
+            fast.hourly_peak_series(mid), slow.hourly_peak_series(mid)
+        )
+
+    def test_simultaneous_cancel_does_not_pollute_peak(self):
+        rec = UsageRecorder()
+        rec.record(10.0, 5)
+        rec.record(100.0, 50)   # transient...
+        rec.record(100.0, -50)  # ...net zero at the same instant
+        rec.record(200.0, 1)
+        assert rec.peak(HOUR) == 6.0

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-import math
 
 import networkx as nx
 import pytest
@@ -13,7 +12,7 @@ from repro.scheduling.backfill import EasyBackfillScheduler
 from repro.scheduling.base import RunningJob
 from repro.scheduling.fcfs import FcfsScheduler
 from repro.scheduling.firstfit import FirstFitScheduler
-from repro.workloads.job import Job, hour_ceil
+from repro.workloads.job import hour_ceil
 from repro.workloads.swf import parse_swf, write_swf
 from repro.workloads.workflowgen import layered_random
 from tests.conftest import make_job, make_trace

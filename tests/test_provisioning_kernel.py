@@ -1,0 +1,148 @@
+"""Unit tests for the provisioning kernel: ClusterState + BillingMeter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.provisioning.billing import (
+    PerSecondMeter,
+    PerStartedUnitMeter,
+    TwoTierMeter,
+    make_meter,
+)
+from repro.provisioning.state import ClusterState, ClusterStateError
+
+HOUR = 3600.0
+
+
+class TestClusterState:
+    def test_initial_inventory_is_one_range(self):
+        state = ClusterState(1_000_000)
+        assert state.capacity == 1_000_000
+        assert state.free_count == 1_000_000
+        assert state.allocated_count == 0
+
+    def test_assign_and_reclaim_roundtrip(self):
+        state = ClusterState(100)
+        state.assign("a", 30)
+        state.assign("b", 20)
+        assert state.free_count == 50
+        assert state.owned_count("a") == 30
+        assert state.owned_count("b") == 20
+        state.reclaim("a", 10)
+        assert state.owned_count("a") == 20
+        assert state.free_count == 60
+        state.reclaim("a", 20)
+        state.reclaim("b", 20)
+        assert state.free_count == 100
+        # free index merges back into one contiguous block
+        assert state._free == [(0, 100)]
+
+    def test_overdraw_rejected(self):
+        state = ClusterState(10)
+        with pytest.raises(ClusterStateError):
+            state.assign("a", 11)
+        state.assign("a", 4)
+        with pytest.raises(ClusterStateError):
+            state.reclaim("a", 5)
+        with pytest.raises(ClusterStateError):
+            state.assign("a", 0)
+
+    def test_adjustment_counter_accumulates(self):
+        state = ClusterState(10)
+        state.assign("a", 4)
+        state.reclaim("a", 4)
+        state.assign("b", 2)
+        assert state.total_adjustments() == 10
+
+    def test_fragmentation_and_partial_reclaim(self):
+        state = ClusterState(10)
+        state.assign("a", 4)
+        state.assign("b", 4)
+        state.reclaim("a", 4)  # hole in the middle of the id space
+        assert state.free_count == 6
+        got = state.assign("c", 6)  # must span the fragments
+        assert sum(stop - start for start, stop in got) == 6
+        assert state.free_count == 0
+
+    def test_incremental_busy_integral(self):
+        state = ClusterState(10)
+        state.assign("a", 4, t=0.0)
+        state.assign("b", 2, t=10.0)  # 4 busy for 10 s
+        state.reclaim("a", 4, t=20.0)  # 6 busy for 10 s
+        assert state.busy_node_seconds(30.0) == 4 * 10 + 6 * 10 + 2 * 10
+        with pytest.raises(ClusterStateError):
+            state.assign("c", 1, t=5.0)  # time cannot go backwards
+
+    def test_reclaim_is_lifo_per_owner(self):
+        state = ClusterState(10)
+        first = state.assign("a", 3)
+        second = state.assign("a", 3)
+        freed = state.reclaim("a", 3)
+        assert freed == second
+        assert state.owned_ranges("a") == first
+
+
+class TestBillingMeters:
+    def test_per_started_unit_matches_paper_rule(self):
+        meter = PerStartedUnitMeter()
+        assert meter.charge(4, 0.0) == 4  # min one unit per lease
+        assert meter.charge(4, 3600.0) == 4
+        assert meter.charge(4, 3600.1) == 8
+        assert meter.charge(1, 2 * HOUR) == 2
+
+    def test_per_second_is_exact_above_the_floor(self):
+        meter = PerSecondMeter(min_charge_s=60.0)
+        assert meter.charge(2, 1800.0) == 2 * 1800.0 / HOUR
+        assert meter.charge(2, 10.0) == 2 * 60.0 / HOUR  # floor
+        assert PerSecondMeter(min_charge_s=0.0).charge(2, 10.0) == (
+            2 * 10.0 / HOUR
+        )
+
+    def test_two_tier_splits_at_open_time_footprint(self):
+        meter = TwoTierMeter(reserved_nodes=10, reserved_rate=0.5,
+                             spot_rate=1.0)
+        # whole lease inside the reserved pool
+        assert meter.charge(4, HOUR, open_nodes_at_open=0) == 4 * 0.5
+        # straddles the boundary: 2 reserved + 2 spot
+        assert meter.charge(4, HOUR, open_nodes_at_open=8) == 2 * 0.5 + 2
+        # fully beyond the reservation
+        assert meter.charge(4, HOUR, open_nodes_at_open=10) == 4.0
+        # per-started-unit rounding still applies
+        assert meter.charge(4, HOUR + 1, open_nodes_at_open=10) == 8.0
+
+    def test_make_meter_registry(self):
+        assert isinstance(make_meter("per-hour"), PerStartedUnitMeter)
+        assert isinstance(make_meter("per-second"), PerSecondMeter)
+        spot = make_meter("reserved-spot", reserved_nodes=128)
+        assert isinstance(spot, TwoTierMeter)
+        assert spot.reserved_nodes == 128
+        with pytest.raises(KeyError):
+            make_meter("per-fortnight")
+
+    def test_ledger_threads_the_meter(self):
+        from repro.cluster.lease import LeaseLedger
+
+        ledger = LeaseLedger(meter=PerSecondMeter(min_charge_s=0.0))
+        lease = ledger.open_lease("a", 2, 0.0)
+        assert ledger.close_lease(lease, 1800.0) == pytest.approx(1.0)
+        assert ledger.charged_units_total("a") == pytest.approx(1.0)
+
+    def test_ledger_records_open_footprint_for_tiering(self):
+        from repro.cluster.lease import LeaseLedger
+
+        ledger = LeaseLedger(
+            meter=TwoTierMeter(reserved_nodes=3, reserved_rate=0.0,
+                               spot_rate=1.0)
+        )
+        base = ledger.open_lease("a", 3, 0.0)  # fills the reservation
+        burst = ledger.open_lease("a", 2, 0.0)  # all spot
+        assert burst.open_nodes_at_open == 3
+        assert ledger.close_lease(burst, HOUR) == 2.0
+        assert ledger.close_lease(base, HOUR) == 0.0
+
+    def test_reserved_spot_requires_a_reservation(self):
+        with pytest.raises(ValueError, match="reserved_nodes"):
+            make_meter("reserved-spot")
+        with pytest.raises(ValueError, match="reserved_nodes"):
+            make_meter("reserved-spot", reserved_nodes=0)

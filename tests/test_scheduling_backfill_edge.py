@@ -1,0 +1,137 @@
+"""Edge-case tests for EASY and conservative backfilling.
+
+Three families the main scheduling suite does not pin down:
+
+* determinism when several running jobs complete at the same instant;
+* a backfill candidate that *exactly* fills the window in front of the
+  head's reservation (boundary of the "may not delay" rule);
+* zero-queue scans must be cheap no-ops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling.backfill import EasyBackfillScheduler
+from repro.scheduling.base import RunningJob
+from repro.scheduling.conservative import ConservativeBackfillScheduler
+from repro.workloads.job import Job
+
+
+def _job(job_id: int, size: int, runtime: float, submit: float = 0.0) -> Job:
+    return Job(job_id=job_id, submit_time=submit, size=size, runtime=runtime)
+
+
+SCHEDULERS = (EasyBackfillScheduler, ConservativeBackfillScheduler)
+
+
+class TestSimultaneousCompletions:
+    """Several running jobs finishing at one instant: order must not matter."""
+
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_selection_is_independent_of_running_order(self, scheduler_cls):
+        queued = [_job(1, 8, 100.0), _job(2, 2, 40.0), _job(3, 2, 50.0)]
+        running = [
+            RunningJob(_job(10, 3, 60.0), finish_time=60.0),
+            RunningJob(_job(11, 3, 60.0), finish_time=60.0),
+            RunningJob(_job(12, 2, 60.0), finish_time=60.0),
+        ]
+        sched = scheduler_cls()
+        baseline = [
+            j.job_id for j in sched.select(0.0, list(queued), 0, list(running))
+        ]
+        for perm in (
+            [running[1], running[2], running[0]],
+            [running[2], running[0], running[1]],
+            list(reversed(running)),
+        ):
+            sched = scheduler_cls()
+            picked = [j.job_id for j in sched.select(0.0, list(queued), 0, perm)]
+            assert picked == baseline
+
+    def test_easy_shadow_time_accumulates_simultaneous_finishes(self):
+        # Head needs 6; two jobs of 3 finish together at t=60 — the shadow
+        # time is 60, not "after the second event".  A 30 s backfill job
+        # fits before it; a 70 s one (same width) must not start.
+        queued = [_job(1, 6, 100.0), _job(2, 2, 30.0), _job(3, 2, 70.0)]
+        running = [
+            RunningJob(_job(10, 3, 60.0), finish_time=60.0),
+            RunningJob(_job(11, 3, 60.0), finish_time=60.0),
+        ]
+        picked = EasyBackfillScheduler().select(0.0, queued, 2, running)
+        assert [j.job_id for j in picked] == [2]
+
+
+class TestExactWindowFill:
+    """Backfill jobs on the exact boundary of the head's reservation."""
+
+    def test_easy_job_ending_exactly_at_shadow_time_backfills(self):
+        # Head needs 5, free again at t=100.  A backfill job running
+        # exactly 100 s ends *at* the shadow instant: allowed (<=).
+        queued = [_job(1, 5, 10.0), _job(2, 2, 100.0)]
+        running = [RunningJob(_job(10, 5, 100.0), finish_time=100.0)]
+        picked = EasyBackfillScheduler().select(0.0, queued, 2, running)
+        assert [j.job_id for j in picked] == [2]
+
+    def test_easy_job_spilling_past_shadow_needs_spare_width(self):
+        # Head needs all 7 nodes at the shadow (2 free + 5 released), so
+        # the spare width there is 0: a candidate running 100.1 s would
+        # still occupy nodes the head needs — it must stay queued, while
+        # the exact-fit 100.0 s variant starts.
+        running = [RunningJob(_job(10, 5, 100.0), finish_time=100.0)]
+        spilling = EasyBackfillScheduler().select(
+            0.0, [_job(1, 7, 10.0), _job(2, 2, 100.1)], 2, running
+        )
+        assert spilling == []
+        exact = EasyBackfillScheduler().select(
+            0.0, [_job(1, 7, 10.0), _job(2, 2, 100.0)], 2, running
+        )
+        assert [j.job_id for j in exact] == [2]
+
+    def test_easy_spare_width_at_shadow_admits_long_narrow_job(self):
+        # Head needs 6 of the 9 available at t=100: spare width 3 admits
+        # one long job of width 2, but not a second (2 > 3 - 2).
+        queued = [_job(1, 6, 10.0), _job(2, 2, 500.0), _job(3, 2, 500.0)]
+        running = [RunningJob(_job(10, 5, 100.0), finish_time=100.0)]
+        picked = EasyBackfillScheduler().select(0.0, queued, 4, running)
+        assert [j.job_id for j in picked] == [2]
+
+    def test_conservative_exact_fill_keeps_every_reservation(self):
+        # 4 free now; head takes them for 50 s.  Next job (width 4) is
+        # reserved at t=50; a width-4 filler running exactly 50 s would
+        # collide with the head *now* — conservative places it at t=50
+        # behind the head's reservation... so only the head starts.
+        queued = [_job(1, 4, 50.0), _job(2, 4, 50.0), _job(3, 4, 10.0)]
+        picked = ConservativeBackfillScheduler().select(0.0, queued, 4, [])
+        assert [j.job_id for j in picked] == [1]
+
+    def test_conservative_window_exact_runtime_backfills(self):
+        # 2 free now; 4 more at t=100.  Head (width 6) reserved at t=100.
+        # A width-2 job running exactly 100 s fills [0, 100) precisely and
+        # must start; stretching it to 100.5 s would delay the head, so
+        # that variant must not.
+        running = [RunningJob(_job(10, 4, 100.0), finish_time=100.0)]
+        exact = ConservativeBackfillScheduler().select(
+            0.0, [_job(1, 6, 20.0), _job(2, 2, 100.0)], 2, running
+        )
+        assert [j.job_id for j in exact] == [2]
+        spilling = ConservativeBackfillScheduler().select(
+            0.0, [_job(1, 6, 20.0), _job(2, 2, 100.5)], 2, running
+        )
+        assert spilling == []
+
+
+class TestZeroQueueScan:
+    """Empty-queue scans: no work, no selection, no crash."""
+
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_empty_queue_returns_nothing(self, scheduler_cls):
+        running = [RunningJob(_job(10, 2, 60.0), finish_time=60.0)]
+        assert scheduler_cls().select(0.0, [], 5, running) == []
+        assert scheduler_cls().select(0.0, [], 0, []) == []
+
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_no_free_nodes_is_a_no_op_for_conservative(self, scheduler_cls):
+        queued = [_job(1, 1, 10.0)]
+        picked = scheduler_cls().select(0.0, queued, 0, [])
+        assert picked == []

@@ -161,3 +161,43 @@ class TestDeterminism:
             return log
 
         assert run_once() == run_once()
+
+
+class TestHeapCompaction:
+    """Lazily-cancelled events must not accumulate without bound."""
+
+    def test_cancel_heavy_timer_churn_keeps_heap_bounded(self):
+        from repro.simkit.engine import COMPACT_MIN_HEAP, SimulationEngine
+        from repro.simkit.timers import PeriodicTimer
+
+        engine = SimulationEngine()
+        churn = 20_000
+        # Start and immediately stop timers whose next tick is far in the
+        # future: every stop leaves one cancelled entry deep in the heap,
+        # which lazy pop-time discarding alone would never reach.
+        for _ in range(churn):
+            timer = PeriodicTimer(engine, 1e6, lambda: None)
+            timer.start()
+            timer.stop()
+        assert engine.compactions > 0
+        # Bounded: compaction caps slack at the ratio threshold instead of
+        # letting all `churn` cancelled entries pile up.
+        assert engine.pending_events < churn / 2
+        assert engine.pending_events <= 2 * COMPACT_MIN_HEAP + 2
+
+    def test_compaction_preserves_execution_order(self):
+        from repro.simkit.engine import SimulationEngine
+
+        engine = SimulationEngine()
+        fired = []
+        events = [
+            engine.schedule_at(float(t), fired.append, t) for t in range(3000)
+        ]
+        for e in events[::2]:  # cancel every other one -> ratio > 0.5
+            engine.cancel(e)
+        for e in events[1::4]:
+            engine.cancel(e)
+        assert engine.compactions > 0
+        engine.run()
+        expected = [t for t in range(3000) if t % 2 and (t - 1) % 4]
+        assert fired == expected

@@ -1,6 +1,5 @@
 """Tests for the workload archive catalog (workloads.archive)."""
 
-import numpy as np
 import pytest
 
 from repro.workloads.archive import (

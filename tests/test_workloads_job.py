@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workloads.job import Job, JobState, Trace, hour_ceil, validate_dependencies
+from repro.workloads.job import JobState, hour_ceil, validate_dependencies
 from tests.conftest import make_job, make_trace
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.workloads.montage import (
-    MontageSpec,
     generate_montage,
     montage_family,
     montage_spec_for_size,

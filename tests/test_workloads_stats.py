@@ -1,6 +1,5 @@
 """Tests for workload statistics."""
 
-import numpy as np
 import pytest
 
 from repro.workloads.stats import (

@@ -5,7 +5,6 @@ import io
 import pytest
 
 from repro.workloads.swf import SWFError, parse_swf, parse_swf_file, write_swf
-from tests.conftest import make_job, make_trace
 
 
 def swf_line(

@@ -10,8 +10,6 @@ import pytest
 from repro.workloads.stats import half_split_arrival_ratio, summarize
 from repro.workloads.traces import (
     HTCTraceSpec,
-    NASA_IPSC,
-    SDSC_BLUE,
     generate_htc_trace,
     generate_nasa_ipsc,
     generate_sdsc_blue,
