@@ -1,18 +1,27 @@
-"""Perf-trajectory smoke benchmark: writes a ``BENCH_pr.json`` baseline.
+"""Perf-trajectory smoke benchmark with a regression gate.
 
-CI runs this on every push (see ``.github/workflows/ci.yml``) and uploads
-the JSON as an artifact, so the repository accumulates a wall-time
-trajectory for the two hot paths that matter:
+CI runs this on every push (see ``.github/workflows/ci.yml``), uploads the
+JSON as an artifact, *and* compares it against the committed ``BENCH_0.json``
+— the first point of the repository's performance trajectory — failing the
+job when any tracked scenario's wall time regresses by more than
+``--max-regression`` (default 25%).  The tracked hot paths:
 
 * the **simulation engine** — raw discrete-event throughput
   (events/second) under the timer-churn pattern every system produces;
 * the **cold (B, R) sweeps** (Figures 9 and 10) — 16 full two-week
   DawningCloud simulations each, the workload the provisioning kernel's
-  incremental accounting is built for.
+  incremental accounting and the idle-gap fast-forward are built for.
+
+Absolute wall times are machine-dependent; the gate therefore compares a
+fresh run on the *same* machine/CI-runner class against the committed
+baseline and uses a generous threshold so runner jitter does not trip it,
+while a real regression (an accidentally disabled fast path roughly
+doubles these timings) fails loudly.  See ``docs/performance.md``.
 
 Usage::
 
     python benchmarks/perf_smoke.py [--out BENCH_pr.json]
+        [--baseline BENCH_0.json [--max-regression 0.25]]
 """
 
 from __future__ import annotations
@@ -57,9 +66,71 @@ def cold_sweep(scenario: str) -> dict:
     }
 
 
+def tracked_timings(report: dict) -> dict[str, float]:
+    """The scenario → wall-seconds map the regression gate compares."""
+    timings = {"engine": report["engine"]["wall_s"]}
+    for sweep in report["sweeps"]:
+        timings[sweep["scenario"]] = sweep["wall_s"]
+    return timings
+
+
+def check_regressions(
+    report: dict,
+    baseline: dict,
+    max_regression: float,
+    normalize_by_engine: bool = False,
+) -> list[str]:
+    """Tracked timings that regressed beyond the threshold, as messages.
+
+    With ``normalize_by_engine`` the sweep timings are rescaled by the
+    machine-speed factor the raw engine bench measures
+    (``current engine wall / baseline engine wall``) before comparing, so
+    the gate judges the *code* rather than whether the baseline machine
+    and the CI runner share a clock speed.  The engine timing itself is
+    the yardstick in that mode and is excluded from the gate — engine
+    hot-loop regressions still surface through the sweeps, which spend
+    most of their time inside it.
+    """
+    current = tracked_timings(report)
+    reference = tracked_timings(baseline)
+    speed = 1.0
+    note = ""
+    keys = sorted(reference.keys() & current.keys())
+    if normalize_by_engine:
+        speed = reference["engine"] / current["engine"]
+        note = f" (machine-speed normalized, factor {speed:.2f})"
+        keys = [k for k in keys if k != "engine"]
+    failures = []
+    for key in keys:
+        ratio = current[key] * speed / reference[key]
+        if ratio > 1.0 + max_regression:
+            failures.append(
+                f"{key}: {current[key]:.3f}s vs baseline {reference[key]:.3f}s "
+                f"({ratio:.2f}x{note}, limit {1.0 + max_regression:.2f}x)"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_pr.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_*.json to gate against (e.g. BENCH_0.json)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown per tracked timing (default 0.25)",
+    )
+    parser.add_argument(
+        "--normalize-by-engine",
+        action="store_true",
+        help="rescale sweep timings by the engine bench's machine-speed "
+        "factor before gating (use when baseline and runner differ)",
+    )
     args = parser.parse_args(argv)
 
     report = {
@@ -76,6 +147,27 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(json.dumps(report, indent=2, sort_keys=True))
     print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = check_regressions(
+            report, baseline, args.max_regression, args.normalize_by_engine
+        )
+        if failures:
+            print(
+                f"PERF REGRESSION vs {args.baseline} "
+                f"(threshold {args.max_regression:.0%}):",
+                file=sys.stderr,
+            )
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"perf gate ok vs {args.baseline} "
+            f"(threshold {args.max_regression:.0%})",
+            file=sys.stderr,
+        )
     return 0
 
 

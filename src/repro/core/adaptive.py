@@ -67,6 +67,9 @@ class DemandTrackingPolicy:
     release_check_interval_s: float = HOUR
     name: str = "demand-tracking"
 
+    #: pure rule, inert at zero demand: no-op scans may be skipped
+    quiescence_safe = True
+
     def __post_init__(self) -> None:
         _validate_common(
             self.initial_nodes, self.scan_interval_s, self.release_check_interval_s
@@ -92,6 +95,10 @@ class EwmaPredictivePolicy:
     Stateful by design — one instance per TRE run.  ``reset()`` clears the
     estimate so a policy object can be reused across replays.
     """
+
+    #: the EWMA decays on *every* scan, including zero-demand ones, so no
+    #: scan is skippable: idle-gap fast-forward must stay off
+    quiescence_safe = False
 
     def __init__(
         self,
@@ -152,6 +159,8 @@ class ChunkedHysteresisPolicy:
     release_check_interval_s: float = HOUR
     name: str = "chunked-hysteresis"
 
+    quiescence_safe = True
+
     def __post_init__(self) -> None:
         _validate_common(
             self.initial_nodes, self.scan_interval_s, self.release_check_interval_s
@@ -191,6 +200,8 @@ class StaticPolicy:
     scan_interval_s: float = HTC_SCAN_INTERVAL_S
     release_check_interval_s: float = HOUR
     name: str = "static"
+
+    quiescence_safe = True
 
     def __post_init__(self) -> None:
         _validate_common(

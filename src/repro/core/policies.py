@@ -47,6 +47,12 @@ class ResourceManagementPolicy:
     scan_interval_s: float
     release_check_interval_s: float = HOUR
 
+    #: The decision rule is a pure function of (demand, biggest, owned) and
+    #: requests nothing at zero demand, so servers may skip provably no-op
+    #: scans (idle-gap fast-forward) without changing any outcome.  Stateful
+    #: policies (e.g. the EWMA predictor) must say False here.
+    quiescence_safe = True
+
     def __post_init__(self) -> None:
         if self.initial_nodes < 1:
             raise ValueError("initial_nodes (B) must be >= 1")

@@ -13,6 +13,30 @@ three seconds for MTC, §3.2.2) — the cadence at which the emulated servers
 load jobs — and at job-completion instants for workflow tasks' readiness
 bookkeeping.
 
+Idle-gap fast-forward: two-week traces contain long quiet stretches in
+which every scan is a provable no-op (nothing queued, nothing to resize),
+yet the scan timer used to wake the engine 60×/hour through all of them.
+The server now *suspends* its scan timer after a scan that did nothing and
+re-arms it — on the same grid instants, see
+:class:`~repro.simkit.timers.PeriodicTimer` — as soon as its observable
+state changes (a submission, a completion, a resource grant/withdrawal).
+Suspension is gated so results stay bit-identical: it requires every
+attached resize hook to be quiescence-safe (pure and inert at zero demand;
+stateful policies such as the EWMA predictor clear
+:attr:`REServer.idle_scan_suspend`), and scans with a non-empty queue are
+only skipped when the scheduler declares itself time-independent
+(backfilling policies re-evaluate reservations against the clock, so they
+keep their cadence).
+
+Scope of the guarantee: exact for workloads whose event times are in
+general position (every built-in generator draws continuous runtimes).
+Integer-runtime traces (real SWF replays) can produce the one residual
+corner — two completions at the same grid instant whose start times
+straddle the previous instant (see :meth:`REServer._finish`) — where
+dispatch may shift by one scan interval relative to the un-suspended
+execution.  Replays that need exactness under that tie pattern can set
+``server.idle_scan_suspend = False`` to keep the full cadence.
+
 The server counts *ready* tasks only in its queue: the MTC server parses
 the workflow and releases a task to the scheduler once its dependencies
 completed, so "jobs in queue" (the policy's demand input) are tasks that
@@ -68,10 +92,17 @@ class REServer:
         self.completed: list[Job] = []
         self._workflows: list[Workflow] = []
         self._wf_of_task: dict[int, Workflow] = {}
-        #: called at every scan, before dispatch (resize hook)
-        self.pre_dispatch_hooks: list[Callable[[], None]] = []
+        #: called at every scan, before dispatch (resize hook); a truthy
+        #: return value marks the scan as having *acted* (issued a request)
+        self.pre_dispatch_hooks: list[Callable[[], object]] = []
         #: called when a workflow finishes (TRE destruction hook)
         self.on_workflow_complete: list[Callable[[Workflow], None]] = []
+        #: idle-gap fast-forward master switch: hooks that are not
+        #: quiescence-safe (stateful policies) clear this at attach time
+        self.idle_scan_suspend = True
+        self._sched_time_independent = bool(
+            getattr(scheduler, "time_independent", False)
+        )
         self._scan_timer = PeriodicTimer(engine, scan_interval_s, self._scan)
         self._scan_timer.start()
         self._stopped = False
@@ -94,6 +125,7 @@ class REServer:
             raise ValueError("must add a positive number of nodes")
         self._owned += n
         self.usage.record(self.engine.now, n)
+        self._wake_scan()
 
     def remove_nodes(self, n: int) -> None:
         """Shrink the owned pool by ``n`` idle nodes."""
@@ -105,6 +137,7 @@ class REServer:
             )
         self._owned -= n
         self.usage.record(self.engine.now, -n)
+        self._wake_scan()
 
     # ------------------------------------------------------------------ #
     # submission
@@ -116,6 +149,7 @@ class REServer:
         self.submitted_jobs += 1
         job.mark_queued(self.engine.now)
         self.queue.push(job)
+        self._wake_scan()
 
     def submit_workflow(self, workflow: Workflow) -> None:
         """MTC entry point: parse the workflow, release ready tasks.
@@ -133,6 +167,7 @@ class REServer:
         for task in workflow.ready_tasks():
             task.mark_queued(self.engine.now)
             self.queue.push(task)
+        self._wake_scan()
 
     # ------------------------------------------------------------------ #
     # scan loop (dispatch cadence)
@@ -144,22 +179,55 @@ class REServer:
         # at the first scan the 166 ready projections are all still queued,
         # so DR1 = 166 - B and the TRE "adjusts the resources size of the RE
         # to the configurations of the RE in the DCS/SSP system", §4.5.2.)
+        acted = False
         for hook in self.pre_dispatch_hooks:
-            hook()
-        self.dispatch()
-
-    def dispatch(self) -> None:
-        """Start whatever the scheduling policy picks right now."""
-        if not len(self.queue):
+            if hook():
+                acted = True
+        started = self.dispatch()
+        if not self.idle_scan_suspend:
             return
+        # Fast-forward whenever the *next* scan is provably a no-op given
+        # frozen state: an empty queue makes it one outright (quiescence-
+        # safe hooks are inert at zero demand, dispatch has nothing to
+        # pick), and a non-empty queue does too when this scan changed
+        # nothing and the scheduler's decision cannot move with the clock.
+        # Any submission, completion or resource change re-arms the grid.
+        if not self.queue._jobs:
+            self._scan_timer.suspend()
+        elif not acted and not started and self._sched_time_independent:
+            self._scan_timer.suspend()
+
+    def _wake_scan(self, include_now: bool = True) -> None:
+        """Observable state changed: resume the scan cadence if idling.
+
+        With an empty queue a scan stays a no-op (quiescence-safe hooks are
+        inert at zero demand), so only a non-empty queue needs the wakeup.
+        ``include_now`` follows :meth:`PeriodicTimer.resume`: wakers whose
+        events pre-date the would-be tick arming (arrivals, release checks)
+        let a boundary tick fire at the current instant; completion events
+        are scheduled after it and push to the next instant.
+        """
+        timer = self._scan_timer
+        if timer._suspended and self.queue._jobs:
+            timer.resume(include_now)
+
+    def dispatch(self) -> int:
+        """Start whatever the scheduling policy picks; returns the count."""
+        queued = self.queue.jobs_view
+        if not queued:
+            return 0
+        idle = self._owned - self.used
+        if idle <= 0:
+            return 0  # nothing can start; spare the scheduler the scan
         picked = self.scheduler.select(
             self.engine.now,
-            self.queue.jobs,
-            self.idle,
-            list(self.running.values()),
+            queued,
+            idle,
+            self.running.values(),
         )
         for job in picked:
             self._start(job)
+        return len(picked)
 
     def _start(self, job: Job) -> None:
         if job.size > self.idle:
@@ -169,10 +237,11 @@ class REServer:
             )
         self.queue.remove(job)
         self.used += job.size
-        job.mark_running(self.engine.now)
-        finish_time = self.engine.now + job.runtime
+        now = self.engine.now
+        job.mark_running(now)
+        finish_time = now + job.runtime
         self.running[job.job_id] = RunningJob(job, finish_time)
-        self.engine.schedule(job.runtime, self._finish, job)
+        self.engine.schedule_at(finish_time, self._finish, job)
 
     def _finish(self, job: Job) -> None:
         if self._stopped:
@@ -187,6 +256,22 @@ class REServer:
             if workflow.completed():
                 for hook in list(self.on_workflow_complete):
                     hook(workflow)
+        # Boundary semantics for a completion landing exactly on a grid
+        # instant T: the finish event was scheduled when the job started.
+        # A job started before T - interval was scheduled before the tick
+        # at T would have been armed (during the tick at T - interval), so
+        # in the un-suspended execution the completion runs first and the
+        # scan at T must still fire (include_now).  A job started *at*
+        # T - interval scheduled its finish after that arming (re-arm
+        # precedes dispatch), so the scan at T ran first and must not be
+        # replayed.  (Residual corner: two completions at one grid instant
+        # straddling that threshold can still shift dispatch by one scan —
+        # unreachable with continuous runtimes, possible only in
+        # integer-runtime SWF replays.)
+        started_at = job.start_time or 0.0
+        self._wake_scan(
+            include_now=(self.engine.now - started_at) > self._scan_timer.interval
+        )
 
     def _release_ready_tasks(self, workflow: Workflow) -> None:
         for task in workflow.ready_tasks():

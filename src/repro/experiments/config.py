@@ -24,8 +24,8 @@ from typing import Optional
 from repro.core.policies import ResourceManagementPolicy
 from repro.systems.base import WorkloadBundle
 from repro.systems.dsp_runner import DEFAULT_CAPACITY
-from repro.workloads.montage import MontageSpec, generate_montage
-from repro.workloads.traces import generate_nasa_ipsc, generate_sdsc_blue
+from repro.workloads.montage import MontageSpec
+from repro.workloads.store import montage_workflow, paper_trace
 
 HOUR = 3600.0
 TWO_WEEKS = 14 * 24 * HOUR
@@ -47,26 +47,24 @@ MONTAGE_FIXED_NODES = 166
 
 
 def nasa_bundle(seed: int = 0) -> WorkloadBundle:
-    """The NASA iPSC service provider's workload."""
-    return WorkloadBundle.from_trace("nasa-ipsc", generate_nasa_ipsc(seed))
+    """The NASA iPSC service provider's workload (via the trace store)."""
+    return WorkloadBundle.from_trace("nasa-ipsc", paper_trace("nasa-ipsc", seed))
 
 
 def blue_bundle(seed: int = 0) -> WorkloadBundle:
-    """The SDSC BLUE service provider's workload."""
-    return WorkloadBundle.from_trace("sdsc-blue", generate_sdsc_blue(seed))
+    """The SDSC BLUE service provider's workload (via the trace store)."""
+    return WorkloadBundle.from_trace("sdsc-blue", paper_trace("sdsc-blue", seed))
 
 
 def montage_bundle(
     seed: int = 0, submit_time: float = 0.0, spec: Optional[MontageSpec] = None
 ) -> WorkloadBundle:
-    """The Montage service provider's workload.
+    """The Montage service provider's workload (via the trace store).
 
     ``submit_time`` places the workflow inside the two-week window for
     consolidated experiments (standalone table runs use t=0).
     """
-    workflow = generate_montage(
-        spec or MontageSpec(), seed=seed, submit_time=submit_time
-    )
+    workflow = montage_workflow(spec, seed=seed, submit_time=submit_time)
     return WorkloadBundle.from_workflow(
         "montage", workflow, fixed_nodes=MONTAGE_FIXED_NODES
     )

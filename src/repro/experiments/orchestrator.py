@@ -193,10 +193,27 @@ class Orchestrator:
             runs[spec.name] = self._finish(spec, params, key, payload, dt)
         return runs
 
+    def _prewarm_store(self, jobs: list[tuple[ScenarioSpec, dict, str]]) -> None:
+        """Generate declared workloads once, before the pool forks.
+
+        Under the fork start method the children inherit the populated
+        :mod:`trace store <repro.workloads.store>` as copy-on-write pages —
+        the arrays cross the process boundary exactly once — so N workers
+        running M sweep points share one generation per distinct trace.
+        Under spawn this is merely a warm-up for the parent; workers
+        regenerate deterministically and results are unchanged.
+        """
+        from repro.workloads.store import prewarm
+
+        names = sorted({n for spec, _, _ in jobs for n in spec.prewarm})
+        if names:
+            prewarm(names, self.seed)
+
     def _run_parallel(
         self, jobs: list[tuple[ScenarioSpec, dict, str]]
     ) -> dict[str, ScenarioRun]:
         runs = {}
+        self._prewarm_store(jobs)
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(jobs)), mp_context=_pool_context()
         ) as pool:

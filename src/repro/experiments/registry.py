@@ -49,6 +49,11 @@ class ScenarioSpec:
         ``"extension"``, ...) for selection.
     description:
         One-line summary (defaults to the function's first docstring line).
+    prewarm:
+        Named workloads (see :func:`repro.workloads.store.prewarm`) this
+        scenario replays.  The orchestrator generates them into the
+        process-wide trace store *before* forking pool workers, so every
+        worker inherits each distinct trace instead of regenerating it.
     """
 
     name: str
@@ -56,6 +61,7 @@ class ScenarioSpec:
     defaults: Mapping[str, Any] = field(default_factory=dict)
     tags: frozenset[str] = frozenset()
     description: str = ""
+    prewarm: tuple[str, ...] = ()
 
     def params_with(self, overrides: Optional[Mapping[str, Any]] = None) -> dict:
         params = dict(self.defaults)
@@ -93,6 +99,7 @@ class ScenarioRegistry:
         *,
         tags: Iterable[str] = (),
         description: str = "",
+        prewarm: Iterable[str] = (),
         **defaults: Any,
     ) -> Callable[[ScenarioFn], ScenarioFn]:
         """Decorator form: register ``fn`` under ``name`` with defaults."""
@@ -106,6 +113,7 @@ class ScenarioRegistry:
                     defaults=dict(defaults),
                     tags=frozenset(tags),
                     description=description or (doc[0] if doc else ""),
+                    prewarm=tuple(prewarm),
                 )
             )
             return fn

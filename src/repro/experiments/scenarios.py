@@ -115,21 +115,21 @@ def scenario_table1(seed: int) -> list[dict]:
 
 
 @scenario("table2-nasa", tags=("paper", "table", "slow"),
-          capacity=DEFAULT_CAPACITY, billing="per-hour")
+          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY, billing="per-hour")
 def scenario_table2(seed: int, capacity: int, billing: str) -> dict:
     """Table 2: the four systems on the NASA iPSC trace (HTC)."""
     return _four_systems(seed, "nasa-ipsc", capacity, billing)
 
 
 @scenario("table3-blue", tags=("paper", "table", "slow"),
-          capacity=DEFAULT_CAPACITY, billing="per-hour")
+          prewarm=("sdsc-blue",), capacity=DEFAULT_CAPACITY, billing="per-hour")
 def scenario_table3(seed: int, capacity: int, billing: str) -> dict:
     """Table 3: the four systems on the SDSC BLUE trace (HTC)."""
     return _four_systems(seed, "sdsc-blue", capacity, billing)
 
 
 @scenario("table4-montage", tags=("paper", "table", "slow"),
-          capacity=DEFAULT_CAPACITY, billing="per-hour")
+          prewarm=("montage",), capacity=DEFAULT_CAPACITY, billing="per-hour")
 def scenario_table4(seed: int, capacity: int, billing: str) -> dict:
     """Table 4: the four systems on the Montage workflow (MTC)."""
     return _four_systems(seed, "montage", capacity, billing)
@@ -161,19 +161,22 @@ def _sweep(seed: int, workload: str, capacity: int) -> dict:
     }
 
 
-@scenario("fig09-sweep-blue", tags=("paper", "sweep", "slow"), capacity=DEFAULT_CAPACITY)
+@scenario("fig09-sweep-blue", tags=("paper", "sweep", "slow"),
+          prewarm=("sdsc-blue",), capacity=DEFAULT_CAPACITY)
 def scenario_fig09(seed: int, capacity: int) -> dict:
     """Figure 9: DawningCloud over the (B, R) grid, SDSC BLUE trace."""
     return _sweep(seed, "sdsc-blue", capacity)
 
 
-@scenario("fig10-sweep-nasa", tags=("paper", "sweep", "slow"), capacity=DEFAULT_CAPACITY)
+@scenario("fig10-sweep-nasa", tags=("paper", "sweep", "slow"),
+          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
 def scenario_fig10(seed: int, capacity: int) -> dict:
     """Figure 10: DawningCloud over the (B, R) grid, NASA iPSC trace."""
     return _sweep(seed, "nasa-ipsc", capacity)
 
 
-@scenario("fig11-sweep-montage", tags=("paper", "sweep", "slow"), capacity=DEFAULT_CAPACITY)
+@scenario("fig11-sweep-montage", tags=("paper", "sweep", "slow"),
+          prewarm=("montage",), capacity=DEFAULT_CAPACITY)
 def scenario_fig11(seed: int, capacity: int) -> dict:
     """Figure 11: DawningCloud over the (B, R) grid, Montage workflow."""
     return _sweep(seed, "montage", capacity)
@@ -182,7 +185,8 @@ def scenario_fig11(seed: int, capacity: int) -> dict:
 # --------------------------------------------------------------------- #
 # Figures 12-14: the consolidated resource-provider run
 # --------------------------------------------------------------------- #
-@scenario("fig12-14-consolidated", tags=("paper", "figure", "slow"), capacity=DEFAULT_CAPACITY)
+@scenario("fig12-14-consolidated", tags=("paper", "figure", "slow"),
+          prewarm=("nasa-ipsc", "sdsc-blue"), capacity=DEFAULT_CAPACITY)
 def scenario_consolidated(seed: int, capacity: int) -> dict:
     """Figures 12-14: all providers consolidated on one resource provider."""
     from repro.experiments.figures import figure12_13_14
@@ -257,7 +261,8 @@ def scenario_breakeven(seed: int) -> dict:
 # --------------------------------------------------------------------- #
 # Ablations
 # --------------------------------------------------------------------- #
-@scenario("ablation-lease-unit", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+@scenario("ablation-lease-unit", tags=("ablation", "slow"),
+          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
 def scenario_ablation_lease_unit(seed: int, capacity: int) -> list[dict]:
     """Lease time-unit granularity ablation (NASA trace)."""
     from repro.experiments.ablations import lease_unit_ablation
@@ -267,7 +272,8 @@ def scenario_ablation_lease_unit(seed: int, capacity: int) -> list[dict]:
     )
 
 
-@scenario("ablation-scan-interval", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+@scenario("ablation-scan-interval", tags=("ablation", "slow"),
+          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
 def scenario_ablation_scan_interval(seed: int, capacity: int) -> list[dict]:
     """Server scan-interval ablation (NASA trace)."""
     from repro.experiments.ablations import scan_interval_ablation
@@ -277,7 +283,8 @@ def scenario_ablation_scan_interval(seed: int, capacity: int) -> list[dict]:
     )
 
 
-@scenario("ablation-scheduler", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+@scenario("ablation-scheduler", tags=("ablation", "slow"),
+          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
 def scenario_ablation_scheduler(seed: int, capacity: int) -> list[dict]:
     """Scheduling-policy ablation under identical resizing (NASA trace)."""
     from repro.experiments.ablations import scheduler_ablation
@@ -287,7 +294,8 @@ def scenario_ablation_scheduler(seed: int, capacity: int) -> list[dict]:
     )
 
 
-@scenario("ablation-policy", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY, initial_nodes=40)
+@scenario("ablation-policy", tags=("ablation", "slow"),
+          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY, initial_nodes=40)
 def scenario_ablation_policy(seed: int, capacity: int, initial_nodes: int) -> list[dict]:
     """Resource-management policy ablation (NASA trace)."""
     from repro.experiments.ablations import policy_ablation
@@ -307,7 +315,8 @@ def scenario_ablation_utilization(seed: int, capacity: int) -> list[dict]:
     )
 
 
-@scenario("ablation-setup-cost", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+@scenario("ablation-setup-cost", tags=("ablation", "slow"),
+          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
 def scenario_ablation_setup_cost(seed: int, capacity: int) -> list[dict]:
     """Management overhead versus the per-node adjustment cost."""
     from repro.experiments.ablations import setup_cost_ablation
@@ -317,7 +326,8 @@ def scenario_ablation_setup_cost(seed: int, capacity: int) -> list[dict]:
     )
 
 
-@scenario("ablation-drp-pooling", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
+@scenario("ablation-drp-pooling", tags=("ablation", "slow"),
+          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
 def scenario_ablation_drp_pooling(seed: int, capacity: int) -> list[dict]:
     """The DRP manual-management ladder (NASA trace)."""
     from repro.experiments.ablations import drp_pooling_ablation
@@ -367,7 +377,8 @@ def scenario_workflow_zoo(seed: int, capacity: int, n_tasks: int) -> list[dict]:
     return rows
 
 
-@scenario("federation-scale", tags=("extension", "slow"), capacity=DEFAULT_CAPACITY, splits=(1, 2, 3))
+@scenario("federation-scale", tags=("extension", "slow"),
+          prewarm=("nasa-ipsc", "sdsc-blue"), capacity=DEFAULT_CAPACITY, splits=(1, 2, 3))
 def scenario_federation(seed: int, capacity: int, splits) -> list[dict]:
     """One big cloud versus k equal fragments at fixed total capacity."""
     from repro.federation.market import scale_economies_experiment
@@ -386,7 +397,7 @@ def scenario_federation(seed: int, capacity: int, splits) -> list[dict]:
 # Provisioning-kernel extensions: billing meters and policy crosses
 # --------------------------------------------------------------------- #
 @scenario("ablation-billing-meter", tags=("ablation", "extension", "slow"),
-          capacity=DEFAULT_CAPACITY)
+          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
 def scenario_billing_meter(seed: int, capacity: int) -> list[dict]:
     """Billing-meter ablation: the four systems re-billed per meter (NASA).
 
@@ -427,7 +438,7 @@ def scenario_billing_meter(seed: int, capacity: int) -> list[dict]:
 
 
 @scenario("drp-spot-market", tags=("extension", "slow"),
-          reserved_sizes=(0, 32, 64, 96, 128, 192))
+          prewarm=("nasa-ipsc",), reserved_sizes=(0, 32, 64, 96, 128, 192))
 def scenario_drp_spot_market(seed: int, reserved_sizes) -> list[dict]:
     """Spot-market DRP: how large a reservation should the community buy?
 
@@ -473,7 +484,7 @@ def scenario_drp_spot_market(seed: int, reserved_sizes) -> list[dict]:
 
 
 @scenario("pooled-drp-scheduler-cross", tags=("extension", "slow"),
-          billing="per-hour")
+          prewarm=("nasa-ipsc",), billing="per-hour")
 def scenario_pooled_drp_scheduler_cross(seed: int, billing: str) -> list[dict]:
     """Pooled-DRP × scheduler: a queue over the community's lease pool.
 

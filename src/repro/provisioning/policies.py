@@ -293,6 +293,11 @@ class ConsolidatedAllocation(ProvisioningPolicy):
         self.dynamic_rejections = 0
         self._started = False
         server.pre_dispatch_hooks.append(self._on_scan)
+        # Idle-gap fast-forward is only sound when skipped scans are
+        # provable no-ops; a stateful policy (its estimate evolves on
+        # every scan) pins the server to the full cadence.
+        if not getattr(policy, "quiescence_safe", False):
+            server.idle_scan_suspend = False
 
     # -------------------------------------------------------------- #
     def start(self) -> None:
@@ -313,17 +318,25 @@ class ConsolidatedAllocation(ProvisioningPolicy):
         self.server.add_nodes(lease.n_nodes)
 
     # -------------------------------------------------------------- #
-    def _on_scan(self) -> None:
-        """Policy evaluation, run by the server just before dispatch."""
+    def _on_scan(self) -> bool:
+        """Policy evaluation, run by the server just before dispatch.
+
+        Returns True when a dynamic request was issued (granted *or*
+        rejected — a rejection must be retried next scan against the
+        provider's then-current pool, so it counts as activity).
+        """
         if not self._started:
-            return
+            return False
+        queue = self.server.queue
         request = self.policy.dynamic_request_size(
-            self.server.queue.total_demand,
-            self.server.queue.biggest_demand,
+            queue.total_demand,
+            queue.biggest_demand,
             self.server.owned,
         )
         if request > 0:
             self._request_dynamic(request)
+            return True
+        return False
 
     def _request_dynamic(self, n_nodes: int) -> None:
         lease = self.provision.request(

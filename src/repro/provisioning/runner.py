@@ -50,6 +50,9 @@ class EagerPoolPolicy:
     scan_interval_s: float = HTC_SCAN_INTERVAL_S
     release_check_interval_s: float = HOUR
 
+    #: pure top-up rule, inert at zero demand (idle-gap fast-forward ok)
+    quiescence_safe = True
+
     def __post_init__(self) -> None:
         if self.cap < 1:
             raise ValueError("pool cap must be >= 1")

@@ -33,6 +33,13 @@ class Scheduler(abc.ABC):
 
     name: str = "abstract"
 
+    #: True when :meth:`select` is a pure function of (queued, free_nodes,
+    #: running) — i.e. it neither reads ``now`` nor keeps state across
+    #: calls.  Servers use this to skip provably no-op scans while nothing
+    #: changes (idle-gap fast-forward); time-aware policies (backfilling
+    #: reservations move with the clock) must leave it False.
+    time_independent: bool = False
+
     @abc.abstractmethod
     def select(
         self,

@@ -41,6 +41,7 @@ class WeightedFairShareScheduler(Scheduler):
     """
 
     name = "weighted-fair-share"
+    time_independent = True
 
     def __init__(
         self,

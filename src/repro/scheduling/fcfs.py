@@ -23,6 +23,7 @@ class FcfsScheduler(Scheduler):
     """Strict first-come-first-served (no skipping the head)."""
 
     name = "fcfs"
+    time_independent = True
 
     def select(
         self,

@@ -21,6 +21,7 @@ class FirstFitScheduler(Scheduler):
     """Greedy first-fit over the queue in arrival order."""
 
     name = "first-fit"
+    time_independent = True
 
     def select(
         self,

@@ -43,6 +43,15 @@ class JobQueue:
         """The queue in arrival order (a copy; safe to mutate)."""
         return list(self._jobs)
 
+    @property
+    def jobs_view(self) -> list[Job]:
+        """The live internal list — read-only by contract, zero-copy.
+
+        The dispatch hot path hands this to schedulers, which only read it;
+        anything that mutates the queue must go through push/remove.
+        """
+        return self._jobs
+
     def push(self, job: Job) -> None:
         if job.job_id in self._members:
             raise ValueError(f"job {job.job_id} already queued")

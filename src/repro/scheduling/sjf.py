@@ -37,6 +37,9 @@ class SjfScheduler(Scheduler):
             raise ValueError("max_skip must be >= 0 or None")
         self.max_skip = max_skip
         self._skips: dict[int, int] = {}
+        # pure SJF never reads the clock; the aging variant counts skips
+        # per select call, so skipping scans would change its decisions
+        self.time_independent = max_skip is None
 
     def select(
         self,

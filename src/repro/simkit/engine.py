@@ -117,6 +117,36 @@ class SimulationEngine:
         heapq.heappush(self._heap, (event.time, event.priority, seq, event))
         return event
 
+    def schedule_batch(
+        self,
+        items: "list[tuple[float, Callable[..., Any], tuple[Any, ...]]]",
+        priority: int = 0,
+    ) -> list[Event]:
+        """Schedule many ``(time, fn, args)`` callbacks in one pass.
+
+        Equivalent to calling :meth:`schedule_at` per item (same seq
+        assignment, hence identical tie-breaking and execution order), but
+        loads the heap with one ``extend`` + ``heapify`` — O(n) instead of
+        O(n log n) pushes — which is how whole workload traces are injected.
+        """
+        now = self._now
+        seq = self._seq
+        entries = []
+        events = []
+        for time, fn, args in items:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule at t={time} (clock is already at {now})"
+                )
+            event = Event(time, priority, seq, fn, args)
+            entries.append((event.time, priority, seq, event))
+            events.append(event)
+            seq += 1
+        self._seq = seq
+        self._heap.extend(entries)
+        heapq.heapify(self._heap)
+        return events
+
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (lazy removal, amortized O(1)).
 
@@ -180,27 +210,40 @@ class SimulationEngine:
         heap = self._heap
         max_events = self._max_events
         pop = heapq.heappop
+        executed = self._executed
         try:
             while True:
-                while heap and heap[0][3].cancelled:
+                while heap and heap[0][3]._cancelled:
                     pop(heap)
                     if self._cancelled_pending:
                         self._cancelled_pending -= 1
                 if not heap:
                     break
-                if until is not None and heap[0][0] > until:
+                now = heap[0][0]
+                if until is not None and now > until:
                     break
-                event = pop(heap)[3]
-                self._now = event.time
-                self._executed += 1
-                if self._executed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; "
-                        f"likely a runaway timer"
-                    )
-                event.fn(*event.args)
-                heap = self._heap  # compaction may have swapped the list
+                # Coalesce the whole same-timestamp batch: events at one
+                # instant share the horizon check and the clock write, so
+                # burst arrivals / simultaneous completions cost one pass.
+                self._now = now
+                while heap and heap[0][0] == now:
+                    event = pop(heap)[3]
+                    if event._cancelled:
+                        if self._cancelled_pending:
+                            self._cancelled_pending -= 1
+                        continue
+                    executed += 1
+                    if executed > max_events:
+                        self._executed = executed
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            f"likely a runaway timer"
+                        )
+                    event.fn(*event.args)
+                    if heap is not self._heap:
+                        heap = self._heap  # compaction swapped the list
         finally:
+            self._executed = executed
             self._running = False
         if until is not None and self._now < until:
             self._now = float(until)

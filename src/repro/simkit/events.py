@@ -45,9 +45,12 @@ class Event:
         fn: Callable[..., Any],
         args: tuple[Any, ...] = (),
     ) -> None:
-        self.time = float(time)
-        self.priority = int(priority)
-        self.seq = int(seq)
+        # No defensive float()/int() coercion: construction happens a
+        # couple hundred thousand times per two-week sweep and the engine
+        # only ever passes numbers (heap keys compare ints/floats fine).
+        self.time = time
+        self.priority = priority
+        self.seq = seq
         self.fn = fn
         self.args = args
         self._cancelled = False

@@ -7,10 +7,20 @@ Two small helpers wrap the raw engine API:
   and the hourly idle-resource checks registered after each dynamic request.
 * :class:`OneShotTimer` — a cancellable single callback, used for TRE
   lifecycle steps and workload injection.
+
+Periodic ticks live on a fixed grid: the n-th firing happens at exactly
+``epoch + n*interval`` (``epoch`` = the clock at :meth:`PeriodicTimer.start`)
+rather than at an accumulated ``t += interval`` sum, so a two-week run of
+10^5 ticks carries no float drift.  The grid is also what makes
+:meth:`PeriodicTimer.suspend` / :meth:`PeriodicTimer.resume` exact: a timer
+suspended through an idle stretch resumes on the *same* tick instants it
+would have fired on anyway — skipping the no-op wakeups is invisible to the
+simulation.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Optional
 
 from repro.simkit.engine import SimulationEngine
@@ -55,6 +65,14 @@ class PeriodicTimer:
     immediately), matching how the paper's servers begin scanning after the
     runtime environment starts.  Re-arming happens *before* the callback so
     the callback may safely call :meth:`stop`.
+
+    A started timer can also be *suspended*: the pending tick is cancelled
+    and nothing fires until :meth:`resume`, which re-arms on the first grid
+    instant strictly after the current clock.  Because ticks are grid-pinned,
+    every tick that does fire lands on the exact instant it would have
+    without the suspension — only the skipped (idle) wakeups disappear.
+    ``fire_count`` counts executed ticks, so a suspended stretch contributes
+    zero.
     """
 
     def __init__(
@@ -73,29 +91,107 @@ class PeriodicTimer:
         self._args = args
         self._priority = priority
         self._event: Optional[Event] = None
+        self._epoch = 0.0  # clock at start(); tick n fires at epoch + n*interval
+        self._n = 0  # index of the last armed-or-fired tick
+        self._started = False
+        self._suspended = False
         self.fire_count = 0
 
     @property
     def active(self) -> bool:
-        return self._event is not None and not self._event.cancelled
+        return (
+            not self._suspended
+            and self._event is not None
+            and not self._event.cancelled
+        )
+
+    @property
+    def suspended(self) -> bool:
+        """True while started but idling between :meth:`suspend`/:meth:`resume`."""
+        return self._suspended
 
     def start(self) -> "PeriodicTimer":
-        if self.active:
+        # Guard on _started, not active: a suspended timer is inactive but
+        # still owns its grid (and possibly a pending ghost tick), and
+        # restarting it would interleave two tick streams.
+        if self._started:
             raise RuntimeError("timer already started")
-        self._arm()
+        self._started = True
+        self._suspended = False
+        self._epoch = self._engine.now
+        self._n = 0
+        self._arm(1)
         return self
 
     def stop(self) -> None:
+        self._started = False
+        self._suspended = False
         if self._event is not None:
             self._engine.cancel(self._event)
             self._event = None
 
-    def _arm(self) -> None:
-        self._event = self._engine.schedule(
-            self.interval, self._tick, priority=self._priority
+    # ------------------------------------------------------------------ #
+    # idle-gap fast-forward
+    # ------------------------------------------------------------------ #
+    def suspend(self) -> None:
+        """Pause ticking; a no-op unless the timer is started.
+
+        Lazy: the already-armed grid tick stays in the heap and lapses as a
+        silent *ghost* (no callback, no re-arm) if still suspended when it
+        comes up.  Suspend/resume cycles shorter than one interval — the
+        overwhelmingly common case under bursty arrivals — therefore cost
+        no heap traffic at all, and the grid itself is untouched:
+        :meth:`resume` continues on the original instants.
+        """
+        if self._started:
+            self._suspended = True
+
+    def resume(self, include_now: bool = True) -> None:
+        """Re-arm on the next grid instant at-or-after the current clock.
+
+        ``include_now`` decides the boundary case where the clock sits
+        exactly on a grid instant that has not fired yet.  A waker whose
+        event was scheduled *before* the tick would have been armed (an
+        hourly release check, a pre-scheduled arrival) runs ahead of the
+        pending tick in the un-suspended execution, so the tick must still
+        fire at ``now`` (``include_now=True``, the default).  A waker
+        scheduled *after* the arming point (a job-completion event) runs
+        behind it, so replaying the tick at ``now`` would let the scan see
+        state the un-suspended scan could not — those wakers pass
+        ``include_now=False`` and the timer continues strictly after.
+        Either way, a tick that already fired at ``now`` is never repeated.
+        """
+        if not self._started or not self._suspended:
+            return
+        self._suspended = False
+        if self._event is not None:
+            # The armed tick has not lapsed yet: it carries its original
+            # scheduling order, so letting it fire reproduces the
+            # un-suspended execution exactly.  Nothing to do.
+            return
+        now = self._engine.now
+        k = (now - self._epoch) / self.interval
+        n = int(math.ceil(k)) if include_now else int(math.floor(k)) + 1
+        if n <= self._n:
+            n = self._n + 1
+        while self._epoch + n * self.interval < now:  # float-edge guards
+            n += 1
+        if not include_now:
+            while self._epoch + n * self.interval <= now:
+                n += 1
+        self._arm(n)
+
+    # ------------------------------------------------------------------ #
+    def _arm(self, n: int) -> None:
+        self._n = n
+        self._event = self._engine.schedule_at(
+            self._epoch + n * self.interval, self._tick, priority=self._priority
         )
 
     def _tick(self) -> None:
-        self._arm()
+        if self._suspended:
+            self._event = None  # ghost: the grid slot lapses silently
+            return
+        self._arm(self._n + 1)
         self.fire_count += 1
         self._fn(*self._args)

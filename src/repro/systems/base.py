@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Optional
 
-from repro.workloads.job import Job, Trace
+from repro.workloads.job import Trace
 from repro.workloads.workflow import Workflow
 
 HOUR = 3600.0
@@ -28,25 +28,7 @@ MTC_HORIZON_CP_FACTOR = 10.0
 
 def clone_workflow(workflow: Workflow) -> Workflow:
     """Deep copy of a workflow with pristine execution state."""
-    tasks = [
-        Job(
-            job_id=t.job_id,
-            submit_time=t.submit_time,
-            size=t.size,
-            runtime=t.runtime,
-            user_id=t.user_id,
-            task_type=t.task_type,
-            workflow_id=t.workflow_id,
-            dependencies=t.dependencies,
-        )
-        for t in workflow.tasks
-    ]
-    return Workflow(
-        workflow_id=workflow.workflow_id,
-        tasks=tasks,
-        name=workflow.name,
-        submit_time=workflow.submit_time,
-    )
+    return workflow.clone()
 
 
 @dataclass

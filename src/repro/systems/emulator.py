@@ -38,9 +38,10 @@ class JobEmulator:
 
     def submit_trace(self, trace: Trace, sink: Callable[[Job], None]) -> None:
         """Schedule every job submission of an HTC trace into ``sink``."""
-        for job in trace:
-            self.engine.schedule_at(self._t(job.submit_time), sink, job)
-            self.scheduled += 1
+        self.engine.schedule_batch(
+            [(self._t(job.submit_time), sink, (job,)) for job in trace]
+        )
+        self.scheduled += len(trace)
 
     def submit_workflow(
         self, workflow: Workflow, sink: Callable[[Workflow], None]

@@ -21,6 +21,9 @@ This package provides everything the evaluation consumes:
 * :mod:`repro.workloads.workflowgen` — generic DAG workload recipes.
 * :mod:`repro.workloads.scaling` — trace rescaling utilities.
 * :mod:`repro.workloads.stats` — workload statistics.
+* :mod:`repro.workloads.store` — the process-wide content-keyed
+  :class:`TraceStore` that deduplicates generation across sweep points
+  and (forked) orchestrator pool workers.
 """
 
 from repro.workloads.archive import (
@@ -29,7 +32,8 @@ from repro.workloads.archive import (
     generate_archive_trace,
     utilization_family,
 )
-from repro.workloads.job import Job, JobState, Trace
+from repro.workloads.job import Job, JobState, Trace, TraceArrays
+from repro.workloads.store import TraceStore, default_store, paper_trace
 from repro.workloads.montage import (
     MontageSpec,
     generate_montage,
@@ -55,7 +59,11 @@ __all__ = [
     "JobState",
     "MontageSpec",
     "Trace",
+    "TraceArrays",
+    "TraceStore",
     "Workflow",
+    "default_store",
+    "paper_trace",
     "archive_names",
     "generate_archive_trace",
     "generate_htc_trace",

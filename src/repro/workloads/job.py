@@ -10,6 +10,19 @@ dependencies) set by generators/parsers, and *mutable execution state*
 (state, start/finish time) written by the simulators.  ``Job.reset()``
 clears execution state so one trace object can be replayed through several
 systems.
+
+Columnar storage
+----------------
+:class:`TraceArrays` is the canonical in-memory form of a trace's immutable
+facts: one numpy column per field.  Generators emit it directly (no
+per-job Python objects on the generation path), the
+:class:`~repro.workloads.store.TraceStore` shares it across sweep points
+and pool workers, and aggregate queries (total work, max size, subsetting)
+run vectorized on it.  :class:`Job` objects exist only where a simulator
+actually schedules them: a :class:`Trace` built
+:meth:`from arrays <Trace.from_arrays>` materializes its job list lazily —
+and each :meth:`Trace.copy` re-materializes fresh jobs from the shared,
+immutable columns instead of deep-copying Python objects.
 """
 
 from __future__ import annotations
@@ -18,6 +31,8 @@ import enum
 import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
 
 
 class JobState(enum.Enum):
@@ -126,6 +141,257 @@ class Job:
         self.finish_time = now
 
 
+class TraceArrays:
+    """Columnar (structure-of-arrays) storage for a trace's immutable facts.
+
+    One numpy column per :class:`Job` fact, plus a small string vocabulary
+    for task types and a flattened ragged representation for dependencies
+    (``dep_flat``/``dep_offsets``, CSR-style; both empty for independent
+    batch jobs).  Instances are treated as immutable once built: sharing
+    one between traces, sweep points and (forked) pool workers is safe, and
+    every consumer that needs mutable :class:`Job` objects materializes its
+    own via :meth:`to_jobs`.
+    """
+
+    __slots__ = (
+        "job_id", "submit", "size", "runtime", "user",
+        "task_type_code", "task_types", "workflow_id", "workflow_col",
+        "dep_flat", "dep_offsets",
+    )
+
+    def __init__(
+        self,
+        job_id: np.ndarray,
+        submit: np.ndarray,
+        size: np.ndarray,
+        runtime: np.ndarray,
+        user: Optional[np.ndarray] = None,
+        task_type_code: Optional[np.ndarray] = None,
+        task_types: tuple[str, ...] = ("batch",),
+        workflow_id: Optional[int] = None,
+        dep_flat: Optional[np.ndarray] = None,
+        dep_offsets: Optional[np.ndarray] = None,
+        workflow_col: Optional[np.ndarray] = None,
+    ) -> None:
+        n = len(job_id)
+        self.job_id = np.ascontiguousarray(job_id, dtype=np.int64)
+        self.submit = np.ascontiguousarray(submit, dtype=np.float64)
+        self.size = np.ascontiguousarray(size, dtype=np.int64)
+        self.runtime = np.ascontiguousarray(runtime, dtype=np.float64)
+        self.user = (
+            np.zeros(n, dtype=np.int64)
+            if user is None
+            else np.ascontiguousarray(user, dtype=np.int64)
+        )
+        self.task_type_code = (
+            np.zeros(n, dtype=np.int64)
+            if task_type_code is None
+            else np.ascontiguousarray(task_type_code, dtype=np.int64)
+        )
+        self.task_types = tuple(task_types)
+        #: the trace-wide workflow id (the common case: every job shares
+        #: one value, possibly None).  Mixed traces carry ``workflow_col``
+        #: instead: an int64 column with -1 encoding "no workflow".
+        self.workflow_id = workflow_id
+        self.workflow_col = (
+            None
+            if workflow_col is None
+            else np.ascontiguousarray(workflow_col, dtype=np.int64)
+        )
+        if self.workflow_col is not None and len(self.workflow_col) != n:
+            raise ValueError("workflow_col length disagrees with job count")
+        self.dep_flat = (
+            np.empty(0, dtype=np.int64)
+            if dep_flat is None
+            else np.ascontiguousarray(dep_flat, dtype=np.int64)
+        )
+        self.dep_offsets = (
+            np.zeros(n + 1, dtype=np.int64)
+            if dep_offsets is None
+            else np.ascontiguousarray(dep_offsets, dtype=np.int64)
+        )
+        lengths = {
+            len(self.submit), len(self.size), len(self.runtime),
+            len(self.user), len(self.task_type_code),
+        }
+        if lengths != {n}:
+            raise ValueError(f"column lengths disagree: {sorted(lengths | {n})}")
+        if len(self.dep_offsets) != n + 1:
+            raise ValueError("dep_offsets must have n_jobs + 1 entries")
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.job_id)
+
+    @property
+    def has_dependencies(self) -> bool:
+        return len(self.dep_flat) > 0
+
+    def validate(self) -> None:
+        """Vectorized equivalent of the per-job/per-trace invariants."""
+        if len(self) and int(self.size.min()) <= 0:
+            bad = int(self.job_id[int(np.argmin(self.size))])
+            raise ValueError(f"job {bad}: size must be >= 1")
+        if len(self) and float(self.runtime.min()) < 0:
+            bad = int(self.job_id[int(np.argmin(self.runtime))])
+            raise ValueError(f"job {bad}: runtime must be >= 0")
+        if len(self) and float(self.submit.min()) < 0:
+            bad = int(self.job_id[int(np.argmin(self.submit))])
+            raise ValueError(f"job {bad}: submit_time must be >= 0")
+        if len(np.unique(self.job_id)) != len(self):
+            raise ValueError("duplicate job ids")
+        codes = self.task_type_code
+        if len(self) and not (
+            0 <= int(codes.min()) and int(codes.max()) < len(self.task_types)
+        ):
+            raise ValueError("task_type_code out of vocabulary range")
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_jobs(cls, jobs: Sequence[Job]) -> "TraceArrays":
+        """Column-ize materialized jobs (facts only; execution state drops)."""
+        n = len(jobs)
+        vocab: dict[str, int] = {}
+        codes = np.empty(n, dtype=np.int64)
+        dep_offsets = np.zeros(n + 1, dtype=np.int64)
+        dep_flat: list[int] = []
+        wf_ids = {j.workflow_id for j in jobs}
+        if len(wf_ids) <= 1:
+            workflow_id = wf_ids.pop() if wf_ids else None
+            workflow_col = None
+        else:  # mixed-workflow trace: keep the per-job ids (-1 = None)
+            workflow_id = None
+            workflow_col = np.fromiter(
+                (-1 if j.workflow_id is None else j.workflow_id for j in jobs),
+                np.int64,
+                n,
+            )
+        for i, j in enumerate(jobs):
+            codes[i] = vocab.setdefault(j.task_type, len(vocab))
+            dep_flat.extend(j.dependencies)
+            dep_offsets[i + 1] = len(dep_flat)
+        return cls(
+            job_id=np.fromiter((j.job_id for j in jobs), np.int64, n),
+            submit=np.fromiter((j.submit_time for j in jobs), np.float64, n),
+            size=np.fromiter((j.size for j in jobs), np.int64, n),
+            runtime=np.fromiter((j.runtime for j in jobs), np.float64, n),
+            user=np.fromiter((j.user_id for j in jobs), np.int64, n),
+            task_type_code=codes,
+            task_types=tuple(vocab) or ("batch",),
+            workflow_id=workflow_id,
+            dep_flat=np.asarray(dep_flat, dtype=np.int64),
+            dep_offsets=dep_offsets,
+            workflow_col=workflow_col,
+        )
+
+    def to_jobs(self) -> list[Job]:
+        """Materialize fresh, pristine :class:`Job` objects.
+
+        The hot path of every replay: bypasses the dataclass constructor
+        (per-field validation already ran vectorized in :meth:`validate`)
+        and converts columns with ``tolist`` so each job carries plain
+        Python scalars.
+        """
+        ids = self.job_id.tolist()
+        submits = self.submit.tolist()
+        sizes = self.size.tolist()
+        runtimes = self.runtime.tolist()
+        users = self.user.tolist()
+        codes = self.task_type_code.tolist()
+        types = self.task_types
+        wf = self.workflow_id
+        wf_col = (
+            None if self.workflow_col is None else self.workflow_col.tolist()
+        )
+        pending = JobState.PENDING
+        new = Job.__new__
+        jobs: list[Job] = []
+        append = jobs.append
+        if self.has_dependencies:
+            flat = self.dep_flat.tolist()
+            offs = self.dep_offsets.tolist()
+        for i in range(len(ids)):
+            job = new(Job)
+            job.job_id = ids[i]
+            job.submit_time = submits[i]
+            job.size = sizes[i]
+            job.runtime = runtimes[i]
+            job.user_id = users[i]
+            job.task_type = types[codes[i]]
+            if wf_col is None:
+                job.workflow_id = wf
+            else:
+                wfi = wf_col[i]
+                job.workflow_id = None if wfi == -1 else wfi
+            job.dependencies = (
+                tuple(flat[offs[i]:offs[i + 1]]) if self.has_dependencies else ()
+            )
+            job.state = pending
+            job.start_time = None
+            job.finish_time = None
+            append(job)
+        return jobs
+
+    # ------------------------------------------------------------------ #
+    # vectorized queries
+    # ------------------------------------------------------------------ #
+    def total_work(self) -> float:
+        return float(np.sum(self.size * self.runtime))
+
+    def max_size(self) -> int:
+        return int(self.size.max()) if len(self) else 0
+
+    def sorted_by_submit(self) -> "TraceArrays":
+        """Rows ordered by (submit, job_id); self if already ordered."""
+        order = np.lexsort((self.job_id, self.submit))
+        if np.array_equal(order, np.arange(len(self))):
+            return self
+        return self.take(order)
+
+    def take(self, indices: np.ndarray) -> "TraceArrays":
+        """Row subset/permutation (dependencies re-flattened per row)."""
+        if self.has_dependencies:
+            offs = self.dep_offsets
+            parts = [self.dep_flat[offs[i]:offs[i + 1]] for i in indices]
+            dep_flat = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            )
+            dep_offsets = np.zeros(len(indices) + 1, dtype=np.int64)
+            np.cumsum([len(p) for p in parts], out=dep_offsets[1:])
+        else:
+            dep_flat = None
+            dep_offsets = None
+        return TraceArrays(
+            job_id=self.job_id[indices],
+            submit=self.submit[indices],
+            size=self.size[indices],
+            runtime=self.runtime[indices],
+            user=self.user[indices],
+            task_type_code=self.task_type_code[indices],
+            task_types=self.task_types,
+            workflow_id=self.workflow_id,
+            dep_flat=dep_flat,
+            dep_offsets=dep_offsets,
+            workflow_col=(
+                None if self.workflow_col is None else self.workflow_col[indices]
+            ),
+        )
+
+    def shifted(self, dt: float) -> "TraceArrays":
+        """A copy with ``submit + dt`` (used by window re-basing)."""
+        out = self.take(np.arange(len(self)))
+        out.submit = self.submit + dt
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TraceArrays n={len(self)} types={len(self.task_types)} "
+            f"deps={len(self.dep_flat)}>"
+        )
+
+
 class Trace:
     """An ordered job collection with machine context.
 
@@ -153,27 +419,85 @@ class Trace:
         metadata: Optional[dict] = None,
     ) -> None:
         self.name = name
-        self.jobs: list[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        self._jobs: Optional[list[Job]] = sorted(
+            jobs, key=lambda j: (j.submit_time, j.job_id)
+        )
+        self._arrays: Optional[TraceArrays] = None
         self.machine_nodes = int(machine_nodes)
         self.duration = float(duration)
         self.metadata = dict(metadata or {})
-        if self.machine_nodes <= 0:
-            raise ValueError("machine_nodes must be positive")
-        if self.duration <= 0:
-            raise ValueError("duration must be positive")
-        ids = [j.job_id for j in self.jobs]
+        self._check_shape()
+        ids = [j.job_id for j in self._jobs]
         if len(set(ids)) != len(ids):
             raise ValueError(f"trace {name!r}: duplicate job ids")
-        oversized = [j.job_id for j in self.jobs if j.size > self.machine_nodes]
+        oversized = [j.job_id for j in self._jobs if j.size > self.machine_nodes]
         if oversized:
             raise ValueError(
                 f"trace {name!r}: jobs {oversized[:5]} exceed machine size "
                 f"{self.machine_nodes}"
             )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        arrays: TraceArrays,
+        machine_nodes: int,
+        duration: float,
+        metadata: Optional[dict] = None,
+        validated: bool = False,
+    ) -> "Trace":
+        """Build a trace on columnar storage; jobs materialize lazily.
+
+        Validation runs vectorized (``validated=True`` skips it when the
+        arrays were already checked, e.g. on :meth:`copy`).  The arrays are
+        shared, never copied — they are immutable by convention.
+        """
+        self = cls.__new__(cls)
+        self.name = name
+        self._jobs = None
+        self._arrays = arrays.sorted_by_submit()
+        self.machine_nodes = int(machine_nodes)
+        self.duration = float(duration)
+        self.metadata = dict(metadata or {})
+        self._check_shape()
+        if not validated:
+            self._arrays.validate()
+            if len(arrays) and self._arrays.size.max() > self.machine_nodes:
+                over = self._arrays.job_id[
+                    self._arrays.size > self.machine_nodes
+                ]
+                raise ValueError(
+                    f"trace {name!r}: jobs {over[:5].tolist()} exceed machine "
+                    f"size {self.machine_nodes}"
+                )
+        return self
+
+    def _check_shape(self) -> None:
+        if self.machine_nodes <= 0:
+            raise ValueError("machine_nodes must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
     # ------------------------------------------------------------------ #
+    @property
+    def jobs(self) -> list[Job]:
+        """The job list (materialized from the columns on first access)."""
+        if self._jobs is None:
+            self._jobs = self._arrays.to_jobs()  # type: ignore[union-attr]
+        return self._jobs
+
+    @property
+    def arrays(self) -> TraceArrays:
+        """Columnar view of the immutable facts (built once, then cached)."""
+        if self._arrays is None:
+            self._arrays = TraceArrays.from_jobs(self._jobs or [])
+        return self._arrays
+
     def __len__(self) -> int:
-        return len(self.jobs)
+        if self._jobs is not None:
+            return len(self._jobs)
+        return len(self._arrays)  # type: ignore[arg-type]
 
     def __iter__(self) -> Iterator[Job]:
         return iter(self.jobs)
@@ -191,6 +515,8 @@ class Trace:
     @property
     def total_work(self) -> float:
         """Total node-seconds demanded by the trace."""
+        if self._arrays is not None:
+            return self._arrays.total_work()
         return sum(j.work for j in self.jobs)
 
     @property
@@ -200,6 +526,8 @@ class Trace:
 
     @property
     def max_size(self) -> int:
+        if self._arrays is not None:
+            return self._arrays.max_size()
         return max((j.size for j in self.jobs), default=0)
 
     @property
@@ -215,21 +543,10 @@ class Trace:
         """Jobs submitted in ``[start, end)``, re-based to t=0."""
         if not (0 <= start < end):
             raise ValueError("need 0 <= start < end")
-        picked = [
-            Job(
-                job_id=j.job_id,
-                submit_time=j.submit_time - start,
-                size=j.size,
-                runtime=j.runtime,
-                user_id=j.user_id,
-                task_type=j.task_type,
-                workflow_id=j.workflow_id,
-                dependencies=j.dependencies,
-            )
-            for j in self.jobs
-            if start <= j.submit_time < end
-        ]
-        return Trace(
+        arrays = self.arrays
+        mask = (arrays.submit >= start) & (arrays.submit < end)
+        picked = arrays.take(np.flatnonzero(mask)).shifted(-start)
+        return Trace.from_arrays(
             name or f"{self.name}[{start:.0f}:{end:.0f}]",
             picked,
             self.machine_nodes,
@@ -238,22 +555,18 @@ class Trace:
         )
 
     def copy(self) -> "Trace":
-        """Deep-ish copy with fresh execution state."""
-        jobs = [
-            Job(
-                job_id=j.job_id,
-                submit_time=j.submit_time,
-                size=j.size,
-                runtime=j.runtime,
-                user_id=j.user_id,
-                task_type=j.task_type,
-                workflow_id=j.workflow_id,
-                dependencies=j.dependencies,
-            )
-            for j in self.jobs
-        ]
-        return Trace(
-            self.name, jobs, self.machine_nodes, self.duration, dict(self.metadata)
+        """Replay copy: shares the immutable columns, fresh execution state.
+
+        The copy materializes its own pristine :class:`Job` objects on
+        first use, so two copies never alias mutable state.
+        """
+        return Trace.from_arrays(
+            self.name,
+            self.arrays,
+            self.machine_nodes,
+            self.duration,
+            dict(self.metadata),
+            validated=True,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -261,6 +574,27 @@ class Trace:
             f"<Trace {self.name!r} jobs={len(self.jobs)} "
             f"nodes={self.machine_nodes} util={self.utilization:.3f}>"
         )
+
+
+def clone_job(job: Job) -> Job:
+    """Fresh pristine copy of a job's immutable facts.
+
+    Replay hot path: skips the dataclass constructor and its per-field
+    validation (the source job was already validated at creation).
+    """
+    new = Job.__new__(Job)
+    new.job_id = job.job_id
+    new.submit_time = job.submit_time
+    new.size = job.size
+    new.runtime = job.runtime
+    new.user_id = job.user_id
+    new.task_type = job.task_type
+    new.workflow_id = job.workflow_id
+    new.dependencies = job.dependencies
+    new.state = JobState.PENDING
+    new.start_time = None
+    new.finish_time = None
+    return new
 
 
 def hour_ceil(seconds: float, unit: float = 3600.0) -> int:

@@ -1,0 +1,182 @@
+"""Process-wide, content-keyed store of generated workloads.
+
+Every sweep point, every table scenario and every pool worker used to
+regenerate the identical seed-0 NASA/BLUE/Montage workload from scratch —
+the same numpy sampling, calibration and (worst) per-job object
+construction, once per *consumer* instead of once per *content*.  The
+:class:`TraceStore` makes workload generation content-addressed inside one
+process: a trace is keyed by ``(generator, spec, seed)`` and generated
+exactly once; every consumer gets a cheap handle sharing the immutable
+:class:`~repro.workloads.job.TraceArrays` columns (traces) or the
+immutable DAG topology (workflows), with mutable per-replay state
+materialized lazily per handle.
+
+Cross-worker handoff
+--------------------
+The orchestrator prewarms the store with the workloads a scenario
+selection declares (see :attr:`repro.experiments.registry.ScenarioSpec
+.prewarm`) *before* creating its process pool.  Under the default ``fork``
+start method the children inherit the populated store as copy-on-write
+memory — each distinct trace is generated once per run, not once per
+worker — which is the "pickle-once" handoff: the arrays cross the process
+boundary a single time, at fork.  Under ``spawn`` the store simply starts
+empty in each worker and dedupes within it; results are identical either
+way because generation is deterministic in the key.
+
+Keys are content keys: the spec is canonicalized (dataclasses →
+sorted-key JSON) so two spec objects with equal fields share one entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from typing import Any, Callable, Iterable, Optional
+
+from repro.workloads.job import Trace
+from repro.workloads.workflow import Workflow
+
+
+def _canonical_spec(spec: Any) -> str:
+    """Stable text form of a generator spec (dataclass, mapping, scalar)."""
+    if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
+        spec = dataclasses.asdict(spec)
+    return json.dumps(spec, sort_keys=True, default=repr)
+
+
+class TraceStore:
+    """In-process content-addressed cache of generated workloads.
+
+    Values are *templates*: immutable by convention, never handed to a
+    simulator directly.  :meth:`trace` returns a fresh
+    :class:`~repro.workloads.job.Trace` sharing the template's columns;
+    :meth:`workflow` returns a fresh clone sharing the template's DAG.
+    Thread-safe (the orchestrator prewarms from the main thread while
+    benchmarks may generate concurrently from test workers).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, Any] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def key(self, generator: str, spec: Any, seed: int) -> tuple:
+        return (generator, _canonical_spec(spec), int(seed))
+
+    def _get_or_build(self, key: tuple, build: Callable[[], Any]) -> Any:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry
+        # build outside the lock: generation can take tens of ms and must
+        # not serialize unrelated keys; a racing duplicate build is safe
+        # (deterministic content) and the first writer wins
+        value = build()
+        with self._lock:
+            entry = self._entries.setdefault(key, value)
+            self.misses += 1
+        return entry
+
+    # ------------------------------------------------------------------ #
+    def trace(
+        self, generator: str, spec: Any, seed: int, build: Callable[[], Trace]
+    ) -> Trace:
+        """A fresh replayable trace for ``(generator, spec, seed)``.
+
+        The template is generated on first request; every request returns
+        a new :class:`Trace` whose immutable columns are shared and whose
+        jobs materialize lazily, so handing the result straight to a
+        runner is safe.
+        """
+        template = self._get_or_build(self.key(generator, spec, seed), build)
+        return template.copy()
+
+    def workflow(
+        self, generator: str, spec: Any, seed: int, build: Callable[[], Workflow]
+    ) -> Workflow:
+        """A fresh replayable workflow for ``(generator, spec, seed)``."""
+        template = self._get_or_build(self.key(generator, spec, seed), build)
+        return template.clone()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TraceStore entries={len(self._entries)} hits={self.hits} "
+            f"misses={self.misses}>"
+        )
+
+
+#: The process-wide store every built-in bundle factory routes through.
+_STORE = TraceStore()
+
+
+def default_store() -> TraceStore:
+    return _STORE
+
+
+# --------------------------------------------------------------------- #
+# named workloads (the prewarm vocabulary)
+# --------------------------------------------------------------------- #
+def paper_trace(name: str, seed: int = 0) -> Trace:
+    """A named paper/archive HTC trace through the store.
+
+    ``name`` is any :data:`repro.workloads.archive.ARCHIVE` entry
+    (``nasa-ipsc``, ``sdsc-blue``, ``ctc-sp2``, ...).
+    """
+    from repro.workloads.archive import ARCHIVE
+    from repro.workloads.traces import generate_htc_trace
+
+    try:
+        spec = ARCHIVE[name]
+    except KeyError:
+        raise ValueError(f"unknown trace {name!r}; known: {sorted(ARCHIVE)}") from None
+    return _STORE.trace(
+        "htc-trace", spec, seed, lambda: generate_htc_trace(spec, seed)
+    )
+
+
+def montage_workflow(
+    spec: Optional[Any] = None, seed: int = 0, submit_time: float = 0.0
+) -> Workflow:
+    """The Montage workflow through the store.
+
+    ``submit_time`` is part of the generated content (tasks carry it), so
+    it participates in the key.
+    """
+    from repro.workloads.montage import MontageSpec, generate_montage
+
+    spec = spec or MontageSpec()
+    return _STORE.workflow(
+        "montage",
+        {"spec": dataclasses.asdict(spec), "submit_time": submit_time},
+        seed,
+        lambda: generate_montage(spec, seed=seed, submit_time=submit_time),
+    )
+
+
+def prewarm(names: Iterable[str], seed: int = 0) -> int:
+    """Generate the named workloads into the store (idempotent).
+
+    The vocabulary is the archive trace names plus ``"montage"``.  Called
+    by the orchestrator before forking pool workers so children inherit
+    the populated store; returns the number of entries now present.
+    """
+    for name in names:
+        if name == "montage":
+            montage_workflow(seed=seed)
+        else:
+            paper_trace(name, seed)
+    return len(_STORE)

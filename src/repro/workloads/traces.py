@@ -36,7 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.simkit.rng import RandomStreams
-from repro.workloads.job import Job, Trace
+from repro.workloads.job import Trace, TraceArrays
 
 HOUR = 3600.0
 DAY = 24 * HOUR
@@ -289,20 +289,19 @@ def generate_htc_trace(spec: HTCTraceSpec, seed: int = 0) -> Trace:
     runtimes = _calibrate_runtimes(spec, arrivals, sizes, runtimes)
     users = rng.integers(0, spec.n_users, size=spec.n_jobs)
 
-    jobs = [
-        Job(
-            job_id=i + 1,
-            submit_time=float(arrivals[i]),
-            size=int(sizes[i]),
-            runtime=float(runtimes[i]),
-            user_id=int(users[i]),
-            task_type="batch",
-        )
-        for i in range(spec.n_jobs)
-    ]
-    return Trace(
+    # Columnar fast path: the whole trace stays in numpy until a simulator
+    # materializes Job objects (lazily, per replay copy).
+    arrays = TraceArrays(
+        job_id=np.arange(1, spec.n_jobs + 1, dtype=np.int64),
+        submit=arrivals,
+        size=sizes,
+        runtime=runtimes,
+        user=users,
+        task_types=("batch",),
+    )
+    return Trace.from_arrays(
         spec.name,
-        jobs,
+        arrays,
         machine_nodes=spec.machine_nodes,
         duration=spec.duration,
         metadata={

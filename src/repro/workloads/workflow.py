@@ -13,7 +13,7 @@ from typing import Iterable, Optional, Sequence
 
 import networkx as nx
 
-from repro.workloads.job import Job, JobState, validate_dependencies
+from repro.workloads.job import Job, JobState, clone_job, validate_dependencies
 
 
 class Workflow:
@@ -110,6 +110,22 @@ class Workflow:
     def reset(self) -> None:
         for t in self.tasks:
             t.reset()
+
+    def clone(self) -> "Workflow":
+        """Replay copy: fresh pristine tasks, shared immutable topology.
+
+        Skips re-validation and the DiGraph rebuild — the structure was
+        proven acyclic at construction and the graph (job ids only) is
+        never mutated, so clones may share it.
+        """
+        new = Workflow.__new__(Workflow)
+        new.workflow_id = self.workflow_id
+        new.name = self.name
+        new.submit_time = self.submit_time
+        new.tasks = [clone_job(t) for t in self.tasks]
+        new._by_id = {t.job_id: t for t in new.tasks}
+        new.graph = self.graph
+        return new
 
     def makespan(self) -> Optional[float]:
         """Finish of the last task minus workflow submit, once complete."""

@@ -35,6 +35,17 @@ def _runtime_sampler(
     return draw
 
 
+def _draw_runtimes(
+    rng: np.random.Generator, mean_runtime: float, jitter: float, k: int
+) -> list[float]:
+    """Vectorized batch equal to ``k`` successive :func:`_runtime_sampler`
+    draws (numpy's block ``standard_normal`` consumes the stream
+    identically), used by the generators whose draws are not interleaved
+    with other RNG calls."""
+    values = mean_runtime * (1.0 + jitter * rng.standard_normal(k))
+    return np.maximum(values, 0.1 * mean_runtime).tolist()
+
+
 def bag_of_tasks(
     n_tasks: int,
     mean_runtime: float = 60.0,
@@ -47,13 +58,13 @@ def bag_of_tasks(
     if n_tasks < 1:
         raise ValueError("n_tasks must be >= 1")
     rng = RandomStreams(seed).stream(f"bag/{workflow_id}")
-    draw = _runtime_sampler(rng, mean_runtime, jitter)
+    runtimes = _draw_runtimes(rng, mean_runtime, jitter, n_tasks)
     tasks = [
         Job(
             job_id=i + 1,
             submit_time=submit_time,
             size=1,
-            runtime=draw(),
+            runtime=runtimes[i],
             task_type="bag-task",
             workflow_id=workflow_id,
         )
@@ -74,7 +85,7 @@ def chain(
     if length < 1:
         raise ValueError("length must be >= 1")
     rng = RandomStreams(seed).stream(f"chain/{workflow_id}")
-    draw = _runtime_sampler(rng, mean_runtime, jitter)
+    runtimes = _draw_runtimes(rng, mean_runtime, jitter, length)
     tasks = []
     for i in range(length):
         deps = (i,) if i >= 1 else ()
@@ -83,7 +94,7 @@ def chain(
                 job_id=i + 1,
                 submit_time=submit_time,
                 size=1,
-                runtime=draw(),
+                runtime=runtimes[i],
                 task_type="stage",
                 workflow_id=workflow_id,
                 dependencies=deps,
@@ -104,13 +115,13 @@ def fork_join(
     if width < 1:
         raise ValueError("width must be >= 1")
     rng = RandomStreams(seed).stream(f"forkjoin/{workflow_id}")
-    draw = _runtime_sampler(rng, mean_runtime, jitter)
+    runtimes = _draw_runtimes(rng, mean_runtime, jitter, width + 2)
     tasks = [
         Job(
             job_id=1,
             submit_time=submit_time,
             size=1,
-            runtime=draw(),
+            runtime=runtimes[0],
             task_type="fork",
             workflow_id=workflow_id,
         )
@@ -124,7 +135,7 @@ def fork_join(
                 job_id=jid,
                 submit_time=submit_time,
                 size=1,
-                runtime=draw(),
+                runtime=runtimes[jid - 1],
                 task_type="worker",
                 workflow_id=workflow_id,
                 dependencies=(1,),
@@ -135,7 +146,7 @@ def fork_join(
             job_id=width + 2,
             submit_time=submit_time,
             size=1,
-            runtime=draw(),
+            runtime=runtimes[width + 1],
             task_type="join",
             workflow_id=workflow_id,
             dependencies=tuple(worker_ids),

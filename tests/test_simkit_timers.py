@@ -76,3 +76,109 @@ class TestOneShotTimer:
         assert not timer.fired
         engine.run(until=2.0)
         assert timer.fired
+
+
+class TestGridTicksAndDrift:
+    """PR 3: the n-th tick is epoch + n*interval, never an accumulated sum."""
+
+    def test_no_float_drift_over_1e5_ticks(self, engine):
+        # 0.1 is not exactly representable: accumulating t += 0.1 drifts by
+        # ~1e-7 per 1e5 ticks, while the grid form stays exact to 1 ulp.
+        interval = 0.1
+        times = []
+        timer = PeriodicTimer(engine, interval, lambda: times.append(engine.now))
+        timer.start()
+        n = 100_000
+        engine.run(until=n * interval)
+        assert timer.fire_count == n
+        for k in (1, 10, 9_999, 50_000, n - 1):
+            expected = (k + 1) * interval
+            assert abs(times[k] - expected) <= abs(expected) * 1e-15, (
+                f"tick {k}: {times[k]!r} drifted from {expected!r}"
+            )
+
+    def test_epoch_anchors_to_start_time(self, engine):
+        ticks = []
+        engine.schedule_at(
+            7.0, lambda: PeriodicTimer(engine, 10.0, lambda: ticks.append(engine.now)).start()
+        )
+        engine.run(until=40.0)
+        assert ticks == [17.0, 27.0, 37.0]
+
+
+class TestSuspendResume:
+    """PR 3: idle-gap fast-forward — suspended timers skip quiet stretches
+    but every tick that fires lands on the original grid instants."""
+
+    def test_suspend_stops_firing(self, engine):
+        ticks = []
+        timer = PeriodicTimer(engine, 10.0, lambda: ticks.append(engine.now))
+        timer.start()
+        engine.schedule_at(25.0, timer.suspend)
+        engine.run(until=100.0)
+        assert ticks == [10.0, 20.0]
+        assert timer.suspended and not timer.active
+
+    def test_resume_rejoins_the_original_grid(self, engine):
+        ticks = []
+        timer = PeriodicTimer(engine, 10.0, lambda: ticks.append(engine.now))
+        timer.start()
+        engine.schedule_at(25.0, timer.suspend)
+        engine.schedule_at(73.5, timer.resume)
+        engine.run(until=100.0)
+        # ticks at 30..70 skipped; resumption continues on the 10 s grid
+        assert ticks == [10.0, 20.0, 80.0, 90.0, 100.0]
+
+    def test_resume_within_same_interval_loses_nothing(self, engine):
+        ticks = []
+        timer = PeriodicTimer(engine, 10.0, lambda: ticks.append(engine.now))
+        timer.start()
+        engine.schedule_at(20.5, timer.suspend)
+        engine.schedule_at(24.0, timer.resume)  # before the armed tick at 30
+        engine.run(until=50.0)
+        assert ticks == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+    def test_resume_on_grid_instant_fires_that_tick_by_default(self, engine):
+        ticks = []
+        timer = PeriodicTimer(engine, 10.0, lambda: ticks.append(engine.now))
+        timer.start()
+        engine.schedule_at(15.0, timer.suspend)
+        engine.schedule_at(40.0, timer.resume)  # exactly a lapsed grid slot
+        engine.run(until=60.0)
+        assert ticks == [10.0, 40.0, 50.0, 60.0]
+
+    def test_resume_on_grid_instant_exclusive_variant(self, engine):
+        ticks = []
+        timer = PeriodicTimer(engine, 10.0, lambda: ticks.append(engine.now))
+        timer.start()
+        engine.schedule_at(15.0, timer.suspend)
+        engine.schedule_at(40.0, lambda: timer.resume(include_now=False))
+        engine.run(until=60.0)
+        assert ticks == [10.0, 50.0, 60.0]
+
+    def test_fire_count_excludes_suspended_stretch(self, engine):
+        timer = PeriodicTimer(engine, 1.0, lambda: None)
+        timer.start()
+        engine.schedule_at(3.5, timer.suspend)
+        engine.schedule_at(97.2, timer.resume)
+        engine.run(until=100.0)
+        assert timer.fire_count == 3 + 3  # t=1..3 then t=98..100
+
+    def test_suspend_resume_is_idempotent(self, engine):
+        timer = PeriodicTimer(engine, 5.0, lambda: None)
+        timer.start()
+        timer.suspend()
+        timer.suspend()
+        timer.resume()
+        timer.resume()
+        engine.run(until=10.0)
+        assert timer.fire_count == 2
+
+    def test_stop_while_suspended(self, engine):
+        timer = PeriodicTimer(engine, 5.0, lambda: None)
+        timer.start()
+        engine.schedule_at(7.0, timer.suspend)
+        engine.schedule_at(8.0, timer.stop)
+        engine.run(until=50.0)
+        assert timer.fire_count == 1
+        assert not timer.active and not timer.suspended

@@ -62,9 +62,24 @@ class TestParsing:
         with pytest.raises(SWFError):
             parse_swf(swf_line().replace("100", "abc", 1))
 
-    def test_duplicate_job_number_rejected(self):
+    def test_duplicate_job_number_rejected_in_strict_mode(self):
         with pytest.raises(SWFError):
-            parse_swf(swf_line(job=1) + "\n" + swf_line(job=1))
+            parse_swf(swf_line(job=1) + "\n" + swf_line(job=1), strict=True)
+
+    def test_duplicate_job_number_skipped_by_default(self):
+        trace = parse_swf(swf_line(job=1) + "\n" + swf_line(job=1))
+        assert len(trace) == 1
+        assert trace.metadata["swf_skipped_lines"] == 1
+
+    def test_malformed_lines_skipped_with_counter(self):
+        text = swf_line(job=1) + "\ngarbage line\n" + swf_line(job=2) + "\n1 2 3\n"
+        trace = parse_swf(text)
+        assert len(trace) == 2
+        assert trace.metadata["swf_skipped_lines"] == 2
+
+    def test_malformed_line_raises_in_strict_mode(self):
+        with pytest.raises(SWFError):
+            parse_swf(swf_line(job=1) + "\ngarbage\n", strict=True)
 
     def test_empty_input_rejected(self):
         with pytest.raises(SWFError):
@@ -108,3 +123,66 @@ class TestRoundTrip:
         parsed = parse_swf_file(path)
         assert len(parsed) == len(small_trace)
         assert parsed.name == "trace.swf"
+
+
+class TestCompressedAndStreamInputs:
+    """The gzip / pre-opened-stream source shapes (PR 3 satellite)."""
+
+    def _text(self):
+        return "; MaxProcs: 16\n" + swf_line(job=1) + "\n" + swf_line(job=2) + "\n"
+
+    def test_bytes_input(self):
+        assert len(parse_swf(self._text().encode())) == 2
+
+    def test_binary_stream_input(self):
+        assert len(parse_swf(io.BytesIO(self._text().encode()))) == 2
+
+    def test_gzip_binary_stream_detected_by_magic(self):
+        import gzip
+
+        blob = gzip.compress(self._text().encode())
+        trace = parse_swf(io.BytesIO(blob))
+        assert len(trace) == 2
+        assert trace.machine_nodes == 16
+
+    def test_gzip_file_by_extension(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "log.swf.gz"
+        path.write_bytes(gzip.compress(self._text().encode()))
+        trace = parse_swf_file(path)
+        assert len(trace) == 2
+        assert trace.name == "log.swf.gz"
+
+    def test_plain_text_stream_still_works(self, tmp_path):
+        path = tmp_path / "log.swf"
+        path.write_text(self._text())
+        with open(path) as fh:
+            assert len(parse_swf(fh)) == 2
+
+    def test_preopened_binary_file(self, tmp_path):
+        path = tmp_path / "log.swf"
+        path.write_text(self._text())
+        with open(path, "rb") as fh:
+            assert len(parse_swf(fh)) == 2
+
+    def test_preopened_stream_is_borrowed_not_closed(self, tmp_path):
+        import gc
+
+        path = tmp_path / "log.swf"
+        path.write_text(self._text())
+        with open(path, "rb") as fh:
+            parse_swf(fh)
+            gc.collect()  # would close fh if the decode chain owned it
+            assert not fh.closed
+            fh.seek(0)
+            assert len(parse_swf(fh)) == 2
+
+    def test_preopened_gzip_stream_is_borrowed_not_closed(self):
+        import gc
+        import gzip
+
+        blob = io.BytesIO(gzip.compress(self._text().encode()))
+        parse_swf(blob)
+        gc.collect()
+        assert not blob.closed
