@@ -10,7 +10,7 @@ diff-burst width (≈4× the steady width at every scale).
 
 from repro.core.policies import ResourceManagementPolicy
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_four_systems
+from repro.api.run import run_four_systems
 from repro.systems.base import WorkloadBundle
 from repro.workloads.montage import generate_montage, montage_family
 

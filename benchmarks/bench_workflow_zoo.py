@@ -21,7 +21,7 @@ the paper's headline MTC number.
 
 from repro.core.policies import ResourceManagementPolicy
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_four_systems
+from repro.api.run import run_four_systems
 from repro.systems.base import WorkloadBundle
 from repro.workloads.pegasus import PEGASUS_GENERATORS, PegasusSpec, generate_pegasus
 from repro.workloads.workflow import Workflow

@@ -5,13 +5,15 @@ The paper replays two Parallel Workloads Archive logs.  This environment
 cannot download them, so the evaluation uses calibrated synthetic
 stand-ins — but the library reads the archive's actual format (SWF,
 Standard Workload Format), and this example shows the full path a user
-with real data follows:
+with real data follows, **through the spec API**: the SWF file is just a
+``swf`` workload component with a ``path`` parameter, crossed with the
+four systems by one :class:`~repro.api.spec.ExperimentSpec`.
 
 1. obtain an SWF file (here: we *write* one from a synthetic trace, so
    the example is self-contained — substitute any archive log);
-2. parse it, normalize to one CPU per node (§4.4's normalization);
-3. optionally rescale the load;
-4. run DCS/SSP/DRP/DawningCloud and print the Table-2-style comparison.
+2. declare the experiment: the ``swf`` workload × DCS/SSP/DRP/DawningCloud;
+3. run it via :class:`~repro.api.run.Simulation` and print the
+   Table-2-style comparison.
 
 Run:  python examples/byo_trace.py [path/to/log.swf]
 """
@@ -20,10 +22,8 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.core.policies import ResourceManagementPolicy
+from repro.api import Simulation
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_four_systems
-from repro.systems.base import WorkloadBundle
 from repro.workloads.stats import summarize
 from repro.workloads.swf import parse_swf_file, write_swf
 from repro.workloads.traces import generate_nasa_ipsc
@@ -38,32 +38,43 @@ else:
     swf_path.write_text(write_swf(generate_nasa_ipsc(seed=0)))
     print(f"(no SWF given; wrote a synthetic one to {swf_path})\n")
 
-# --- 2. parse + normalize ------------------------------------------------ #
-trace = parse_swf_file(swf_path)
+trace = parse_swf_file(swf_path)  # a peek at what the spec will replay
 print(f"parsed: {summarize(trace)}\n")
 
-# --- 3. bundle ------------------------------------------------------------ #
-bundle = WorkloadBundle.from_trace(trace.name, trace)
+# --- 2. the experiment, as data ------------------------------------------ #
+b = max(trace.machine_nodes // 3, 1)
+spec = {
+    "name": "byo-trace-four-ways",
+    "workloads": [{"generator": "swf", "params": {"path": str(swf_path)}}],
+    "systems": [
+        "dcs",
+        "ssp",
+        {"runner": "drp", "params": {"capacity": 4 * trace.machine_nodes}},
+        {"runner": "dawningcloud",
+         "params": {"capacity": 4 * trace.machine_nodes},
+         "policy": {"name": "paper-htc",
+                    "params": {"initial_nodes": b, "threshold_ratio": 1.5}}},
+    ],
+}
 
-# --- 4. the four systems -------------------------------------------------- #
-policy = ResourceManagementPolicy.for_htc(
-    initial_nodes=max(trace.machine_nodes // 3, 1), threshold_ratio=1.5
-)
-results = run_four_systems(bundle, policy, capacity=4 * trace.machine_nodes)
-base = results["DCS"].resource_consumption
+# --- 3. run + report ------------------------------------------------------ #
+results = Simulation(spec).run()
+base = next(r for r in results if r.system == "dcs")
 rows = [
     {
-        "system": name,
-        "node_hours": round(m.resource_consumption),
-        "saved_vs_dcs": None if name == "DCS"
-        else f"{1 - m.resource_consumption / base:.1%}",
-        "completed_jobs": m.completed_jobs,
-        "peak_nodes": m.peak_nodes,
+        "system": r.system,
+        "node_hours": round(r.metrics["resource_consumption"]),
+        "saved_vs_dcs": None if r.system == "dcs"
+        else f"{1 - r.metrics['resource_consumption'] / base.metrics['resource_consumption']:.1%}",
+        "completed_jobs": r.metrics["completed_jobs"],
+        "peak_nodes": r.metrics["peak_nodes"],
     }
-    for name, m in results.items()
+    for r in results
 ]
 print(render_table(rows, title=f"Four systems on {trace.name!r}"))
 print(
     "\nDrop any Parallel Workloads Archive .swf in place of the synthetic "
-    "file to rerun the paper's comparison on the real log."
+    "file to rerun\nthe paper's comparison on the real log — or write the "
+    "same spec as TOML and use\n`repro-experiments run-spec` with no "
+    "Python at all."
 )

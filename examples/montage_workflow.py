@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """The paper's MTC scenario: a Montage-1000 mosaic workflow, four ways.
 
-Reproduces Table 4's comparison end to end: the same 1000-task Montage
-workflow (166 projections, 662 difference fits, 166 background corrections,
-6 singleton stages; mean task runtime 11.38 s) runs on:
+Reproduces Table 4's comparison end to end through the spec API: the
+same 1000-task Montage workflow (166 projections, 662 difference fits,
+166 background corrections, 6 singleton stages; mean task runtime
+11.38 s) is one ``montage`` workload component, crossed with:
 
 * DCS — a dedicated 166-node cluster the organization owns;
 * SSP — the same 166 nodes leased as a fixed virtual cluster;
@@ -13,8 +14,7 @@ workflow (166 projections, 662 difference fits, 166 background corrections,
 Run:  python examples/montage_workflow.py
 """
 
-from repro.experiments.config import PAPER_POLICIES, montage_bundle
-from repro.experiments.runner import run_four_systems
+from repro.api import Simulation
 from repro.workloads.montage import MontageSpec, generate_montage
 
 # --- inspect the workflow ------------------------------------------------ #
@@ -26,20 +26,32 @@ print(f"  mean runtime:   {workflow.mean_task_runtime():.2f} s (paper: 11.38 s)"
 print(f"  critical path:  {workflow.critical_path_length():.0f} s")
 print(f"  type census:    {workflow.type_census()}")
 
-# --- run it through the four systems ------------------------------------- #
-bundle = montage_bundle(seed=0)
-results = run_four_systems(bundle, PAPER_POLICIES["montage"])
+# --- the experiment, as data --------------------------------------------- #
+paper_policy = {"name": "paper-mtc",
+                "params": {"initial_nodes": 10, "threshold_ratio": 8.0}}
+spec = {
+    "name": "montage-four-ways",
+    "workloads": ["montage"],  # Table 4's exact instance (the defaults)
+    "systems": [
+        "dcs",
+        "ssp",
+        "drp",
+        {"runner": "dawningcloud", "policy": paper_policy},
+    ],
+}
+results = {r.system: r.metrics for r in Simulation(spec, seed=0).run()}
 
 print("\nsystem          node-hours   tasks/s   peak nodes   (paper node-hours)")
-paper = {"DCS": 166, "SSP": 166, "DRP": 662, "DawningCloud": 166}
+paper = {"dcs": 166, "ssp": 166, "drp": 662, "dawningcloud": 166}
 for system, m in results.items():
     print(
-        f"{system:14s}  {m.resource_consumption:9.0f}  {m.tasks_per_second:8.2f}"
-        f"  {m.peak_nodes:10.0f}   ({paper[system]})"
+        f"{system:14s}  {m['resource_consumption']:9.0f}"
+        f"  {m['tasks_per_second']:8.2f}"
+        f"  {m['peak_nodes']:10.0f}   ({paper[system]})"
     )
 
-drp, dc = results["DRP"], results["DawningCloud"]
-saving = 1 - dc.resource_consumption / drp.resource_consumption
+drp, dc = results["drp"], results["dawningcloud"]
+saving = 1 - dc["resource_consumption"] / drp["resource_consumption"]
 print(
     f"\nDawningCloud saves {saving:.1%} of the MTC service provider's cost "
     f"vs DRP (paper: 74.9%)"

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Spec-API quickstart: compose an experiment from data, not code.
+
+The five-minute tour of ``repro.api``:
+
+1. every pluggable piece — workloads, systems, schedulers, policies,
+   billing meters — lives in the component registry under a string key
+   (``repro-experiments list-components``);
+2. an :class:`~repro.api.spec.ExperimentSpec` names components and
+   parameters: workloads × systems × seeds × sweep grids, pure data;
+3. :class:`~repro.api.run.Simulation` materializes and runs it, returning
+   structured results — and caches by the spec's content digest, so
+   rerunning an unchanged spec is a JSON load;
+4. the same dict as a TOML file runs with zero Python:
+   ``repro-experiments run-spec examples/specs/minilab-four-ways.toml``.
+
+Run:  python examples/spec_quickstart.py
+"""
+
+from repro.api import ExperimentSpec, Simulation, default_components, spec_digest
+
+# --- 1. what is there to compose? ---------------------------------------- #
+registry = default_components()
+print("workloads: ", ", ".join(registry.names("workload")))
+print("systems:   ", ", ".join(registry.names("system")))
+print("schedulers:", ", ".join(registry.names("scheduler")))
+print("meters:    ", ", ".join(registry.names("billing-meter")))
+
+# --- 2. an experiment as data -------------------------------------------- #
+# The paper's Table 2 question — does a NASA-like HTC provider benefit
+# from the cloud? — plus a billing sweep the paper could not ask.
+spec = ExperimentSpec.from_dict({
+    "name": "nasa-billing-cross",
+    "description": "NASA trace: four systems under two billing meters",
+    "workloads": ["nasa-ipsc"],
+    "systems": [
+        "dcs",
+        "drp",
+        {"runner": "dawningcloud",
+         "policy": {"name": "paper-htc",
+                    "params": {"initial_nodes": 40, "threshold_ratio": 1.2}}},
+    ],
+    "sweep": {"billing.name": ["per-hour", "per-second"]},
+})
+print(f"\nspec digest (the cache key): {spec_digest(spec)}")
+
+# --- 3. run it ------------------------------------------------------------ #
+sim = Simulation(spec, seed=0)
+results = sim.run()
+
+print(f"\n{'system':14s} {'billing':11s} {'node-hours':>10s} {'completed':>9s}")
+for r in results:
+    billing = r.point.get("billing.name", "per-hour")
+    print(
+        f"{r.system:14s} {billing:11s} "
+        f"{r.metrics['resource_consumption']:10.0f} "
+        f"{r.metrics['completed_jobs']:9d}"
+    )
+
+dc_hr = next(r for r in results
+             if r.system == "dawningcloud"
+             and r.point["billing.name"] == "per-hour")
+drp_hr = next(r for r in results
+              if r.system == "drp" and r.point["billing.name"] == "per-hour")
+saving = 1 - (dc_hr.metrics["resource_consumption"]
+              / drp_hr.metrics["resource_consumption"])
+print(
+    f"\nUnder the paper's hourly meter DawningCloud saves {saving:.1%} vs "
+    f"DRP;\nper-second billing erases DRP's hour-rounding penalty — most "
+    f"of the DRP\ngap is billing granularity, which is exactly the kind of "
+    f"question a\none-line sweep answers."
+)

@@ -30,6 +30,12 @@ cached :mod:`repro.experiments.orchestrator` (``repro-experiments
 list-scenarios`` / ``run --parallel N --scenario PAT``); see
 docs/orchestration.md for the registry, cache layout and
 cache-invalidation rules.
+
+The public composition layer is :mod:`repro.api` — a component registry
+(``repro-experiments list-components``), declarative experiment specs
+(:class:`repro.api.ExperimentSpec`, runnable from TOML via
+``repro-experiments run-spec``), and the :class:`repro.api.Simulation`
+facade; see docs/api.md.
 """
 
 from repro.core.dawningcloud import DawningCloud

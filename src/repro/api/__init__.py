@@ -1,0 +1,106 @@
+"""``repro.api``: the public, spec-driven facade over the whole stack.
+
+Three layers (see docs/api.md for the schema reference and quickstart):
+
+* :mod:`repro.api.registry` — the **component registry**: schedulers,
+  provisioning policies, billing meters, resource-management policies,
+  workload generators, system runners and analyses self-register under
+  string keys with declared parameter schemas
+  (``repro-experiments list-components``).
+* :mod:`repro.api.spec` — the **spec layer**: frozen dataclasses
+  (:class:`WorkloadSpec`, :class:`SystemSpec`, :class:`ExperimentSpec`)
+  that round-trip through ``from_dict``/``to_dict`` and canonical JSON,
+  so a spec digest is a stable cache key.
+* :mod:`repro.api.run` — the **facade**: :class:`Simulation` materializes
+  a spec through the trace store and the orchestrator and returns
+  structured :class:`RunResult` records.
+
+Compose any system from data::
+
+    from repro.api import ExperimentSpec, Simulation
+
+    spec = ExperimentSpec.from_dict({
+        "name": "nasa-four-ways",
+        "workloads": ["nasa-ipsc"],
+        "systems": [
+            "dcs", "drp",
+            {"runner": "dawningcloud",
+             "policy": {"name": "paper-htc",
+                        "params": {"initial_nodes": 40,
+                                   "threshold_ratio": 1.2}}},
+        ],
+    })
+    for result in Simulation(spec).run():
+        print(result.system, result.metrics["resource_consumption"])
+
+The same dict, written as TOML, runs without any Python:
+``repro-experiments run-spec path/to/spec.toml``.
+
+This ``__init__`` resolves its exports lazily so that subsystem modules
+can import :mod:`repro.api.registry` (to self-register) without dragging
+the spec/run layers — and the whole simulator stack behind them — into
+every import.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "ComponentRegistry": "repro.api.registry",
+    "Component": "repro.api.registry",
+    "Param": "repro.api.registry",
+    "DEFAULT_COMPONENTS": "repro.api.registry",
+    "register_component": "repro.api.registry",
+    "default_components": "repro.api.registry",
+    "ComponentRef": "repro.api.spec",
+    "WorkloadSpec": "repro.api.spec",
+    "SystemSpec": "repro.api.spec",
+    "ExperimentSpec": "repro.api.spec",
+    "spec_digest": "repro.api.spec",
+    "load_spec_file": "repro.api.spec",
+    "RunResult": "repro.api.run",
+    "Simulation": "repro.api.run",
+    "run_four_systems": "repro.api.run",
+    "materialize_workload": "repro.api.run",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis convenience
+    from repro.api.registry import (  # noqa: F401
+        DEFAULT_COMPONENTS,
+        Component,
+        ComponentRegistry,
+        Param,
+        default_components,
+        register_component,
+    )
+    from repro.api.run import (  # noqa: F401
+        RunResult,
+        Simulation,
+        materialize_workload,
+        run_four_systems,
+    )
+    from repro.api.spec import (  # noqa: F401
+        ComponentRef,
+        ExperimentSpec,
+        SystemSpec,
+        WorkloadSpec,
+        load_spec_file,
+        spec_digest,
+    )
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return __all__

@@ -1,0 +1,39 @@
+"""Import-for-side-effect: load every module that registers components.
+
+Components self-register into :data:`repro.api.registry
+.DEFAULT_COMPONENTS` at import of their home module; this module is the
+one place that lists those homes.  :func:`repro.api.registry
+.default_components` imports it, so the full catalog is exactly one
+import away and no other module needs to know the layout.
+"""
+
+# schedulers (kind "scheduler")
+import repro.scheduling  # noqa: F401
+
+# billing meters (kind "billing-meter")
+import repro.provisioning.billing  # noqa: F401
+
+# lease-holding strategies (kind "provisioning-policy")
+import repro.provisioning.policies  # noqa: F401
+import repro.provisioning.runner  # noqa: F401
+
+# resource-management policies (kind "policy")
+import repro.core.policies  # noqa: F401
+import repro.core.adaptive  # noqa: F401
+
+# workload generators (kind "workload")
+import repro.workloads.store  # noqa: F401
+import repro.workloads.pegasus  # noqa: F401
+import repro.workloads.workflowgen  # noqa: F401
+import repro.workloads.swf  # noqa: F401
+
+# system runners (kind "system")
+import repro.systems  # noqa: F401
+
+# whole-experiment analyses (kind "analysis")
+import repro.experiments.tables  # noqa: F401
+import repro.experiments.figures  # noqa: F401
+import repro.experiments.ablations  # noqa: F401
+import repro.experiments.extensions  # noqa: F401
+import repro.costmodel.compare  # noqa: F401
+import repro.costmodel.breakeven  # noqa: F401

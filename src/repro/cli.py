@@ -29,6 +29,19 @@ Orchestration (the scenario registry; see docs/orchestration.md)::
     repro-experiments run --scenario 'table*' --billing per-second
     repro-experiments cache-info | cache-clear
 
+The spec API (the component registry and declarative experiment specs;
+see docs/api.md)::
+
+    repro-experiments list-components [--kind workload] [--json]
+    repro-experiments run-spec my-experiment.toml [more.toml ...]
+
+``run-spec`` executes declarative experiment spec files (TOML or JSON)
+through the same orchestrator and result cache, so reruns of an
+unchanged spec are pure JSON loads.  Spec files dropped into a spec
+directory (``--spec-dir``, ``$REPRO_SPEC_DIR``, default ``./specs`` when
+present) register as scenarios automatically and appear in
+``list-scenarios`` / ``run`` alongside the built-ins.
+
 Every simulation command except ``export`` routes through the scenario
 registry and the content-addressed result cache (``--cache-dir``,
 ``$REPRO_CACHE_DIR``, default ``./.repro-cache``), so reruns are
@@ -196,6 +209,30 @@ def _cmd_list_scenarios(orch: Orchestrator) -> str:
     return render_table(rows, title=f"{len(rows)} registered scenarios")
 
 
+def _spec_dir(arg: str | None):
+    """The effective spec directory, or None.
+
+    Explicit ``--spec-dir`` must exist (a typo should not silently run
+    without the user's specs); the ``$REPRO_SPEC_DIR``/``./specs``
+    defaults are opportunistic.
+    """
+    import os
+    from pathlib import Path
+
+    if arg is not None:
+        path = Path(arg)
+        if not path.is_dir():
+            raise SystemExit(f"--spec-dir {arg!r} is not a directory")
+        return path
+    env = os.environ.get("REPRO_SPEC_DIR")
+    if env:
+        if not Path(env).is_dir():
+            raise SystemExit(f"$REPRO_SPEC_DIR {env!r} is not a directory")
+        return Path(env)
+    default = Path("specs")
+    return default if default.is_dir() else None
+
+
 _COMMANDS: dict[str, Callable[[Orchestrator], str]] = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -254,7 +291,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=[*_COMMANDS, "run", "all", "export", "cache-info", "cache-clear"],
+        choices=[*_COMMANDS, "run", "all", "export", "cache-info", "cache-clear",
+                 "list-components", "run-spec"],
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="SPEC",
+        help="experiment spec file(s) for the 'run-spec' command",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -293,7 +335,23 @@ def main(argv: list[str] | None = None) -> int:
         "--format", choices=("csv", "json"), default="csv",
         help="file format for the 'export' command",
     )
+    parser.add_argument(
+        "--kind", default=None, metavar="KIND",
+        help="restrict 'list-components' to one component kind",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit 'list-components' as canonical JSON instead of a table",
+    )
+    parser.add_argument(
+        "--spec-dir", default=None, metavar="DIR",
+        help="directory of *.toml/*.json experiment specs to register as "
+             "scenarios (default: $REPRO_SPEC_DIR, else ./specs if present)",
+    )
     args = parser.parse_args(argv)
+    if args.paths and args.command != "run-spec":
+        parser.error(f"positional spec files only apply to 'run-spec', "
+                     f"not {args.command!r}")
 
     if args.no_cache:
         cache = NullCache()
@@ -302,6 +360,60 @@ def main(argv: list[str] | None = None) -> int:
     else:
         cache = ResultCache.default()
     orch = Orchestrator(cache=cache, workers=args.parallel, seed=args.seed)
+
+    spec_dir = _spec_dir(args.spec_dir)
+    if spec_dir is not None and args.command != "run-spec":
+        from repro.api.run import load_spec_scenarios
+
+        try:
+            load_spec_scenarios(spec_dir, orch.registry)
+        except ValueError as exc:
+            # all-or-nothing: load_spec_scenarios registers nothing when
+            # any file is broken, so this message is the whole story
+            print(f"warning: spec dir {spec_dir} not loaded: {exc}",
+                  file=sys.stderr)
+
+    if args.command == "list-components":
+        from repro.api.registry import default_components
+
+        components = default_components().components(kind=args.kind)
+        if args.kind and not components:
+            print(f"no components of kind {args.kind!r}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(canonical_json([c.to_json() for c in components]))
+        else:
+            rows = [c.to_row() for c in components]
+            print(render_table(rows, title=f"{len(rows)} registered components"))
+        return 0
+    if args.command == "run-spec":
+        if not args.paths:
+            print("run-spec needs at least one spec file", file=sys.stderr)
+            return 1
+        from repro.api.run import scenario_from_spec
+        from repro.api.spec import load_spec_file
+        from repro.experiments.registry import ScenarioRegistry
+
+        registry = ScenarioRegistry()
+        try:
+            for path in args.paths:
+                registry.register(scenario_from_spec(load_spec_file(path)))
+        except (ValueError, KeyError, FileNotFoundError, RuntimeError) as exc:
+            # KeyError: unknown component; RuntimeError: no TOML parser —
+            # all user-input problems, reported cleanly at parse time
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 1
+        spec_orch = Orchestrator(
+            registry=registry, cache=cache, workers=args.parallel,
+            seed=args.seed,
+        )
+        runs = spec_orch.run()
+        for run in runs.values():
+            state = "cached" if run.cached else f"ran in {run.duration_s:.1f}s"
+            print(f"# {run.name}: {state}", file=sys.stderr)
+        print(canonical_json(payloads(runs)))
+        return 0
 
     if args.command == "export":
         from repro.experiments.config import EvaluationSetup

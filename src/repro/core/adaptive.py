@@ -248,3 +248,19 @@ def policy_catalog(kind: str = "htc") -> dict[str, PolicyFactory]:
         ),
         "static": lambda b: StaticPolicy(initial_nodes=b, scan_interval_s=scan),
     }
+
+
+def _register_adaptive_policies() -> None:
+    """Self-register the beyond-paper resize rules as policy components."""
+    from repro.api.registry import register_component
+
+    for name, cls in (
+        ("demand-tracking", DemandTrackingPolicy),
+        ("ewma-predictive", EwmaPredictivePolicy),
+        ("chunked-hysteresis", ChunkedHysteresisPolicy),
+        ("static", StaticPolicy),
+    ):
+        register_component("policy", name, cls, skip_params=("self", "name"))
+
+
+_register_adaptive_policies()

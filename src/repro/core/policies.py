@@ -106,6 +106,52 @@ class ResourceManagementPolicy:
         return cls(initial_nodes, threshold_ratio, MTC_SCAN_INTERVAL_S)
 
 
+def _register_paper_policies() -> None:
+    """Self-register the §3.2.2 rule under its two TRE flavours.
+
+    ``paper-htc`` / ``paper-mtc`` differ only in defaults (scan cadence
+    and the paper's chosen R), so a spec can say just
+    ``{"name": "paper-htc", "params": {"initial_nodes": 40}}``.
+    """
+    from repro.api.registry import Param, register_component
+
+    def factory(scan_default: float, ratio_default: float):
+        def build(
+            initial_nodes: int,
+            threshold_ratio: float = ratio_default,
+            scan_interval_s: float = scan_default,
+            release_check_interval_s: float = HOUR,
+        ) -> ResourceManagementPolicy:
+            return ResourceManagementPolicy(
+                initial_nodes=initial_nodes,
+                threshold_ratio=threshold_ratio,
+                scan_interval_s=scan_interval_s,
+                release_check_interval_s=release_check_interval_s,
+            )
+
+        return build
+
+    for name, scan, ratio, doc in (
+        ("paper-htc", HTC_SCAN_INTERVAL_S, 1.5,
+         "The paper's B/R resize rule at the HTC scan cadence (60 s)"),
+        ("paper-mtc", MTC_SCAN_INTERVAL_S, 8.0,
+         "The paper's B/R resize rule at the MTC scan cadence (3 s)"),
+    ):
+        register_component(
+            "policy", name, factory(scan, ratio),
+            params=(
+                Param("initial_nodes"),
+                Param("threshold_ratio", ratio),
+                Param("scan_interval_s", scan),
+                Param("release_check_interval_s", HOUR),
+            ),
+            description=doc,
+        )
+
+
+_register_paper_policies()
+
+
 @dataclass(frozen=True)
 class ResourceProvisionPolicy:
     """The resource provider's side (§3.2.2.3).

@@ -186,3 +186,27 @@ def utilization_cost_curve(
             }
         )
     return rows
+
+
+def _register_breakeven_analysis() -> None:
+    """Self-register the own-vs-lease break-even surface as an analysis."""
+    from repro.api.registry import register_component
+    from repro.costmodel.tco import BJUT_DCS_CASE, BJUT_SSP_CASE
+
+    def breakeven(seed: int = 0) -> dict:
+        """Own-vs-lease break-even surface extending the §4.5.5 case."""
+        return {
+            "breakeven_utilization": breakeven_utilization(
+                BJUT_DCS_CASE, BJUT_SSP_CASE
+            ),
+            "breakeven_price": breakeven_price(BJUT_DCS_CASE, BJUT_SSP_CASE),
+            "cost_curve": utilization_cost_curve(BJUT_DCS_CASE, BJUT_SSP_CASE),
+            "sensitivity": [
+                p.to_row() for p in sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)
+            ],
+        }
+
+    register_component("analysis", "breakeven", breakeven, skip_params=("seed",))
+
+
+_register_breakeven_analysis()

@@ -49,3 +49,22 @@ def compare_dcs_vs_ssp(dcs: DCSCostModel, ssp: SSPCostModel) -> TCOComparison:
 def paper_case_study() -> TCOComparison:
     """The BJUT grid-lab case exactly as §4.5.5 computes it."""
     return compare_dcs_vs_ssp(BJUT_DCS_CASE, BJUT_SSP_CASE)
+
+
+def _register_tco_analysis() -> None:
+    """Self-register the §4.5.5 TCO case as an analysis component."""
+    from repro.api.registry import register_component
+
+    def tco_case(seed: int = 0) -> dict:
+        """§4.5.5: total cost of ownership, BJUT grid-lab case (closed form)."""
+        tco = paper_case_study()
+        return {
+            "dcs_tco_per_month": tco.dcs_tco_per_month,
+            "ssp_tco_per_month": tco.ssp_tco_per_month,
+            "ssp_over_dcs": tco.ssp_over_dcs,
+        }
+
+    register_component("analysis", "tco-case", tco_case, skip_params=("seed",))
+
+
+_register_tco_analysis()

@@ -56,7 +56,7 @@ from repro.experiments.paperdata import (
     check_headline_shapes,
     check_table_shapes,
 )
-from repro.experiments.runner import run_four_systems
+from repro.experiments.runner import run_four_systems  # deprecated shim
 from repro.experiments.sweep import SweepPoint, sweep_htc_parameters, sweep_mtc_parameters
 from repro.experiments.tables import table1, table_for_bundle
 

@@ -343,3 +343,85 @@ def drp_pooling_ablation(
         }
         for name, m in rungs
     ]
+
+
+# --------------------------------------------------------------------- #
+# analysis components: each ablation invocable by name from a spec
+# --------------------------------------------------------------------- #
+def _paper_setup(workload: str, seed: int):
+    """The named paper workload's bundle and chosen policy (§4.5.1)."""
+    from repro.experiments.config import (
+        PAPER_POLICIES,
+        blue_bundle,
+        montage_bundle,
+        nasa_bundle,
+    )
+
+    bundles = {
+        "nasa-ipsc": nasa_bundle,
+        "sdsc-blue": blue_bundle,
+        "montage": montage_bundle,
+    }
+    return bundles[workload](seed), PAPER_POLICIES[workload]
+
+
+def _register_ablation_analyses() -> None:
+    """Self-register the ablations over the paper's named workloads."""
+    from repro.api.registry import register_component
+
+    def lease_unit(seed=0, workload="nasa-ipsc", capacity=DEFAULT_CAPACITY):
+        """Lease time-unit granularity ablation."""
+        bundle, policy = _paper_setup(workload, seed)
+        return lease_unit_ablation(bundle, policy, capacity=capacity)
+
+    def scan_interval(seed=0, workload="nasa-ipsc", capacity=DEFAULT_CAPACITY):
+        """Server scan-interval ablation."""
+        bundle, policy = _paper_setup(workload, seed)
+        return scan_interval_ablation(bundle, policy, capacity=capacity)
+
+    def scheduler(seed=0, workload="nasa-ipsc", capacity=DEFAULT_CAPACITY):
+        """Scheduling-policy ablation under identical resizing."""
+        bundle, policy = _paper_setup(workload, seed)
+        return scheduler_ablation(bundle, policy, capacity=capacity)
+
+    def policy(seed=0, workload="nasa-ipsc", initial_nodes=40,
+               capacity=DEFAULT_CAPACITY):
+        """Resource-management policy ablation."""
+        bundle, _ = _paper_setup(workload, seed)
+        return policy_ablation(
+            bundle, initial_nodes=initial_nodes, capacity=capacity
+        )
+
+    def utilization(seed=0, policy_workload="nasa-ipsc",
+                    capacity=DEFAULT_CAPACITY):
+        """Economies of scale versus offered load (archive range)."""
+        from repro.experiments.config import PAPER_POLICIES
+
+        return utilization_sweep(
+            policy=PAPER_POLICIES[policy_workload], seed=seed,
+            capacity=capacity,
+        )
+
+    def setup_cost(seed=0, workload="nasa-ipsc", capacity=DEFAULT_CAPACITY):
+        """Management overhead versus the per-node adjustment cost."""
+        bundle, pol = _paper_setup(workload, seed)
+        return setup_cost_ablation(bundle, pol, capacity=capacity)
+
+    def drp_pooling(seed=0, workload="nasa-ipsc", capacity=DEFAULT_CAPACITY):
+        """The DRP manual-management ladder."""
+        bundle, pol = _paper_setup(workload, seed)
+        return drp_pooling_ablation(bundle, pol, capacity=capacity)
+
+    for name, fn in (
+        ("lease-unit-ablation", lease_unit),
+        ("scan-interval-ablation", scan_interval),
+        ("scheduler-ablation", scheduler),
+        ("policy-ablation", policy),
+        ("utilization-sweep", utilization),
+        ("setup-cost-ablation", setup_cost),
+        ("drp-pooling-ablation", drp_pooling),
+    ):
+        register_component("analysis", name, fn, skip_params=("seed",))
+
+
+_register_ablation_analyses()

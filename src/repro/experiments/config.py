@@ -24,7 +24,7 @@ from typing import Optional
 from repro.core.policies import ResourceManagementPolicy
 from repro.systems.base import WorkloadBundle
 from repro.systems.dsp_runner import DEFAULT_CAPACITY
-from repro.workloads.montage import MontageSpec
+from repro.workloads.montage import MONTAGE_FIXED_NODES, MontageSpec
 from repro.workloads.store import montage_workflow, paper_trace
 
 HOUR = 3600.0
@@ -42,8 +42,9 @@ SWEEP_B = (10, 20, 40, 80)
 SWEEP_R_HTC = (1.0, 1.2, 1.5, 2.0)
 SWEEP_R_MTC = (2.0, 4.0, 8.0, 16.0)
 
-#: Montage's fixed-system configuration (§4.4): 166 nodes.
-MONTAGE_FIXED_NODES = 166
+#: Montage's fixed-system configuration (§4.4) — canonical home:
+#: :data:`repro.workloads.montage.MONTAGE_FIXED_NODES` (re-exported here
+#: for the evaluation-setup consumers).
 
 
 def nasa_bundle(seed: int = 0) -> WorkloadBundle:

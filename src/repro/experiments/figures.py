@@ -93,3 +93,52 @@ def figure12_13_14(
         for system, agg in result.aggregates.items()
     )
     return ConsolidatedFigures(series=series, horizon_s=setup.horizon, result=result)
+
+
+def _register_consolidated_analysis() -> None:
+    """Self-register the consolidated run as an analysis component."""
+    from repro.api.registry import register_component
+    from repro.systems.dsp_runner import DEFAULT_CAPACITY
+
+    def consolidated_figures(
+        seed: int = 0, capacity: int = DEFAULT_CAPACITY
+    ) -> dict:
+        """Figures 12-14: all providers consolidated on one resource provider."""
+        # lazy: this module is imported mid-way through the experiments
+        # package __init__, before tables is available
+        from repro.experiments.tables import SYSTEM_ORDER
+
+        setup = EvaluationSetup(seed=seed, capacity=capacity)
+        figures = figure12_13_14(setup)
+        aggregates = figures.result.aggregates
+        return {
+            "horizon_s": figures.horizon_s,
+            "series": [
+                {
+                    "system": s.system,
+                    "total_consumption_node_hours": s.total_consumption_node_hours,
+                    "concurrent_peak_nodes": s.peak_nodes_per_hour,
+                    # Figure 13's capacity-planning peak: sum of per-provider
+                    # peaks (the paper's 438 = 128 + 144 + 166), as opposed to
+                    # the merged-timeline concurrent peak above.
+                    "capacity_peak_nodes": aggregates[s.system].peak_nodes,
+                    "adjusted_nodes": s.adjusted_nodes,
+                }
+                for s in figures.series
+            ],
+            "providers": {
+                system: [
+                    p.to_payload()
+                    for p in figures.result.aggregates[system].providers
+                ]
+                for system in SYSTEM_ORDER
+            },
+        }
+
+    register_component(
+        "analysis", "consolidated-figures", consolidated_figures,
+        skip_params=("seed",),
+    )
+
+
+_register_consolidated_analysis()

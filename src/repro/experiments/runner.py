@@ -1,20 +1,20 @@
-"""Run one workload through all four systems (a Tables 2-4 experiment)."""
+"""Deprecated home of :func:`run_four_systems` (moved to ``repro.api.run``).
+
+The Tables 2-4 primitive now lives in :mod:`repro.api.run`, next to the
+rest of the spec-driven facade; this shim keeps old imports working and
+points callers at the new spelling.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.core.policies import ResourceManagementPolicy
 from repro.metrics.results import ProviderMetrics
 from repro.provisioning.billing import BillingMeter
 from repro.systems.base import WorkloadBundle
-from repro.systems.drp import run_drp
-from repro.systems.dsp_runner import (
-    DEFAULT_CAPACITY,
-    run_dawningcloud_htc,
-    run_dawningcloud_mtc,
-)
-from repro.systems.fixed import run_dcs, run_ssp
+from repro.systems.dsp_runner import DEFAULT_CAPACITY
 
 
 def run_four_systems(
@@ -23,21 +23,13 @@ def run_four_systems(
     capacity: int = DEFAULT_CAPACITY,
     meter: Optional[BillingMeter] = None,
 ) -> dict[str, ProviderMetrics]:
-    """DCS, SSP, DRP and DawningCloud results for one service provider.
+    """Deprecated: use :func:`repro.api.run.run_four_systems`."""
+    warnings.warn(
+        "repro.experiments.runner.run_four_systems has moved; import it "
+        "from repro.api.run (or compose the systems via repro.api specs)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.run import run_four_systems as impl
 
-    ``meter`` overrides the billing rule for every leased system (the
-    paper's per-started-hour meter when ``None``); DCS is owned, so its
-    consumption is the meter-independent closed form.
-    """
-    if bundle.kind == "htc":
-        dawning = run_dawningcloud_htc(bundle, policy, capacity=capacity,
-                                       meter=meter)
-    else:
-        dawning = run_dawningcloud_mtc(bundle, policy, capacity=capacity,
-                                       meter=meter)
-    return {
-        "DCS": run_dcs(bundle, meter=meter),
-        "SSP": run_ssp(bundle, meter=meter),
-        "DRP": run_drp(bundle, meter=meter),
-        "DawningCloud": dawning,
-    }
+    return impl(bundle, policy, capacity=capacity, meter=meter)

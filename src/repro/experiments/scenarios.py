@@ -1,10 +1,21 @@
 """Built-in scenarios: every table, figure, sweep, ablation and extension.
 
+Since the spec-API refactor each scenario is **pure data**: a
+:class:`ScenarioDecl` holding a declarative artifact spec (see
+:func:`repro.api.run.run_artifact`) with ``$placeholders`` for its
+overridable parameters.  One generic runner — :func:`run_declared` —
+renders every declaration; there is no per-scenario code left in this
+module, only the table below.  Workloads, policies, meters and analyses
+are resolved by name through the component registry
+(``repro-experiments list-components``), so adding a scenario is adding a
+row — the same capability user spec files get via
+``repro-experiments run-spec`` (:mod:`repro.api.spec`).
+
 Importing this module populates :data:`repro.experiments.registry
 .DEFAULT_REGISTRY` with one named scenario per paper artifact plus the
-extension experiments.  Each scenario is a module-level function
-``fn(seed, **params)`` returning a JSON payload (the orchestrator/cache
-contract), so the whole evaluation is enumerable, parallelizable and
+extension experiments.  Each registered function obeys the orchestrator
+contract — module-level, picklable, ``fn(seed, **params)`` → JSON
+payload — so the whole evaluation stays enumerable, parallelizable and
 incremental::
 
     from repro.experiments.orchestrator import Orchestrator
@@ -24,503 +35,305 @@ Tag conventions
 
 from __future__ import annotations
 
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
 from repro.experiments.config import (
-    EvaluationSetup,
     PAPER_POLICIES,
-    blue_bundle,
-    montage_bundle,
-    nasa_bundle,
+    SWEEP_B,
+    SWEEP_R_HTC,
+    SWEEP_R_MTC,
 )
-from repro.experiments.registry import scenario
-from repro.experiments.tables import SYSTEM_ORDER
-from repro.metrics.results import ProviderMetrics
+from repro.experiments.registry import DEFAULT_REGISTRY, ScenarioSpec
 from repro.systems.dsp_runner import DEFAULT_CAPACITY
 
-_BUNDLES = {
-    "nasa-ipsc": nasa_bundle,
-    "sdsc-blue": blue_bundle,
-    "montage": montage_bundle,
-}
 
+@dataclass(frozen=True)
+class ScenarioDecl:
+    """One scenario as data: an artifact template plus registry metadata.
 
-def _metrics_payload(m: ProviderMetrics) -> dict:
-    """Unrounded, JSON-safe projection of one provider's metrics."""
-    return {
-        "provider": m.provider,
-        "system": m.system,
-        "workload": m.workload,
-        "resource_consumption": m.resource_consumption,
-        "completed_jobs": m.completed_jobs,
-        "submitted_jobs": m.submitted_jobs,
-        "tasks_per_second": m.tasks_per_second,
-        "makespan_s": m.makespan_s,
-        "adjusted_nodes": m.adjusted_nodes,
-        "peak_nodes": m.peak_nodes,
-    }
-
-
-def _meter_for(bundle, billing: str):
-    """The override meter for one bundle, or None for the paper's default.
-
-    ``reserved-spot`` needs a reservation size to mean anything: the
-    natural one is the workload's fixed-system configuration (its steady
-    base load), at the EC2-2009-derived tier rates.
+    ``artifact`` is the declarative spec :func:`repro.api.run
+    .run_artifact` interprets; string values of the form ``"$param"``
+    are substituted from the scenario's (overridable) parameters at run
+    time, so ``defaults`` keeps exactly the old per-scenario parameter
+    surface (``run --billing ...`` etc. keep working unchanged).
     """
-    if billing == "per-hour":
-        return None
-    if billing == "reserved-spot":
-        from repro.costmodel.pricing import two_tier_rates
-        from repro.provisioning.billing import TwoTierMeter
 
-        reserved_rate, spot_rate = two_tier_rates()
-        return TwoTierMeter(
-            reserved_nodes=int(bundle.fixed_nodes),
-            reserved_rate=reserved_rate,
-            spot_rate=spot_rate,
-        )
-    from repro.provisioning.billing import make_meter
-
-    return make_meter(billing)
+    name: str
+    artifact: Mapping[str, Any]
+    tags: tuple[str, ...] = ()
+    description: str = ""
+    prewarm: tuple[str, ...] = ()
+    defaults: Mapping[str, Any] = field(default_factory=dict)
 
 
-def _four_systems(
-    seed: int, workload: str, capacity: int, billing: str = "per-hour"
-) -> dict:
-    from repro.experiments.runner import run_four_systems
-
-    bundle = _BUNDLES[workload](seed)
-    # None keeps the paper's default path; any other meter re-bills the
-    # leased systems (the `run --billing METER` override lands here).
-    meter = _meter_for(bundle, billing)
-    results = run_four_systems(
-        bundle, PAPER_POLICIES[workload], capacity=capacity, meter=meter
-    )
+def _paper_policy_ref(workload: str) -> dict:
+    """The §4.5.1 chosen policy for a paper workload, as a component ref."""
+    policy = PAPER_POLICIES[workload]
     return {
-        "workload": workload,
-        "kind": bundle.kind,
-        "billing": billing,
-        "systems": {s: _metrics_payload(results[s]) for s in SYSTEM_ORDER},
-    }
-
-
-# --------------------------------------------------------------------- #
-# Tables 1-4
-# --------------------------------------------------------------------- #
-@scenario("table1-models", tags=("paper", "table", "fast"))
-def scenario_table1(seed: int) -> list[dict]:
-    """Table 1: the comparison of different usage models (closed form)."""
-    from repro.experiments.tables import table1
-
-    return table1()
-
-
-@scenario("table2-nasa", tags=("paper", "table", "slow"),
-          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY, billing="per-hour")
-def scenario_table2(seed: int, capacity: int, billing: str) -> dict:
-    """Table 2: the four systems on the NASA iPSC trace (HTC)."""
-    return _four_systems(seed, "nasa-ipsc", capacity, billing)
-
-
-@scenario("table3-blue", tags=("paper", "table", "slow"),
-          prewarm=("sdsc-blue",), capacity=DEFAULT_CAPACITY, billing="per-hour")
-def scenario_table3(seed: int, capacity: int, billing: str) -> dict:
-    """Table 3: the four systems on the SDSC BLUE trace (HTC)."""
-    return _four_systems(seed, "sdsc-blue", capacity, billing)
-
-
-@scenario("table4-montage", tags=("paper", "table", "slow"),
-          prewarm=("montage",), capacity=DEFAULT_CAPACITY, billing="per-hour")
-def scenario_table4(seed: int, capacity: int, billing: str) -> dict:
-    """Table 4: the four systems on the Montage workflow (MTC)."""
-    return _four_systems(seed, "montage", capacity, billing)
-
-
-# --------------------------------------------------------------------- #
-# Figures 9-11: (B, R) sweeps
-# --------------------------------------------------------------------- #
-def _sweep(seed: int, workload: str, capacity: int) -> dict:
-    from repro.experiments.sweep import sweep_htc_parameters, sweep_mtc_parameters
-
-    bundle = _BUNDLES[workload](seed)
-    sweep = sweep_mtc_parameters if bundle.kind == "mtc" else sweep_htc_parameters
-    points = sweep(bundle, capacity=capacity)
-    return {
-        "workload": workload,
-        "kind": bundle.kind,
-        "points": [
-            {
-                "B": p.initial_nodes,
-                "R": p.threshold_ratio,
-                "label": p.label,
-                "resource_consumption": p.resource_consumption,
-                "completed_jobs": p.completed_jobs,
-                "tasks_per_second": p.tasks_per_second,
-            }
-            for p in points
-        ],
-    }
-
-
-@scenario("fig09-sweep-blue", tags=("paper", "sweep", "slow"),
-          prewarm=("sdsc-blue",), capacity=DEFAULT_CAPACITY)
-def scenario_fig09(seed: int, capacity: int) -> dict:
-    """Figure 9: DawningCloud over the (B, R) grid, SDSC BLUE trace."""
-    return _sweep(seed, "sdsc-blue", capacity)
-
-
-@scenario("fig10-sweep-nasa", tags=("paper", "sweep", "slow"),
-          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
-def scenario_fig10(seed: int, capacity: int) -> dict:
-    """Figure 10: DawningCloud over the (B, R) grid, NASA iPSC trace."""
-    return _sweep(seed, "nasa-ipsc", capacity)
-
-
-@scenario("fig11-sweep-montage", tags=("paper", "sweep", "slow"),
-          prewarm=("montage",), capacity=DEFAULT_CAPACITY)
-def scenario_fig11(seed: int, capacity: int) -> dict:
-    """Figure 11: DawningCloud over the (B, R) grid, Montage workflow."""
-    return _sweep(seed, "montage", capacity)
-
-
-# --------------------------------------------------------------------- #
-# Figures 12-14: the consolidated resource-provider run
-# --------------------------------------------------------------------- #
-@scenario("fig12-14-consolidated", tags=("paper", "figure", "slow"),
-          prewarm=("nasa-ipsc", "sdsc-blue"), capacity=DEFAULT_CAPACITY)
-def scenario_consolidated(seed: int, capacity: int) -> dict:
-    """Figures 12-14: all providers consolidated on one resource provider."""
-    from repro.experiments.figures import figure12_13_14
-
-    setup = EvaluationSetup(seed=seed, capacity=capacity)
-    figures = figure12_13_14(setup)
-    aggregates = figures.result.aggregates
-    return {
-        "horizon_s": figures.horizon_s,
-        "series": [
-            {
-                "system": s.system,
-                "total_consumption_node_hours": s.total_consumption_node_hours,
-                "concurrent_peak_nodes": s.peak_nodes_per_hour,
-                # Figure 13's capacity-planning peak: sum of per-provider
-                # peaks (the paper's 438 = 128 + 144 + 166), as opposed to
-                # the merged-timeline concurrent peak above.
-                "capacity_peak_nodes": aggregates[s.system].peak_nodes,
-                "adjusted_nodes": s.adjusted_nodes,
-            }
-            for s in figures.series
-        ],
-        "providers": {
-            system: [
-                _metrics_payload(p)
-                for p in figures.result.aggregates[system].providers
-            ]
-            for system in SYSTEM_ORDER
+        "name": "paper-htc" if workload != "montage" else "paper-mtc",
+        "params": {
+            "initial_nodes": policy.initial_nodes,
+            "threshold_ratio": policy.threshold_ratio,
         },
     }
 
 
-# --------------------------------------------------------------------- #
-# §4.5.5 TCO and the break-even extension
-# --------------------------------------------------------------------- #
-@scenario("tco-case", tags=("paper", "fast"))
-def scenario_tco(seed: int) -> dict:
-    """§4.5.5: total cost of ownership, BJUT grid-lab case (closed form)."""
-    from repro.costmodel.compare import paper_case_study
-
-    tco = paper_case_study()
-    return {
-        "dcs_tco_per_month": tco.dcs_tco_per_month,
-        "ssp_tco_per_month": tco.ssp_tco_per_month,
-        "ssp_over_dcs": tco.ssp_over_dcs,
-    }
-
-
-@scenario("breakeven", tags=("extension", "fast"))
-def scenario_breakeven(seed: int) -> dict:
-    """Own-vs-lease break-even surface extending the §4.5.5 case."""
-    from repro.costmodel.breakeven import (
-        breakeven_price,
-        breakeven_utilization,
-        sensitivity_table,
-        utilization_cost_curve,
-    )
-    from repro.costmodel.tco import BJUT_DCS_CASE, BJUT_SSP_CASE
-
-    return {
-        "breakeven_utilization": breakeven_utilization(
-            BJUT_DCS_CASE, BJUT_SSP_CASE
-        ),
-        "breakeven_price": breakeven_price(BJUT_DCS_CASE, BJUT_SSP_CASE),
-        "cost_curve": utilization_cost_curve(BJUT_DCS_CASE, BJUT_SSP_CASE),
-        "sensitivity": [
-            p.to_row() for p in sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)
-        ],
-    }
-
-
-# --------------------------------------------------------------------- #
-# Ablations
-# --------------------------------------------------------------------- #
-@scenario("ablation-lease-unit", tags=("ablation", "slow"),
-          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
-def scenario_ablation_lease_unit(seed: int, capacity: int) -> list[dict]:
-    """Lease time-unit granularity ablation (NASA trace)."""
-    from repro.experiments.ablations import lease_unit_ablation
-
-    return lease_unit_ablation(
-        nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"], capacity=capacity
+def _four_systems_decl(
+    name: str, workload: str, description: str
+) -> ScenarioDecl:
+    return ScenarioDecl(
+        name=name,
+        tags=("paper", "table", "slow"),
+        description=description,
+        prewarm=(workload,),
+        defaults={"capacity": DEFAULT_CAPACITY, "billing": "per-hour"},
+        artifact={
+            "kind": "four-systems",
+            "workload": workload,
+            "policy": _paper_policy_ref(workload),
+            "capacity": "$capacity",
+            "billing": "$billing",
+        },
     )
 
 
-@scenario("ablation-scan-interval", tags=("ablation", "slow"),
-          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
-def scenario_ablation_scan_interval(seed: int, capacity: int) -> list[dict]:
-    """Server scan-interval ablation (NASA trace)."""
-    from repro.experiments.ablations import scan_interval_ablation
-
-    return scan_interval_ablation(
-        nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"], capacity=capacity
+def _sweep_decl(
+    name: str, workload: str, ratios: tuple, description: str
+) -> ScenarioDecl:
+    return ScenarioDecl(
+        name=name,
+        tags=("paper", "sweep", "slow"),
+        description=description,
+        prewarm=(workload,),
+        defaults={"capacity": DEFAULT_CAPACITY},
+        artifact={
+            "kind": "sweep",
+            "workload": workload,
+            "capacity": "$capacity",
+            "B": list(SWEEP_B),
+            "R": list(ratios),
+        },
     )
 
 
-@scenario("ablation-scheduler", tags=("ablation", "slow"),
-          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
-def scenario_ablation_scheduler(seed: int, capacity: int) -> list[dict]:
-    """Scheduling-policy ablation under identical resizing (NASA trace)."""
-    from repro.experiments.ablations import scheduler_ablation
-
-    return scheduler_ablation(
-        nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"], capacity=capacity
+def _analysis_decl(
+    name: str,
+    analysis: str,
+    description: str,
+    tags: tuple[str, ...],
+    params: Mapping[str, Any] | None = None,
+    prewarm: tuple[str, ...] = (),
+    **defaults: Any,
+) -> ScenarioDecl:
+    return ScenarioDecl(
+        name=name,
+        tags=tags,
+        description=description,
+        prewarm=prewarm,
+        defaults=defaults,
+        artifact={
+            "kind": "analysis",
+            "analysis": analysis,
+            **({"params": dict(params)} if params else {}),
+        },
     )
 
 
-@scenario("ablation-policy", tags=("ablation", "slow"),
-          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY, initial_nodes=40)
-def scenario_ablation_policy(seed: int, capacity: int, initial_nodes: int) -> list[dict]:
-    """Resource-management policy ablation (NASA trace)."""
-    from repro.experiments.ablations import policy_ablation
+#: Every built-in scenario, as data.  Paper artifacts first (Tables 1-4,
+#: Figures 9-14, the §4.5.5 TCO case), then ablations, then extensions.
+SCENARIO_DECLS: tuple[ScenarioDecl, ...] = (
+    _analysis_decl(
+        "table1-models", "table1",
+        "Table 1: the comparison of different usage models (closed form).",
+        tags=("paper", "table", "fast"),
+    ),
+    _four_systems_decl(
+        "table2-nasa", "nasa-ipsc",
+        "Table 2: the four systems on the NASA iPSC trace (HTC).",
+    ),
+    _four_systems_decl(
+        "table3-blue", "sdsc-blue",
+        "Table 3: the four systems on the SDSC BLUE trace (HTC).",
+    ),
+    _four_systems_decl(
+        "table4-montage", "montage",
+        "Table 4: the four systems on the Montage workflow (MTC).",
+    ),
+    _sweep_decl(
+        "fig09-sweep-blue", "sdsc-blue", SWEEP_R_HTC,
+        "Figure 9: DawningCloud over the (B, R) grid, SDSC BLUE trace.",
+    ),
+    _sweep_decl(
+        "fig10-sweep-nasa", "nasa-ipsc", SWEEP_R_HTC,
+        "Figure 10: DawningCloud over the (B, R) grid, NASA iPSC trace.",
+    ),
+    _sweep_decl(
+        "fig11-sweep-montage", "montage", SWEEP_R_MTC,
+        "Figure 11: DawningCloud over the (B, R) grid, Montage workflow.",
+    ),
+    _analysis_decl(
+        "fig12-14-consolidated", "consolidated-figures",
+        "Figures 12-14: all providers consolidated on one resource provider.",
+        tags=("paper", "figure", "slow"),
+        params={"capacity": "$capacity"},
+        prewarm=("nasa-ipsc", "sdsc-blue"),
+        capacity=DEFAULT_CAPACITY,
+    ),
+    _analysis_decl(
+        "tco-case", "tco-case",
+        "§4.5.5: total cost of ownership, BJUT grid-lab case (closed form).",
+        tags=("paper", "fast"),
+    ),
+    _analysis_decl(
+        "breakeven", "breakeven",
+        "Own-vs-lease break-even surface extending the §4.5.5 case.",
+        tags=("extension", "fast"),
+    ),
+    # ----------------------------------------------------------------- #
+    # ablations
+    # ----------------------------------------------------------------- #
+    _analysis_decl(
+        "ablation-lease-unit", "lease-unit-ablation",
+        "Lease time-unit granularity ablation (NASA trace).",
+        tags=("ablation", "slow"),
+        params={"workload": "nasa-ipsc", "capacity": "$capacity"},
+        prewarm=("nasa-ipsc",),
+        capacity=DEFAULT_CAPACITY,
+    ),
+    _analysis_decl(
+        "ablation-scan-interval", "scan-interval-ablation",
+        "Server scan-interval ablation (NASA trace).",
+        tags=("ablation", "slow"),
+        params={"workload": "nasa-ipsc", "capacity": "$capacity"},
+        prewarm=("nasa-ipsc",),
+        capacity=DEFAULT_CAPACITY,
+    ),
+    _analysis_decl(
+        "ablation-scheduler", "scheduler-ablation",
+        "Scheduling-policy ablation under identical resizing (NASA trace).",
+        tags=("ablation", "slow"),
+        params={"workload": "nasa-ipsc", "capacity": "$capacity"},
+        prewarm=("nasa-ipsc",),
+        capacity=DEFAULT_CAPACITY,
+    ),
+    _analysis_decl(
+        "ablation-policy", "policy-ablation",
+        "Resource-management policy ablation (NASA trace).",
+        tags=("ablation", "slow"),
+        params={"workload": "nasa-ipsc", "capacity": "$capacity",
+                "initial_nodes": "$initial_nodes"},
+        prewarm=("nasa-ipsc",),
+        capacity=DEFAULT_CAPACITY,
+        initial_nodes=40,
+    ),
+    _analysis_decl(
+        "ablation-utilization", "utilization-sweep",
+        "Economies of scale versus offered load (archive range).",
+        tags=("ablation", "slow"),
+        params={"policy_workload": "nasa-ipsc", "capacity": "$capacity"},
+        capacity=DEFAULT_CAPACITY,
+    ),
+    _analysis_decl(
+        "ablation-setup-cost", "setup-cost-ablation",
+        "Management overhead versus the per-node adjustment cost.",
+        tags=("ablation", "slow"),
+        params={"workload": "nasa-ipsc", "capacity": "$capacity"},
+        prewarm=("nasa-ipsc",),
+        capacity=DEFAULT_CAPACITY,
+    ),
+    _analysis_decl(
+        "ablation-drp-pooling", "drp-pooling-ablation",
+        "The DRP manual-management ladder (NASA trace).",
+        tags=("ablation", "slow"),
+        params={"workload": "nasa-ipsc", "capacity": "$capacity"},
+        prewarm=("nasa-ipsc",),
+        capacity=DEFAULT_CAPACITY,
+    ),
+    # ----------------------------------------------------------------- #
+    # extensions
+    # ----------------------------------------------------------------- #
+    _analysis_decl(
+        "workflow-zoo", "workflow-zoo",
+        "Pegasus workflow family through all four systems.",
+        tags=("extension", "slow"),
+        params={"capacity": "$capacity", "n_tasks": "$n_tasks"},
+        capacity=3000,
+        n_tasks=1000,
+    ),
+    _analysis_decl(
+        "federation-scale", "federation-scale",
+        "One big cloud versus k equal fragments at fixed total capacity.",
+        tags=("extension", "slow"),
+        params={"capacity": "$capacity", "splits": "$splits"},
+        prewarm=("nasa-ipsc", "sdsc-blue"),
+        capacity=DEFAULT_CAPACITY,
+        splits=(1, 2, 3),
+    ),
+    _analysis_decl(
+        "ablation-billing-meter", "billing-meter-ablation",
+        "Billing-meter ablation: the four systems re-billed per meter (NASA).",
+        tags=("ablation", "extension", "slow"),
+        params={"workload": "nasa-ipsc", "capacity": "$capacity"},
+        prewarm=("nasa-ipsc",),
+        capacity=DEFAULT_CAPACITY,
+    ),
+    _analysis_decl(
+        "drp-spot-market", "drp-spot-market",
+        "Spot-market DRP: how large a reservation should the community buy?",
+        tags=("extension", "slow"),
+        params={"workload": "nasa-ipsc", "reserved_sizes": "$reserved_sizes"},
+        prewarm=("nasa-ipsc",),
+        reserved_sizes=(0, 32, 64, 96, 128, 192),
+    ),
+    _analysis_decl(
+        "pooled-drp-scheduler-cross", "pooled-scheduler-cross",
+        "Pooled-DRP × scheduler: a queue over the community's lease pool.",
+        tags=("extension", "slow"),
+        params={"workload": "nasa-ipsc", "billing": "$billing"},
+        prewarm=("nasa-ipsc",),
+        billing="per-hour",
+    ),
+)
 
-    return policy_ablation(
-        nasa_bundle(seed), initial_nodes=initial_nodes, capacity=capacity
-    )
+#: Name → declaration, for the generic runner's lookup in pool workers.
+DECLARED: dict[str, ScenarioDecl] = {d.name: d for d in SCENARIO_DECLS}
 
 
-@scenario("ablation-utilization", tags=("ablation", "slow"), capacity=DEFAULT_CAPACITY)
-def scenario_ablation_utilization(seed: int, capacity: int) -> list[dict]:
-    """Economies of scale versus offered load (archive range)."""
-    from repro.experiments.ablations import utilization_sweep
-
-    return utilization_sweep(
-        policy=PAPER_POLICIES["nasa-ipsc"], seed=seed, capacity=capacity
-    )
-
-
-@scenario("ablation-setup-cost", tags=("ablation", "slow"),
-          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
-def scenario_ablation_setup_cost(seed: int, capacity: int) -> list[dict]:
-    """Management overhead versus the per-node adjustment cost."""
-    from repro.experiments.ablations import setup_cost_ablation
-
-    return setup_cost_ablation(
-        nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"], capacity=capacity
-    )
-
-
-@scenario("ablation-drp-pooling", tags=("ablation", "slow"),
-          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
-def scenario_ablation_drp_pooling(seed: int, capacity: int) -> list[dict]:
-    """The DRP manual-management ladder (NASA trace)."""
-    from repro.experiments.ablations import drp_pooling_ablation
-
-    return drp_pooling_ablation(
-        nasa_bundle(seed), PAPER_POLICIES["nasa-ipsc"], capacity=capacity
-    )
-
-
-# --------------------------------------------------------------------- #
-# Extensions
-# --------------------------------------------------------------------- #
-@scenario("workflow-zoo", tags=("extension", "slow"), capacity=3000, n_tasks=1000)
-def scenario_workflow_zoo(seed: int, capacity: int, n_tasks: int) -> list[dict]:
-    """Pegasus workflow family through all four systems."""
-    from repro.core.policies import ResourceManagementPolicy
-    from repro.experiments.runner import run_four_systems
-    from repro.systems.base import WorkloadBundle
-    from repro.workloads.pegasus import (
-        PEGASUS_GENERATORS,
-        PegasusSpec,
-        generate_pegasus,
-    )
-
-    policy = ResourceManagementPolicy.for_mtc(10, 8.0)
-    rows = []
-    for name in sorted(PEGASUS_GENERATORS):
-        wf = generate_pegasus(
-            name, PegasusSpec(n_tasks_hint=n_tasks, mean_runtime=11.38), seed=seed
-        )
-        width = max(
-            (sum(wf.task(j).runtime for j in lvl), len(lvl))
-            for lvl in wf.levels()
-        )[1]
-        bundle = WorkloadBundle.from_workflow(name, wf, fixed_nodes=width)
-        results = run_four_systems(bundle, policy, capacity=capacity)
-        rows.append(
-            {
-                "workflow": name,
-                "dcs": round(results["DCS"].resource_consumption),
-                "drp": round(results["DRP"].resource_consumption),
-                "dawningcloud": round(
-                    results["DawningCloud"].resource_consumption
-                ),
-            }
-        )
-    return rows
-
-
-@scenario("federation-scale", tags=("extension", "slow"),
-          prewarm=("nasa-ipsc", "sdsc-blue"), capacity=DEFAULT_CAPACITY, splits=(1, 2, 3))
-def scenario_federation(seed: int, capacity: int, splits) -> list[dict]:
-    """One big cloud versus k equal fragments at fixed total capacity."""
-    from repro.federation.market import scale_economies_experiment
-
-    setup = EvaluationSetup(seed=seed, capacity=capacity)
-    return scale_economies_experiment(
-        setup.bundles(consolidated=True),
-        setup.policies,
-        total_capacity=setup.capacity,
-        splits=tuple(splits),
-        horizon=setup.horizon,
-    )
-
-
-# --------------------------------------------------------------------- #
-# Provisioning-kernel extensions: billing meters and policy crosses
-# --------------------------------------------------------------------- #
-@scenario("ablation-billing-meter", tags=("ablation", "extension", "slow"),
-          prewarm=("nasa-ipsc",), capacity=DEFAULT_CAPACITY)
-def scenario_billing_meter(seed: int, capacity: int) -> list[dict]:
-    """Billing-meter ablation: the four systems re-billed per meter (NASA).
-
-    The paper's per-started-hour meter is one market rule among several.
-    Re-billing the *same* simulated systems per second and under a
-    reserved+spot tier shows how much of Table 2's DRP penalty is billing
-    granularity rather than provisioning strategy: per-second billing
-    erases the hour-rounding penalty entirely (DCS, which owns its
-    machine, is the meter-independent anchor).
-    """
-    from repro.experiments.runner import run_four_systems
-
-    bundle = _BUNDLES["nasa-ipsc"](seed)
-    rows = []
-    for name in ("per-hour", "per-second", "reserved-spot"):
-        results = run_four_systems(
-            bundle, PAPER_POLICIES["nasa-ipsc"], capacity=capacity,
-            meter=_meter_for(bundle, name),
-        )
-        rows.append(
-            {
-                "billing": name,
-                **{
-                    s.lower().replace("cloud", "_cloud"): round(
-                        results[s].resource_consumption, 1
-                    )
-                    for s in SYSTEM_ORDER
-                },
-                "drp_saving_vs_dcs": round(
-                    1.0
-                    - results["DRP"].resource_consumption
-                    / results["DCS"].resource_consumption,
-                    3,
-                ),
-            }
-        )
-    return rows
-
-
-@scenario("drp-spot-market", tags=("extension", "slow"),
-          prewarm=("nasa-ipsc",), reserved_sizes=(0, 32, 64, 96, 128, 192))
-def scenario_drp_spot_market(seed: int, reserved_sizes) -> list[dict]:
-    """Spot-market DRP: how large a reservation should the community buy?
-
-    DRP under a two-tier meter (NASA trace): the first ``r`` concurrent
-    nodes bill at the reserved *usage* rate, overflow at on-demand, and
-    the reservation's amortized upfront accrues on all ``r`` nodes for
-    the whole period whether used or not.  Small reservations capture the
-    steady base load cheaply; big ones pay standing cost for burst
-    headroom that is rarely occupied — the total-cost curve has an
-    interior minimum, which is the capacity-planning answer the paper's
-    single-meter world cannot ask.
-    """
-    from repro.costmodel.pricing import reserved_split_rates
-    from repro.provisioning.billing import TwoTierMeter
-    from repro.systems.drp import run_drp
-    from repro.workloads.job import hour_ceil
-
-    bundle = _BUNDLES["nasa-ipsc"](seed)
-    usage_rate, standing_rate = reserved_split_rates()
-    period_h = hour_ceil(bundle.trace.duration)
-    baseline = run_drp(bundle).resource_consumption  # pure on-demand
-    rows = []
-    for r in reserved_sizes:
-        if r:
-            meter = TwoTierMeter(
-                reserved_nodes=r, reserved_rate=usage_rate, spot_rate=1.0
+def _substitute(node: Any, params: Mapping[str, Any]) -> Any:
+    """Fill ``$param`` placeholders in an artifact template."""
+    if isinstance(node, str) and node.startswith("$"):
+        key = node[1:]
+        if key not in params:
+            raise KeyError(
+                f"artifact placeholder {node!r} has no matching parameter; "
+                f"have: {sorted(params)}"
             )
-            usage = run_drp(bundle, meter=meter).resource_consumption
-        else:
-            usage = baseline
-        standing = r * period_h * standing_rate
-        total = usage + standing
-        rows.append(
-            {
-                "reserved_nodes": r,
-                "usage_node_hours": round(usage, 1),
-                "reservation_node_hours": round(standing, 1),
-                "total_node_hours": round(total, 1),
-                "saving_vs_on_demand": round(1.0 - total / baseline, 3),
-            }
+        return params[key]
+    if isinstance(node, Mapping):
+        return {k: _substitute(v, params) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_substitute(v, params) for v in node]
+    return node
+
+
+def run_declared(name: str, seed: int, **params: Any) -> Any:
+    """The one generic scenario runner: declaration + params → payload."""
+    from repro.api.run import run_artifact
+
+    return run_artifact(_substitute(DECLARED[name].artifact, params), seed)
+
+
+for _decl in SCENARIO_DECLS:
+    DEFAULT_REGISTRY.register(
+        ScenarioSpec(
+            name=_decl.name,
+            fn=functools.partial(run_declared, _decl.name),
+            defaults=dict(_decl.defaults),
+            tags=frozenset(_decl.tags),
+            description=_decl.description,
+            prewarm=_decl.prewarm,
         )
-    return rows
-
-
-@scenario("pooled-drp-scheduler-cross", tags=("extension", "slow"),
-          prewarm=("nasa-ipsc",), billing="per-hour")
-def scenario_pooled_drp_scheduler_cross(seed: int, billing: str) -> list[dict]:
-    """Pooled-DRP × scheduler: a queue over the community's lease pool.
-
-    The composable runner's flagship cross (NASA trace): jobs queue and a
-    real scheduler dispatches them over one bounded, elastically leased
-    pool (cap: the trace's machine size) with hourly idle reclaim — the
-    strongest strategy a cooperative user community can run *without* a
-    runtime environment.  Crossing every registered scheduler against it
-    separates what dispatch discipline buys from what only DawningCloud's
-    negotiated sharing delivers.
-    """
-    from repro.provisioning.runner import run_pooled_queue_htc
-    from repro.scheduling import SCHEDULER_REGISTRY
-    from repro.systems.drp import run_drp
-
-    bundle = _BUNDLES["nasa-ipsc"](seed)
-    meter = _meter_for(bundle, billing)
-    drp = run_drp(bundle, meter=meter)
-    baseline = drp.resource_consumption
-    rows = []
-    for name in sorted(SCHEDULER_REGISTRY):
-        m = run_pooled_queue_htc(bundle, SCHEDULER_REGISTRY[name], meter=meter)
-        rows.append(
-            {
-                "scheduler": name,
-                "billing": billing,
-                "resource_consumption": round(m.resource_consumption, 1),
-                "saving_vs_naive_drp": round(
-                    1.0 - m.resource_consumption / baseline, 3
-                ),
-                "completed_jobs": m.completed_jobs,
-                # savings are only comparable at equal work: queueing can
-                # push jobs past the horizon that DRP (no queue) finishes
-                "completed_vs_drp": round(m.completed_jobs / drp.completed_jobs, 3),
-                "peak_nodes": m.peak_nodes,
-                "adjusted_nodes": m.adjusted_nodes,
-            }
-        )
-    return rows
+    )
+del _decl

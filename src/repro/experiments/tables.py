@@ -10,14 +10,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api.registry import register_component
 from repro.core.dsp import MODEL_COMPARISON
 from repro.core.policies import ResourceManagementPolicy
-from repro.experiments.runner import run_four_systems
 from repro.metrics.accounting import savings_vs_baseline
 from repro.metrics.results import ProviderMetrics
+from repro.systems import SYSTEM_ORDER
 from repro.systems.base import WorkloadBundle
-
-SYSTEM_ORDER = ("DCS", "SSP", "DRP", "DawningCloud")
 
 
 def table1() -> list[dict]:
@@ -31,6 +30,12 @@ def table1() -> list[dict]:
         }
         for props in MODEL_COMPARISON
     ]
+
+
+@register_component("analysis", "table1", skip_params=("seed",))
+def _table1_analysis(seed: int = 0) -> list[dict]:
+    """Table 1: the comparison of different usage models (closed form)."""
+    return table1()
 
 
 def _row_from_values(
@@ -84,6 +89,10 @@ def table_for_bundle(
     Pass ``results`` to reuse an existing :func:`run_four_systems` output.
     """
     if results is None:
+        # lazy: repro.api.run pulls the whole systems stack, and this
+        # module is imported by the experiments package __init__
+        from repro.api.run import run_four_systems
+
         results = run_four_systems(bundle, policy, capacity=capacity)
     baseline = results["DCS"].resource_consumption
     return [_row(results[s], baseline, bundle.kind) for s in SYSTEM_ORDER]

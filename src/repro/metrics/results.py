@@ -50,6 +50,26 @@ class ProviderMetrics:
     peak_nodes: float = 0.0
     usage: UsageRecorder = field(default_factory=UsageRecorder, repr=False)
 
+    def to_payload(self) -> dict:
+        """Unrounded, JSON-safe projection (the scenario-payload contract).
+
+        Unlike :meth:`to_row` (rounded, for table rendering) this keeps
+        full float precision: scenario payloads are cached, diffed and
+        golden-pinned, so they must carry exactly what the run computed.
+        """
+        return {
+            "provider": self.provider,
+            "system": self.system,
+            "workload": self.workload,
+            "resource_consumption": self.resource_consumption,
+            "completed_jobs": self.completed_jobs,
+            "submitted_jobs": self.submitted_jobs,
+            "tasks_per_second": self.tasks_per_second,
+            "makespan_s": self.makespan_s,
+            "adjusted_nodes": self.adjusted_nodes,
+            "peak_nodes": self.peak_nodes,
+        }
+
     def to_row(self) -> dict:
         """Flat dict for table rendering / serialization."""
         return {

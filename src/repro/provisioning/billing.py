@@ -149,6 +149,36 @@ METER_FACTORIES = {
 }
 
 
+def _register_meters() -> None:
+    """Self-register every meter in the component registry.
+
+    The factories go through :func:`make_meter`, so spec-built meters get
+    the same validation and EC2-2009 tier-rate defaults as the CLI's
+    ``--billing`` path.
+    """
+    import functools
+
+    from repro.api.registry import Param, params_from_signature, register_component
+
+    for name, cls in METER_FACTORIES.items():
+        params = params_from_signature(cls)
+        if name == "reserved-spot":
+            # the dataclass default (0) is a sentinel make_meter rejects;
+            # the catalog must advertise the parameter as required (the
+            # spec path satisfies it by injecting the bundle's fixed size)
+            params = tuple(
+                Param("reserved_nodes") if p.name == "reserved_nodes" else p
+                for p in params
+            )
+        register_component(
+            "billing-meter",
+            name,
+            functools.partial(make_meter, name),
+            params=params,
+            description=(cls.__doc__ or "").strip().splitlines()[0],
+        )
+
+
 def make_meter(name: str, unit_s: float = HOUR, **kwargs) -> BillingMeter:
     """Meter by registry name (the ``--billing`` CLI contract).
 
@@ -156,8 +186,9 @@ def make_meter(name: str, unit_s: float = HOUR, **kwargs) -> BillingMeter:
     for ``reserved-spot``).  ``reserved-spot`` *requires* a reservation
     size: with ``reserved_nodes=0`` every lease lands in the spot tier and
     the meter silently degenerates to per-hour numbers, so callers that
-    cannot supply one (see ``scenarios._meter_for`` for the natural
-    workload-derived choice) get a loud error instead of mislabeled data.
+    cannot supply one (see :func:`repro.api.run.resolve_meter` for the
+    natural workload-derived choice) get a loud error instead of
+    mislabeled data.
     """
     if name not in METER_FACTORIES:
         raise KeyError(
@@ -176,3 +207,6 @@ def make_meter(name: str, unit_s: float = HOUR, **kwargs) -> BillingMeter:
 
             kwargs["reserved_rate"], kwargs["spot_rate"] = two_tier_rates()
     return METER_FACTORIES[name](unit_s=unit_s, **kwargs)
+
+
+_register_meters()

@@ -36,10 +36,15 @@ from __future__ import annotations
 import abc
 from typing import Any, Hashable, Optional, TYPE_CHECKING
 
+from repro.api.registry import register_component
 from repro.cluster.lease import HOUR, Lease
 from repro.metrics.timeseries import UsageRecorder
 from repro.simkit.engine import SimulationEngine
 from repro.simkit.timers import PeriodicTimer
+
+#: Collaborators the runtime injects into provisioning policies; only the
+#: remaining keyword parameters are spec-settable data.
+_INJECTED = ("engine", "provision", "client", "usage", "server", "policy")
 
 if TYPE_CHECKING:  # pragma: no cover - cluster.provision imports billing
     from repro.cluster.provision import ResourceProvisionService
@@ -392,3 +397,10 @@ class ConsolidatedAllocation(ProvisioningPolicy):
     def open_dynamic_nodes(self) -> int:
         initial = self.initial_lease.n_nodes if self.initial_lease else 0
         return self.provision.allocated_nodes(self.server.name) - initial
+
+
+for _cls in (PerJobLease, PooledLease, FixedAllocation, ConsolidatedAllocation):
+    register_component(
+        "provisioning-policy", _cls.name, _cls, skip_params=_INJECTED
+    )
+del _cls

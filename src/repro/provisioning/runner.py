@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.api.registry import register_component
 from repro.cluster.lease import HOUR
 from repro.cluster.provision import ResourceProvisionService
 from repro.core.policies import HTC_SCAN_INTERVAL_S
@@ -61,6 +62,9 @@ class EagerPoolPolicy:
         self, queue_demand: int, biggest_job: int, owned: int
     ) -> int:
         return max(min(queue_demand, self.cap) - owned, 0)
+
+
+register_component("policy", "eager-pool", EagerPoolPolicy)
 
 
 def run_pooled_queue_htc(

@@ -19,6 +19,9 @@ Extensions beyond the paper, used by the ablation benchmarks:
   across end users (the related-work scheduler the paper contrasts with).
 """
 
+import warnings
+
+from repro.api.registry import register_component
 from repro.scheduling.backfill import EasyBackfillScheduler
 from repro.scheduling.base import RunningJob, Scheduler
 from repro.scheduling.conservative import ConservativeBackfillScheduler
@@ -37,9 +40,24 @@ SCHEDULER_REGISTRY = {
     "weighted-fair-share": WeightedFairShareScheduler,
 }
 
+for _name, _cls in SCHEDULER_REGISTRY.items():
+    register_component("scheduler", _name, _cls, skip_params=("self",))
+del _name, _cls
+
 
 def make_scheduler(name: str) -> Scheduler:
-    """Instantiate a scheduler by registry name (default construction)."""
+    """Deprecated: use the component registry instead.
+
+    ``repro.api.default_components().create("scheduler", name)`` is the
+    spec-API spelling; this shim keeps old call sites working.
+    """
+    warnings.warn(
+        "make_scheduler() is deprecated; use "
+        "repro.api.default_components().create('scheduler', name) or name "
+        "the scheduler in a SystemSpec",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     try:
         cls = SCHEDULER_REGISTRY[name]
     except KeyError:

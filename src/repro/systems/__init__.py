@@ -17,6 +17,10 @@
 
 from repro.systems.base import WorkloadBundle, clone_workflow
 from repro.systems.consolidation import ConsolidationResult, run_all_systems
+
+#: The paper's Tables 2-4 column order — the canonical home (the
+#: experiments and api layers both import it from here).
+SYSTEM_ORDER = ("DCS", "SSP", "DRP", "DawningCloud")
 from repro.systems.drp import run_drp
 from repro.systems.dsp_runner import (
     run_dawningcloud_consolidated,
@@ -29,6 +33,7 @@ from repro.systems.fixed import run_dcs, run_ssp
 __all__ = [
     "ConsolidationResult",
     "JobEmulator",
+    "SYSTEM_ORDER",
     "WorkloadBundle",
     "clone_workflow",
     "run_all_systems",
@@ -39,3 +44,79 @@ __all__ = [
     "run_drp",
     "run_ssp",
 ]
+
+
+# --------------------------------------------------------------------- #
+# system components: each runner as a (bundle, seed, **params) factory
+# --------------------------------------------------------------------- #
+def _register_systems() -> None:
+    """Self-register the system runners for the spec API.
+
+    Every factory takes an already-materialized bundle plus data-level
+    parameters; ``policy``/``scheduler``/``meter`` objects are resolved
+    from nested spec refs by :func:`repro.api.run.run_system`.
+    """
+    from repro.api.registry import register_component
+    from repro.systems.drp import DEFAULT_DRP_CAPACITY, run_drp_pooled
+    from repro.systems.dsp_runner import DEFAULT_CAPACITY
+
+    def dcs(bundle, seed=0, meter=None):
+        """DCS: a dedicated, owned cluster sized to the fixed configuration."""
+        return run_dcs(bundle, meter=meter)
+
+    def ssp(bundle, seed=0, meter=None):
+        """SSP: the same fixed cluster, leased through the provider."""
+        return run_ssp(bundle, meter=meter)
+
+    def drp(bundle, seed=0, capacity=DEFAULT_DRP_CAPACITY, meter=None):
+        """DRP: per-job leases (HTC) / a manual user pool (MTC), no queue."""
+        return run_drp(bundle, capacity=capacity, meter=meter)
+
+    def drp_pooled(bundle, seed=0, capacity=DEFAULT_DRP_CAPACITY,
+                   shared=False, meter=None):
+        """DRP with cost-aware lease pooling (per end user, or shared)."""
+        return run_drp_pooled(bundle, capacity=capacity, shared=shared,
+                              meter=meter)
+
+    def dawningcloud(bundle, seed=0, policy=None, capacity=DEFAULT_CAPACITY,
+                     meter=None):
+        """DawningCloud: a TRE with dynamic B/R negotiation over the pool."""
+        from repro.core.policies import ResourceManagementPolicy
+
+        if policy is None:
+            policy = (
+                ResourceManagementPolicy.for_htc()
+                if bundle.kind == "htc"
+                else ResourceManagementPolicy.for_mtc()
+            )
+        runner = (
+            run_dawningcloud_htc if bundle.kind == "htc"
+            else run_dawningcloud_mtc
+        )
+        return runner(bundle, policy, capacity=capacity, meter=meter)
+
+    def pooled_queue(bundle, seed=0, scheduler=None, pool_cap=None,
+                     meter=None):
+        """A queued scheduler over one bounded, elastically leased pool."""
+        from repro.provisioning.runner import run_pooled_queue_htc
+        from repro.scheduling.firstfit import FirstFitScheduler
+
+        return run_pooled_queue_htc(
+            bundle, scheduler if scheduler is not None else FirstFitScheduler(),
+            pool_cap=pool_cap, meter=meter,
+        )
+
+    for name, factory in (
+        ("dcs", dcs),
+        ("ssp", ssp),
+        ("drp", drp),
+        ("drp-pooled", drp_pooled),
+        ("dawningcloud", dawningcloud),
+        ("pooled-queue", pooled_queue),
+    ):
+        register_component(
+            "system", name, factory, skip_params=("bundle", "seed")
+        )
+
+
+_register_systems()

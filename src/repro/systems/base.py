@@ -43,9 +43,16 @@ class WorkloadBundle:
     horizon: Optional[float] = None
 
     def __post_init__(self) -> None:
+        # Error messages name the bundle and kind: bundles are routinely
+        # built from declarative specs, where "needs a trace" without a
+        # culprit is undebuggable.
         if self.kind == "htc":
             if self.trace is None or self.workflow is not None:
-                raise ValueError("htc bundle needs a trace (and no workflow)")
+                raise ValueError(
+                    f"bundle {self.name!r} (kind 'htc') needs a trace and "
+                    f"no workflow; got trace={self.trace!r}, "
+                    f"workflow={self.workflow!r}"
+                )
             if self.fixed_nodes is None:
                 # §4.4: DCS/SSP sized to the trace's maximal requirement,
                 # which equals the recorded machine size for both traces.
@@ -54,7 +61,11 @@ class WorkloadBundle:
                 self.horizon = self.trace.duration
         elif self.kind == "mtc":
             if self.workflow is None or self.trace is not None:
-                raise ValueError("mtc bundle needs a workflow (and no trace)")
+                raise ValueError(
+                    f"bundle {self.name!r} (kind 'mtc') needs a workflow "
+                    f"and no trace; got workflow={self.workflow!r}, "
+                    f"trace={self.trace!r}"
+                )
             if self.fixed_nodes is None:
                 # §4.4: "the accumulated resource demand in most of the
                 # running time" — the width of the workflow's steady level
@@ -69,9 +80,15 @@ class WorkloadBundle:
                     + work
                 )
         else:
-            raise ValueError(f"kind must be 'htc' or 'mtc', got {self.kind!r}")
+            raise ValueError(
+                f"bundle {self.name!r}: kind must be 'htc' or 'mtc', "
+                f"got {self.kind!r}"
+            )
         if self.fixed_nodes is not None and self.fixed_nodes <= 0:
-            raise ValueError("fixed_nodes must be positive")
+            raise ValueError(
+                f"bundle {self.name!r} (kind {self.kind!r}): fixed_nodes "
+                f"must be positive, got {self.fixed_nodes}"
+            )
 
     # ------------------------------------------------------------------ #
     def materialize_trace(self) -> Trace:

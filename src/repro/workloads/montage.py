@@ -46,6 +46,11 @@ from repro.simkit.rng import RandomStreams
 from repro.workloads.job import Job
 from repro.workloads.workflow import Workflow
 
+#: Montage's fixed-system configuration (§4.4): the 166-node steady level
+#: a DCS/SSP system buys.  Canonical home of the constant — the
+#: experiments config and the ``montage`` workload component import it.
+MONTAGE_FIXED_NODES = 166
+
 
 @dataclass(frozen=True)
 class MontageSpec:

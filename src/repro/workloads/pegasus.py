@@ -204,3 +204,37 @@ def generate_pegasus(name: str, spec: PegasusSpec = PegasusSpec(),
             f"{sorted(PEGASUS_GENERATORS)}"
         ) from None
     return gen(spec=spec, seed=seed)
+
+
+def _register_pegasus_workload() -> None:
+    """Self-register the Pegasus family as one parameterized workload."""
+    from repro.api.registry import register_component
+
+    def pegasus(
+        seed: int = 0,
+        family: str = "cybershake",
+        n_tasks: int = 1000,
+        mean_runtime: Optional[float] = None,
+        submit_time: float = 0.0,
+        fixed_nodes: Optional[int] = None,
+    ):
+        """A Pegasus-family MTC workflow (cybershake/epigenomics/...)."""
+        from repro.systems.base import WorkloadBundle
+
+        workflow = generate_pegasus(
+            family,
+            PegasusSpec(
+                n_tasks_hint=n_tasks,
+                mean_runtime=mean_runtime,
+                submit_time=submit_time,
+            ),
+            seed=seed,
+        )
+        return WorkloadBundle.from_workflow(
+            family, workflow, fixed_nodes=fixed_nodes
+        )
+
+    register_component("workload", "pegasus", pegasus, skip_params=("seed",))
+
+
+_register_pegasus_workload()

@@ -180,3 +180,100 @@ def prewarm(names: Iterable[str], seed: int = 0) -> int:
         else:
             paper_trace(name, seed)
     return len(_STORE)
+
+
+# --------------------------------------------------------------------- #
+# workload components (the spec API's generator vocabulary)
+# --------------------------------------------------------------------- #
+def _register_workloads() -> None:
+    """Self-register the store-backed workload generators.
+
+    Every archive trace name becomes a workload component (``nasa-ipsc``,
+    ``sdsc-blue``, ...), alongside ``montage`` and the fully synthetic
+    ``htc-trace`` whose parameters mirror :class:`~repro.workloads.traces
+    .HTCTraceSpec` — so a TOML spec can bring its own workload without
+    any Python.
+    """
+    from repro.api.registry import Param, register_component
+    from repro.workloads.archive import ARCHIVE
+
+    def trace_factory(trace_name: str):
+        def build(seed: int = 0, fixed_nodes: Optional[int] = None):
+            from repro.systems.base import WorkloadBundle
+
+            return WorkloadBundle(
+                name=trace_name, kind="htc",
+                trace=paper_trace(trace_name, seed), fixed_nodes=fixed_nodes,
+            )
+
+        return build
+
+    for trace_name, spec in ARCHIVE.items():
+        register_component(
+            "workload", trace_name, trace_factory(trace_name),
+            skip_params=("seed",),
+            description=(
+                f"archive HTC trace stand-in ({spec.machine_nodes} nodes, "
+                f"{spec.target_utilization:.1%} load, {spec.n_jobs} jobs)"
+            ),
+        )
+
+    # defaults derive from MontageSpec / MONTAGE_FIXED_NODES so the
+    # paper-pinned constants (166/662/11.38/166) live in exactly one place
+    from repro.workloads.montage import MONTAGE_FIXED_NODES, MontageSpec
+
+    _montage_defaults = MontageSpec()
+
+    def montage(
+        seed: int = 0,
+        n_images: int = _montage_defaults.n_images,
+        n_diffs: int = _montage_defaults.n_diffs,
+        mean_runtime: Optional[float] = _montage_defaults.mean_runtime,
+        submit_time: float = 0.0,
+        fixed_nodes: int = MONTAGE_FIXED_NODES,
+    ):
+        """The paper's Montage mosaic workflow (MTC; Table 4's instance)."""
+        from repro.systems.base import WorkloadBundle
+
+        spec = MontageSpec(
+            n_images=n_images, n_diffs=n_diffs, mean_runtime=mean_runtime
+        )
+        workflow = montage_workflow(spec, seed=seed, submit_time=submit_time)
+        return WorkloadBundle.from_workflow(
+            "montage", workflow, fixed_nodes=fixed_nodes
+        )
+
+    register_component("workload", "montage", montage, skip_params=("seed",))
+
+    def htc_trace(seed: int = 0, *, fixed_nodes: Optional[int] = None, **spec_fields):
+        """A fully spec-driven synthetic HTC trace (HTCTraceSpec fields)."""
+        from repro.systems.base import WorkloadBundle
+        from repro.workloads.traces import HTCTraceSpec, generate_htc_trace
+
+        def freeze(v):
+            return tuple(freeze(x) for x in v) if isinstance(v, list) else v
+
+        spec = HTCTraceSpec(**{k: freeze(v) for k, v in spec_fields.items()})
+        trace = _STORE.trace(
+            "htc-trace", spec, seed, lambda: generate_htc_trace(spec, seed)
+        )
+        return WorkloadBundle(
+            name=spec.name, kind="htc", trace=trace, fixed_nodes=fixed_nodes
+        )
+
+    import dataclasses as _dc
+
+    from repro.workloads.traces import HTCTraceSpec as _Spec
+
+    register_component(
+        "workload", "htc-trace", htc_trace,
+        params=(Param("fixed_nodes", None),) + tuple(
+            Param(f.name) if f.default is _dc.MISSING else Param(f.name, f.default)
+            for f in _dc.fields(_Spec)
+        ),
+        description="A fully spec-driven synthetic HTC trace "
+                    "(HTCTraceSpec fields as parameters)",
+    )
+
+
+_register_workloads()

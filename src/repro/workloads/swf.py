@@ -307,3 +307,24 @@ def write_swf(trace: Trace, target: Optional[TextIO] = None) -> str:
     if target is not None:
         target.write(text)
     return text
+
+
+def _register_swf_workload() -> None:
+    """Self-register bring-your-own-trace: a real SWF log as a workload."""
+    from repro.api.registry import register_component
+
+    def swf(seed=0, path="", name=None, fixed_nodes=None):
+        """An SWF file (.swf / .swf.gz) parsed into an HTC bundle."""
+        from repro.systems.base import WorkloadBundle
+
+        if not path:
+            raise ValueError("the 'swf' workload needs a 'path' parameter")
+        trace = parse_swf_file(path, name=name)
+        return WorkloadBundle(
+            name=trace.name, kind="htc", trace=trace, fixed_nodes=fixed_nodes
+        )
+
+    register_component("workload", "swf", swf, skip_params=("seed",))
+
+
+_register_swf_workload()

@@ -210,3 +210,52 @@ def layered_random(
         name=f"layered-{'x'.join(str(w) for w in layer_widths)}",
         submit_time=submit_time,
     )
+
+
+def _register_workflow_workloads() -> None:
+    """Self-register the synthetic DAG shapes as workload components."""
+    from repro.api.registry import register_component
+
+    def as_bundle(name, workflow, fixed_nodes):
+        from repro.systems.base import WorkloadBundle
+
+        return WorkloadBundle.from_workflow(
+            name, workflow, fixed_nodes=fixed_nodes
+        )
+
+    def bag(seed=0, n_tasks=100, mean_runtime=60.0, jitter=0.3,
+            submit_time=0.0, fixed_nodes=None):
+        """Independent single-node tasks (bag-of-tasks MTC workload)."""
+        wf = bag_of_tasks(n_tasks, mean_runtime, jitter, seed=seed,
+                          submit_time=submit_time)
+        return as_bundle(wf.name, wf, fixed_nodes)
+
+    def chain_wl(seed=0, length=50, mean_runtime=60.0, jitter=0.2,
+                 submit_time=0.0, fixed_nodes=None):
+        """A purely sequential pipeline (chain MTC workload)."""
+        wf = chain(length, mean_runtime, jitter, seed=seed,
+                   submit_time=submit_time)
+        return as_bundle(wf.name, wf, fixed_nodes)
+
+    def forkjoin(seed=0, width=64, mean_runtime=60.0, jitter=0.3,
+                 submit_time=0.0, fixed_nodes=None):
+        """Entry task, a wide parallel stage, an exit task (fork-join)."""
+        wf = fork_join(width, mean_runtime, jitter, seed=seed,
+                       submit_time=submit_time)
+        return as_bundle(wf.name, wf, fixed_nodes)
+
+    def layered(seed=0, layer_widths=(16, 64, 16), mean_runtime=60.0,
+                jitter=0.3, max_fanin=3, submit_time=0.0, fixed_nodes=None):
+        """A random layered DAG with bounded fan-in."""
+        wf = layered_random(tuple(layer_widths), mean_runtime, jitter,
+                            max_fanin, seed=seed, submit_time=submit_time)
+        return as_bundle(wf.name, wf, fixed_nodes)
+
+    register_component("workload", "bag-of-tasks", bag, skip_params=("seed",))
+    register_component("workload", "chain", chain_wl, skip_params=("seed",))
+    register_component("workload", "fork-join", forkjoin, skip_params=("seed",))
+    register_component("workload", "layered-random", layered,
+                       skip_params=("seed",))
+
+
+_register_workflow_workloads()

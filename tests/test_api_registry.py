@@ -1,0 +1,138 @@
+"""Tests for the component registry (repro.api.registry)."""
+
+import pytest
+
+from repro.api.registry import (
+    KINDS,
+    ComponentRegistry,
+    Param,
+    default_components,
+    params_from_signature,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_components()
+
+
+class TestCatalog:
+    def test_every_kind_populated(self, registry):
+        assert registry.kinds() == list(KINDS)
+
+    @pytest.mark.parametrize("kind,name", [
+        ("scheduler", "first-fit"),
+        ("scheduler", "easy-backfill"),
+        ("provisioning-policy", "per-job"),
+        ("provisioning-policy", "consolidated"),
+        ("billing-meter", "per-hour"),
+        ("billing-meter", "reserved-spot"),
+        ("policy", "paper-htc"),
+        ("policy", "ewma-predictive"),
+        ("workload", "nasa-ipsc"),
+        ("workload", "montage"),
+        ("workload", "htc-trace"),
+        ("workload", "swf"),
+        ("system", "dcs"),
+        ("system", "dawningcloud"),
+        ("system", "pooled-queue"),
+        ("analysis", "table1"),
+        ("analysis", "consolidated-figures"),
+        ("analysis", "drp-pooling-ablation"),
+        ("analysis", "workflow-zoo"),
+    ])
+    def test_builtin_components_registered(self, registry, kind, name):
+        component = registry.get(kind, name)
+        assert component.name == name
+        assert component.description  # every builtin carries a one-liner
+
+    def test_rows_are_flat_and_ordered(self, registry):
+        rows = [c.to_row() for c in registry.components()]
+        kinds = [r["kind"] for r in rows]
+        # grouped by kind in KINDS order
+        assert kinds == sorted(kinds, key=KINDS.index)
+        assert all(set(r) == {"kind", "name", "params", "description"}
+                   for r in rows)
+
+    def test_json_rows_carry_param_schema(self, registry):
+        row = registry.get("policy", "paper-htc").to_json()
+        by_name = {p["name"]: p for p in row["params"]}
+        assert by_name["initial_nodes"]["required"] is True
+        assert by_name["threshold_ratio"] == {
+            "name": "threshold_ratio", "required": False, "default": 1.5,
+        }
+
+
+class TestErrors:
+    def test_unknown_name_lists_known(self, registry):
+        with pytest.raises(KeyError, match="unknown system component 'ec2'"):
+            registry.get("system", "ec2")
+        with pytest.raises(KeyError, match="dcs"):
+            registry.get("system", "ec2")
+
+    def test_unknown_kind_named(self, registry):
+        with pytest.raises(KeyError, match="unknown kind 'middleware'"):
+            registry.get("middleware", "x")
+
+    def test_unknown_param_lists_known(self, registry):
+        with pytest.raises(ValueError, match="no parameter"):
+            registry.create("billing-meter", "per-second", granularity=1)
+        with pytest.raises(ValueError, match="min_charge_s"):
+            registry.create("billing-meter", "per-second", granularity=1)
+
+    def test_duplicate_registration_rejected(self):
+        fresh = ComponentRegistry()
+        fresh.register("scheduler", "x", lambda: None)
+        with pytest.raises(ValueError, match="already registered"):
+            fresh.register("scheduler", "x", lambda: None)
+
+    def test_bad_kind_rejected_at_registration(self):
+        fresh = ComponentRegistry()
+        with pytest.raises(ValueError, match="unknown component kind"):
+            fresh.register("frobnicator", "x", lambda: None)
+
+
+class TestCreation:
+    def test_scheduler_instances(self, registry):
+        from repro.scheduling.sjf import SjfScheduler
+
+        assert isinstance(registry.create("scheduler", "sjf"), SjfScheduler)
+
+    def test_meter_instances_use_make_meter_semantics(self, registry):
+        from repro.provisioning.billing import PerSecondMeter
+
+        meter = registry.create("billing-meter", "per-second", min_charge_s=0.0)
+        assert isinstance(meter, PerSecondMeter)
+        assert meter.min_charge_s == 0.0
+        # reserved-spot keeps make_meter's loud zero-reservation error
+        with pytest.raises(ValueError, match="reserved_nodes"):
+            registry.create("billing-meter", "reserved-spot")
+
+    def test_policy_defaults_match_paper(self, registry):
+        from repro.core.policies import ResourceManagementPolicy
+
+        policy = registry.create("policy", "paper-htc", initial_nodes=40,
+                                 threshold_ratio=1.2)
+        assert policy == ResourceManagementPolicy.for_htc(40, 1.2)
+        mtc = registry.create("policy", "paper-mtc", initial_nodes=10)
+        assert mtc == ResourceManagementPolicy.for_mtc(10, 8.0)
+
+
+class TestIntrospection:
+    def test_params_from_signature_skips_collaborators(self):
+        def factory(bundle, seed=0, capacity=420, meter=None):
+            pass
+
+        params = params_from_signature(factory, skip=("bundle", "seed"))
+        assert [p.name for p in params] == ["capacity", "meter"]
+        assert params[0].default == 420
+        assert not params[0].required
+
+    def test_required_marker(self):
+        def factory(nodes, scale=2.0):
+            pass
+
+        params = params_from_signature(factory)
+        assert params[0].required and not params[1].required
+        assert params[0].describe() == "nodes (required)"
+        assert Param("x").required

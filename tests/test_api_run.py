@@ -1,0 +1,303 @@
+"""Tests for the Simulation facade and the generic artifact interpreter.
+
+Everything here runs tiny synthetic workloads (a 4-wide fork-join, a
+two-hour 8-node trace) so the whole file stays in the fast tier.
+"""
+
+import pytest
+
+from repro.api.run import (
+    Simulation,
+    load_spec_scenarios,
+    materialize_workload,
+    resolve_meter,
+    run_artifact,
+    run_experiment,
+    run_system,
+)
+from repro.api.spec import ExperimentSpec, SystemSpec
+
+HOUR = 3600.0
+
+#: a deliberately tiny HTC trace: 40 jobs, 8 nodes, two days
+TINY_TRACE = {
+    "generator": "htc-trace",
+    "params": {
+        "name": "tiny",
+        "machine_nodes": 8,
+        "duration": 2 * 24 * HOUR,
+        "n_jobs": 40,
+        "target_utilization": 0.4,
+        "size_pmf": [[1, 0.6], [2, 0.25], [4, 0.1], [8, 0.05]],
+        "runtime_mixture": [[0.8, 900.0, 0.7], [0.2, 3600.0, 0.5]],
+    },
+}
+
+TINY_SPEC = {
+    "name": "tiny-exp",
+    "workloads": [TINY_TRACE],
+    "systems": [
+        "dcs",
+        {"runner": "dawningcloud",
+         "params": {"capacity": 32},
+         "policy": {"name": "paper-htc", "params": {"initial_nodes": 2}}},
+    ],
+}
+
+
+class TestMaterialization:
+    def test_workload_components_build_bundles(self):
+        bundle = materialize_workload(TINY_TRACE, seed=0)
+        assert bundle.kind == "htc"
+        assert bundle.name == "tiny"
+        assert bundle.n_jobs == 40
+        wf = materialize_workload(
+            {"generator": "fork-join",
+             "params": {"width": 4, "mean_runtime": 30.0}}, seed=0
+        )
+        assert wf.kind == "mtc"
+        assert wf.n_jobs == 6  # entry + 4 workers + exit
+
+    def test_materialization_is_deterministic(self):
+        a = materialize_workload(TINY_TRACE, seed=7)
+        b = materialize_workload(TINY_TRACE, seed=7)
+        assert [j.runtime for j in a.trace] == [j.runtime for j in b.trace]
+
+    def test_unknown_generator_is_loud(self):
+        with pytest.raises(KeyError, match="unknown workload component"):
+            materialize_workload("no-such-trace", seed=0)
+
+    def test_unknown_generator_params_are_loud(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            materialize_workload(
+                {"generator": "montage", "params": {"n_imags": 10}}, seed=0
+            )
+
+
+class TestMeterResolution:
+    def test_per_hour_keeps_the_default_path(self):
+        bundle = materialize_workload(TINY_TRACE, seed=0)
+        assert resolve_meter(None, bundle) is None
+        assert resolve_meter("per-hour", bundle) is None
+
+    def test_explicit_per_hour_params_build_a_meter(self):
+        from repro.provisioning.billing import PerStartedUnitMeter
+
+        bundle = materialize_workload(TINY_TRACE, seed=0)
+        meter = resolve_meter(
+            {"name": "per-hour", "params": {"unit_s": 60.0}}, bundle
+        )
+        assert meter == PerStartedUnitMeter(unit_s=60.0)
+
+    def test_reserved_spot_defaults_to_fixed_nodes(self):
+        bundle = materialize_workload(TINY_TRACE, seed=0)
+        meter = resolve_meter("reserved-spot", bundle)
+        assert meter.reserved_nodes == bundle.fixed_nodes == 8
+
+    def test_explicit_zero_reservation_is_not_overridden(self):
+        # an author's explicit reserved_nodes=0 must not be silently
+        # replaced by the fixed-system size; make_meter rejects it loudly
+        bundle = materialize_workload(TINY_TRACE, seed=0)
+        with pytest.raises(ValueError, match="reserved_nodes > 0"):
+            resolve_meter(
+                {"name": "reserved-spot", "params": {"reserved_nodes": 0}},
+                bundle,
+            )
+
+
+class TestRunSystem:
+    def test_dcs_consumption_is_the_closed_form(self):
+        bundle = materialize_workload(TINY_TRACE, seed=0)
+        metrics = run_system("dcs", bundle)
+        assert metrics.system == "DCS"
+        assert metrics.resource_consumption == pytest.approx(8 * 48.0)
+
+    def test_scheduler_ref_threads_through(self):
+        bundle = materialize_workload(TINY_TRACE, seed=0)
+        metrics = run_system(
+            SystemSpec("pooled-queue", scheduler="sjf"), bundle
+        )
+        assert "sjf" in metrics.system
+
+    def test_unknown_runner_param_is_loud(self):
+        bundle = materialize_workload(TINY_TRACE, seed=0)
+        with pytest.raises(ValueError, match="no parameter"):
+            run_system({"runner": "dcs", "params": {"nodes": 3}}, bundle)
+
+
+class TestRunExperiment:
+    def test_cross_product_and_order(self):
+        spec = ExperimentSpec.from_dict({
+            "name": "tiny-cross",
+            "workloads": [TINY_TRACE],
+            "systems": [
+                "drp",
+                {"runner": "dawningcloud",
+                 "policy": {"name": "paper-htc",
+                            "params": {"initial_nodes": 2}}},
+            ],
+            "seeds": [0, 1],
+            "sweep": {"params.capacity": [64, 128]},
+        })
+        results = run_experiment(spec, seed=0)
+        # 1 workload x 2 systems x 2 sweep points x 2 seeds
+        assert len(results) == 8
+        assert [r.seed for r in results[:4]] == [0, 1, 0, 1]
+        assert results[0].workload == "tiny"
+        assert {r.system for r in results} == {"drp", "dawningcloud"}
+        assert results[0].point == {"params.capacity": 64}
+
+    def test_sweeping_a_param_a_system_lacks_is_loud(self):
+        spec = ExperimentSpec.from_dict({
+            **TINY_SPEC, "sweep": {"params.capacity": [16]},
+        })
+        with pytest.raises(ValueError, match="'dcs' has no parameter"):
+            run_experiment(spec, seed=0)
+
+    def test_seed_offsets_shift_the_base_seed(self):
+        spec = ExperimentSpec.from_dict({**TINY_SPEC, "seeds": [5]})
+        (result,) = [r for r in run_experiment(spec, seed=2)
+                     if r.system == "dcs"]
+        assert result.seed == 7
+
+
+class TestSimulation:
+    def test_run_returns_structured_results(self):
+        from repro.experiments.cache import NullCache
+
+        sim = Simulation(TINY_SPEC, seed=0, cache=NullCache())
+        results = sim.run()
+        assert [r.system for r in results] == ["dcs", "dawningcloud"]
+        assert results[0].metrics["completed_jobs"] == 40
+        assert sim.payload["experiment"] == "tiny-exp"
+        assert sim.payload["digest"] == sim.digest
+
+    def test_results_before_run_is_an_error(self):
+        with pytest.raises(RuntimeError, match="has not run"):
+            Simulation(TINY_SPEC).payload
+
+    def test_cache_hit_on_rerun(self, tmp_path):
+        from repro.experiments.cache import ResultCache
+
+        first = Simulation(TINY_SPEC, cache=ResultCache(tmp_path))
+        first.run()
+        assert not first.cached
+        second = Simulation(TINY_SPEC, cache=ResultCache(tmp_path))
+        second.run()
+        assert second.cached
+        assert second.payload == first.payload
+
+    def test_digest_is_the_spec_digest(self):
+        from repro.api.spec import spec_digest
+
+        sim = Simulation(TINY_SPEC)
+        assert sim.digest == spec_digest(ExperimentSpec.from_dict(TINY_SPEC))
+
+    def test_default_cache_is_the_shared_on_disk_cache(self, tmp_path,
+                                                       monkeypatch):
+        # no explicit cache -> ResultCache.default() ($REPRO_CACHE_DIR)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        first = Simulation(TINY_SPEC)
+        first.run()
+        assert not first.cached
+        second = Simulation(TINY_SPEC)
+        second.run()
+        assert second.cached
+
+    def test_component_typos_fail_at_construction(self):
+        with pytest.raises(KeyError, match="unknown workload component"):
+            Simulation({**TINY_SPEC, "workloads": ["nope"]})
+        with pytest.raises(KeyError, match="unknown system component"):
+            Simulation({**TINY_SPEC, "systems": ["ec2"]})
+        with pytest.raises(ValueError, match="missing required"):
+            Simulation({
+                **TINY_SPEC,
+                "systems": [{"runner": "dawningcloud",
+                             "policy": {"name": "paper-htc"}}],
+            })
+        bad_sweep = {
+            **TINY_SPEC,
+            "systems": ["drp"],
+            "sweep": {"scheduler.name": ["nope-sched"]},
+        }
+        with pytest.raises(KeyError, match="unknown scheduler component"):
+            Simulation(bad_sweep)
+
+
+class TestArtifacts:
+    def test_unknown_kind_is_loud(self):
+        with pytest.raises(ValueError, match="unknown artifact kind"):
+            run_artifact({"kind": "tables"}, seed=0)
+
+    def test_unknown_analysis_is_loud(self):
+        with pytest.raises(KeyError, match="unknown analysis component"):
+            run_artifact({"kind": "analysis", "analysis": "nope"}, seed=0)
+
+    def test_analysis_artifact_runs(self):
+        payload = run_artifact({"kind": "analysis", "analysis": "table1"})
+        assert payload[0]["model"] == "DCS"
+
+    def test_four_systems_artifact_payload_shape(self):
+        payload = run_artifact({
+            "kind": "four-systems",
+            "workload": TINY_TRACE,
+            "policy": {"name": "paper-htc", "params": {"initial_nodes": 2}},
+            "capacity": 32,
+            "billing": "per-hour",
+        })
+        assert payload["kind"] == "htc"
+        assert payload["billing"] == "per-hour"
+        assert set(payload["systems"]) == {"DCS", "SSP", "DRP", "DawningCloud"}
+
+    def test_experiment_artifact_matches_run_spec(self):
+        from repro.api.run import run_spec_scenario
+
+        via_artifact = run_artifact({"kind": "experiment", **TINY_SPEC}, seed=0)
+        assert via_artifact == run_spec_scenario(0, TINY_SPEC)
+
+
+class TestSpecScenarioLoading:
+    def test_directory_registration(self, tmp_path):
+        from repro.experiments.registry import ScenarioRegistry
+
+        (tmp_path / "a.json").write_text(
+            '{"name": "spec-a", "workloads": ["nasa-ipsc"], "systems": ["dcs"]}'
+        )
+        registry = ScenarioRegistry()
+        names = load_spec_scenarios(tmp_path, registry)
+        assert names == ["spec-a"]
+        assert "spec" in registry.get("spec-a").tags
+        assert registry.get("spec-a").defaults["spec"]["name"] == "spec-a"
+
+    def test_collision_with_builtin_is_loud(self, tmp_path):
+        from repro.experiments.registry import default_registry
+
+        (tmp_path / "clash.json").write_text(
+            '{"name": "table2-nasa", "workloads": ["nasa-ipsc"], '
+            '"systems": ["dcs"]}'
+        )
+        with pytest.raises(ValueError, match="already a registered scenario"):
+            load_spec_scenarios(tmp_path, default_registry())
+
+    def test_loading_is_all_or_nothing_and_names_every_problem(self, tmp_path):
+        from repro.experiments.registry import ScenarioRegistry
+
+        (tmp_path / "aaa.json").write_text(
+            '{"name": "good-spec", "workloads": ["nasa-ipsc"], '
+            '"systems": ["dcs"]}'
+        )
+        (tmp_path / "bad.json").write_text(
+            '{"name": "bad-spec", "workloads": ["no-such-workload"], '
+            '"systems": ["dcs"]}'
+        )
+        (tmp_path / "dup.json").write_text(
+            '{"name": "good-spec", "workloads": ["nasa-ipsc"], '
+            '"systems": ["dcs"]}'
+        )
+        registry = ScenarioRegistry()
+        with pytest.raises(ValueError) as err:
+            load_spec_scenarios(tmp_path, registry)
+        message = str(err.value)
+        assert "bad.json" in message and "dup.json" in message
+        # nothing registered, including the valid file
+        assert len(registry) == 0

@@ -1,0 +1,258 @@
+"""Tests for the spec layer: round-trips, digests, and loud errors."""
+
+import json
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.spec import (
+    ComponentRef,
+    ExperimentSpec,
+    SystemSpec,
+    WorkloadSpec,
+    load_spec_file,
+    spec_digest,
+)
+
+# ---------------------------------------------------------------------- #
+# strategies: JSON-safe params and structurally valid specs
+# ---------------------------------------------------------------------- #
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+params_st = st.dictionaries(
+    st.text(min_size=1, max_size=8).filter(lambda s: not s.startswith("$")),
+    st.one_of(json_scalars, st.lists(json_scalars, max_size=3)),
+    max_size=3,
+)
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-0123456789", min_size=1, max_size=12
+)
+refs = st.one_of(
+    st.none(),
+    st.builds(ComponentRef, name=names, params=params_st),
+)
+workloads_st = st.builds(
+    WorkloadSpec,
+    generator=names,
+    params=params_st,
+    label=st.one_of(st.none(), names),
+)
+systems_st = st.builds(
+    SystemSpec,
+    runner=names,
+    params=params_st,
+    policy=refs,
+    scheduler=refs,
+    billing=refs,
+    label=st.one_of(st.none(), names),
+)
+experiments_st = st.builds(
+    ExperimentSpec,
+    name=names,
+    workloads=st.lists(workloads_st, min_size=1, max_size=3),
+    systems=st.lists(systems_st, min_size=1, max_size=3),
+    seeds=st.lists(st.integers(0, 99), min_size=1, max_size=3),
+    sweep=st.dictionaries(
+        st.sampled_from(["params.capacity", "params.x", "policy.params.b"]),
+        st.lists(st.integers(0, 9), min_size=1, max_size=3),
+        max_size=2,
+    ),
+    description=st.text(max_size=20),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(spec=experiments_st)
+    def test_from_dict_to_dict_round_trip(self, spec):
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=100, deadline=None)
+    @given(spec=experiments_st)
+    def test_to_dict_is_json_safe_and_digest_stable(self, spec):
+        blob = json.dumps(spec.to_dict(), sort_keys=True)
+        again = ExperimentSpec.from_dict(json.loads(blob))
+        assert spec_digest(again) == spec_digest(spec)
+
+    def test_tuples_and_lists_are_one_spec(self):
+        a = WorkloadSpec("w", params={"sizes": (1, 2, 3)})
+        b = WorkloadSpec("w", params={"sizes": [1, 2, 3]})
+        assert a == b
+
+    def test_shorthand_strings(self):
+        spec = ExperimentSpec.from_dict(
+            {"name": "x", "workloads": ["nasa-ipsc"], "systems": ["dcs"]}
+        )
+        assert spec.workloads[0] == WorkloadSpec("nasa-ipsc")
+        assert spec.systems[0] == SystemSpec("dcs")
+        sys_spec = SystemSpec.from_value(
+            {"runner": "drp", "billing": "per-second"}
+        )
+        assert sys_spec.billing == ComponentRef("per-second")
+
+
+class TestDigest:
+    def test_digest_changes_with_content(self):
+        base = ExperimentSpec(name="x", workloads=("a",), systems=("dcs",))
+        other = ExperimentSpec(name="x", workloads=("a",), systems=("drp",))
+        assert spec_digest(base) != spec_digest(other)
+
+    def test_digest_stable_across_processes(self):
+        """The digest must not depend on hash seeds or dict order."""
+        spec = ExperimentSpec(
+            name="stability",
+            workloads=(WorkloadSpec("nasa-ipsc", params={"b": 1, "a": 2}),),
+            systems=(SystemSpec("dcs", params={"z": 1, "y": [3, 1]}),),
+            sweep={"params.capacity": [1, 2]},
+        )
+        local = spec_digest(spec)
+        code = textwrap.dedent(
+            """
+            from repro.api.spec import (
+                ExperimentSpec, SystemSpec, WorkloadSpec, spec_digest,
+            )
+            spec = ExperimentSpec(
+                name="stability",
+                workloads=(WorkloadSpec("nasa-ipsc", params={"a": 2, "b": 1}),),
+                systems=(SystemSpec("dcs", params={"y": [3, 1], "z": 1}),),
+                sweep={"params.capacity": [1, 2]},
+            )
+            print(spec_digest(spec))
+            """
+        )
+        import pathlib
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        for seed in ("0", "4242"):
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": src, "PYTHONHASHSEED": seed},
+            )
+            assert out.stdout.strip() == local
+
+
+class TestErrors:
+    def test_unknown_experiment_key(self):
+        with pytest.raises(ValueError, match=r"unknown key\(s\) \['sweeps'\]"):
+            ExperimentSpec.from_dict(
+                {"name": "x", "workloads": ["w"], "systems": ["s"],
+                 "sweeps": {}}
+            )
+
+    def test_unknown_system_key_lists_known(self):
+        with pytest.raises(ValueError, match="runner"):
+            SystemSpec.from_value({"runner": "dcs", "biling": "per-hour"})
+
+    def test_unknown_workload_key(self):
+        with pytest.raises(ValueError, match=r"\['generator_name'\]"):
+            WorkloadSpec.from_value({"generator_name": "nasa"})
+
+    def test_missing_required_keys_named(self):
+        with pytest.raises(ValueError, match="missing required"):
+            ExperimentSpec.from_dict({"name": "x", "workloads": ["w"]})
+        with pytest.raises(ValueError, match="'runner' key"):
+            SystemSpec.from_value({"params": {}})
+
+    def test_empty_collections_rejected(self):
+        with pytest.raises(ValueError, match="at least one workload"):
+            ExperimentSpec(name="x", workloads=(), systems=("dcs",))
+        with pytest.raises(ValueError, match="at least one system"):
+            ExperimentSpec(name="x", workloads=("w",), systems=())
+        with pytest.raises(ValueError, match="at least one seed"):
+            ExperimentSpec(name="x", workloads=("w",), systems=("s",), seeds=())
+
+    def test_bad_types_rejected(self):
+        with pytest.raises(TypeError, match="mapping"):
+            ExperimentSpec.from_dict(["not", "a", "mapping"])
+        with pytest.raises(TypeError, match="name or mapping"):
+            SystemSpec.from_value(42)
+
+    def test_empty_sweep_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            ExperimentSpec(
+                name="x", workloads=("w",), systems=("s",),
+                sweep={"params.c": []},
+            )
+
+
+class TestSweepExpansion:
+    def test_cross_product_order(self):
+        spec = ExperimentSpec(
+            name="x", workloads=("w",),
+            systems=(SystemSpec("dcs"), SystemSpec("drp")),
+            sweep={"params.b": [1, 2], "params.a": [10]},
+        )
+        expanded = spec.expand_systems()
+        assert len(expanded) == 4  # 2 systems x (2 x 1) grid
+        # paths sorted (a before b), values in listed order, dcs first
+        assert expanded[0][1] == {"params.a": 10, "params.b": 1}
+        assert expanded[1][1] == {"params.a": 10, "params.b": 2}
+        assert expanded[0][0].params == {"a": 10, "b": 1}
+        assert expanded[2][0].runner == "drp"
+
+    def test_sweep_reaches_nested_refs(self):
+        spec = ExperimentSpec(
+            name="x", workloads=("w",), systems=(SystemSpec("pooled-queue"),),
+            sweep={"scheduler.name": ["sjf", "fcfs"]},
+        )
+        (s1, _), (s2, _) = spec.expand_systems()
+        assert s1.scheduler == ComponentRef("sjf")
+        assert s2.scheduler == ComponentRef("fcfs")
+
+    def test_bad_sweep_path_is_loud(self):
+        spec = ExperimentSpec(
+            name="x", workloads=("w",), systems=(SystemSpec("dcs"),),
+            sweep={"runner.deep.er": [1]},
+        )
+        with pytest.raises(ValueError, match="does not resolve"):
+            spec.expand_systems()
+
+    def test_no_sweep_is_identity(self):
+        spec = ExperimentSpec(name="x", workloads=("w",), systems=("dcs",))
+        assert spec.expand_systems() == [(SystemSpec("dcs"), {})]
+
+
+class TestSpecFiles:
+    def test_toml_and_json_agree(self, tmp_path):
+        toml = tmp_path / "spec.toml"
+        toml.write_text(textwrap.dedent(
+            """
+            name = "file-spec"
+            [[workloads]]
+            generator = "nasa-ipsc"
+            [[systems]]
+            runner = "dcs"
+            """
+        ))
+        js = tmp_path / "spec.json"
+        js.write_text(json.dumps(
+            {"name": "file-spec", "workloads": ["nasa-ipsc"],
+             "systems": ["dcs"]}
+        ))
+        assert load_spec_file(toml) == load_spec_file(js)
+
+    def test_bad_suffix_and_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_spec_file(tmp_path / "nope.toml")
+        bad = tmp_path / "spec.yaml"
+        bad.write_text("name: x")
+        with pytest.raises(ValueError, match=".toml or .json"):
+            load_spec_file(bad)
+
+    def test_invalid_spec_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"name": "x", "workloads": ["w"]}))
+        with pytest.raises(ValueError, match="broken.json"):
+            load_spec_file(path)

@@ -44,3 +44,113 @@ class TestCli:
             "federation",
         }
         assert expected <= set(_COMMANDS)
+
+
+TINY_SPEC_TOML = """
+name = "cli-tiny"
+description = "tiny spec for CLI tests"
+
+[[workloads]]
+generator = "htc-trace"
+
+[workloads.params]
+name = "cli-tiny-trace"
+machine_nodes = 4
+duration = 43200.0
+n_jobs = 12
+target_utilization = 0.3
+size_pmf = [[1, 0.7], [2, 0.2], [4, 0.1]]
+runtime_mixture = [[1.0, 600.0, 0.6]]
+
+[[systems]]
+runner = "dcs"
+"""
+
+
+class TestListComponents:
+    def test_table_output(self, capsys):
+        assert main(["list-components", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "registered components" in out
+        for name in ("first-fit", "per-hour", "nasa-ipsc", "dawningcloud",
+                     "paper-htc", "consolidated-figures"):
+            assert name in out
+
+    def test_kind_filter(self, capsys):
+        assert main(["list-components", "--kind", "system", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "dcs" in out and "first-fit" not in out
+
+    def test_unknown_kind_fails(self, capsys):
+        assert main(["list-components", "--kind", "nope", "--no-cache"]) == 1
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["list-components", "--json", "--kind", "billing-meter",
+                     "--no-cache"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {r["name"]: r for r in rows}
+        assert set(by_name) == {"per-hour", "per-second", "reserved-spot"}
+        params = {p["name"] for p in by_name["reserved-spot"]["params"]}
+        assert "reserved_nodes" in params
+
+
+class TestRunSpec:
+    def test_spec_file_runs_and_hits_cache(self, tmp_path, capsys):
+        spec = tmp_path / "tiny.toml"
+        spec.write_text(TINY_SPEC_TOML)
+        cache = tmp_path / "cache"
+        assert main(["run-spec", str(spec), "--cache-dir", str(cache)]) == 0
+        first = capsys.readouterr()
+        assert '"cli-tiny"' in first.out
+        assert "ran in" in first.err
+        assert main(["run-spec", str(spec), "--cache-dir", str(cache)]) == 0
+        second = capsys.readouterr()
+        assert "cached" in second.err
+        assert second.out == first.out
+
+    def test_missing_paths_fail(self, capsys):
+        assert main(["run-spec", "--no-cache"]) == 1
+        assert "at least one spec file" in capsys.readouterr().err
+
+    def test_invalid_spec_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('name = "x"\n')
+        assert main(["run-spec", str(bad), "--no-cache"]) == 1
+        assert "bad.toml" in capsys.readouterr().err
+
+    def test_paths_rejected_for_other_commands(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "spec.toml"])
+
+
+class TestSpecDir:
+    def test_spec_dir_scenarios_appear_and_run(self, tmp_path, capsys):
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        (specs / "tiny.toml").write_text(TINY_SPEC_TOML)
+        assert main(["list-scenarios", "--spec-dir", str(specs),
+                     "--no-cache"]) == 0
+        assert "cli-tiny" in capsys.readouterr().out
+        assert main(["run", "--scenario", "cli-tiny",
+                     "--spec-dir", str(specs), "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert '"experiment":"cli-tiny"' in out
+
+    def test_missing_explicit_spec_dir_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["list-scenarios", "--spec-dir", str(tmp_path / "nope"),
+                  "--no-cache"])
+
+    def test_colliding_spec_name_warns_and_continues(self, tmp_path, capsys):
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        (specs / "clash.json").write_text(
+            '{"name": "table1-models", "workloads": ["w"], "systems": ["s"]}'
+        )
+        assert main(["list-scenarios", "--spec-dir", str(specs),
+                     "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "warning" in captured.err
+        assert "table1-models" in captured.out

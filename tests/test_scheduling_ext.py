@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api.registry import default_components
 from repro.scheduling import SCHEDULER_REGISTRY, make_scheduler
+
+
+def build_scheduler(name):
+    return default_components().create("scheduler", name)
 from repro.scheduling.base import RunningJob
 from repro.scheduling.conservative import ConservativeBackfillScheduler
 from repro.scheduling.fairshare import WeightedFairShareScheduler
@@ -31,12 +36,20 @@ def mark_queued(jobs):
 class TestRegistry:
     def test_all_names_construct(self):
         for name in SCHEDULER_REGISTRY:
-            sched = make_scheduler(name)
+            sched = build_scheduler(name)
             assert sched.select(0.0, [], 16) == []
 
     def test_unknown_name(self):
-        with pytest.raises(ValueError, match="unknown scheduler"):
-            make_scheduler("round-robin")
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            build_scheduler("round-robin")
+
+    def test_make_scheduler_deprecated_but_working(self):
+        with pytest.warns(DeprecationWarning, match="scheduler"):
+            sched = make_scheduler("first-fit")
+        assert isinstance(sched, FirstFitScheduler)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown scheduler"):
+                make_scheduler("round-robin")
 
 
 # --------------------------------------------------------------------- #
@@ -195,7 +208,7 @@ def test_scheduler_invariants(name, jobs, free):
     queued = mark_queued([
         J(i, size, runtime, user) for i, (size, runtime, user) in enumerate(jobs)
     ])
-    picked = make_scheduler(name).select(0.0, queued, free)
+    picked = build_scheduler(name).select(0.0, queued, free)
     # 1. no duplicates, all picks came from the queue
     ids = [j.job_id for j in picked]
     assert len(ids) == len(set(ids))
@@ -203,7 +216,7 @@ def test_scheduler_invariants(name, jobs, free):
     # 2. aggregate width within the free nodes
     assert sum(j.size for j in picked) <= free
     # 3. determinism: same inputs -> same picks
-    again = make_scheduler(name).select(0.0, queued, free)
+    again = build_scheduler(name).select(0.0, queued, free)
     assert [j.job_id for j in again] == ids
 
 

@@ -12,6 +12,7 @@ from repro.workloads.archive import (
     utilization_family,
 )
 from repro.workloads.stats import summarize
+from repro.workloads.store import paper_trace
 from repro.workloads.traces import NASA_IPSC
 
 
@@ -37,45 +38,57 @@ class TestCatalog:
         assert max(utils) == ARCHIVE_MAX_UTILIZATION == 0.865
 
     def test_unknown_name_raises(self):
-        with pytest.raises(ValueError, match="unknown archive trace"):
-            generate_archive_trace("bigred")
+        with pytest.raises(ValueError, match="unknown trace"):
+            paper_trace("bigred")
+
+    def test_legacy_generator_deprecated_but_working(self):
+        with pytest.warns(DeprecationWarning, match="paper_trace"):
+            trace = generate_archive_trace("nasa-ipsc", seed=3)
+        assert [j.runtime for j in trace] == [
+            j.runtime for j in paper_trace("nasa-ipsc", seed=3)
+        ]
+
+    def test_legacy_generator_unknown_name_raises(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown archive trace"):
+                generate_archive_trace("bigred")
 
 
 @pytest.mark.parametrize("name", sorted(ARCHIVE))
 class TestGeneration:
     def test_utilization_calibrated(self, name):
-        trace = generate_archive_trace(name, seed=3)
+        trace = paper_trace(name, seed=3)
         spec = ARCHIVE[name]
         s = summarize(trace)
         assert s.utilization == pytest.approx(spec.target_utilization, rel=0.02)
 
     def test_sizes_bounded_and_machine_filling_job_exists(self, name):
-        trace = generate_archive_trace(name, seed=3)
+        trace = paper_trace(name, seed=3)
         spec = ARCHIVE[name]
         sizes = [j.size for j in trace]
         assert max(sizes) == spec.machine_nodes
         assert all(1 <= s <= spec.machine_nodes for s in sizes)
 
     def test_deterministic_in_seed(self, name):
-        a = generate_archive_trace(name, seed=11)
-        b = generate_archive_trace(name, seed=11)
+        a = paper_trace(name, seed=11)
+        b = paper_trace(name, seed=11)
         assert [(j.submit_time, j.size, j.runtime) for j in a] == [
             (j.submit_time, j.size, j.runtime) for j in b
         ]
 
     def test_different_seeds_differ(self, name):
-        a = generate_archive_trace(name, seed=1)
-        b = generate_archive_trace(name, seed=2)
+        a = paper_trace(name, seed=1)
+        b = paper_trace(name, seed=2)
         assert [j.runtime for j in a] != [j.runtime for j in b]
 
     def test_all_jobs_finish_inside_window(self, name):
-        trace = generate_archive_trace(name, seed=3)
+        trace = paper_trace(name, seed=3)
         assert all(j.submit_time + j.runtime <= trace.duration for j in trace)
 
 
 class TestLanlPartitions:
     def test_cm5_widths_are_partition_multiples(self):
-        trace = generate_archive_trace("lanl-cm5", seed=0)
+        trace = paper_trace("lanl-cm5", seed=0)
         assert all(j.size >= 32 and (j.size & (j.size - 1)) == 0 for j in trace)
 
 
