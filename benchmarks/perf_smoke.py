@@ -51,6 +51,44 @@ def engine_events_per_second(n_timers: int = 2_000, horizon_h: int = 40) -> dict
     }
 
 
+def assert_no_failure_machinery() -> dict:
+    """The no-failure fast path must carry zero reliability machinery.
+
+    Runs a small trace through a server-attached system with no failure
+    model and asserts (a) the server never allocated fault-tolerance
+    state (``REServer.fault is None`` — job starts stay on the
+    single-event path), and (b) the metrics payload carries no
+    ``reliability`` key, so golden pins and EXPERIMENTS.md stay
+    byte-identical.  Raises AssertionError on violation — the perf gate
+    below would catch a slow fast path, this catches a *rewired* one.
+    """
+    from repro.core.servers import REServer
+    from repro.scheduling.firstfit import FirstFitScheduler
+    from repro.simkit.engine import SimulationEngine
+    from repro.workloads.job import Job, Trace
+    from repro.systems.base import WorkloadBundle
+    from repro.systems.fixed import run_dcs
+
+    engine = SimulationEngine()
+    server = REServer(engine, "probe", FirstFitScheduler(), 60.0)
+    server.add_nodes(4)
+    server.submit_job(Job(job_id=1, submit_time=0.0, size=1, runtime=30.0))
+    engine.run(until=120.0)
+    assert server.fault is None, "no-failure server allocated fault state"
+    assert server.completed_count == 1
+
+    jobs = [Job(job_id=i, submit_time=60.0 * i, size=1, runtime=120.0)
+            for i in range(1, 9)]
+    bundle = WorkloadBundle.from_trace(
+        "probe", Trace("probe", jobs, machine_nodes=4, duration=3600.0)
+    )
+    payload = run_dcs(bundle).to_payload()
+    assert "reliability" not in payload, (
+        "no-failure payload grew a reliability key"
+    )
+    return {"fast_path_clean": True}
+
+
 def cold_sweep(scenario: str) -> dict:
     """One cold sweep scenario (no cache), timed end to end."""
     from repro.experiments.registry import default_registry
@@ -136,6 +174,7 @@ def main(argv=None) -> int:
     report = {
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "no_failure_fast_path": assert_no_failure_machinery(),
         "engine": engine_events_per_second(),
         "sweeps": [cold_sweep("fig10-sweep-nasa"), cold_sweep("fig09-sweep-blue")],
     }

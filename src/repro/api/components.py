@@ -27,6 +27,9 @@ import repro.workloads.pegasus  # noqa: F401
 import repro.workloads.workflowgen  # noqa: F401
 import repro.workloads.swf  # noqa: F401
 
+# failure models (kind "failure-model")
+import repro.reliability.failures  # noqa: F401
+
 # system runners (kind "system")
 import repro.systems  # noqa: F401
 

@@ -36,6 +36,7 @@ KINDS = (
     "workload",
     "system",
     "analysis",
+    "failure-model",
 )
 
 #: Sentinel for "parameter has no default" (``None`` is a real default).

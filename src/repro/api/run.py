@@ -150,6 +150,10 @@ def run_system(
         )
     if system.billing is not None:
         kwargs["meter"] = resolve_meter(system.billing, bundle)
+    if system.failures is not None:
+        kwargs["failures"] = registry.create(
+            "failure-model", system.failures.name, **system.failures.params
+        )
     component.validate_params(kwargs)
     return component.factory(bundle, seed=seed, **kwargs)
 
@@ -254,6 +258,7 @@ def validate_spec(spec: ExperimentSpec) -> None:
             ("policy", "policy", system.policy),
             ("scheduler", "scheduler", system.scheduler),
             ("billing-meter", "meter", system.billing),
+            ("failure-model", "failures", system.failures),
         ):
             if ref is not None:
                 registry.get(kind, ref.name).validate_params(

@@ -145,10 +145,12 @@ class SystemSpec:
     """One system: a registered runner plus its composable parts.
 
     ``params`` are runner-specific knobs (``capacity``, ``pool_cap``,
-    ``shared``, ...); ``policy``/``scheduler``/``billing`` are nested
-    :class:`ComponentRef`s resolved against the component registry at
-    materialization time.  A billing ref of ``per-hour`` (or none) keeps
-    the paper's default per-started-hour meter.
+    ``shared``, ...); ``policy``/``scheduler``/``billing``/``failures``
+    are nested :class:`ComponentRef`s resolved against the component
+    registry at materialization time.  A billing ref of ``per-hour`` (or
+    none) keeps the paper's default per-started-hour meter; no
+    ``failures`` ref keeps the no-failure fast path (zero reliability
+    machinery attached).
     """
 
     runner: str
@@ -156,13 +158,14 @@ class SystemSpec:
     policy: Optional[ComponentRef] = None
     scheduler: Optional[ComponentRef] = None
     billing: Optional[ComponentRef] = None
+    failures: Optional[ComponentRef] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.runner:
             raise ValueError("system spec needs a non-empty runner")
         _frozen_params(self, self.params)
-        for attr in ("policy", "scheduler", "billing"):
+        for attr in ("policy", "scheduler", "billing", "failures"):
             value = getattr(self, attr)
             if value is not None and not isinstance(value, ComponentRef):
                 object.__setattr__(
@@ -182,7 +185,8 @@ class SystemSpec:
         if isinstance(value, Mapping):
             _check_keys(
                 "system spec", value,
-                ("runner", "params", "policy", "scheduler", "billing", "label"),
+                ("runner", "params", "policy", "scheduler", "billing",
+                 "failures", "label"),
             )
             if "runner" not in value:
                 raise ValueError(
@@ -190,7 +194,7 @@ class SystemSpec:
                 )
             refs = {
                 attr: ComponentRef.from_value(value[attr], what=attr)
-                for attr in ("policy", "scheduler", "billing")
+                for attr in ("policy", "scheduler", "billing", "failures")
                 if value.get(attr) is not None
             }
             return cls(
@@ -207,7 +211,7 @@ class SystemSpec:
         out: dict[str, Any] = {"runner": self.runner}
         if self.params:
             out["params"] = dict(self.params)
-        for attr in ("policy", "scheduler", "billing"):
+        for attr in ("policy", "scheduler", "billing", "failures"):
             ref = getattr(self, attr)
             if ref is not None:
                 out[attr] = ref.to_dict()
@@ -226,7 +230,9 @@ def _apply_path(data: dict, path: str, value: Any) -> None:
     segments = path.split(".")
     for i, segment in enumerate(segments[:-1]):
         child = node.get(segment)
-        if child is None and segment in ("params", "policy", "scheduler", "billing"):
+        if child is None and segment in (
+            "params", "policy", "scheduler", "billing", "failures",
+        ):
             child = node[segment] = {}
         if not isinstance(child, dict):
             raise ValueError(

@@ -319,6 +319,11 @@ def main(argv: list[str] | None = None) -> int:
              "this meter (per-hour = the paper's per-started-hour rule)",
     )
     parser.add_argument(
+        "--mtbf", type=float, default=None, metavar="HOURS",
+        help="re-run 'run' scenarios that take an mtbf_hours parameter "
+             "(the reliability family) at this per-node MTBF",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
              "./.repro-cache)",
@@ -424,17 +429,29 @@ def main(argv: list[str] | None = None) -> int:
         for path in paths:
             print(path)
     elif args.command == "run":
-        overrides = None
-        if args.billing is not None:
-            # only scenarios that declare a billing parameter re-meter;
-            # the rest run (and cache) exactly as before
-            overrides = {
-                spec.name: {"billing": args.billing}
-                for spec in orch.registry.select(args.scenario, args.tag)
-                if "billing" in spec.defaults
+        # per-flag overrides apply only to scenarios that declare the
+        # matching parameter; the rest run (and cache) exactly as before.
+        # --mtbf also collapses a scenario's MTBF *grid* to that single
+        # point, so the flag means the same thing across the whole
+        # reliability family.
+        mtbf_point = None if args.mtbf is None else [args.mtbf]
+        flag_params = (
+            ("billing", args.billing),
+            ("mtbf_hours", args.mtbf),
+            ("mtbf_grid", mtbf_point),
+            ("preemption_mtbf_hours", mtbf_point),
+        )
+        overrides = {}
+        for spec in orch.registry.select(args.scenario, args.tag):
+            spec_overrides = {
+                param: value
+                for param, value in flag_params
+                if value is not None and param in spec.defaults
             }
+            if spec_overrides:
+                overrides[spec.name] = spec_overrides
         runs = orch.run(pattern=args.scenario, tags=args.tag,
-                        overrides=overrides)
+                        overrides=overrides or None)
         if not runs:
             selection = f"pattern {args.scenario!r}"
             if args.tag:

@@ -114,6 +114,40 @@ class LeaseLedger:
         self.closed_leases.append(lease)
         return charged
 
+    def shrink_lease(self, lease: Lease, n_failed: int, t: float) -> float:
+        """Stop metering ``n_failed`` of an open lease's nodes at ``t``.
+
+        The reliability path: a node failure takes part of a lease out of
+        service, and a dead node must not keep accruing charges.  The
+        failed slice is billed *now* for its actual held time (as if a
+        ``n_failed``-node lease closed at ``t``, in the tier the lease
+        opened under); the surviving nodes keep running on the same lease
+        and bill normally when it eventually closes.  Shrinking the whole
+        lease is exactly :meth:`close_lease`.  Returns the units charged
+        for the failed slice.
+        """
+        if not lease.open:
+            raise ValueError(f"lease #{lease.lease_id} already closed")
+        if n_failed <= 0 or n_failed > lease.n_nodes:
+            raise ValueError(
+                f"lease #{lease.lease_id} covers {lease.n_nodes} nodes, "
+                f"cannot shrink by {n_failed}"
+            )
+        if t < lease.t_open:
+            raise ValueError("cannot shrink a lease before it opened")
+        if n_failed == lease.n_nodes:
+            return self.close_lease(lease, t)
+        charged = self.meter.charge(
+            n_failed, t - lease.t_open, lease.open_nodes_at_open
+        )
+        lease.n_nodes -= n_failed
+        self._open_nodes[lease.client] -= n_failed
+        self._charged[lease.client] = (
+            self._charged.get(lease.client, 0.0) + charged
+        )
+        self._events.setdefault(lease.client, []).append((t, -n_failed))
+        return charged
+
     def close_all(self, t: float, client: Optional[str] = None) -> float:
         """Close every open lease (optionally only ``client``'s) at ``t``."""
         total = 0.0

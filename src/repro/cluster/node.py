@@ -9,6 +9,13 @@ small state machine:
 ``ASSIGNING``/``RECLAIMING`` model the setup window (wiping the OS,
 installing/uninstalling runtime-environment packages) that the paper
 measures at 15.743 s per adjusted node (§4.5.4).
+
+The reliability subsystem (:mod:`repro.reliability`) adds a ``FAILED``
+state reachable from ``FREE`` and ``ASSIGNED``: a failed node is out of
+service until :meth:`Node.repair` returns it to ``FREE`` — ownership is
+dropped at failure time, mirroring how the range-indexed
+:class:`~repro.provisioning.state.ClusterState` moves failed nodes out
+of an owner's holdings.
 """
 
 from __future__ import annotations
@@ -22,13 +29,15 @@ class NodeState(enum.Enum):
     ASSIGNING = "assigning"
     ASSIGNED = "assigned"
     RECLAIMING = "reclaiming"
+    FAILED = "failed"
 
 
 _VALID_TRANSITIONS = {
-    NodeState.FREE: {NodeState.ASSIGNING},
+    NodeState.FREE: {NodeState.ASSIGNING, NodeState.FAILED},
     NodeState.ASSIGNING: {NodeState.ASSIGNED},
-    NodeState.ASSIGNED: {NodeState.RECLAIMING},
+    NodeState.ASSIGNED: {NodeState.RECLAIMING, NodeState.FAILED},
     NodeState.RECLAIMING: {NodeState.FREE},
+    NodeState.FAILED: {NodeState.FREE},
 }
 
 
@@ -66,6 +75,15 @@ class Node:
     def finish_reclaim(self) -> None:
         self._transition(NodeState.FREE)
         self.owner = None
+
+    def fail(self) -> None:
+        """Node goes down (from FREE or ASSIGNED); ownership is dropped."""
+        self._transition(NodeState.FAILED)
+        self.owner = None
+
+    def repair(self) -> None:
+        """Repair finished: the node rejoins the free pool."""
+        self._transition(NodeState.FREE)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Node {self.node_id} {self.state.value} owner={self.owner!r}>"
@@ -133,6 +151,35 @@ class NodePool:
             self._free.append(node_id)
             freed.append(node)
         return freed
+
+    def fail(self, owner: Optional[str] = None) -> Node:
+        """Fail one node: ``owner``'s most recently assigned, or a free one.
+
+        Mirrors :meth:`repro.provisioning.state.ClusterState.fail_owned` /
+        ``fail_free`` at the per-node-object level: the node leaves its
+        owner's holdings (or the free stack) and sits in ``FAILED`` until
+        :meth:`repair`.
+        """
+        if owner is None:
+            if not self._free:
+                raise ValueError("no free node to fail")
+            node = self.nodes[self._free.pop()]
+        else:
+            bucket = self._owned.get(owner, [])
+            if not bucket:
+                raise ValueError(f"{owner!r} owns no nodes to fail")
+            node = self.nodes[bucket.pop()]
+        node.fail()
+        return node
+
+    def repair(self, node: Node) -> None:
+        """Repair finished: the node rejoins the free stack."""
+        node.repair()
+        self._free.append(node.node_id)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for node in self.nodes if node.state is NodeState.FAILED)
 
     def total_adjustments(self) -> int:
         """Sum of per-node adjust counts (assign + reclaim events)."""

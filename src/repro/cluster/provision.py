@@ -34,7 +34,7 @@ class AdjustmentRecord:
     time: float
     client: str
     n_nodes: int  # positive = assigned, negative = reclaimed
-    kind: str  # "initial" | "dynamic" | "release" | "shutdown"
+    kind: str  # "initial" | "dynamic" | "release" | "shutdown" | "failure" | "repair"
 
 
 class ResourceProvisionService:
@@ -107,6 +107,42 @@ class ResourceProvisionService:
             AdjustmentRecord(t, lease.client, -lease.n_nodes, kind)
         )
         return charged
+
+    # ------------------------------------------------------------------ #
+    # failure / repair (the reliability subsystem's entry points)
+    # ------------------------------------------------------------------ #
+    @property
+    def failed_nodes(self) -> int:
+        """Nodes currently out of service across the whole pool."""
+        return self.state.failed_count
+
+    def fail_node(self, t: float, client: Optional[str] = None) -> None:
+        """One node goes down at ``t``.
+
+        With a ``client``, the failure strikes one of that client's leased
+        nodes: the node leaves the client's holdings, and the most
+        recently opened lease covering it shrinks — the dead node is
+        billed for its actual held time and **stops metering** from ``t``
+        on (:meth:`~repro.cluster.lease.LeaseLedger.shrink_lease`).
+        Without a client, a free node goes down.  Repair returns the node
+        to the *free* pool either way (:meth:`repair_node`); clients
+        re-acquire capacity through their normal provisioning path.
+        """
+        if client is None:
+            self.state.fail_free(1, t)
+        else:
+            self.state.fail_owned(client, 1, t)
+            lease = max(
+                self.ledger.open_leases(client),
+                key=lambda lease: lease.lease_id,
+            )
+            self.ledger.shrink_lease(lease, 1, t)
+            self.setup.record_adjustment(1)
+            self.adjustments.append(AdjustmentRecord(t, client, -1, "failure"))
+
+    def repair_node(self, t: float) -> None:
+        """One repaired node rejoins the free pool at ``t``."""
+        self.state.repair(1, t)
 
     def shutdown_client(self, client: str, t: float) -> float:
         """Close every lease of ``client`` (TRE destruction, §2.2 step 8)."""

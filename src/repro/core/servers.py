@@ -45,15 +45,53 @@ could run now, matching §3.1.1's description of dependency-driven job flow.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.metrics.timeseries import UsageRecorder
 from repro.scheduling.base import RunningJob, Scheduler
 from repro.scheduling.queue import JobQueue
 from repro.simkit.engine import SimulationEngine
+from repro.simkit.events import Event
 from repro.simkit.timers import PeriodicTimer
 from repro.workloads.job import Job, JobState
 from repro.workloads.workflow import Workflow
+
+if TYPE_CHECKING:  # pragma: no cover - reliability is an optional layer
+    from repro.reliability.checkpoint import CheckpointPolicy
+    from repro.reliability.stats import ReliabilityStats
+
+
+class FaultToleranceState:
+    """Per-server bookkeeping that exists only when failures are modelled.
+
+    The no-failure fast path never allocates one of these: ``REServer``
+    keeps a single ``self._fault is None`` check on its job start/finish
+    paths (asserted in ``benchmarks/perf_smoke.py``), so runs without a
+    failure model execute exactly the pre-reliability event sequence.
+
+    Kill/requeue/waste counters live on one shared
+    :class:`~repro.reliability.stats.ReliabilityStats` (the injector
+    passes its own), so the server-attached and DRP accounting paths use
+    the same primitives and cannot drift.
+    """
+
+    __slots__ = ("checkpoint", "stats", "remaining", "finish_events")
+
+    def __init__(
+        self,
+        checkpoint: Optional["CheckpointPolicy"] = None,
+        stats: Optional["ReliabilityStats"] = None,
+    ) -> None:
+        if stats is None:
+            from repro.reliability.stats import ReliabilityStats
+
+            stats = ReliabilityStats()
+        self.checkpoint = checkpoint
+        self.stats = stats
+        #: job_id -> remaining useful work (absent = never interrupted)
+        self.remaining: dict[int, float] = {}
+        #: job_id -> the pending completion event (cancellable on kill)
+        self.finish_events: dict[int, Event] = {}
 
 
 class REServer:
@@ -100,6 +138,8 @@ class REServer:
         #: idle-gap fast-forward master switch: hooks that are not
         #: quiescence-safe (stateful policies) clear this at attach time
         self.idle_scan_suspend = True
+        #: fault-tolerance bookkeeping; None = failure machinery fully off
+        self._fault: Optional[FaultToleranceState] = None
         self._sched_time_independent = bool(
             getattr(scheduler, "time_independent", False)
         )
@@ -138,6 +178,78 @@ class REServer:
         self._owned -= n
         self.usage.record(self.engine.now, -n)
         self._wake_scan()
+
+    # ------------------------------------------------------------------ #
+    # fault tolerance (active only when a failure model is configured)
+    # ------------------------------------------------------------------ #
+    @property
+    def fault(self) -> Optional[FaultToleranceState]:
+        """The fault-tolerance state, or None on the no-failure fast path."""
+        return self._fault
+
+    def enable_fault_tolerance(
+        self,
+        checkpoint: Optional["CheckpointPolicy"] = None,
+        stats: Optional["ReliabilityStats"] = None,
+    ) -> FaultToleranceState:
+        """Switch on kill/requeue (and optionally checkpoint-restart).
+
+        Called once by the failure injector before the run starts; from
+        here on job completions carry cancellable events so a node
+        failure can preempt them.
+        """
+        if self._fault is None:
+            self._fault = FaultToleranceState(checkpoint, stats)
+        return self._fault
+
+    def fail_nodes(self, n: int) -> None:
+        """Lose ``n`` owned nodes to failures (they must be idle).
+
+        The injector kills victims first (:meth:`kill_running`), so by
+        the time the node count drops the failed nodes carry no work.
+        """
+        if n <= 0:
+            raise ValueError("must fail a positive number of nodes")
+        if n > self.idle:
+            raise RuntimeError(
+                f"{self.name}: cannot fail {n} nodes, only {self.idle} idle "
+                f"(kill the victims first)"
+            )
+        self._owned -= n
+        self.usage.record(self.engine.now, -n)
+
+    def kill_running(self, job: Job) -> tuple[float, float]:
+        """A node failure kills ``job``: cancel, account, requeue.
+
+        The job's progress collapses to its last finished checkpoint
+        (everything without a checkpoint policy), it re-enters the queue
+        at the tail, and a later scan restarts it on the surviving
+        nodes.  Returns ``(elapsed_wall_s, recovered_work_s)``.
+        """
+        from repro.reliability.checkpoint import collapse_progress
+
+        fault = self._fault
+        if fault is None:
+            raise RuntimeError(
+                f"{self.name}: fault tolerance not enabled; cannot kill jobs"
+            )
+        if job.job_id not in self.running:
+            raise KeyError(f"job {job.job_id} is not running on {self.name}")
+        del self.running[job.job_id]
+        self.engine.cancel(fault.finish_events.pop(job.job_id))
+        self.used -= job.size
+        now = self.engine.now
+        elapsed = now - (job.start_time or 0.0)
+        before = fault.remaining.get(job.job_id, job.runtime)
+        after, recovered, wasted_wall = collapse_progress(
+            fault.checkpoint, before, elapsed
+        )
+        fault.remaining[job.job_id] = after
+        fault.stats.record_kill(job.size, recovered, wasted_wall)
+        job.mark_requeued(now)
+        self.queue.push(job)
+        self._wake_scan()
+        return elapsed, recovered
 
     # ------------------------------------------------------------------ #
     # submission
@@ -239,15 +351,38 @@ class REServer:
         self.used += job.size
         now = self.engine.now
         job.mark_running(now)
-        finish_time = now + job.runtime
+        fault = self._fault
+        if fault is None:
+            finish_time = now + job.runtime
+            self.running[job.job_id] = RunningJob(job, finish_time)
+            self.engine.schedule_at(finish_time, self._finish, job)
+            return
+        # fault-tolerant start: resume the remaining work (full runtime on
+        # a first attempt), stretched by the checkpoint-write overhead
+        work = fault.remaining.get(job.job_id, job.runtime)
+        wall = (
+            fault.checkpoint.segment_wall(work)
+            if fault.checkpoint is not None
+            else work
+        )
+        finish_time = now + wall
         self.running[job.job_id] = RunningJob(job, finish_time)
-        self.engine.schedule_at(finish_time, self._finish, job)
+        fault.finish_events[job.job_id] = self.engine.schedule_at(
+            finish_time, self._finish, job
+        )
 
     def _finish(self, job: Job) -> None:
         if self._stopped:
             return
         del self.running[job.job_id]
         self.used -= job.size
+        fault = self._fault
+        if fault is not None:
+            fault.finish_events.pop(job.job_id, None)
+            # the successful segment's checkpoint writes are paid node
+            # time with no application progress: count them as waste
+            work = fault.remaining.pop(job.job_id, job.runtime)
+            fault.stats.record_write_overhead(job.size, fault.checkpoint, work)
         job.mark_completed(self.engine.now)
         self.completed.append(job)
         workflow = self._wf_of_task.get(job.job_id)

@@ -169,6 +169,248 @@ def drp_spot_market(
     return rows
 
 
+# --------------------------------------------------------------------- #
+# reliability: the failure-model scenario family (see docs/reliability.md)
+# --------------------------------------------------------------------- #
+def _failure_model(
+    mtbf_hours: float,
+    mttr_hours: float = 2.0,
+    checkpoint_interval_s: float = 0.0,
+    checkpoint_overhead_s: float = 60.0,
+):
+    """An exponential failure model from scenario-level knobs.
+
+    ``checkpoint_interval_s == 0`` disables checkpointing (restart from
+    scratch) — the JSON-friendly spelling of "no policy".
+    """
+    from repro.api.registry import default_components
+
+    return default_components().create(
+        "failure-model", "exponential",
+        mtbf_hours=mtbf_hours,
+        mttr_hours=mttr_hours,
+        checkpoint_interval_s=checkpoint_interval_s or None,
+        checkpoint_overhead_s=checkpoint_overhead_s,
+    )
+
+
+def _reliability_row(metrics) -> dict:
+    """The shared per-run projection of the reliability scenarios."""
+    rel = metrics.reliability or {}
+    completed = metrics.completed_jobs
+    return {
+        "resource_consumption": round(metrics.resource_consumption, 1),
+        "completed_jobs": completed,
+        "cost_per_job": round(
+            metrics.resource_consumption / completed, 3
+        ) if completed else None,
+        "goodput_node_hours": round(rel.get("goodput_node_hours", 0.0), 1),
+        "wasted_node_hours": round(rel.get("wasted_node_hours", 0.0), 1),
+        "downtime_node_hours": round(rel.get("downtime_node_hours", 0.0), 1),
+        "requeues": rel.get("requeues", 0),
+    }
+
+
+@register_component("analysis", "reliability-mtbf-sweep", skip_params=("seed",))
+def reliability_mtbf_sweep(
+    seed: int = 0,
+    workload: str = "nasa-ipsc",
+    mtbf_grid=(48.0, 96.0, 192.0, 384.0),
+    mttr_hours: float = 2.0,
+    checkpoint_interval_s: float = 1800.0,
+    capacity: int = DEFAULT_CAPACITY,
+) -> list[dict]:
+    """Failure-adjusted economics over an MTBF grid: owned vs elastic.
+
+    The paper's cost comparison assumes nodes never die.  Sweeping the
+    per-node MTBF re-asks its headline question under churn: the owned
+    machine (DCS) pays for capacity whether it is up or not, so its cost
+    per *completed* job climbs as MTBF falls, while DawningCloud's leases
+    stop metering dead nodes and the TRE re-grows around them — failures
+    shift the economies-of-scale argument further toward the shared
+    cloud.  The ``mtbf_hours = None`` row is the no-failure baseline.
+    """
+    from repro.api.run import materialize_workload
+    from repro.experiments.config import PAPER_POLICIES
+    from repro.systems.dsp_runner import run_dawningcloud_htc
+    from repro.systems.fixed import run_dcs
+
+    bundle = materialize_workload(workload, seed)
+    policy = PAPER_POLICIES[workload]
+    rows = []
+    for mtbf in (None, *mtbf_grid):
+        model = (
+            None if mtbf is None
+            else _failure_model(mtbf, mttr_hours, checkpoint_interval_s)
+        )
+        for system, metrics in (
+            ("DCS", run_dcs(bundle, failures=model, seed=seed)),
+            ("DawningCloud", run_dawningcloud_htc(
+                bundle, policy, capacity=capacity, failures=model, seed=seed
+            )),
+        ):
+            rows.append(
+                {"mtbf_hours": mtbf, "system": system,
+                 **_reliability_row(metrics)}
+            )
+    return rows
+
+
+@register_component("analysis", "checkpoint-interval-ablation",
+                    skip_params=("seed",))
+def checkpoint_interval_ablation(
+    seed: int = 0,
+    workload: str = "nasa-ipsc",
+    mtbf_hours: float = 24.0,
+    mttr_hours: float = 2.0,
+    intervals_s=(0.0, 900.0, 1800.0, 3600.0, 7200.0),
+    overhead_s: float = 60.0,
+) -> list[dict]:
+    """The classic checkpoint-interval trade-off, on the owned machine.
+
+    Too-frequent checkpoints pay write overhead on every job; too-rare
+    ones re-execute long tails after each kill.  ``intervals_s = 0``
+    is restart-from-scratch.  The goodput-per-billed-hour column is the
+    quantity a checkpoint schedule should maximize (the Young/Daly
+    optimum lives between the endpoints).
+    """
+    from repro.api.run import materialize_workload
+    from repro.systems.fixed import run_dcs
+
+    bundle = materialize_workload(workload, seed)
+    rows = []
+    for interval in intervals_s:
+        model = _failure_model(mtbf_hours, mttr_hours, interval, overhead_s)
+        metrics = run_dcs(bundle, failures=model, seed=seed)
+        row = _reliability_row(metrics)
+        rel = metrics.reliability
+        rows.append(
+            {
+                "checkpoint_interval_s": interval or None,
+                **row,
+                "checkpoint_restores": rel["checkpoint_restores"],
+                "goodput_per_billed_hour": round(
+                    rel["goodput_node_hours"] / metrics.resource_consumption,
+                    4,
+                ),
+            }
+        )
+    return rows
+
+
+@register_component("analysis", "failures-four-systems", skip_params=("seed",))
+def failures_four_systems(
+    seed: int = 0,
+    workload: str = "nasa-ipsc",
+    mtbf_hours: float = 48.0,
+    mttr_hours: float = 2.0,
+    checkpoint_interval_s: float = 1800.0,
+    capacity: int = DEFAULT_CAPACITY,
+) -> list[dict]:
+    """Tables 2-3 re-run with nodes that die: DRP vs fixed vs DawningCloud.
+
+    Every system faces the same per-node failure process; what differs is
+    who pays for the downtime.  DCS owns broken hardware; SSP re-leases
+    repaired nodes one by one; DRP restarts each killed job on a fresh
+    lease (paying the hour-rounding penalty again); DawningCloud's dead
+    nodes stop metering and its TRE re-grows from the provider's pool.
+    """
+    from repro.api.run import materialize_workload
+    from repro.experiments.config import PAPER_POLICIES
+    from repro.systems.dsp_runner import run_dawningcloud_htc
+    from repro.systems.drp import run_drp
+    from repro.systems.fixed import run_dcs, run_ssp
+
+    bundle = materialize_workload(workload, seed)
+    model = _failure_model(mtbf_hours, mttr_hours, checkpoint_interval_s)
+    policy = PAPER_POLICIES[workload]
+    results = {
+        "DCS": run_dcs(bundle, failures=model, seed=seed),
+        "SSP": run_ssp(bundle, failures=model, seed=seed),
+        "DRP": run_drp(bundle, failures=model, seed=seed),
+        "DawningCloud": run_dawningcloud_htc(
+            bundle, policy, capacity=capacity, failures=model, seed=seed
+        ),
+    }
+    base = results["DCS"].resource_consumption
+    return [
+        {
+            "system": system,
+            **_reliability_row(metrics),
+            "saving_vs_dcs": round(
+                1.0 - metrics.resource_consumption / base, 3
+            ),
+        }
+        for system, metrics in results.items()
+    ]
+
+
+@register_component("analysis", "spot-preemption-as-failure",
+                    skip_params=("seed",))
+def spot_preemption_as_failure(
+    seed: int = 0,
+    workload: str = "nasa-ipsc",
+    preemption_mtbf_hours=(24.0, 48.0, 96.0),
+    checkpoint_interval_s: float = 1800.0,
+    checkpoint_overhead_s: float = 60.0,
+    spot_discount: float = 0.35,
+) -> list[dict]:
+    """Spot preemptions modelled as node failures: is cheap-but-mortal worth it?
+
+    A spot instance is an on-demand instance with an exogenous kill
+    process — exactly the reliability subsystem's failure model with
+    MTTR ≈ 0 (the user re-leases instantly).  DRP runs under preemption
+    rates from hostile to mild, with and without checkpointing, and the
+    billed node-hours are discounted to the spot price (EC2's December
+    2009 spot launch cleared around a third of on-demand).  The effective
+    cost shows when the discount survives the re-execution waste — and
+    how checkpointing widens that regime.
+    """
+    from repro.api.run import materialize_workload
+    from repro.systems.drp import run_drp
+
+    bundle = materialize_workload(workload, seed)
+    on_demand = run_drp(bundle)
+    baseline = on_demand.resource_consumption
+    rows = [
+        {
+            "preemption_mtbf_hours": None,
+            "checkpointing": False,
+            "billed_node_hours": round(baseline, 1),
+            "effective_cost": round(baseline, 1),
+            "completed_jobs": on_demand.completed_jobs,
+            "saving_vs_on_demand": 0.0,
+        }
+    ]
+    for mtbf in preemption_mtbf_hours:
+        for with_ckpt in (False, True):
+            model = _failure_model(
+                mtbf,
+                mttr_hours=1e-9,  # the user replaces instances instantly
+                checkpoint_interval_s=(
+                    checkpoint_interval_s if with_ckpt else 0.0
+                ),
+                checkpoint_overhead_s=checkpoint_overhead_s,
+            )
+            metrics = run_drp(bundle, failures=model, seed=seed)
+            effective = metrics.resource_consumption * spot_discount
+            rows.append(
+                {
+                    "preemption_mtbf_hours": mtbf,
+                    "checkpointing": with_ckpt,
+                    "billed_node_hours": round(
+                        metrics.resource_consumption, 1
+                    ),
+                    "effective_cost": round(effective, 1),
+                    "completed_jobs": metrics.completed_jobs,
+                    "saving_vs_on_demand": round(
+                        1.0 - effective / baseline, 3
+                    ),
+                }
+            )
+    return rows
+
+
 @register_component("analysis", "pooled-scheduler-cross", skip_params=("seed",))
 def pooled_scheduler_cross(
     seed: int = 0, workload: str = "nasa-ipsc", billing: str = "per-hour"

@@ -295,6 +295,61 @@ SCENARIO_DECLS: tuple[ScenarioDecl, ...] = (
         prewarm=("nasa-ipsc",),
         billing="per-hour",
     ),
+    # ----------------------------------------------------------------- #
+    # reliability (the failure-model scenario family)
+    # ----------------------------------------------------------------- #
+    _analysis_decl(
+        "reliability-mtbf-sweep", "reliability-mtbf-sweep",
+        "Failure-adjusted economics over an MTBF grid: owned vs elastic.",
+        tags=("extension", "reliability", "slow"),
+        params={"workload": "nasa-ipsc", "mtbf_grid": "$mtbf_grid",
+                "mttr_hours": "$mttr_hours",
+                "checkpoint_interval_s": "$checkpoint_interval_s",
+                "capacity": "$capacity"},
+        prewarm=("nasa-ipsc",),
+        mtbf_grid=(48.0, 96.0, 192.0, 384.0),
+        mttr_hours=2.0,
+        checkpoint_interval_s=1800.0,
+        capacity=DEFAULT_CAPACITY,
+    ),
+    _analysis_decl(
+        "checkpoint-interval-ablation", "checkpoint-interval-ablation",
+        "Checkpoint-interval trade-off under node failures (NASA trace).",
+        tags=("extension", "reliability", "slow"),
+        params={"workload": "nasa-ipsc", "mtbf_hours": "$mtbf_hours",
+                "intervals_s": "$intervals_s", "overhead_s": "$overhead_s"},
+        prewarm=("nasa-ipsc",),
+        mtbf_hours=24.0,
+        intervals_s=(0.0, 900.0, 1800.0, 3600.0, 7200.0),
+        overhead_s=60.0,
+    ),
+    _analysis_decl(
+        "drp-vs-fixed-under-failures", "failures-four-systems",
+        "The four systems re-run with nodes that die (same failure process).",
+        tags=("extension", "reliability", "slow"),
+        params={"workload": "nasa-ipsc", "mtbf_hours": "$mtbf_hours",
+                "mttr_hours": "$mttr_hours",
+                "checkpoint_interval_s": "$checkpoint_interval_s",
+                "capacity": "$capacity"},
+        prewarm=("nasa-ipsc",),
+        mtbf_hours=48.0,
+        mttr_hours=2.0,
+        checkpoint_interval_s=1800.0,
+        capacity=DEFAULT_CAPACITY,
+    ),
+    _analysis_decl(
+        "spot-preemption-as-failure", "spot-preemption-as-failure",
+        "Spot preemptions as failures: cheap-but-mortal DRP vs on-demand.",
+        tags=("extension", "reliability", "slow"),
+        params={"workload": "nasa-ipsc",
+                "preemption_mtbf_hours": "$preemption_mtbf_hours",
+                "checkpoint_interval_s": "$checkpoint_interval_s",
+                "spot_discount": "$spot_discount"},
+        prewarm=("nasa-ipsc",),
+        preemption_mtbf_hours=(24.0, 48.0, 96.0),
+        checkpoint_interval_s=1800.0,
+        spot_discount=0.35,
+    ),
 )
 
 #: Name → declaration, for the generic runner's lookup in pool workers.

@@ -36,6 +36,11 @@ class ProviderMetrics:
         Accumulated size of node adjustments attributable to this provider.
     usage:
         Node-usage recorder for provider-level aggregation.
+    reliability:
+        Failure/repair/goodput accounting when a failure model was
+        configured (:meth:`repro.reliability.stats.ReliabilityStats
+        .to_payload`); ``None`` on the no-failure fast path, and then
+        absent from payloads — existing pins stay byte-identical.
     """
 
     provider: str
@@ -49,6 +54,7 @@ class ProviderMetrics:
     adjusted_nodes: int = 0
     peak_nodes: float = 0.0
     usage: UsageRecorder = field(default_factory=UsageRecorder, repr=False)
+    reliability: Optional[dict] = None
 
     def to_payload(self) -> dict:
         """Unrounded, JSON-safe projection (the scenario-payload contract).
@@ -57,7 +63,7 @@ class ProviderMetrics:
         full float precision: scenario payloads are cached, diffed and
         golden-pinned, so they must carry exactly what the run computed.
         """
-        return {
+        payload = {
             "provider": self.provider,
             "system": self.system,
             "workload": self.workload,
@@ -69,6 +75,9 @@ class ProviderMetrics:
             "adjusted_nodes": self.adjusted_nodes,
             "peak_nodes": self.peak_nodes,
         }
+        if self.reliability is not None:
+            payload["reliability"] = dict(self.reliability)
+        return payload
 
     def to_row(self) -> dict:
         """Flat dict for table rendering / serialization."""

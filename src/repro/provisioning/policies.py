@@ -252,9 +252,15 @@ class FixedAllocation(ProvisioningPolicy):
         self.server.add_nodes(self.nodes)
 
     def teardown(self) -> None:
-        """Finalization: the leased block goes back; an owned one just stops."""
-        if self.lease is not None and self.lease.open:
-            self.provision.release(self.lease, self.engine.now, kind="shutdown")
+        """Finalization: the leased block goes back; an owned one just stops.
+
+        Closes *every* open lease of the server's client, not only the
+        initial block: under a failure model the initial lease shrinks as
+        nodes die and per-node ``"repair"`` re-leases accumulate beside
+        it, and all of them must be billed at finalization.
+        """
+        if self.provision is not None and self._started:
+            self.provision.shutdown_client(self.server.name, self.engine.now)
             self.lease = None
 
 

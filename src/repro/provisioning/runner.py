@@ -73,6 +73,8 @@ def run_pooled_queue_htc(
     pool_cap: Optional[int] = None,
     meter: Optional[BillingMeter] = None,
     system: Optional[str] = None,
+    failures=None,
+    seed: int = 0,
 ) -> ProviderMetrics:
     """One HTC trace through the pooled-queue composition.
 
@@ -90,6 +92,15 @@ def run_pooled_queue_htc(
     server = REServer(engine, bundle.name, sched, policy.scan_interval_s)
     allocation = ConsolidatedAllocation(engine, server, provision, policy)
     allocation.start()
+    injector = None
+    if failures is not None:
+        from repro.reliability.injector import NodeFailureInjector
+        from repro.simkit.rng import RandomStreams
+
+        injector = NodeFailureInjector(
+            engine, server, failures, RandomStreams(seed), n_slots=cap,
+            provision=provision, restore="provider",
+        ).start()
     JobEmulator(engine).submit_trace(trace, server.submit_job)
     horizon = float(bundle.horizon)  # type: ignore[arg-type]
     engine.run(until=horizon)
@@ -106,4 +117,5 @@ def run_pooled_queue_htc(
         adjusted_nodes=provision.adjusted_node_count(bundle.name),
         peak_nodes=server.usage.peak(horizon),
         usage=server.usage,
+        reliability=injector.finalize(horizon) if injector is not None else None,
     )

@@ -11,6 +11,12 @@ the hot path:
   not 10^6 allocations);
 * per-owner holdings are range stacks (LIFO, matching ``NodePool``'s
   most-recently-assigned-first reclaim order);
+* **failed nodes** live in a third range index alongside free and busy
+  (see :mod:`repro.reliability`): :meth:`ClusterState.fail_free` /
+  :meth:`ClusterState.fail_owned` move nodes out of service,
+  :meth:`ClusterState.repair` returns them to the free index, and the
+  conservation invariant ``free + allocated + failed == capacity`` holds
+  at every instant (property-tested);
 * aggregate counts, the adjustment counter, and the **busy node-second
   integral** accumulate incrementally at each assign/reclaim instant, so
   accounting reads are O(1) instead of a scan over recorded events.
@@ -44,6 +50,8 @@ class ClusterState:
         self._free_count = self._capacity
         self._owned: dict[str, list[Range]] = {}
         self._owned_count: dict[str, int] = {}
+        self._failed: list[Range] = []  # stack of out-of-service ranges
+        self._failed_count = 0
         self._adjustments = 0
         # incremental busy-time integral
         self._busy_node_seconds = 0.0
@@ -62,7 +70,12 @@ class ClusterState:
 
     @property
     def allocated_count(self) -> int:
-        return self._capacity - self._free_count
+        return self._capacity - self._free_count - self._failed_count
+
+    @property
+    def failed_count(self) -> int:
+        """Nodes currently out of service (failed, awaiting repair)."""
+        return self._failed_count
 
     def owned_count(self, owner: str) -> int:
         return self._owned_count.get(owner, 0)
@@ -120,20 +133,7 @@ class ClusterState:
                 f"only {self._free_count} free nodes, requested {n}"
             )
         self._accrue(t)
-        taken: list[Range] = []
-        remaining = n
-        free = self._free
-        while remaining:
-            start, stop = free[-1]
-            width = stop - start
-            if width <= remaining:
-                free.pop()
-                taken.append((start, stop))
-                remaining -= width
-            else:
-                free[-1] = (start, stop - remaining)
-                taken.append((stop - remaining, stop))
-                remaining = 0
+        taken = self._pop_from(self._free, n)
         self._free_count -= n
         bucket = self._owned.setdefault(owner, [])
         bucket.extend(taken)
@@ -149,20 +149,8 @@ class ClusterState:
                 f"{owner!r} owns {held} nodes, cannot reclaim {n}"
             )
         self._accrue(t)
-        freed: list[Range] = []
-        remaining = n
         bucket = self._owned[owner]
-        while remaining:
-            start, stop = bucket[-1]
-            width = stop - start
-            if width <= remaining:
-                bucket.pop()
-                freed.append((start, stop))
-                remaining -= width
-            else:
-                bucket[-1] = (start, stop - remaining)
-                freed.append((stop - remaining, stop))
-                remaining = 0
+        freed = self._pop_from(bucket, n)
         self._owned_count[owner] = held - n
         if not bucket:
             del self._owned[owner]
@@ -174,8 +162,82 @@ class ClusterState:
         return freed
 
     # ------------------------------------------------------------------ #
+    # failure / repair (the reliability subsystem's hooks)
+    # ------------------------------------------------------------------ #
+    def fail_free(self, n: int, t: float = 0.0) -> list[Range]:
+        """Move ``n`` free nodes out of service at time ``t``."""
+        if n <= 0:
+            raise ClusterStateError("must fail at least one node")
+        if n > self._free_count:
+            raise ClusterStateError(
+                f"only {self._free_count} free nodes, cannot fail {n}"
+            )
+        self._accrue(t)
+        failed = self._pop_from(self._free, n)
+        self._free_count -= n
+        self._failed.extend(failed)
+        self._failed_count += n
+        return failed
+
+    def fail_owned(self, owner: str, n: int, t: float = 0.0) -> list[Range]:
+        """Move ``n`` of ``owner``'s nodes out of service at time ``t``.
+
+        The nodes leave the owner's holdings entirely (the lease layer
+        stops metering them, see :meth:`repro.cluster.lease.LeaseLedger
+        .shrink_lease`); repair returns them to the *free* index — the
+        owner re-acquires capacity through its normal provisioning path.
+        """
+        held = self._owned_count.get(owner, 0)
+        if n <= 0 or n > held:
+            raise ClusterStateError(
+                f"{owner!r} owns {held} nodes, cannot fail {n}"
+            )
+        self._accrue(t)
+        bucket = self._owned[owner]
+        failed = self._pop_from(bucket, n)
+        self._owned_count[owner] = held - n
+        if not bucket:
+            del self._owned[owner]
+            self._owned_count.pop(owner, None)
+        self._failed.extend(failed)
+        self._failed_count += n
+        return failed
+
+    def repair(self, n: int, t: float = 0.0) -> list[Range]:
+        """Return ``n`` repaired nodes to the free index at time ``t``."""
+        if n <= 0 or n > self._failed_count:
+            raise ClusterStateError(
+                f"{self._failed_count} nodes failed, cannot repair {n}"
+            )
+        self._accrue(t)
+        repaired = self._pop_from(self._failed, n)
+        self._failed_count -= n
+        self._free_count += n
+        for rng in repaired:
+            self._insert_free(rng)
+        return repaired
+
+    # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _pop_from(ranges: list[Range], n: int) -> list[Range]:
+        """Pop ``n`` nodes off a range stack (LIFO), splitting as needed."""
+        taken: list[Range] = []
+        remaining = n
+        while remaining:
+            start, stop = ranges[-1]
+            width = stop - start
+            if width <= remaining:
+                ranges.pop()
+                taken.append((start, stop))
+                remaining -= width
+            else:
+                ranges[-1] = (start, stop - remaining)
+                taken.append((stop - remaining, stop))
+                remaining = 0
+        return taken
+
     def _insert_free(self, rng: Range) -> None:
         """Insert a range into the free index, merging adjacent blocks."""
         start, stop = rng

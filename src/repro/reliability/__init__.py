@@ -1,0 +1,44 @@
+"""Fault tolerance: node failure/repair processes and checkpoint-restart.
+
+The paper's evaluation assumes nodes never die; at the scale the ROADMAP
+targets, failures dominate effective capacity and cost.  This package
+adds a first-class failure model threaded through every layer:
+
+* :mod:`repro.reliability.failures` — ``failure-model`` components
+  (exponential, Weibull, trace-driven) bundling an optional
+  :class:`~repro.reliability.checkpoint.CheckpointPolicy`;
+* :mod:`repro.reliability.injector` — the
+  :class:`~repro.reliability.injector.NodeFailureInjector` driving
+  per-slot up/down processes against a live run (kills + requeues jobs,
+  stops billing on dead nodes, restores per system shape);
+* :mod:`repro.reliability.checkpoint` — periodic checkpoint-restart
+  semantics as pure functions;
+* :mod:`repro.reliability.stats` — goodput/waste/downtime metrics that
+  flow into :class:`~repro.metrics.results.ProviderMetrics` payloads.
+
+Runs without a configured failure model never touch any of this — the
+machinery is attached per run, and the server's fast path carries a
+single ``is None`` check (asserted in ``benchmarks/perf_smoke.py``).
+See docs/reliability.md.
+"""
+
+from repro.reliability.checkpoint import CheckpointPolicy, resume_work
+from repro.reliability.failures import (
+    ExponentialFailures,
+    FailureModel,
+    TraceDrivenFailures,
+    WeibullFailures,
+)
+from repro.reliability.injector import NodeFailureInjector
+from repro.reliability.stats import ReliabilityStats
+
+__all__ = [
+    "CheckpointPolicy",
+    "ExponentialFailures",
+    "FailureModel",
+    "NodeFailureInjector",
+    "ReliabilityStats",
+    "TraceDrivenFailures",
+    "WeibullFailures",
+    "resume_work",
+]

@@ -1,0 +1,126 @@
+"""Checkpoint-restart semantics.
+
+A :class:`CheckpointPolicy` models periodic application-level
+checkpointing: a running job writes a checkpoint after every
+``interval_s`` seconds of *useful work*, each write costing
+``overhead_s`` of wall time on the nodes the job occupies.  When a node
+failure kills the job, it restarts from the most recent checkpoint that
+*finished writing* before the failure instant — everything after it is
+lost (re-executed on the next attempt).
+
+The execution timeline of one attempt at ``work`` seconds of remaining
+useful work therefore alternates work and checkpoint slices::
+
+    |-- interval --|ovh|-- interval --|ovh| ... |-- tail --|
+    0              c1                 c2                   done
+
+No checkpoint is written at completion (there is nothing left to
+protect), so an attempt carries ``ceil(work/interval) - 1`` writes and
+:meth:`segment_wall` returns ``work + writes * overhead_s``.
+
+Two invariants every consumer relies on (property-tested in
+``tests/test_properties_reliability.py``):
+
+* :meth:`recovered_work` never exceeds the useful work actually executed
+  before the failure — checkpoints cannot invent progress — hence a
+  checkpointed run **never finishes earlier than the failure-free run**;
+* recovered work is a multiple of ``interval_s``, and zero when the
+  failure lands before (or during) the first write.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Periodic checkpointing: write every ``interval_s`` of work.
+
+    Parameters
+    ----------
+    interval_s:
+        Useful-work seconds between consecutive checkpoint writes.
+    overhead_s:
+        Wall-time cost of one write (the job stalls while the state
+        streams out).
+    """
+
+    interval_s: float
+    overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError(
+                f"checkpoint interval must be positive, got {self.interval_s!r}"
+            )
+        if self.overhead_s < 0:
+            raise ValueError(
+                f"checkpoint overhead must be >= 0, got {self.overhead_s!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def writes_for(self, work_s: float) -> int:
+        """Checkpoint writes during an attempt at ``work_s`` of work.
+
+        One write after each full interval *except* a write that would
+        coincide with completion — ``ceil(work/interval) - 1``.
+        """
+        if work_s <= 0:
+            return 0
+        return max(int(math.ceil(work_s / self.interval_s - 1e-12)) - 1, 0)
+
+    def segment_wall(self, work_s: float) -> float:
+        """Wall-clock duration of one attempt at ``work_s`` of work."""
+        if work_s < 0:
+            raise ValueError(f"negative work {work_s!r}")
+        return work_s + self.writes_for(work_s) * self.overhead_s
+
+    def recovered_work(self, elapsed_wall_s: float) -> float:
+        """Useful work protected by the last finished write at ``elapsed``.
+
+        The k-th checkpoint finishes writing at wall time
+        ``k*interval + k*overhead``; the largest such k within the elapsed
+        wall time is what survives the failure.
+        """
+        if elapsed_wall_s <= 0:
+            return 0.0
+        k = int(
+            math.floor(
+                elapsed_wall_s / (self.interval_s + self.overhead_s) + 1e-12
+            )
+        )
+        return k * self.interval_s
+
+
+def resume_work(
+    policy: "CheckpointPolicy | None", remaining_s: float, elapsed_wall_s: float
+) -> float:
+    """Remaining useful work after a failure ``elapsed_wall_s`` into an
+    attempt that had ``remaining_s`` of work left.
+
+    Without a policy everything re-executes (restart from scratch).  The
+    result is clamped into ``[0, remaining_s]``: a failure in the final
+    tail slice can recover at most what the attempt still owed.
+    """
+    if policy is None:
+        return remaining_s
+    recovered = min(policy.recovered_work(elapsed_wall_s), remaining_s)
+    return remaining_s - recovered
+
+
+def collapse_progress(
+    policy: "CheckpointPolicy | None", remaining_s: float, elapsed_wall_s: float
+) -> tuple[float, float, float]:
+    """The one kill-accounting primitive every requeue path shares.
+
+    Returns ``(remaining_after, recovered_work, wasted_wall)``: the work
+    the next attempt owes, the work the last finished checkpoint saved,
+    and the per-node wall time that produced no surviving progress
+    (checkpoint writes inside the killed segment included — they are in
+    the elapsed wall but not in the recovered work).
+    """
+    after = resume_work(policy, remaining_s, elapsed_wall_s)
+    recovered = remaining_s - after
+    return after, recovered, max(elapsed_wall_s - recovered, 0.0)

@@ -1,0 +1,239 @@
+"""Failure-model components: stochastic node up/down processes.
+
+A :class:`FailureModel` describes how long a node stays up before
+failing (time-to-failure, TTF) and how long the repair takes
+(time-to-repair, TTR).  Models are *pure distribution objects* — frozen,
+picklable, seed-free.  All randomness flows through the
+``numpy.random.Generator`` the caller passes in, which the
+:class:`~repro.reliability.injector.NodeFailureInjector` derives
+per node slot from the run's :class:`~repro.simkit.rng.RandomStreams`
+(see docs/reliability.md for the determinism argument).
+
+Three families self-register under the ``failure-model`` registry kind:
+
+* ``exponential`` — memoryless TTF/TTR, the classic MTBF/MTTR pair;
+* ``weibull`` — shape-parameterized TTF (infant mortality at shape < 1,
+  wear-out at shape > 1) with the scale chosen so the *mean* equals the
+  configured MTBF, exponential TTR;
+* ``trace`` — replayed ``(slot, fail_t, repair_t)`` outage windows, for
+  studies driven by real failure logs.
+
+Every factory also accepts ``checkpoint_interval_s``/
+``checkpoint_overhead_s``, bundling an optional
+:class:`~repro.reliability.checkpoint.CheckpointPolicy` with the model so
+a spec's single ``failures=`` block configures the whole reliability
+story.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.api.registry import register_component
+from repro.reliability.checkpoint import CheckpointPolicy
+
+HOUR = 3600.0
+
+
+class FailureModel(abc.ABC):
+    """One node's up/down renewal process, as a distribution pair."""
+
+    name: str = "abstract"
+    #: optional checkpoint-restart policy bundled with the model
+    checkpoint: Optional[CheckpointPolicy] = None
+
+    @abc.abstractmethod
+    def draw_ttf(self, rng: np.random.Generator) -> float:
+        """Seconds of uptime until the next failure."""
+
+    @abc.abstractmethod
+    def draw_ttr(self, rng: np.random.Generator) -> float:
+        """Seconds of downtime until the node is repaired."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+@dataclass(frozen=True)
+class ExponentialFailures(FailureModel):
+    """Memoryless failures: TTF ~ Exp(MTBF), TTR ~ Exp(MTTR)."""
+
+    mtbf_s: float
+    mttr_s: float = 2 * HOUR
+    checkpoint: Optional[CheckpointPolicy] = None
+    name = "exponential"
+
+    def __post_init__(self) -> None:
+        if self.mtbf_s <= 0:
+            raise ValueError(f"mtbf_s must be positive, got {self.mtbf_s!r}")
+        if self.mttr_s <= 0:
+            raise ValueError(f"mttr_s must be positive, got {self.mttr_s!r}")
+
+    def draw_ttf(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mtbf_s))
+
+    def draw_ttr(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mttr_s))
+
+
+@dataclass(frozen=True)
+class WeibullFailures(FailureModel):
+    """Weibull TTF with mean MTBF; exponential TTR.
+
+    ``shape < 1`` models infant mortality (failures cluster early after
+    repair), ``shape > 1`` wear-out; ``shape == 1`` degenerates to the
+    exponential model.  The scale is derived so the distribution's mean
+    is exactly ``mtbf_s`` (``scale = mtbf / Γ(1 + 1/shape)``), keeping
+    MTBF sweeps comparable across families.
+    """
+
+    mtbf_s: float
+    shape: float = 0.7
+    mttr_s: float = 2 * HOUR
+    checkpoint: Optional[CheckpointPolicy] = None
+    name = "weibull"
+
+    def __post_init__(self) -> None:
+        if self.mtbf_s <= 0:
+            raise ValueError(f"mtbf_s must be positive, got {self.mtbf_s!r}")
+        if self.shape <= 0:
+            raise ValueError(f"shape must be positive, got {self.shape!r}")
+        if self.mttr_s <= 0:
+            raise ValueError(f"mttr_s must be positive, got {self.mttr_s!r}")
+
+    @property
+    def scale_s(self) -> float:
+        return self.mtbf_s / math.gamma(1.0 + 1.0 / self.shape)
+
+    def draw_ttf(self, rng: np.random.Generator) -> float:
+        return float(self.scale_s * rng.weibull(self.shape))
+
+    def draw_ttr(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mttr_s))
+
+
+@dataclass(frozen=True)
+class TraceDrivenFailures(FailureModel):
+    """Replayed outage windows: ``(slot, fail_t, repair_t)`` triples.
+
+    Deterministic by construction (no RNG draws); the injector consumes
+    the windows directly instead of running per-slot renewal processes.
+    Windows must satisfy ``0 <= fail_t < repair_t`` and be non-overlapping
+    per slot.
+    """
+
+    events: tuple[tuple[int, float, float], ...] = field(default=())
+    checkpoint: Optional[CheckpointPolicy] = None
+    name = "trace"
+
+    def __post_init__(self) -> None:
+        canon = []
+        for ev in self.events:
+            slot, fail_t, repair_t = ev
+            if slot < 0:
+                raise ValueError(f"negative slot in failure event {ev!r}")
+            if not (0 <= fail_t < repair_t):
+                raise ValueError(
+                    f"failure event {ev!r} needs 0 <= fail_t < repair_t"
+                )
+            canon.append((int(slot), float(fail_t), float(repair_t)))
+        canon.sort(key=lambda e: (e[0], e[1]))
+        for a, b in zip(canon, canon[1:]):
+            if a[0] == b[0] and b[1] < a[2]:
+                raise ValueError(
+                    f"overlapping outage windows for slot {a[0]}: {a} / {b}"
+                )
+        object.__setattr__(self, "events", tuple(canon))
+
+    def slots(self) -> list[int]:
+        return sorted({slot for slot, _, _ in self.events})
+
+    def windows_for(self, slot: int) -> list[tuple[float, float]]:
+        return [(f, r) for s, f, r in self.events if s == slot]
+
+    def draw_ttf(self, rng: np.random.Generator) -> float:  # pragma: no cover
+        raise RuntimeError("trace-driven model replays windows, never draws")
+
+    def draw_ttr(self, rng: np.random.Generator) -> float:  # pragma: no cover
+        raise RuntimeError("trace-driven model replays windows, never draws")
+
+
+# --------------------------------------------------------------------- #
+# registration
+# --------------------------------------------------------------------- #
+def _checkpoint_from(
+    interval_s: Optional[float], overhead_s: float
+) -> Optional[CheckpointPolicy]:
+    if interval_s is None:
+        return None
+    return CheckpointPolicy(interval_s=float(interval_s),
+                            overhead_s=float(overhead_s))
+
+
+def _register_failure_models() -> None:
+    """Self-register the failure models for the spec API.
+
+    The hour-denominated parameters (``mtbf_hours``/``mttr_hours``) are
+    the spec-facing spelling — failure studies think in hours, the
+    engine in seconds.
+    """
+
+    def exponential(
+        mtbf_hours: float,
+        mttr_hours: float = 2.0,
+        checkpoint_interval_s: Optional[float] = None,
+        checkpoint_overhead_s: float = 60.0,
+    ) -> ExponentialFailures:
+        """Memoryless node failures: TTF ~ Exp(MTBF), TTR ~ Exp(MTTR)."""
+        return ExponentialFailures(
+            mtbf_s=float(mtbf_hours) * HOUR,
+            mttr_s=float(mttr_hours) * HOUR,
+            checkpoint=_checkpoint_from(
+                checkpoint_interval_s, checkpoint_overhead_s
+            ),
+        )
+
+    def weibull(
+        mtbf_hours: float,
+        shape: float = 0.7,
+        mttr_hours: float = 2.0,
+        checkpoint_interval_s: Optional[float] = None,
+        checkpoint_overhead_s: float = 60.0,
+    ) -> WeibullFailures:
+        """Weibull node failures (mean = MTBF); shape < 1 = infant mortality."""
+        return WeibullFailures(
+            mtbf_s=float(mtbf_hours) * HOUR,
+            shape=float(shape),
+            mttr_s=float(mttr_hours) * HOUR,
+            checkpoint=_checkpoint_from(
+                checkpoint_interval_s, checkpoint_overhead_s
+            ),
+        )
+
+    def trace(
+        events: Sequence[Sequence[float]],
+        checkpoint_interval_s: Optional[float] = None,
+        checkpoint_overhead_s: float = 60.0,
+    ) -> TraceDrivenFailures:
+        """Replayed (slot, fail_t, repair_t) outage windows from a log."""
+        return TraceDrivenFailures(
+            events=tuple(tuple(ev) for ev in events),
+            checkpoint=_checkpoint_from(
+                checkpoint_interval_s, checkpoint_overhead_s
+            ),
+        )
+
+    for name, factory in (
+        ("exponential", exponential),
+        ("weibull", weibull),
+        ("trace", trace),
+    ):
+        register_component("failure-model", name, factory)
+
+
+_register_failure_models()

@@ -1,0 +1,219 @@
+"""The node-failure injector: failure processes wired into a live run.
+
+A :class:`NodeFailureInjector` attaches a
+:class:`~repro.reliability.failures.FailureModel` to one server-attached
+run (DCS/SSP/DawningCloud/pooled-queue).  It models the **machine
+partition** the workload runs on as ``n_slots`` node slots; each slot
+cycles UP → (TTF) → DOWN → (TTR) → UP forever, with both durations drawn
+from a slot-private RNG stream (``failure:<client>:slot<i>``), so the
+whole failure timeline of slot *i* is a function of ``(seed, client, i)``
+alone — independent of event interleaving, of other components' draws,
+and of every other slot (the determinism argument; see
+docs/reliability.md).
+
+When a slot fails while the server owns nodes, the failure strikes one
+uniformly-chosen owned node:
+
+* a **busy** node (probability ``used/owned``, victim job chosen
+  proportionally to its width) kills the running job, which collapses to
+  its last checkpoint and re-enters the queue
+  (:meth:`repro.core.servers.REServer.kill_running`);
+* the node leaves the server (:meth:`~repro.core.servers.REServer
+  .fail_nodes`), and — on leased systems — the provision service shrinks
+  the covering lease so the dead node **stops metering**
+  (:meth:`~repro.cluster.provision.ResourceProvisionService.fail_node`).
+
+When the server owns nothing (an elastic TRE between grants), the
+failure hits the provider's free pool instead; either way the node is
+out of service until its repair fires.
+
+Repair semantics follow the system's provisioning shape (``restore``):
+
+* ``"server"`` — fixed machines (DCS/SSP): the repaired node returns
+  straight to the server; SSP re-leases it through the provision service
+  (lease kind ``"repair"``), DCS owns it outright.
+* ``"provider"`` — elastic systems (DawningCloud, pooled-queue): the
+  repaired node rejoins the provider's free pool only; the TRE re-grows
+  through its normal resource-management policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.provision import ResourceProvisionService
+from repro.core.servers import REServer
+from repro.reliability.failures import FailureModel, TraceDrivenFailures
+from repro.reliability.stats import ReliabilityStats
+from repro.simkit.engine import SimulationEngine
+from repro.simkit.rng import RandomStreams
+
+#: Failure/repair events run after the instant's ordinary events (job
+#: completions, scans) — a job finishing exactly when the node dies
+#: finished first.
+FAILURE_EVENT_PRIORITY = 5
+
+RESTORE_MODES = ("server", "provider")
+
+
+class NodeFailureInjector:
+    """Drives one failure model against one server-attached run."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        server: REServer,
+        model: FailureModel,
+        streams: RandomStreams,
+        n_slots: int,
+        provision: Optional[ResourceProvisionService] = None,
+        restore: str = "provider",
+    ) -> None:
+        if n_slots <= 0:
+            raise ValueError(f"n_slots must be positive, got {n_slots}")
+        if restore not in RESTORE_MODES:
+            raise ValueError(
+                f"restore must be one of {RESTORE_MODES}, got {restore!r}"
+            )
+        if restore == "provider" and provision is None:
+            raise ValueError("restore='provider' needs a provision service")
+        self.engine = engine
+        self.server = server
+        self.model = model
+        self.streams = streams
+        self.n_slots = int(n_slots)
+        self.provision = provision
+        self.restore = restore
+        self.stats = ReliabilityStats()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    def _rng(self, slot: int):
+        return self.streams.stream(f"failure:{self.server.name}:slot{slot}")
+
+    def _victim_rng(self, slot: int):
+        """Victim picks draw from their own stream, never the slot clock.
+
+        The slot stream must stay a pure alternation of TTF/TTR draws so
+        the outage timeline is a function of ``(seed, client, slot)``
+        alone; victim selection only happens when the server owns nodes,
+        and letting it share the clock stream would make later outage
+        instants depend on workload state.
+        """
+        return self.streams.stream(
+            f"failure:{self.server.name}:slot{slot}:victim"
+        )
+
+    def start(self) -> "NodeFailureInjector":
+        """Arm every slot's first failure; enable server fault tolerance."""
+        if self._started:
+            raise RuntimeError("injector already started")
+        self._started = True
+        self.server.enable_fault_tolerance(self.model.checkpoint, self.stats)
+        if isinstance(self.model, TraceDrivenFailures):
+            for slot, fail_t, repair_t in self.model.events:
+                if slot >= self.n_slots:
+                    raise ValueError(
+                        f"trace outage names slot {slot}, machine has "
+                        f"{self.n_slots}"
+                    )
+                self.engine.schedule_at(
+                    fail_t, self._fail_slot, slot, repair_t,
+                    priority=FAILURE_EVENT_PRIORITY,
+                )
+        else:
+            for slot in range(self.n_slots):
+                self.engine.schedule(
+                    self.model.draw_ttf(self._rng(slot)),
+                    self._fail_slot, slot, None,
+                    priority=FAILURE_EVENT_PRIORITY,
+                )
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _fail_slot(self, slot: int, repair_at: Optional[float]) -> None:
+        """Slot goes down: strike the machine, schedule the repair."""
+        now = self.engine.now
+        self.stats.failures += 1
+        self.stats._down_since[slot] = now
+        struck_server = struck_provider = False
+        server = self.server
+        if not server._stopped and server.owned > 0:
+            struck_server = True
+            self._strike_owned_node(slot)
+            if self.provision is not None:
+                struck_provider = True
+                self.provision.fail_node(now, client=server.name)
+        elif self.provision is not None and self.provision.free_nodes > 0:
+            struck_provider = True
+            self.provision.fail_node(now)
+        # else: the slot was already outside the in-service machine
+        # (e.g. the provider pool is fully leased out by *other* tenants);
+        # the outage still runs its course for the slot's own clock.
+        if repair_at is None:
+            repair_at = now + self.model.draw_ttr(self._rng(slot))
+        self.engine.schedule_at(
+            repair_at, self._repair_slot, slot, struck_server, struck_provider,
+            priority=FAILURE_EVENT_PRIORITY,
+        )
+
+    def _strike_owned_node(self, slot: int) -> None:
+        """Pick the struck node uniformly among owned; kill its job if busy."""
+        server = self.server
+        struck = int(self._victim_rng(slot).integers(0, server.owned))
+        if struck < server.used:
+            # the node was busy: find the job covering owned-node index
+            # `struck` (jobs occupy consecutive slots in running order)
+            cursor = 0
+            victim = None
+            for running in server.running.values():
+                cursor += running.size
+                if struck < cursor:
+                    victim = running.job
+                    break
+            assert victim is not None  # used > 0 implies running jobs exist
+            server.kill_running(victim)
+        server.fail_nodes(1)
+
+    def _repair_slot(
+        self, slot: int, struck_server: bool, struck_provider: bool
+    ) -> None:
+        """Slot comes back: return the node, arm the next failure."""
+        now = self.engine.now
+        self.stats.repairs += 1
+        down_since = self.stats._down_since.pop(slot, now)
+        self.stats.downtime_node_seconds += now - down_since
+        if struck_provider:
+            self.provision.repair_node(now)
+        if self.restore == "server" and struck_server and not self.server._stopped:
+            if self.provision is not None:
+                lease = self.provision.request(
+                    self.server.name, 1, now, kind="repair"
+                )
+                # the node just rejoined the free pool in this very
+                # handler, so the all-or-nothing rule cannot reject a
+                # one-node request
+                assert lease is not None
+            self.server.add_nodes(1)
+        if not isinstance(self.model, TraceDrivenFailures):
+            self.engine.schedule(
+                self.model.draw_ttf(self._rng(slot)),
+                self._fail_slot, slot, None,
+                priority=FAILURE_EVENT_PRIORITY,
+            )
+
+    # ------------------------------------------------------------------ #
+    def finalize(self, horizon_s: float) -> dict:
+        """Close the books and return the reliability payload.
+
+        The server shares this injector's stats object, so kill/requeue/
+        waste counters are already here; this computes goodput from the
+        completed jobs and clamps still-open outages at the horizon.
+        """
+        from repro.reliability.stats import completed_goodput_node_seconds
+
+        self.stats.finalize(
+            horizon_s,
+            completed_goodput_node_seconds(self.server.completed, horizon_s),
+        )
+        return self.stats.to_payload()

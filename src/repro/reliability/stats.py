@@ -1,0 +1,106 @@
+"""Reliability outcome metrics.
+
+One :class:`ReliabilityStats` per failure-injected run, accumulated by
+the :class:`~repro.reliability.injector.NodeFailureInjector` (and the
+DRP runner's per-job failure path) and attached to
+:class:`~repro.metrics.results.ProviderMetrics.reliability` — from where
+it flows into scenario payloads and :class:`~repro.api.run.RunResult`.
+
+The headline derived quantities:
+
+* **goodput vs. wasted work** — node-hours of useful work that survived
+  into completed jobs, against node-hours executed-then-lost to kills
+  (checkpoint-write overhead counts as waste: it is paid node time that
+  produced no application progress);
+* **repair downtime** — node-hours of capacity out of service, clamped
+  to the run horizon;
+* **failure-adjusted cost per job** — billed node-hours per completed
+  job, the cost metric the no-failure tables cannot see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+HOUR = 3600.0
+
+
+def completed_goodput_node_seconds(jobs: Iterable, horizon_s: float) -> float:
+    """Node-seconds of useful work inside jobs completed by the horizon."""
+    return float(sum(
+        job.work for job in jobs if (job.finish_time or 0.0) <= horizon_s
+    ))
+
+
+@dataclass
+class ReliabilityStats:
+    """Failure/repair/requeue accounting for one run."""
+
+    failures: int = 0
+    repairs: int = 0
+    killed_jobs: int = 0
+    requeues: int = 0
+    checkpoint_restores: int = 0
+    #: node-seconds of capacity out of service (clamped to the horizon)
+    downtime_node_seconds: float = 0.0
+    #: node-seconds executed that produced no surviving progress
+    wasted_node_seconds: float = 0.0
+    #: node-seconds of useful work inside completed jobs (set at finalize)
+    goodput_node_seconds: float = 0.0
+    #: open outage start instants, per slot (internal; drained at finalize)
+    _down_since: dict[int, float] = field(default_factory=dict, repr=False)
+
+    def record_kill(
+        self, n_nodes: int, recovered_work_s: float, wasted_wall_s: float
+    ) -> None:
+        """One job killed by a node failure (the shared bookkeeping).
+
+        Callers compute the triple with
+        :func:`repro.reliability.checkpoint.collapse_progress`; this
+        folds it in so the server-attached and DRP paths cannot drift.
+        """
+        self.killed_jobs += 1
+        self.requeues += 1
+        if recovered_work_s > 0:
+            self.checkpoint_restores += 1
+        self.wasted_node_seconds += n_nodes * wasted_wall_s
+
+    def record_write_overhead(
+        self, n_nodes: int, checkpoint, work_s: float
+    ) -> None:
+        """Checkpoint writes of a *successful* segment count as waste too.
+
+        A killed segment's writes are already inside its wasted wall
+        time; the final segment's writes are paid node time with no
+        application progress and would otherwise vanish between goodput
+        and waste.
+        """
+        if checkpoint is not None:
+            self.wasted_node_seconds += (
+                n_nodes * checkpoint.writes_for(work_s) * checkpoint.overhead_s
+            )
+
+    def finalize(self, horizon_s: float, goodput_node_seconds: float) -> None:
+        """Close out the run: clamp open outages, record goodput."""
+        for t_down in self._down_since.values():
+            self.downtime_node_seconds += max(horizon_s - t_down, 0.0)
+        self._down_since.clear()
+        self.goodput_node_seconds = float(goodput_node_seconds)
+
+    def to_payload(self) -> dict:
+        """JSON-safe projection (hours for the node-time integrals)."""
+        executed = self.goodput_node_seconds + self.wasted_node_seconds
+        return {
+            "failures": self.failures,
+            "repairs": self.repairs,
+            "killed_jobs": self.killed_jobs,
+            "requeues": self.requeues,
+            "checkpoint_restores": self.checkpoint_restores,
+            "downtime_node_hours": self.downtime_node_seconds / HOUR,
+            "wasted_node_hours": self.wasted_node_seconds / HOUR,
+            "goodput_node_hours": self.goodput_node_seconds / HOUR,
+            "wasted_fraction": (
+                self.wasted_node_seconds / executed if executed > 0 else 0.0
+            ),
+        }

@@ -60,17 +60,19 @@ def _register_systems() -> None:
     from repro.systems.drp import DEFAULT_DRP_CAPACITY, run_drp_pooled
     from repro.systems.dsp_runner import DEFAULT_CAPACITY
 
-    def dcs(bundle, seed=0, meter=None):
+    def dcs(bundle, seed=0, meter=None, failures=None):
         """DCS: a dedicated, owned cluster sized to the fixed configuration."""
-        return run_dcs(bundle, meter=meter)
+        return run_dcs(bundle, meter=meter, failures=failures, seed=seed)
 
-    def ssp(bundle, seed=0, meter=None):
+    def ssp(bundle, seed=0, meter=None, failures=None):
         """SSP: the same fixed cluster, leased through the provider."""
-        return run_ssp(bundle, meter=meter)
+        return run_ssp(bundle, meter=meter, failures=failures, seed=seed)
 
-    def drp(bundle, seed=0, capacity=DEFAULT_DRP_CAPACITY, meter=None):
+    def drp(bundle, seed=0, capacity=DEFAULT_DRP_CAPACITY, meter=None,
+            failures=None):
         """DRP: per-job leases (HTC) / a manual user pool (MTC), no queue."""
-        return run_drp(bundle, capacity=capacity, meter=meter)
+        return run_drp(bundle, capacity=capacity, meter=meter,
+                       failures=failures, seed=seed)
 
     def drp_pooled(bundle, seed=0, capacity=DEFAULT_DRP_CAPACITY,
                    shared=False, meter=None):
@@ -79,7 +81,7 @@ def _register_systems() -> None:
                               meter=meter)
 
     def dawningcloud(bundle, seed=0, policy=None, capacity=DEFAULT_CAPACITY,
-                     meter=None):
+                     meter=None, failures=None):
         """DawningCloud: a TRE with dynamic B/R negotiation over the pool."""
         from repro.core.policies import ResourceManagementPolicy
 
@@ -93,17 +95,18 @@ def _register_systems() -> None:
             run_dawningcloud_htc if bundle.kind == "htc"
             else run_dawningcloud_mtc
         )
-        return runner(bundle, policy, capacity=capacity, meter=meter)
+        return runner(bundle, policy, capacity=capacity, meter=meter,
+                      failures=failures, seed=seed)
 
     def pooled_queue(bundle, seed=0, scheduler=None, pool_cap=None,
-                     meter=None):
+                     meter=None, failures=None):
         """A queued scheduler over one bounded, elastically leased pool."""
         from repro.provisioning.runner import run_pooled_queue_htc
         from repro.scheduling.firstfit import FirstFitScheduler
 
         return run_pooled_queue_htc(
             bundle, scheduler if scheduler is not None else FirstFitScheduler(),
-            pool_cap=pool_cap, meter=meter,
+            pool_cap=pool_cap, meter=meter, failures=failures, seed=seed,
         )
 
     for name, factory in (

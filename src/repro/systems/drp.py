@@ -26,7 +26,7 @@ under different bucket keys — and every runner takes a pluggable
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.cluster.lease import Lease
 from repro.cluster.provision import ResourceProvisionService
@@ -40,12 +40,25 @@ from repro.systems.emulator import JobEmulator
 from repro.workloads.job import Job, JobState
 from repro.workloads.workflow import Workflow
 
+if TYPE_CHECKING:  # pragma: no cover - reliability is an optional layer
+    from repro.reliability.failures import FailureModel
+
 #: The cloud is effectively unbounded from a single tenant's perspective.
 DEFAULT_DRP_CAPACITY = 1_000_000
 
 
 class _DrpHtcRun:
-    """One HTC trace through DRP: lease per job, no queue."""
+    """One HTC trace through DRP: lease per job, no queue.
+
+    With a failure model, each running job is exposed to per-node
+    failures: the job's TTF is the minimum of one draw per occupied node
+    (from the job's private RNG stream, ``failure:drp:job<id>`` — the
+    same determinism argument as the slot streams).  A failed job's
+    lease closes immediately (the dead instance stops billing), the end
+    user re-leases healthy nodes on the spot — repair time is the
+    *provider's* problem at cloud scale — and the job restarts from its
+    last checkpoint (everything, without one).
+    """
 
     def __init__(
         self,
@@ -53,6 +66,8 @@ class _DrpHtcRun:
         name: str,
         capacity: int,
         meter: Optional[BillingMeter] = None,
+        failures: Optional["FailureModel"] = None,
+        seed: int = 0,
     ) -> None:
         self.engine = engine
         self.name = name
@@ -61,18 +76,76 @@ class _DrpHtcRun:
         self.leasing = PerJobLease(engine, self.provision, name, self.usage)
         self.completed: list[Job] = []
         self.submitted = 0
+        self.failures = failures
+        self.stats = None
+        if failures is not None:
+            from repro.reliability.stats import ReliabilityStats
+            from repro.simkit.rng import RandomStreams
+
+            self.stats = ReliabilityStats()
+            self._streams = RandomStreams(seed)
 
     def submit(self, job: Job) -> None:
         self.submitted += 1
-        lease = self.leasing.acquire(job.size)
         job.mark_queued(self.engine.now)
         job.mark_running(self.engine.now)
-        self.engine.schedule(job.runtime, self._finish, job, lease)
+        if self.failures is None:
+            lease = self.leasing.acquire(job.size)
+            self.engine.schedule(job.runtime, self._finish, job, lease)
+        else:
+            self._start_segment(job, job.runtime)
 
-    def _finish(self, job: Job, lease: Lease) -> None:
+    def _finish(
+        self, job: Job, lease: Lease, segment_work: Optional[float] = None
+    ) -> None:
         self.leasing.release(lease)
         job.mark_completed(self.engine.now)
         self.completed.append(job)
+        if segment_work is not None:
+            # mirror the server path (REServer._finish): the successful
+            # segment's checkpoint writes count as waste *at completion*,
+            # so a segment still in flight at the horizon adds nothing
+            self.stats.record_write_overhead(
+                job.size, self.failures.checkpoint, segment_work
+            )
+
+    # -------------------------------------------------------------- #
+    # failure-exposed execution
+    # -------------------------------------------------------------- #
+    def _job_ttf(self, job: Job) -> float:
+        """The job's time-to-failure: first of its nodes to die."""
+        rng = self._streams.stream(f"failure:drp:job{job.job_id}")
+        return min(self.failures.draw_ttf(rng) for _ in range(job.size))
+
+    def _start_segment(self, job: Job, remaining: float) -> None:
+        checkpoint = self.failures.checkpoint
+        wall = (
+            checkpoint.segment_wall(remaining)
+            if checkpoint is not None
+            else remaining
+        )
+        lease = self.leasing.acquire(job.size)
+        ttf = self._job_ttf(job)
+        if ttf >= wall:
+            self.engine.schedule(wall, self._finish, job, lease, remaining)
+        else:
+            self.engine.schedule(
+                ttf, self._fail_segment, job, lease, remaining, ttf
+            )
+
+    def _fail_segment(
+        self, job: Job, lease: Lease, remaining: float, elapsed: float
+    ) -> None:
+        from repro.reliability.checkpoint import collapse_progress
+
+        self.leasing.release(lease)  # the dead instance stops billing
+        self.stats.failures += 1
+        self.stats.repairs += 1  # the user replaces the instance instantly
+        after, recovered, wasted_wall = collapse_progress(
+            self.failures.checkpoint, remaining, elapsed
+        )
+        self.stats.record_kill(job.size, recovered, wasted_wall)
+        self._start_segment(job, after)
 
 
 class _DrpMtcUserPool:
@@ -127,14 +200,28 @@ def run_drp(
     bundle: WorkloadBundle,
     capacity: int = DEFAULT_DRP_CAPACITY,
     meter: Optional[BillingMeter] = None,
+    failures: Optional["FailureModel"] = None,
+    seed: int = 0,
 ) -> ProviderMetrics:
     """Run one bundle through the DRP system."""
     engine = SimulationEngine()
     emulator = JobEmulator(engine)
+    reliability = None
+    if failures is not None:
+        from repro.reliability.failures import TraceDrivenFailures
+
+        if isinstance(failures, TraceDrivenFailures):
+            raise ValueError(
+                "DRP failure injection draws per-job TTFs and cannot replay "
+                "a trace-driven (slot, fail_t, repair_t) model; use a "
+                "distributional model, or run the trace through a "
+                "server-attached system (dcs/ssp/dawningcloud)"
+            )
 
     if bundle.kind == "htc":
         trace = bundle.materialize_trace()
-        run = _DrpHtcRun(engine, bundle.name, capacity, meter=meter)
+        run = _DrpHtcRun(engine, bundle.name, capacity, meter=meter,
+                         failures=failures, seed=seed)
         emulator.submit_trace(trace, run.submit)
         horizon = float(bundle.horizon)  # type: ignore[arg-type]
         engine.run(until=horizon)
@@ -146,7 +233,20 @@ def run_drp(
         submitted = len(trace)
         tasks_per_second = None
         makespan = None
+        if run.stats is not None:
+            from repro.reliability.stats import completed_goodput_node_seconds
+
+            run.stats.finalize(
+                horizon,
+                completed_goodput_node_seconds(run.completed, horizon),
+            )
+            reliability = run.stats.to_payload()
     else:
+        if failures is not None:
+            raise ValueError(
+                "DRP failure injection is HTC-only (the MTC user pool has "
+                "no requeue path); model MTC failures through DawningCloud"
+            )
         workflow = bundle.materialize_workflow()
         pool = _DrpMtcUserPool(engine, bundle.name, capacity, meter=meter)
         emulator.submit_workflow(workflow, pool.submit)
@@ -172,6 +272,7 @@ def run_drp(
         adjusted_nodes=provision.adjusted_node_count(bundle.name),
         peak_nodes=usage.peak(horizon),
         usage=usage,
+        reliability=reliability,
     )
 
 

@@ -13,13 +13,17 @@ Two granularities, matching the paper's evaluation:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.core.dawningcloud import DawningCloud
 from repro.core.policies import ResourceManagementPolicy
 from repro.metrics.results import ProviderMetrics, ResourceProviderMetrics
 from repro.provisioning.billing import BillingMeter
 from repro.systems.base import WorkloadBundle, run_until
+
+if TYPE_CHECKING:  # pragma: no cover - reliability is an optional layer
+    from repro.reliability.failures import FailureModel
+    from repro.reliability.injector import NodeFailureInjector
 
 HOUR = 3600.0
 
@@ -32,22 +36,59 @@ HOUR = 3600.0
 DEFAULT_CAPACITY = 420
 
 
+def _elastic_injector(
+    cloud: DawningCloud,
+    bundle: WorkloadBundle,
+    failures: "FailureModel",
+    seed: int,
+) -> "NodeFailureInjector":
+    """An injector for a DawningCloud TRE (must already exist).
+
+    The slot set is sized to the workload's dedicated-machine scale
+    (``bundle.fixed_nodes``) so every system faces the same failure
+    exposure; repaired nodes rejoin the *provider's* free pool and the
+    TRE re-grows through its resource-management policy.
+    """
+    from repro.reliability.injector import NodeFailureInjector
+    from repro.simkit.rng import RandomStreams
+
+    return NodeFailureInjector(
+        cloud.engine,
+        cloud.tre(bundle.name).server,
+        failures,
+        RandomStreams(seed),
+        n_slots=int(bundle.fixed_nodes),  # type: ignore[arg-type]
+        provision=cloud.provision,
+        restore="provider",
+    )
+
+
 def run_dawningcloud_htc(
     bundle: WorkloadBundle,
     policy: ResourceManagementPolicy,
     capacity: int = DEFAULT_CAPACITY,
     meter: Optional[BillingMeter] = None,
+    failures: Optional["FailureModel"] = None,
+    seed: int = 0,
 ) -> ProviderMetrics:
     """One HTC service provider on DawningCloud (standalone)."""
     if bundle.kind != "htc":
         raise ValueError("expected an HTC bundle")
     cloud = DawningCloud(capacity=capacity, meter=meter)
     cloud.add_htc_provider(bundle.name, policy)
+    injector = (
+        _elastic_injector(cloud, bundle, failures, seed).start()
+        if failures is not None
+        else None
+    )
     cloud.submit_trace(bundle.name, bundle.materialize_trace())
     horizon = float(bundle.horizon)  # type: ignore[arg-type]
     cloud.run(until=horizon)
     cloud.shutdown()
-    return cloud.provider_metrics(bundle.name, horizon)
+    metrics = cloud.provider_metrics(bundle.name, horizon)
+    if injector is not None:
+        metrics.reliability = injector.finalize(horizon)
+    return metrics
 
 
 def run_dawningcloud_mtc(
@@ -55,12 +96,16 @@ def run_dawningcloud_mtc(
     policy: ResourceManagementPolicy,
     capacity: int = DEFAULT_CAPACITY,
     meter: Optional[BillingMeter] = None,
+    failures: Optional["FailureModel"] = None,
+    seed: int = 0,
 ) -> ProviderMetrics:
     """One MTC service provider on DawningCloud (standalone).
 
     The TRE is created on demand, the workflow runs, and the TRE is
     destroyed at completion, so the leases are billed for the workload
     period only (1 hour for Montage → the paper's 166 node-hours).
+    With a failure model, injection starts at TRE creation (the machine
+    partition exists only for the workload period).
     """
     if bundle.kind != "mtc":
         raise ValueError("expected an MTC bundle")
@@ -69,10 +114,23 @@ def run_dawningcloud_mtc(
     cloud.add_mtc_provider(
         bundle.name, policy, auto_destroy=True, create_at=workflow.submit_time
     )
+    injectors: list = []
+    if failures is not None:
+        # the TRE materializes at submit_time (priority -1); attach the
+        # injector right after it exists, at the same instant
+        cloud.engine.schedule_at(
+            workflow.submit_time,
+            lambda: injectors.append(
+                _elastic_injector(cloud, bundle, failures, seed).start()
+            ),
+        )
     cloud.submit_workflow(bundle.name, workflow)
     run_until(cloud.engine, workflow.completed, hard_limit=float(bundle.horizon))  # type: ignore[arg-type]
     cloud.shutdown()
-    return cloud.provider_metrics(bundle.name, cloud.engine.now)
+    metrics = cloud.provider_metrics(bundle.name, cloud.engine.now)
+    if injectors:
+        metrics.reliability = injectors[0].finalize(cloud.engine.now)
+    return metrics
 
 
 def run_dawningcloud_consolidated(

@@ -23,7 +23,7 @@ bills the same machine very differently).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.cluster.provision import ResourceProvisionService
 from repro.core.servers import REServer
@@ -38,11 +38,18 @@ from repro.simkit.engine import SimulationEngine
 from repro.systems.base import WorkloadBundle, run_until
 from repro.systems.emulator import JobEmulator
 
+if TYPE_CHECKING:  # pragma: no cover - reliability is an optional layer
+    from repro.reliability.failures import FailureModel
+
 HOUR = 3600.0
 
 
 def _run_fixed(
-    bundle: WorkloadBundle, system: str, meter: Optional[BillingMeter] = None
+    bundle: WorkloadBundle,
+    system: str,
+    meter: Optional[BillingMeter] = None,
+    failures: Optional["FailureModel"] = None,
+    seed: int = 0,
 ) -> ProviderMetrics:
     engine = SimulationEngine()
     emulator = JobEmulator(engine)
@@ -54,17 +61,37 @@ def _run_fixed(
         ResourceProvisionService(nodes, meter=meter) if system == "SSP" else None
     )
 
+    injector = None
+    if failures is not None:
+        from repro.reliability.injector import NodeFailureInjector
+        from repro.simkit.rng import RandomStreams
+
+        def make_injector(server: REServer) -> NodeFailureInjector:
+            # the fixed machine *is* the slot set; repaired nodes return
+            # to the machine (DCS owns them, SSP re-leases per node)
+            return NodeFailureInjector(
+                engine, server, failures, RandomStreams(seed), n_slots=nodes,
+                provision=provision, restore="server",
+            )
+
     if bundle.kind == "htc":
         trace = bundle.materialize_trace()
         server = REServer(engine, bundle.name, FirstFitScheduler(), HTC_SCAN_INTERVAL_S)
         allocation = FixedAllocation(engine, server, nodes, provision=provision)
         allocation.start()
+        if failures is not None:
+            injector = make_injector(server).start()
         emulator.submit_trace(trace, server.submit_job)
         horizon = float(bundle.horizon)  # type: ignore[arg-type]
         engine.run(until=horizon)
         allocation.teardown()
         server.stop()
-        period = trace.duration
+        # the machine exists (and DCS pays) for the configured horizon:
+        # bundle.horizon defaults to trace.duration, but when a caller
+        # extends it (e.g. a repair tail letting requeued jobs finish
+        # after the trace period) billing, completions and peaks must all
+        # clamp to the *same* instant
+        period = horizon
         completed = server.completed_by(horizon)
         tasks_per_second = None
         makespan = None
@@ -75,6 +102,9 @@ def _run_fixed(
         allocation = FixedAllocation(engine, server, nodes, provision=provision)
         # the fixed machine exists only for the workload period
         engine.schedule_at(workflow.submit_time, allocation.start)
+        if failures is not None:
+            injector = make_injector(server)
+            engine.schedule_at(workflow.submit_time, injector.start)
         emulator.submit_workflow(workflow, server.submit_workflow)
         run_until(engine, workflow.completed, hard_limit=float(bundle.horizon))  # type: ignore[arg-type]
         makespan = server.makespan()
@@ -108,18 +138,25 @@ def _run_fixed(
         adjusted_nodes=adjusted,
         peak_nodes=server.usage.peak(horizon),
         usage=server.usage,
+        reliability=injector.finalize(horizon) if injector is not None else None,
     )
 
 
 def run_dcs(
-    bundle: WorkloadBundle, meter: Optional[BillingMeter] = None
+    bundle: WorkloadBundle,
+    meter: Optional[BillingMeter] = None,
+    failures: Optional["FailureModel"] = None,
+    seed: int = 0,
 ) -> ProviderMetrics:
     """Run a workload on a dedicated cluster system (owned, fixed size)."""
-    return _run_fixed(bundle, "DCS", meter=meter)
+    return _run_fixed(bundle, "DCS", meter=meter, failures=failures, seed=seed)
 
 
 def run_ssp(
-    bundle: WorkloadBundle, meter: Optional[BillingMeter] = None
+    bundle: WorkloadBundle,
+    meter: Optional[BillingMeter] = None,
+    failures: Optional["FailureModel"] = None,
+    seed: int = 0,
 ) -> ProviderMetrics:
     """Run a workload on a static-service-provision system (leased, fixed)."""
-    return _run_fixed(bundle, "SSP", meter=meter)
+    return _run_fixed(bundle, "SSP", meter=meter, failures=failures, seed=seed)

@@ -140,6 +140,19 @@ class Job:
         self.state = JobState.COMPLETED
         self.finish_time = now
 
+    def mark_requeued(self, now: float) -> None:
+        """A node failure killed the job: back to the queue, start cleared.
+
+        Submission facts are untouched (``submit_time`` keeps the original
+        instant, so wait-time metrics count the full delay); how much work
+        survives the kill is the server's checkpoint bookkeeping, not the
+        job's.
+        """
+        if self.state is not JobState.RUNNING:
+            raise RuntimeError(f"job {self.job_id}: cannot requeue from {self.state}")
+        self.state = JobState.QUEUED
+        self.start_time = None
+
 
 class TraceArrays:
     """Columnar (structure-of-arrays) storage for a trace's immutable facts.

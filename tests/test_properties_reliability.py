@@ -1,0 +1,247 @@
+"""Property-based tests for the fault-tolerance subsystem.
+
+Four invariant families, each stated over randomly generated inputs:
+
+* **node conservation** — ``free + allocated + failed == capacity`` on
+  the range-indexed cluster state after *any* operation sequence;
+* **no billing accrual on failed nodes** — once a lease shrinks, the
+  failed slice's charge is frozen at the failure instant (checked
+  exactly under the per-second meter, where billing is linear in time);
+* **requeue never loses or duplicates a job** — under arbitrary
+  trace-driven outage schedules, every submitted job completes exactly
+  once when the run is given room to drain, and job states always
+  partition the trace;
+* **checkpoint resume never finishes earlier than the failure-free
+  runtime** — checkpoints cannot invent progress, per segment (pure
+  math) and end to end (a killed-and-resumed job's span covers at least
+  its runtime).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.lease import HOUR, LeaseLedger
+from repro.core.servers import REServer
+from repro.provisioning.billing import PerSecondMeter
+from repro.provisioning.state import ClusterState, ClusterStateError
+from repro.reliability import (
+    CheckpointPolicy,
+    NodeFailureInjector,
+    TraceDrivenFailures,
+    resume_work,
+)
+from repro.scheduling.firstfit import FirstFitScheduler
+from repro.simkit.engine import SimulationEngine
+from repro.simkit.rng import RandomStreams
+from repro.workloads.job import Job, JobState
+
+pytestmark = pytest.mark.slow
+
+
+# --------------------------------------------------------------------- #
+# node conservation
+# --------------------------------------------------------------------- #
+op_strategy = st.tuples(
+    st.sampled_from(["assign", "reclaim", "fail_free", "fail_owned", "repair"]),
+    st.sampled_from(["a", "b", "c"]),
+    st.integers(min_value=1, max_value=8),
+)
+
+
+@given(
+    capacity=st.integers(min_value=4, max_value=64),
+    ops=st.lists(op_strategy, max_size=60),
+)
+@settings(max_examples=120, deadline=None)
+def test_conservation_holds_after_every_operation(capacity, ops):
+    state = ClusterState(capacity)
+    t = 0.0
+    for op, owner, n in ops:
+        t += 1.0
+        try:
+            if op == "assign":
+                state.assign(owner, n, t)
+            elif op == "reclaim":
+                state.reclaim(owner, n, t)
+            elif op == "fail_free":
+                state.fail_free(n, t)
+            elif op == "fail_owned":
+                state.fail_owned(owner, n, t)
+            else:
+                state.repair(n, t)
+        except ClusterStateError:
+            pass  # infeasible op (not enough nodes): state must be untouched
+        assert (
+            state.free_count + state.allocated_count + state.failed_count
+            == capacity
+        ), f"conservation broken after {op}({owner}, {n})"
+        assert state.free_count >= 0
+        assert state.failed_count >= 0
+        assert state.allocated_count >= 0
+        # the range indexes agree with the counters
+        assert sum(b - a for a, b in state._free) == state.free_count
+        assert sum(b - a for a, b in state._failed) == state.failed_count
+
+
+# --------------------------------------------------------------------- #
+# no billing accrual on failed nodes
+# --------------------------------------------------------------------- #
+@given(
+    n_nodes=st.integers(min_value=2, max_value=32),
+    n_failed=st.integers(min_value=1, max_value=31),
+    t_fail=st.floats(min_value=1.0, max_value=1e6),
+    dt_close=st.floats(min_value=0.0, max_value=1e6),
+)
+@settings(max_examples=150, deadline=None)
+def test_failed_slice_charge_frozen_at_failure_instant(
+    n_nodes, n_failed, t_fail, dt_close
+):
+    n_failed = min(n_failed, n_nodes - 1)  # keep the lease partially alive
+    ledger = LeaseLedger(meter=PerSecondMeter(min_charge_s=0.0))
+    lease = ledger.open_lease("a", n_nodes, t=0.0)
+    ledger.shrink_lease(lease, n_failed, t=t_fail)
+    ledger.close_lease(lease, t=t_fail + dt_close)
+    expected = (
+        n_failed * t_fail + (n_nodes - n_failed) * (t_fail + dt_close)
+    ) / HOUR
+    assert ledger.charged_units_total("a") == pytest.approx(expected, rel=1e-9)
+
+
+@given(dt_extra=st.floats(min_value=0.0, max_value=1e6))
+@settings(max_examples=50, deadline=None)
+def test_dead_nodes_accrue_nothing_after_shrink(dt_extra):
+    """Closing later must not change what the failed slice was billed."""
+    ledger = LeaseLedger(meter=PerSecondMeter(min_charge_s=0.0))
+    lease = ledger.open_lease("a", 4, t=0.0)
+    charged_at_fail = ledger.shrink_lease(lease, 2, t=100.0)
+    ledger.close_lease(lease, t=100.0 + dt_extra)
+    survivors = ledger.charged_units_total("a") - charged_at_fail
+    assert survivors == pytest.approx(2 * (100.0 + dt_extra) / HOUR, rel=1e-9)
+    assert charged_at_fail == pytest.approx(2 * 100.0 / HOUR, rel=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# requeue never loses or duplicates a job
+# --------------------------------------------------------------------- #
+@given(
+    data=st.data(),
+    n_jobs=st.integers(min_value=1, max_value=12),
+    nodes=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_requeue_drains_every_job_exactly_once(data, n_jobs, nodes):
+    jobs = [
+        Job(
+            job_id=i + 1,
+            submit_time=data.draw(
+                st.floats(min_value=0.0, max_value=3600.0), label="submit"
+            ),
+            size=data.draw(st.integers(min_value=1, max_value=nodes),
+                           label="size"),
+            runtime=data.draw(
+                st.floats(min_value=10.0, max_value=1800.0), label="runtime"
+            ),
+        )
+        for i in range(n_jobs)
+    ]
+    # outage windows all inside the first simulated day, never more than
+    # nodes-1 concurrently down on one slot set, so capacity returns and
+    # the queue can always drain eventually
+    n_windows = data.draw(st.integers(min_value=0, max_value=6),
+                          label="n_windows")
+    events = []
+    for k in range(n_windows):
+        slot = data.draw(st.integers(min_value=0, max_value=nodes - 1),
+                         label="slot")
+        start = data.draw(st.floats(min_value=1.0, max_value=20_000.0),
+                          label="fail_t")
+        width = data.draw(st.floats(min_value=10.0, max_value=4000.0),
+                          label="width")
+        events.append((slot, start, start + width))
+    try:
+        model = TraceDrivenFailures(events=tuple(events))
+    except ValueError:
+        return  # overlapping windows on one slot: not a valid schedule
+    engine = SimulationEngine()
+    server = REServer(engine, "p", FirstFitScheduler(), 60.0)
+    server.add_nodes(nodes)
+    checkpoint = data.draw(
+        st.sampled_from([None, CheckpointPolicy(300.0, 5.0)]), label="ckpt"
+    )
+    object.__setattr__(model, "checkpoint", checkpoint)
+    NodeFailureInjector(
+        engine, server, model, RandomStreams(0), n_slots=nodes,
+        restore="server",
+    ).start()
+    for job in jobs:
+        engine.schedule_at(job.submit_time, server.submit_job, job)
+    engine.run(until=400_000.0)  # windows are finite: plenty of room
+    completed_ids = [j.job_id for j in server.completed]
+    assert sorted(completed_ids) == sorted(j.job_id for j in jobs), (
+        "a requeued job was lost or never drained"
+    )
+    assert len(completed_ids) == len(set(completed_ids)), (
+        "a job completed more than once"
+    )
+    for job in jobs:
+        assert job.state is JobState.COMPLETED
+
+
+# --------------------------------------------------------------------- #
+# checkpoint resume never beats the failure-free runtime
+# --------------------------------------------------------------------- #
+@given(
+    work=st.floats(min_value=1.0, max_value=1e5),
+    interval=st.floats(min_value=1.0, max_value=1e4),
+    overhead=st.floats(min_value=0.0, max_value=500.0),
+    elapsed=st.floats(min_value=0.0, max_value=2e5),
+)
+@settings(max_examples=200, deadline=None)
+def test_recovered_work_never_exceeds_elapsed_wall(
+    work, interval, overhead, elapsed
+):
+    policy = CheckpointPolicy(interval_s=interval, overhead_s=overhead)
+    remaining = resume_work(policy, work, elapsed)
+    recovered = work - remaining
+    assert 0.0 <= recovered <= min(work, elapsed) + 1e-6
+    # recovered work is a whole number of checkpoint intervals (or the
+    # clamp at `work`)
+    if recovered < work:
+        assert recovered / interval == pytest.approx(
+            round(recovered / interval), abs=1e-6
+        )
+    # wall time of an attempt is never shorter than its useful work
+    assert policy.segment_wall(work) >= work
+
+
+@given(
+    runtime=st.floats(min_value=100.0, max_value=5000.0),
+    kill_after=st.floats(min_value=1.0, max_value=4999.0),
+    interval=st.sampled_from([60.0, 300.0, 900.0]),
+    overhead=st.sampled_from([0.0, 10.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_killed_job_never_finishes_before_failure_free_span(
+    runtime, kill_after, interval, overhead
+):
+    engine = SimulationEngine()
+    server = REServer(engine, "p", FirstFitScheduler(), 60.0)
+    server.add_nodes(1)
+    server.enable_fault_tolerance(CheckpointPolicy(interval, overhead))
+    job = Job(job_id=1, submit_time=0.0, size=1, runtime=runtime)
+    server.submit_job(job)
+    engine.run(until=60.0)
+    assert job.state is JobState.RUNNING
+    kill_at = 60.0 + min(kill_after, runtime * 0.99)
+    engine.schedule_at(kill_at, lambda: (
+        server.kill_running(job) if job.job_id in server.running else None
+    ))
+    engine.run(until=60.0 + 10 * (runtime + 3600.0))
+    assert job.state is JobState.COMPLETED
+    span = job.finish_time - 60.0  # first dispatch instant
+    assert span >= runtime - 1e-6, (
+        "a checkpointed retry finished faster than the failure-free run"
+    )

@@ -32,6 +32,10 @@ GOLDEN_SCENARIOS = (
     "fig12-14-consolidated",
     "tco-case",
     "breakeven",
+    "reliability-mtbf-sweep",
+    "checkpoint-interval-ablation",
+    "drp-vs-fixed-under-failures",
+    "spot-preemption-as-failure",
 )
 
 #: node-hours per system, standalone runs at seed 0, capacity 420
@@ -84,6 +88,52 @@ GOLDEN_TCO = {
 }
 
 GOLDEN_BREAKEVEN_PRICE = 0.1417824074074074
+
+#: reliability-mtbf-sweep rows at seed 0, keyed (mtbf_hours, system):
+#: (resource_consumption, completed_jobs, requeues)
+GOLDEN_MTBF_SWEEP = {
+    (None, "DCS"): (43008, 2597, 0),
+    (None, "DawningCloud"): (33899.0, 2603, 0),
+    (48.0, "DCS"): (43008, 2569, 462),
+    (48.0, "DawningCloud"): (39744.0, 2603, 538),
+    (96.0, "DCS"): (43008, 2569, 227),
+    (96.0, "DawningCloud"): (38982.0, 2603, 268),
+    (192.0, "DCS"): (43008, 2571, 109),
+    (192.0, "DawningCloud"): (38806.0, 2603, 124),
+    (384.0, "DCS"): (43008, 2574, 59),
+    (384.0, "DawningCloud"): (36941.0, 2603, 75),
+}
+
+#: checkpoint-interval-ablation at seed 0, keyed by interval:
+#: (completed_jobs, requeues, checkpoint_restores, goodput_per_billed_hour)
+GOLDEN_CHECKPOINT_ABLATION = {
+    None: (2362, 1554, 0, 0.2388),
+    900.0: (2569, 972, 539, 0.4229),
+    1800.0: (2569, 1122, 400, 0.4229),
+    3600.0: (2562, 1412, 248, 0.3756),
+    7200.0: (2548, 1457, 114, 0.3465),
+}
+
+#: drp-vs-fixed-under-failures at seed 0 (MTBF 48 h, ckpt 1800 s):
+#: (resource_consumption, completed_jobs, cost_per_job, saving_vs_dcs)
+GOLDEN_FOUR_SYSTEMS_FAILURES = {
+    "DCS": (43008, 2569, 16.741, 0.0),
+    "SSP": (41832.0, 2569, 16.283, 0.027),
+    "DRP": (69725.0, 2603, 26.786, -0.621),
+    "DawningCloud": (39744.0, 2603, 15.269, 0.076),
+}
+
+#: spot-preemption-as-failure at seed 0, keyed (mtbf, checkpointing):
+#: (billed_node_hours, completed_jobs, saving_vs_on_demand)
+GOLDEN_SPOT_PREEMPTION = {
+    (None, False): (46702.0, 2603, 0.0),
+    (24.0, False): (916447.0, 2574, -5.868),
+    (24.0, True): (120942.0, 2603, 0.094),
+    (48.0, False): (407374.0, 2592, -2.053),
+    (48.0, True): (69725.0, 2603, 0.477),
+    (96.0, False): (185801.0, 2602, -0.392),
+    (96.0, True): (55510.0, 2603, 0.584),
+}
 
 
 @pytest.fixture(scope="module")
@@ -156,6 +206,98 @@ def test_consolidated_shapes_hold(golden_runs):
         s["system"]: s["adjusted_nodes"] for s in payload["series"]
     }
     assert check_headline_shapes(totals, peaks, adjustments) == []
+
+
+def test_reliability_mtbf_sweep_pinned(golden_runs):
+    rows = golden_runs["reliability-mtbf-sweep"].payload
+    measured = {
+        (r["mtbf_hours"], r["system"]):
+            (r["resource_consumption"], r["completed_jobs"], r["requeues"])
+        for r in rows
+    }
+    assert set(measured) == set(GOLDEN_MTBF_SWEEP)
+    for key, (consumption, completed, requeues) in GOLDEN_MTBF_SWEEP.items():
+        got = measured[key]
+        assert got[0] == pytest.approx(consumption, rel=1e-9), (
+            f"{key} consumption drifted: {got[0]} != {consumption}"
+        )
+        assert got[1] == completed, f"{key} completed drifted"
+        assert got[2] == requeues, f"{key} requeues drifted"
+
+
+def test_checkpoint_interval_ablation_pinned(golden_runs):
+    rows = golden_runs["checkpoint-interval-ablation"].payload
+    measured = {
+        r["checkpoint_interval_s"]:
+            (r["completed_jobs"], r["requeues"], r["checkpoint_restores"],
+             r["goodput_per_billed_hour"])
+        for r in rows
+    }
+    assert measured == GOLDEN_CHECKPOINT_ABLATION
+    # the qualitative shape: some checkpointing beats none, and the
+    # goodput-per-billed-hour curve is unimodal over the interval grid
+    efficiencies = [r["goodput_per_billed_hour"] for r in rows]
+    assert max(efficiencies[1:]) > efficiencies[0]
+
+
+def test_failures_four_systems_pinned(golden_runs):
+    rows = {r["system"]: r
+            for r in golden_runs["drp-vs-fixed-under-failures"].payload}
+    for system, (consumption, completed, cost, saving) in (
+        GOLDEN_FOUR_SYSTEMS_FAILURES.items()
+    ):
+        r = rows[system]
+        assert r["resource_consumption"] == pytest.approx(consumption,
+                                                          rel=1e-9)
+        assert r["completed_jobs"] == completed
+        assert r["cost_per_job"] == pytest.approx(cost, rel=1e-9)
+        assert r["saving_vs_dcs"] == pytest.approx(saving, rel=1e-9)
+    # the paper's ordering survives failures: DawningCloud cheapest per
+    # job, DRP's hour-rounding penalty widens
+    assert rows["DawningCloud"]["cost_per_job"] < rows["DCS"]["cost_per_job"]
+    assert rows["DRP"]["cost_per_job"] > rows["DCS"]["cost_per_job"]
+
+
+def test_spot_preemption_pinned(golden_runs):
+    rows = {
+        (r["preemption_mtbf_hours"], r["checkpointing"]):
+            (r["billed_node_hours"], r["completed_jobs"],
+             r["saving_vs_on_demand"])
+        for r in golden_runs["spot-preemption-as-failure"].payload
+    }
+    assert rows == GOLDEN_SPOT_PREEMPTION
+    # shape: without checkpointing spot never wins; with it the saving
+    # grows monotonically as preemptions get milder
+    for (mtbf, ckpt), (_, _, saving) in GOLDEN_SPOT_PREEMPTION.items():
+        if mtbf is not None and not ckpt:
+            assert saving < 0
+    ckpt_savings = [GOLDEN_SPOT_PREEMPTION[(m, True)][2]
+                    for m in (24.0, 48.0, 96.0)]
+    assert ckpt_savings == sorted(ckpt_savings)
+
+
+def test_reliability_sweep_parallel_matches_serial(tmp_path):
+    """Same spec + seed ⇒ byte-identical payload with failures enabled.
+
+    The determinism argument for per-slot RNG streams (docs/reliability
+    .md) must survive the process pool: a 4-worker run and an in-process
+    run of the reliability scenarios produce identical canonical JSON.
+    """
+    from repro.experiments.cache import ResultCache, canonical_json
+    from repro.experiments.orchestrator import payloads
+
+    names = ("reliability-mtbf-sweep", "drp-vs-fixed-under-failures")
+    serial = Orchestrator(
+        cache=ResultCache(tmp_path / "serial"), workers=1, seed=0
+    ).run(names=names)
+    parallel = Orchestrator(
+        cache=ResultCache(tmp_path / "parallel"), workers=4, seed=0
+    ).run(names=names)
+    assert canonical_json(payloads(serial)) == canonical_json(
+        payloads(parallel)
+    )
+    assert not any(run.cached for run in serial.values())
+    assert not any(run.cached for run in parallel.values())
 
 
 def test_tco_and_breakeven_pinned(golden_runs):

@@ -114,3 +114,61 @@ class TestBundleValidation:
         second = run_dcs(htc_bundle)
         assert first.completed_jobs == second.completed_jobs
         assert first.resource_consumption == second.resource_consumption
+
+
+class TestHorizonClamp:
+    """Regression: the period DCS bills, the completion cutoff and the
+    peak window must all clamp to the *configured* horizon.
+
+    Surfaced while wiring requeue into the usage integrals: a job killed
+    near the end of the trace and requeued can finish after
+    ``trace.duration``; with the old ``period = trace.duration`` a
+    caller extending ``bundle.horizon`` to cover the repair tail counted
+    the late completion but billed the machine for the shorter trace
+    period — completions and consumption disagreed about when the run
+    ended.
+    """
+
+    def test_requeued_job_finishing_past_duration_is_billed_and_counted(self):
+        from repro.reliability import TraceDrivenFailures
+        from repro.workloads.job import hour_ceil
+
+        trace = make_trace(
+            [make_job(1, submit=6000.0, size=2, runtime=1500.0)],
+            nodes=4, duration=2 * HOUR,
+        )
+        bundle = WorkloadBundle.from_trace("tail", trace)
+        bundle.horizon = 4 * HOUR  # cover the repair tail
+        # kill the job mid-flight so the requeued attempt ends past the
+        # 2 h trace duration (dispatch 6060, kill 7000, node down till
+        # 7300, redispatch 7320, finish 8820 > 7200)
+        model = TraceDrivenFailures(events=((0, 7000.0, 7300.0),))
+        metrics = run_dcs(bundle, failures=model, seed=0)
+        assert metrics.completed_jobs == 1          # counted at 4 h horizon
+        # ... and the machine is billed for the same 4 h window
+        assert metrics.resource_consumption == 4 * hour_ceil(4 * HOUR)
+        assert metrics.reliability["requeues"] == 1
+
+    def test_default_horizon_still_bills_the_trace_duration(self, htc_bundle):
+        from repro.workloads.job import hour_ceil
+
+        metrics = run_dcs(htc_bundle)
+        nodes = htc_bundle.fixed_nodes
+        assert metrics.resource_consumption == nodes * hour_ceil(
+            htc_bundle.trace.duration
+        )
+
+    def test_late_finish_without_horizon_extension_is_not_counted(self):
+        from repro.reliability import TraceDrivenFailures
+
+        trace = make_trace(
+            [make_job(1, submit=6000.0, size=2, runtime=1500.0)],
+            nodes=4, duration=2 * HOUR,
+        )
+        bundle = WorkloadBundle.from_trace("tail", trace)  # horizon = 2 h
+        model = TraceDrivenFailures(events=((0, 7000.0, 7300.0),))
+        metrics = run_dcs(bundle, failures=model, seed=0)
+        # the requeued attempt would finish at 8820 s > 7200 s: with the
+        # default horizon the run ends first, consistently on both sides
+        assert metrics.completed_jobs == 0
+        assert metrics.resource_consumption == 4 * 2
