@@ -10,7 +10,11 @@ job when any tracked scenario's wall time regresses by more than
   (events/second) under the timer-churn pattern every system produces;
 * the **cold (B, R) sweeps** (Figures 9 and 10) — 16 full two-week
   DawningCloud simulations each, the workload the provisioning kernel's
-  incremental accounting and the idle-gap fast-forward are built for.
+  incremental accounting and the idle-gap fast-forward are built for;
+* the **prefix-shared (branched) sweep** — one B-group warm-up forked
+  per threshold ratio (``share_prefix=True``), asserted byte-identical
+  to the cold sweep and timed, so the branching machinery has its own
+  point on the trajectory.
 
 Absolute wall times are machine-dependent; the gate therefore compares a
 fresh run on the *same* machine/CI-runner class against the committed
@@ -104,6 +108,47 @@ def cold_sweep(scenario: str) -> dict:
     }
 
 
+def prefix_shared_sweep(n_jobs: int = 40) -> dict:
+    """Branched sweep vs cold sweep: identity asserted, both timed.
+
+    The synthetic trace's first submission lands 40% into the horizon, so
+    the R-independent warm-up prefix is long enough that ``"auto"`` would
+    share it too (see ``SHARED_PREFIX_MIN_FRACTION``); both paths are
+    forced explicitly here so each is exercised regardless of the guard.
+    A divergence between the two raises AssertionError — this is the
+    CI-side twin of ``tests/test_snapshot_branching.py``.
+    """
+    from repro.experiments.sweep import sweep_htc_parameters
+    from repro.systems.base import WorkloadBundle
+    from repro.workloads.job import Job, Trace
+
+    start = 9.6 * 3600.0
+    jobs = [
+        Job(job_id=i, submit_time=start + 90.0 * i, size=1 + i % 8,
+            runtime=1800.0)
+        for i in range(1, n_jobs + 1)
+    ]
+    bundle = WorkloadBundle.from_trace(
+        "branch", Trace("branch", jobs, machine_nodes=32, duration=24 * 3600.0)
+    )
+    grid = dict(
+        initial_nodes=(4, 8), threshold_ratios=(1.0, 1.5, 2.0), capacity=64
+    )
+    t0 = time.perf_counter()
+    cold = sweep_htc_parameters(bundle, share_prefix=False, **grid)
+    t1 = time.perf_counter()
+    warm = sweep_htc_parameters(bundle, share_prefix=True, **grid)
+    t2 = time.perf_counter()
+    assert warm == cold, "branched sweep diverged from the cold sweep"
+    return {
+        "scenario": "prefix-shared-sweep",
+        "points": len(warm),
+        "identical": True,
+        "cold_wall_s": round(t1 - t0, 3),
+        "wall_s": round(t2 - t1, 3),
+    }
+
+
 def tracked_timings(report: dict) -> dict[str, float]:
     """The scenario → wall-seconds map the regression gate compares."""
     timings = {"engine": report["engine"]["wall_s"]}
@@ -176,7 +221,11 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "no_failure_fast_path": assert_no_failure_machinery(),
         "engine": engine_events_per_second(),
-        "sweeps": [cold_sweep("fig10-sweep-nasa"), cold_sweep("fig09-sweep-blue")],
+        "sweeps": [
+            cold_sweep("fig10-sweep-nasa"),
+            cold_sweep("fig09-sweep-blue"),
+            prefix_shared_sweep(),
+        ],
     }
     report["sweep_total_wall_s"] = round(
         sum(s["wall_s"] for s in report["sweeps"]), 3

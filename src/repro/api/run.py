@@ -194,19 +194,180 @@ class RunResult:
         )
 
 
+# --------------------------------------------------------------------- #
+# prefix-shared sweep branching
+# --------------------------------------------------------------------- #
+#: Sweep paths a live branch can apply *after* the shared warm-up prefix:
+#: the threshold ratio is provably unread before the first submission, and
+#: release-check timers only exist once a dynamic grant happened.  Paths
+#: outside this set (the generator, ``initial_nodes``, scan cadences,
+#: capacity) shape the world at build time and disqualify a grid from
+#: prefix sharing.
+RETARGETABLE_SWEEP_PATHS = frozenset(
+    {
+        "policy.params.threshold_ratio",
+        "policy.params.release_check_interval_s",
+    }
+)
+
+
+def sweep_prefix_shareable(spec: ExperimentSpec) -> bool:
+    """Whether a spec's sweep grid qualifies for prefix-shared branching.
+
+    True when there *is* a sweep, every dotted path is retargetable on a
+    live branch (:data:`RETARGETABLE_SWEEP_PATHS` — in particular, none
+    touches the workload generator), and every system is a DawningCloud
+    runner (the one runner whose policy negotiates mid-run).
+    """
+    return (
+        bool(spec.sweep)
+        and set(spec.sweep) <= RETARGETABLE_SWEEP_PATHS
+        and all(system.runner == "dawningcloud" for system in spec.systems)
+    )
+
+
+@dataclass
+class SweepBranch:
+    """One live branch of a prefix-shared sweep: run it, keep the point."""
+
+    system: SystemSpec
+    point: Mapping[str, Any]
+    live: Any
+
+    def run(self) -> ProviderMetrics:
+        return self.live.run()
+
+
+def _build_live_dawningcloud(
+    system: SystemSpec, bundle: WorkloadBundle, seed: int
+):
+    """A built-but-unrun DawningCloud world for one system spec.
+
+    Mirrors the registered ``dawningcloud`` component factory (same
+    parameter resolution, same defaults) but stops before ``run()`` so
+    the caller can advance, fork and retarget.
+    """
+    from repro.systems.dsp_runner import (
+        DawningCloudHtcLiveRun,
+        DawningCloudMtcLiveRun,
+    )
+
+    if system.runner != "dawningcloud":
+        raise ValueError(
+            f"prefix-shared branching needs DawningCloud systems, got "
+            f"runner {system.runner!r}"
+        )
+    registry = default_components()
+    policy = (
+        registry.create(
+            "policy", system.policy.name, **system.policy.params
+        )
+        if system.policy is not None
+        else ResourceManagementPolicy.for_htc()
+        if bundle.kind == "htc"
+        else ResourceManagementPolicy.for_mtc()
+    )
+    kwargs: dict[str, Any] = dict(system.params)
+    if system.billing is not None:
+        kwargs["meter"] = resolve_meter(system.billing, bundle)
+    if system.failures is not None:
+        kwargs["failures"] = registry.create(
+            "failure-model", system.failures.name, **system.failures.params
+        )
+    cls = (
+        DawningCloudHtcLiveRun if bundle.kind == "htc"
+        else DawningCloudMtcLiveRun
+    )
+    return cls(bundle, policy, seed=seed, **kwargs)
+
+
+def fork_experiment_branches(
+    spec: ExperimentSpec,
+    *,
+    workload: int = 0,
+    seed: int = 0,
+    at: Optional[float] = None,
+    bundle: Optional[WorkloadBundle] = None,
+) -> list[SweepBranch]:
+    """The sweep grid as live branches sharing one warm-up prefix.
+
+    For each base system the warm-up — everything before ``at``, which
+    defaults to the R-independent :func:`~repro.experiments.sweep
+    .branch_instant` — is simulated once; each sweep point is then a
+    fork of that world with the point's policy retargeted onto it.
+    Branches arrive unrun, in :meth:`ExperimentSpec.expand_systems`
+    order, and are fully disjoint: running one cannot perturb another.
+
+    With the default ``at`` every branch is byte-identical to a cold run
+    of its point (the differential harness pins this); a later ``at`` is
+    the what-if mode — the common history up to ``at`` ran under the
+    *base* policy, and the branches answer "what if R changed now?".
+    """
+    from repro.experiments.sweep import branch_instant
+
+    if not sweep_prefix_shareable(spec):
+        offending = sorted(set(spec.sweep) - RETARGETABLE_SWEEP_PATHS)
+        raise ValueError(
+            "spec does not qualify for prefix-shared branching: "
+            + (
+                f"sweep path(s) {offending} cannot be retargeted on a "
+                f"live branch"
+                if offending
+                else "needs a sweep over DawningCloud systems"
+            )
+        )
+    wspec = spec.workloads[workload]
+    if bundle is None:
+        bundle = materialize_workload(wspec, seed)
+    expanded = spec.expand_systems()
+    branches: list[Optional[SweepBranch]] = [None] * len(expanded)
+    per_system = len(expanded) // len(spec.systems)
+    registry = default_components()
+    for s_index, base_system in enumerate(spec.systems):
+        base = _build_live_dawningcloud(base_system, bundle, seed)
+        base.advance_before(branch_instant(bundle) if at is None else at)
+        group = list(
+            enumerate(expanded)
+        )[s_index * per_system : (s_index + 1) * per_system]
+        # all forks are taken before any branch runs; the base world
+        # itself serves the group's last point
+        for offset, (index, (system, point)) in enumerate(group):
+            live = base if offset == len(group) - 1 else base.fork()
+            live.retarget_policy(
+                registry.create(
+                    "policy", system.policy.name, **system.policy.params
+                )
+            )
+            branches[index] = SweepBranch(system=system, point=point, live=live)
+    return branches  # type: ignore[return-value]
+
+
 def run_experiment(
-    spec: ExperimentSpec, seed: int = 0
+    spec: ExperimentSpec,
+    seed: int = 0,
+    share_prefix: Union[bool, str] = "auto",
 ) -> list[RunResult]:
     """Execute the full cross of an experiment spec, in declaration order.
 
     Workloads outermost, then sweep-expanded systems, then seed offsets —
     a deterministic order so payloads are reproducible byte-for-byte.
     The effective seed of each run is ``seed + offset``.
+
+    ``share_prefix`` controls prefix-shared sweep branching: grids that
+    qualify (:func:`sweep_prefix_shareable`) run each workload's warm-up
+    once and fork per point instead of re-simulating it.  ``"auto"``
+    branches only when the prefix is long enough to pay for the fork
+    (:data:`~repro.experiments.sweep.SHARED_PREFIX_MIN_FRACTION`); either
+    path produces byte-identical results.
     """
+    from repro.experiments.sweep import _resolve_share
+
     results = []
     bundles: dict[tuple[int, int], WorkloadBundle] = {}
+    shareable = share_prefix is not False and sweep_prefix_shareable(spec)
+    branch_cache: dict[tuple[int, int], list[SweepBranch]] = {}
     for w_index, wspec in enumerate(spec.workloads):
-        for system, point in spec.expand_systems():
+        for p_index, (system, point) in enumerate(spec.expand_systems()):
             for offset in spec.seeds:
                 effective = seed + offset
                 # one bundle per (workload, seed): runners replay fresh
@@ -221,7 +382,18 @@ def run_experiment(
                     bundle = bundles[key] = materialize_workload(
                         wspec, effective
                     )
-                metrics = run_system(system, bundle, seed=effective)
+                if shareable and _resolve_share(share_prefix, bundle):
+                    branches = branch_cache.get(key)
+                    if branches is None:
+                        branches = branch_cache[key] = (
+                            fork_experiment_branches(
+                                spec, workload=w_index, seed=effective,
+                                bundle=bundle,
+                            )
+                        )
+                    metrics = branches[p_index].run()
+                else:
+                    metrics = run_system(system, bundle, seed=effective)
                 results.append(
                     RunResult(
                         experiment=spec.name,
@@ -441,6 +613,30 @@ class Simulation:
     def cached(self) -> bool:
         """Whether the last :meth:`run` was served from the result cache."""
         return self._require_run().cached
+
+    # ------------------------------------------------------------------ #
+    def fork(
+        self,
+        at: Optional[float] = None,
+        *,
+        workload: int = 0,
+        seed_offset: int = 0,
+    ) -> list[SweepBranch]:
+        """Branch the spec's sweep grid mid-run: one live world per point.
+
+        The shared warm-up prefix is simulated once and every sweep point
+        continues from a fork of it (:func:`fork_experiment_branches`).
+        With the default ``at`` each branch is byte-identical to a cold
+        run of its point; an explicit later ``at`` asks the what-if
+        question instead — the history up to ``at`` ran under the base
+        system's policy, and each branch answers "what if this point's
+        parameters applied from here on?".  Branches bypass the result
+        cache (they are live simulations, not payloads); call
+        ``branch.run()`` to finish one into metrics.
+        """
+        return fork_experiment_branches(
+            self.spec, workload=workload, seed=self.seed + seed_offset, at=at
+        )
 
 
 # --------------------------------------------------------------------- #

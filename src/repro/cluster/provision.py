@@ -53,6 +53,10 @@ class ResourceProvisionService:
         self.adjustments: list[AdjustmentRecord] = []
         self.rejected_requests = 0
         self.granted_requests = 0
+        #: observers of lease shrinks (node failures): a shrink can make a
+        #: suspended hourly release check releasable without any idle
+        #: change, so fast-forwarding consumers must re-evaluate on it
+        self.on_lease_shrink: list = []
 
     # ------------------------------------------------------------------ #
     @property
@@ -139,6 +143,8 @@ class ResourceProvisionService:
             self.ledger.shrink_lease(lease, 1, t)
             self.setup.record_adjustment(1)
             self.adjustments.append(AdjustmentRecord(t, client, -1, "failure"))
+            for hook in self.on_lease_shrink:
+                hook(lease)
 
     def repair_node(self, t: float) -> None:
         """One repaired node rejoins the free pool at ``t``."""

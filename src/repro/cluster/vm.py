@@ -77,16 +77,17 @@ class VMProvisionService:
         vm = VirtualMachine(node_id, image)
         self.vms[vm.vm_id] = vm
         vm._transition(VMState.BOOTING)
-
-        def _finish_boot() -> None:
-            if vm.state is VMState.BOOTING:  # not destroyed mid-boot
-                vm._transition(VMState.RUNNING)
-                vm.boot_time = self.engine.now
-                if on_running is not None:
-                    on_running(vm)
-
-        self.engine.schedule(self.boot_latency_s, _finish_boot)
+        # bound method: boot completions sit in the heap for the boot
+        # latency and must deepcopy through engine snapshots
+        self.engine.schedule(self.boot_latency_s, self._finish_boot, vm, on_running)
         return vm
+
+    def _finish_boot(self, vm: VirtualMachine, on_running) -> None:
+        if vm.state is VMState.BOOTING:  # not destroyed mid-boot
+            vm._transition(VMState.RUNNING)
+            vm.boot_time = self.engine.now
+            if on_running is not None:
+                on_running(vm)
 
     def destroy(self, vm: VirtualMachine) -> None:
         vm._transition(VMState.DESTROYED)

@@ -69,10 +69,10 @@ class CommonServiceFramework:
             # fixed-size RE: suppress the resize rule but keep the lease
             server.pre_dispatch_hooks.remove(manager._on_scan)
 
-        def _on_running() -> None:
-            manager.start()
-
-        self.lifecycle.create(tre.lifecycle, on_running=_on_running)
+        # bound method, not a closure: with nonzero start latency the
+        # callback sits in the event heap, and snapshot/restore requires
+        # heap-reachable callables to deepcopy through the memo
+        self.lifecycle.create(tre.lifecycle, on_running=manager.start)
         self.tres[spec.provider] = tre
         return tre
 

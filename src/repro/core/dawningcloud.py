@@ -24,6 +24,7 @@ or the end of :meth:`DawningCloud.run`.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
 from repro.cluster.lease import HOUR
@@ -61,6 +62,7 @@ class DawningCloud:
         self._tres: dict[str, ThinRuntimeEnvironment] = {}
         self._workloads: dict[str, str] = {}
         self._pending_workflows: dict[str, int] = {}
+        self._pending_specs: dict[str, RuntimeEnvironmentSpec] = {}
         self._destroyed_at: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
@@ -111,20 +113,36 @@ class DawningCloud:
         if name in self._pending_workflows:
             raise ValueError(f"provider {name!r} already registered")
         self._pending_workflows[name] = 0
-
-        def _create() -> None:
-            tre = self.csf.create_tre(spec, dynamic=True)
-            self._tres[name] = tre
-            if auto_destroy and spec.kind == "mtc":
-                tre.server.on_workflow_complete.append(
-                    lambda wf, _name=name: self._on_workflow_complete(_name)
-                )
-
         if create_at <= self.engine.now:
-            _create()
+            self._create_tre(spec, auto_destroy)
         else:
-            # priority -1: the TRE exists before same-instant submissions
-            self.engine.schedule_at(create_at, _create, priority=-1)
+            # priority -1: the TRE exists before same-instant submissions.
+            # Bound method, not a closure: pending events must survive
+            # engine snapshots, and deepcopy maps bound methods through the
+            # memo while closures alias the original object graph.  The
+            # spec is looked up by name at fire time (not baked into the
+            # event args) so a forked branch can retarget the policy of a
+            # TRE that does not exist yet.
+            self._pending_specs[name] = spec
+            self.engine.schedule_at(
+                create_at, self._create_pending_tre, name, auto_destroy,
+                priority=-1,
+            )
+
+    def _create_pending_tre(self, name: str, auto_destroy: bool) -> None:
+        self._create_tre(self._pending_specs.pop(name), auto_destroy)
+
+    def _create_tre(self, spec: RuntimeEnvironmentSpec, auto_destroy: bool) -> None:
+        name = spec.provider
+        tre = self.csf.create_tre(spec, dynamic=True)
+        self._tres[name] = tre
+        if auto_destroy and spec.kind == "mtc":
+            tre.server.on_workflow_complete.append(
+                partial(self._workflow_complete_hook, name)
+            )
+
+    def _workflow_complete_hook(self, name: str, workflow: Workflow) -> None:
+        self._on_workflow_complete(name)
 
     def tre(self, name: str) -> ThinRuntimeEnvironment:
         """The provider's TRE (once created)."""

@@ -83,20 +83,32 @@ class LifecycleService:
         machine: LifecycleStateMachine,
         on_running: Optional[Callable[[], None]] = None,
     ) -> None:
-        """Walk a TRE from INEXISTENT to RUNNING (steps 1-5 of §3.1.3)."""
+        """Walk a TRE from INEXISTENT to RUNNING (steps 1-5 of §3.1.3).
+
+        The deploy/start steps are bound methods, not closures: they sit in
+        the event heap while latencies elapse, and heap-reachable callables
+        must deepcopy through the snapshot memo rather than alias the
+        original run.
+        """
         machine.transition(TREState.PLANNING, self.engine.now)
+        self.engine.schedule(self.deploy_latency_s, self._deployed, machine, on_running)
 
-        def _deployed() -> None:
-            machine.transition(TREState.CREATED, self.engine.now)
+    def _deployed(
+        self,
+        machine: LifecycleStateMachine,
+        on_running: Optional[Callable[[], None]],
+    ) -> None:
+        machine.transition(TREState.CREATED, self.engine.now)
+        self.engine.schedule(self.start_latency_s, self._started, machine, on_running)
 
-            def _started() -> None:
-                machine.transition(TREState.RUNNING, self.engine.now)
-                if on_running is not None:
-                    on_running()
-
-            self.engine.schedule(self.start_latency_s, _started)
-
-        self.engine.schedule(self.deploy_latency_s, _deployed)
+    def _started(
+        self,
+        machine: LifecycleStateMachine,
+        on_running: Optional[Callable[[], None]],
+    ) -> None:
+        machine.transition(TREState.RUNNING, self.engine.now)
+        if on_running is not None:
+            on_running()
 
     def destroy(
         self,

@@ -135,6 +135,10 @@ class REServer:
         self.pre_dispatch_hooks: list[Callable[[], object]] = []
         #: called when a workflow finishes (TRE destruction hook)
         self.on_workflow_complete: list[Callable[[Workflow], None]] = []
+        #: called whenever ``idle`` grows (a grant, a completion, a kill) —
+        #: the wake signal for consumers with their own suspended cadence
+        #: (the hourly release checks)
+        self.idle_increase_hooks: list[Callable[[], None]] = []
         #: idle-gap fast-forward master switch: hooks that are not
         #: quiescence-safe (stateful policies) clear this at attach time
         self.idle_scan_suspend = True
@@ -166,6 +170,8 @@ class REServer:
         self._owned += n
         self.usage.record(self.engine.now, n)
         self._wake_scan()
+        for hook in self.idle_increase_hooks:
+            hook()
 
     def remove_nodes(self, n: int) -> None:
         """Shrink the owned pool by ``n`` idle nodes."""
@@ -249,6 +255,8 @@ class REServer:
         job.mark_requeued(now)
         self.queue.push(job)
         self._wake_scan()
+        for hook in self.idle_increase_hooks:
+            hook()
         return elapsed, recovered
 
     # ------------------------------------------------------------------ #
@@ -325,12 +333,18 @@ class REServer:
 
     def dispatch(self) -> int:
         """Start whatever the scheduling policy picks; returns the count."""
-        queued = self.queue.jobs_view
+        queue = self.queue
+        queued = queue.jobs_view
         if not queued:
             return 0
         idle = self._owned - self.used
         if idle <= 0:
             return 0  # nothing can start; spare the scheduler the scan
+        if idle < queue.smallest_demand:
+            # No queued job fits, so no legal scheduler can start one
+            # (nothing may exceed the free width): skip the O(queue)
+            # policy walk every backlogged scan would otherwise pay.
+            return 0
         picked = self.scheduler.select(
             self.engine.now,
             queued,
@@ -407,6 +421,8 @@ class REServer:
         self._wake_scan(
             include_now=(self.engine.now - started_at) > self._scan_timer.interval
         )
+        for hook in self.idle_increase_hooks:
+            hook()
 
     def _release_ready_tasks(self, workflow: Workflow) -> None:
         for task in workflow.ready_tasks():

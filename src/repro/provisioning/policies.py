@@ -300,10 +300,14 @@ class ConsolidatedAllocation(ProvisioningPolicy):
         self.policy = policy
         self.initial_lease: Optional[Lease] = None
         self._release_timers: dict[int, PeriodicTimer] = {}
+        self._release_leases: dict[int, Lease] = {}
+        self._releases_suspended = False
         self.dynamic_grants = 0
         self.dynamic_rejections = 0
         self._started = False
         server.pre_dispatch_hooks.append(self._on_scan)
+        server.idle_increase_hooks.append(self._on_idle_increase)
+        provision.on_lease_shrink.append(self._on_lease_shrink)
         # Idle-gap fast-forward is only sound when skipped scans are
         # provable no-ops; a stateful policy (its estimate evolves on
         # every scan) pins the server to the full cadence.
@@ -363,9 +367,11 @@ class ConsolidatedAllocation(ProvisioningPolicy):
             self.policy.release_check_interval_s,
             self._check_release,
             lease,
+            silent_suspend=True,
         )
         timer.start()
         self._release_timers[lease.lease_id] = timer
+        self._release_leases[lease.lease_id] = lease
 
     def _check_release(self, lease: Lease) -> None:
         """Hourly idle check for one dynamic grant (§3.2.2.1).
@@ -381,11 +387,58 @@ class ConsolidatedAllocation(ProvisioningPolicy):
             self._drop_timer(lease)
             self.server.remove_nodes(lease.n_nodes)
             self.provision.release(lease, self.engine.now)
+        else:
+            self._maybe_suspend_releases()
+
+    # -------------------------------------------------------------- #
+    # release-check fast-forward
+    # -------------------------------------------------------------- #
+    # Hourly release ticks are no-ops while the TRE is busier than its
+    # smallest dynamic grant.  Once a (no-op) check observes that *every*
+    # open grant is unreleasable, the whole cadence suspends, and any
+    # event that can flip ``idle >= n_nodes`` back on resumes it: an idle
+    # increase (grant, completion, kill) or a lease shrinking under a
+    # node failure.  The timers suspend *silently*
+    # (:class:`~repro.simkit.timers.PeriodicTimer` with
+    # ``silent_suspend=True``): their grid slots — and the sequence
+    # numbers those armings consume — stay in the heap exactly as in the
+    # un-suspended run, only the callback work is skipped, so the check
+    # can never drift against same-instant scans, completions or sibling
+    # checks.  An hourly tick is armed a full interval ahead of time; no
+    # re-armed event could reproduce that heap position after the slot
+    # lapsed, which is why these timers do not use the scans' lapsing-
+    # ghost suspension.  ``server.idle_scan_suspend = False`` opts out
+    # of this fast-forward too.
+    def _maybe_suspend_releases(self) -> None:
+        if not self.server.idle_scan_suspend:
+            return
+        idle = self.server.idle
+        if any(idle >= l.n_nodes for l in self._release_leases.values()):
+            return
+        self._releases_suspended = True
+        for timer in self._release_timers.values():
+            timer.suspend()
+
+    def _on_lease_shrink(self, lease: Lease) -> None:
+        # a node failure shrank a lease: ``idle >= n_nodes`` can flip true
+        # with no idle change at all, so re-run the resume check
+        self._on_idle_increase()
+
+    def _on_idle_increase(self) -> None:
+        if not self._releases_suspended:
+            return
+        idle = self.server.idle
+        if all(idle < l.n_nodes for l in self._release_leases.values()):
+            return
+        self._releases_suspended = False
+        for timer in self._release_timers.values():
+            timer.resume()  # flag flip: silent timers still own their slot
 
     def _drop_timer(self, lease: Lease) -> None:
         timer = self._release_timers.pop(lease.lease_id, None)
         if timer is not None:
             timer.stop()
+        self._release_leases.pop(lease.lease_id, None)
 
     # -------------------------------------------------------------- #
     def shutdown(self) -> None:
@@ -393,6 +446,8 @@ class ConsolidatedAllocation(ProvisioningPolicy):
         for timer in self._release_timers.values():
             timer.stop()
         self._release_timers.clear()
+        self._release_leases.clear()
+        self._releases_suspended = False
         self.provision.shutdown_client(self.server.name, self.engine.now)
         self.server.stop()
 

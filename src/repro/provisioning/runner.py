@@ -31,7 +31,7 @@ from repro.provisioning.billing import BillingMeter
 from repro.provisioning.policies import ConsolidatedAllocation
 from repro.scheduling.base import Scheduler
 from repro.simkit.engine import SimulationEngine
-from repro.systems.base import WorkloadBundle
+from repro.systems.base import LiveRun, WorkloadBundle
 from repro.systems.emulator import JobEmulator
 
 
@@ -67,6 +67,80 @@ class EagerPoolPolicy:
 register_component("policy", "eager-pool", EagerPoolPolicy)
 
 
+class PooledQueueLiveRun(LiveRun):
+    """The pooled-queue composition, built/loaded but not yet run.
+
+    ``pool_cap`` defaults to the trace's recorded machine size — the
+    community leases at most the cluster it would otherwise have owned.
+    """
+
+    def __init__(
+        self,
+        bundle: WorkloadBundle,
+        scheduler: Scheduler | Callable[[], Scheduler],
+        pool_cap: Optional[int] = None,
+        meter: Optional[BillingMeter] = None,
+        system: Optional[str] = None,
+        failures=None,
+        seed: int = 0,
+    ) -> None:
+        if bundle.kind != "htc":
+            raise ValueError("the pooled-queue composition is an HTC runner")
+        engine = self.engine = SimulationEngine()
+        trace = bundle.materialize_trace()
+        cap = int(pool_cap if pool_cap is not None else trace.machine_nodes)
+        self.name = bundle.name
+        self.provision = ResourceProvisionService(cap, meter=meter)
+        sched = scheduler() if callable(scheduler) else scheduler
+        policy = EagerPoolPolicy(cap=cap)
+        self.server = REServer(engine, bundle.name, sched, policy.scan_interval_s)
+        self.allocation = ConsolidatedAllocation(
+            engine, self.server, self.provision, policy
+        )
+        self.allocation.start()
+        self.system = (
+            system
+            or f"pooled-queue/{getattr(sched, 'name', type(sched).__name__)}"
+        )
+        self.injector = None
+        if failures is not None:
+            from repro.reliability.injector import NodeFailureInjector
+            from repro.simkit.rng import RandomStreams
+
+            self.injector = NodeFailureInjector(
+                engine, self.server, failures, RandomStreams(seed), n_slots=cap,
+                provision=self.provision, restore="provider",
+            ).start()
+        JobEmulator(engine).submit_trace(trace, self.server.submit_job)
+        self.submitted = len(trace)
+        self.horizon = float(bundle.horizon)  # type: ignore[arg-type]
+
+    def complete(self) -> None:
+        self.engine.run(until=self.horizon)
+
+    def finish(self) -> ProviderMetrics:
+        horizon = self.horizon
+        self.allocation.shutdown()
+        return ProviderMetrics(
+            provider=self.name,
+            system=self.system,
+            workload=self.name,
+            resource_consumption=self.provision.consumption_node_hours(self.name),
+            completed_jobs=self.server.completed_by(horizon),
+            submitted_jobs=self.submitted,
+            tasks_per_second=None,
+            makespan_s=None,
+            adjusted_nodes=self.provision.adjusted_node_count(self.name),
+            peak_nodes=self.server.usage.peak(horizon),
+            usage=self.server.usage,
+            reliability=(
+                self.injector.finalize(horizon)
+                if self.injector is not None
+                else None
+            ),
+        )
+
+
 def run_pooled_queue_htc(
     bundle: WorkloadBundle,
     scheduler: Scheduler | Callable[[], Scheduler],
@@ -76,46 +150,8 @@ def run_pooled_queue_htc(
     failures=None,
     seed: int = 0,
 ) -> ProviderMetrics:
-    """One HTC trace through the pooled-queue composition.
-
-    ``pool_cap`` defaults to the trace's recorded machine size — the
-    community leases at most the cluster it would otherwise have owned.
-    """
-    if bundle.kind != "htc":
-        raise ValueError("the pooled-queue composition is an HTC runner")
-    engine = SimulationEngine()
-    trace = bundle.materialize_trace()
-    cap = int(pool_cap if pool_cap is not None else trace.machine_nodes)
-    provision = ResourceProvisionService(cap, meter=meter)
-    sched = scheduler() if callable(scheduler) else scheduler
-    policy = EagerPoolPolicy(cap=cap)
-    server = REServer(engine, bundle.name, sched, policy.scan_interval_s)
-    allocation = ConsolidatedAllocation(engine, server, provision, policy)
-    allocation.start()
-    injector = None
-    if failures is not None:
-        from repro.reliability.injector import NodeFailureInjector
-        from repro.simkit.rng import RandomStreams
-
-        injector = NodeFailureInjector(
-            engine, server, failures, RandomStreams(seed), n_slots=cap,
-            provision=provision, restore="provider",
-        ).start()
-    JobEmulator(engine).submit_trace(trace, server.submit_job)
-    horizon = float(bundle.horizon)  # type: ignore[arg-type]
-    engine.run(until=horizon)
-    allocation.shutdown()
-    return ProviderMetrics(
-        provider=bundle.name,
-        system=system or f"pooled-queue/{getattr(sched, 'name', type(sched).__name__)}",
-        workload=bundle.name,
-        resource_consumption=provision.consumption_node_hours(bundle.name),
-        completed_jobs=server.completed_by(horizon),
-        submitted_jobs=len(trace),
-        tasks_per_second=None,
-        makespan_s=None,
-        adjusted_nodes=provision.adjusted_node_count(bundle.name),
-        peak_nodes=server.usage.peak(horizon),
-        usage=server.usage,
-        reliability=injector.finalize(horizon) if injector is not None else None,
-    )
+    """One HTC trace through the pooled-queue composition."""
+    return PooledQueueLiveRun(
+        bundle, scheduler, pool_cap=pool_cap, meter=meter, system=system,
+        failures=failures, seed=seed,
+    ).run()

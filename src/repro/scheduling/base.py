@@ -10,15 +10,18 @@ testable and swappable.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 from repro.workloads.job import Job
 
 
-@dataclass(frozen=True)
-class RunningJob:
-    """What a scheduler may know about a running job."""
+class RunningJob(NamedTuple):
+    """What a scheduler may know about a running job.
+
+    A named tuple rather than a (frozen) dataclass: one is allocated per
+    job start, and tuple construction is measurably cheaper than a frozen
+    dataclass's ``object.__setattr__`` path on the dispatch hot loop.
+    """
 
     job: Job
     finish_time: float

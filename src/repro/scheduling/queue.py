@@ -17,11 +17,16 @@ from repro.workloads.job import Job
 
 
 class JobQueue:
-    """FIFO of queued jobs with demand aggregates."""
+    """FIFO of queued jobs with demand aggregates.
+
+    Backed by an insertion-ordered dict keyed on ``job_id``: dispatch
+    removes jobs from the *middle* of the arrival order (first-fit skips
+    a too-wide head), which on a list is an O(n) scan per started job —
+    the single hottest queue operation of a two-week sweep.
+    """
 
     def __init__(self) -> None:
-        self._jobs: list[Job] = []
-        self._members: set[int] = set()
+        self._jobs: dict[int, Job] = {}
         # Incremental aggregates: the policy reads both once per scan
         # (tens of thousands of scans per two-week run), so they must not
         # rescan the queue.
@@ -33,40 +38,40 @@ class JobQueue:
         return len(self._jobs)
 
     def __iter__(self) -> Iterator[Job]:
-        return iter(self._jobs)
+        return iter(self._jobs.values())
 
     def __contains__(self, job: Job) -> bool:
-        return job.job_id in self._members
+        return job.job_id in self._jobs
 
     @property
     def jobs(self) -> list[Job]:
         """The queue in arrival order (a copy; safe to mutate)."""
-        return list(self._jobs)
+        return list(self._jobs.values())
 
     @property
-    def jobs_view(self) -> list[Job]:
-        """The live internal list — read-only by contract, zero-copy.
+    def jobs_view(self):
+        """Zero-copy read-only view of the queue in arrival order.
 
-        The dispatch hot path hands this to schedulers, which only read it;
-        anything that mutates the queue must go through push/remove.
+        The dispatch hot path hands this to schedulers, which only
+        iterate it; anything that mutates the queue must go through
+        push/remove.  Schedulers needing random access materialize their
+        own list.
         """
-        return self._jobs
+        return self._jobs.values()
 
     def push(self, job: Job) -> None:
-        if job.job_id in self._members:
+        if job.job_id in self._jobs:
             raise ValueError(f"job {job.job_id} already queued")
-        self._jobs.append(job)
-        self._members.add(job.job_id)
+        self._jobs[job.job_id] = job
         self._total_demand += job.size
         self._size_counts[job.size] = self._size_counts.get(job.size, 0) + 1
         if job.size > self._biggest:
             self._biggest = job.size
 
     def remove(self, job: Job) -> None:
-        if job.job_id not in self._members:
+        if job.job_id not in self._jobs:
             raise ValueError(f"job {job.job_id} not in queue")
-        self._jobs.remove(job)
-        self._members.discard(job.job_id)
+        del self._jobs[job.job_id]
         self._total_demand -= job.size
         count = self._size_counts[job.size] - 1
         if count:
@@ -77,7 +82,7 @@ class JobQueue:
                 self._biggest = max(self._size_counts, default=0)
 
     def head(self) -> Optional[Job]:
-        return self._jobs[0] if self._jobs else None
+        return next(iter(self._jobs.values()), None)
 
     # ------------------------------------------------------------------ #
     # policy aggregates (§3.2.2.1)
@@ -91,3 +96,13 @@ class JobQueue:
     def biggest_demand(self) -> int:
         """Width of the widest queued job (0 when empty)."""
         return self._biggest
+
+    @property
+    def smallest_demand(self) -> int:
+        """Width of the narrowest queued job (0 when empty).
+
+        O(distinct sizes), not O(jobs): dispatch uses it to prove that a
+        backlogged scan cannot start anything (``idle < smallest``)
+        without walking the whole queue.
+        """
+        return min(self._size_counts, default=0)

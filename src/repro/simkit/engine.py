@@ -114,7 +114,7 @@ class SimulationEngine:
         # C-level tuple code (seq is unique, so the event is never compared),
         # which is the difference between the heap dominating a two-week
         # sweep and disappearing from its profile.
-        heapq.heappush(self._heap, (event.time, event.priority, seq, event))
+        heapq.heappush(self._heap, (time, priority, seq, event))
         return event
 
     def schedule_batch(
@@ -155,8 +155,14 @@ class SimulationEngine:
         triggers heap compaction, so prefer this method for events that may
         sit far in the future.
         """
-        if not event.cancelled:
-            event.cancel()
+        if not event._cancelled:
+            # 2 = "counted into the slack": pops decrement the counter only
+            # for these entries.  Direct Event.cancel() sets True, and the
+            # pop paths leave the counter alone for those — they were never
+            # counted in, so decrementing would drain the counter while
+            # counted slack still sits deep in the heap and compaction
+            # would never fire (the accounting drift fixed in PR 6).
+            event._cancelled = 2
             self._cancelled_pending += 1
             self._maybe_compact()
 
@@ -196,6 +202,25 @@ class SimulationEngine:
         event.fire()
         return True
 
+    def advance_before(self, time: float) -> int:
+        """Execute every pending event strictly before ``time``.
+
+        Stops on the exact pre-event-batch boundary: after this returns,
+        the next live event (if any) fires at or after ``time``, with no
+        float-epsilon games.  The clock is left on the last executed
+        event, not on ``time`` — a subsequent :meth:`run` therefore
+        replays exactly the tail an uninterrupted run would have executed,
+        which is what makes mid-run snapshots byte-identical to cold runs.
+        Returns the number of events executed.
+        """
+        n = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time >= time:
+                return n
+            self.step()
+            n += 1
+
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains or the clock would pass ``until``.
 
@@ -214,8 +239,7 @@ class SimulationEngine:
         try:
             while True:
                 while heap and heap[0][3]._cancelled:
-                    pop(heap)
-                    if self._cancelled_pending:
+                    if pop(heap)[3]._cancelled == 2:
                         self._cancelled_pending -= 1
                 if not heap:
                     break
@@ -229,7 +253,7 @@ class SimulationEngine:
                 while heap and heap[0][0] == now:
                     event = pop(heap)[3]
                     if event._cancelled:
-                        if self._cancelled_pending:
+                        if event._cancelled == 2:
                             self._cancelled_pending -= 1
                         continue
                     executed += 1
@@ -254,11 +278,12 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def _drop_cancelled(self) -> None:
         heap = self._heap
-        while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
-            if self._cancelled_pending:
-                # Estimate: events cancelled via Event.cancel() directly are
-                # never counted, so this only ever under-counts the slack.
+        while heap and heap[0][3]._cancelled:
+            # Lazily-discovered cancellations: only entries counted in by
+            # SimulationEngine.cancel (marked 2) decrement the slack; events
+            # cancelled via Event.cancel() directly were never counted, so
+            # popping them must not eat a counted entry's decrement.
+            if heapq.heappop(heap)[3]._cancelled == 2:
                 self._cancelled_pending -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -58,11 +58,21 @@ class Event:
     @property
     def cancelled(self) -> bool:
         """True once :meth:`cancel` has been called."""
-        return self._cancelled
+        return bool(self._cancelled)
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it. Idempotent."""
-        self._cancelled = True
+        """Mark the event so the engine skips it. Idempotent.
+
+        ``_cancelled`` is tri-state: ``False`` (pending), ``True``
+        (cancelled directly, invisible to the engine's slack counter) or
+        ``2`` (cancelled through ``SimulationEngine.cancel``, counted into
+        the compaction slack).  Both truthy states read as cancelled; only
+        counted entries may decrement the slack counter when popped,
+        otherwise direct cancellations would drain it and suppress
+        compaction while counted slack still sits deep in the heap.
+        """
+        if not self._cancelled:
+            self._cancelled = True
 
     def fire(self) -> None:
         """Invoke the callback. Raises :class:`EventCancelled` if cancelled."""

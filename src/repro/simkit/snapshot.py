@@ -1,0 +1,142 @@
+"""Whole-engine snapshot/restore with mid-run branching (PR 6).
+
+An :class:`EngineSnapshot` freezes an entire simulation *world* — the
+engine (heap entries, clock, executed/cancelled counters), every timer
+riding on it (grid epoch, armed tick index, suspension state), the seeded
+RNG streams, cluster/ledger/billing state and the runners' server/queue
+state — by deep-copying the world's root object through one shared memo.
+:meth:`EngineSnapshot.restore` hands back a *fresh* deep copy, so a single
+snapshot can branch arbitrarily many what-if continuations, each with its
+own disjoint mutable state.
+
+Determinism argument
+--------------------
+The engine is a pure function of its heap and clock: events fire in
+``(time, priority, seq)`` order and scheduling happens only from event
+callbacks.  A deep copy maps every reachable object — including the
+callables inside heap entries, which is why they must be *bound methods*
+or :class:`functools.partial` objects (both copy their ``__self__``/args
+through the memo) rather than closures (atomic under deepcopy, so they
+would silently alias the original world's mutable state).
+:func:`verify_heap_callables` enforces that invariant at snapshot time.
+
+Two pieces of process-global state survive on purpose:
+
+* ``Lease._ids`` — the class-level lease id counter.  Only the *relative*
+  order of lease ids is observable (the provider shrinks the
+  youngest-first), and ids allocated after a restore are always larger
+  than any pre-snapshot id, so branches bill identically even though
+  their absolute ids differ from an uninterrupted run's.
+* interned immutables (strings, small ints) — shared by design.
+"""
+
+from __future__ import annotations
+
+import copy
+import types
+from functools import partial
+from typing import Any, Optional
+
+from repro.simkit.engine import SimulationEngine
+
+
+class SnapshotAliasError(RuntimeError):
+    """A heap callable would alias the original world after deepcopy."""
+
+
+def _innermost_function(fn: Any) -> Any:
+    """Unwrap partials/bound methods down to the underlying function."""
+    while True:
+        if isinstance(fn, partial):
+            fn = fn.func
+        elif isinstance(fn, types.MethodType):
+            fn = fn.__func__
+        else:
+            return fn
+
+
+def verify_heap_callables(engine: SimulationEngine) -> None:
+    """Reject pending events whose callbacks cannot survive a deep copy.
+
+    Bound methods and partials deepcopy through the memo; plain functions
+    are fine only when they close over nothing (deepcopy treats functions
+    as atomic, so captured cells would keep pointing into the original
+    world).  This is the guard that flushes out latent alias bugs the
+    moment someone schedules a closure into a snapshot-able world.
+    """
+    for entry in engine._heap:
+        event = entry[3]
+        if event._cancelled:
+            continue
+        fn = _innermost_function(event.fn)
+        if isinstance(fn, types.FunctionType) and fn.__closure__ is not None:
+            raise SnapshotAliasError(
+                f"event at t={event.time} calls closure "
+                f"{fn.__qualname__!r}; schedule a bound method or "
+                f"functools.partial instead so snapshots do not alias "
+                f"the original run"
+            )
+
+
+class EngineSnapshot:
+    """A frozen deep copy of a simulation world at one instant.
+
+    The snapshot owns a private deep copy of ``world``; every
+    :meth:`restore` returns another fresh deep copy of that private copy,
+    so neither the original run nor any branch can reach the snapshot's
+    state (or each other's).
+    """
+
+    __slots__ = ("_world", "time", "label")
+
+    def __init__(self, world: Any, time: float, label: str = "") -> None:
+        self._world = world
+        self.time = time
+        self.label = label
+
+    def restore(self) -> Any:
+        """A fresh, fully disjoint copy of the world, ready to continue."""
+        return copy.deepcopy(self._world)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = f" {self.label!r}" if self.label else ""
+        return f"<EngineSnapshot{tag} t={self.time:.3f}>"
+
+
+def snapshot_world(
+    world: Any,
+    engine: Optional[SimulationEngine] = None,
+    label: str = "",
+) -> EngineSnapshot:
+    """Snapshot ``world`` (anything whose ``engine`` attribute — or the
+    ``engine`` argument — is the simulation engine the world runs on)."""
+    if engine is None:
+        engine = world.engine
+    if engine._running:
+        raise RuntimeError(
+            "cannot snapshot while the engine is running; snapshot between "
+            "run()/advance_before() calls"
+        )
+    verify_heap_callables(engine)
+    return EngineSnapshot(copy.deepcopy(world), engine.now, label)
+
+
+def fork_world(world: Any, engine: Optional[SimulationEngine] = None) -> Any:
+    """One live branch of ``world``, without keeping a snapshot around.
+
+    Semantically ``snapshot_world(world).restore()`` — the same alias
+    verification, the same disjointness guarantee — at half the copying
+    cost (one deepcopy instead of snapshot + restore).  Use it when
+    branches are consumed immediately (prefix-shared sweeps); keep an
+    :class:`EngineSnapshot` when the frozen state itself must outlive the
+    run that produced it.
+    """
+    if engine is None:
+        engine = world.engine
+    if engine._running:
+        raise RuntimeError(
+            "cannot fork while the engine is running; fork between "
+            "run()/advance_before() calls"
+        )
+    verify_heap_callables(engine)
+    return copy.deepcopy(world)

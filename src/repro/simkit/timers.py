@@ -82,6 +82,7 @@ class PeriodicTimer:
         fn: Callable[..., Any],
         *args: Any,
         priority: int = 0,
+        silent_suspend: bool = False,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval!r}")
@@ -90,6 +91,7 @@ class PeriodicTimer:
         self._fn = fn
         self._args = args
         self._priority = priority
+        self._silent_suspend = silent_suspend
         self._event: Optional[Event] = None
         self._epoch = 0.0  # clock at start(); tick n fires at epoch + n*interval
         self._n = 0  # index of the last armed-or-fired tick
@@ -142,6 +144,19 @@ class PeriodicTimer:
         overwhelmingly common case under bursty arrivals — therefore cost
         no heap traffic at all, and the grid itself is untouched:
         :meth:`resume` continues on the original instants.
+
+        A timer built with ``silent_suspend=True`` ghosts differently: the
+        lapsing tick silently *re-arms* the next grid slot instead of
+        dropping out of the heap.  The event stream (instants, priorities
+        and sequence-number allocations) then stays literally identical to
+        the un-suspended run — only the callback is skipped — so same-
+        instant ordering against any other event is exact by construction.
+        That is the right trade for long-interval timers (the hourly
+        release checks): their un-suspended tick is armed a full interval
+        ahead, and no re-armed event can reproduce that heap position
+        after the slot is lost.  Short-cadence timers (the scans) keep the
+        cheaper lapsing ghost, whose 60 s arming window admits the seq
+        argument in :meth:`resume`.
         """
         if self._started:
             self._suspended = True
@@ -160,6 +175,10 @@ class PeriodicTimer:
         state the un-suspended scan could not — those wakers pass
         ``include_now=False`` and the timer continues strictly after.
         Either way, a tick that already fired at ``now`` is never repeated.
+
+        A ``silent_suspend`` timer always still owns its armed slot, so
+        resuming it is just the flag flip: the pending tick fires at its
+        original heap position.
         """
         if not self._started or not self._suspended:
             return
@@ -172,9 +191,21 @@ class PeriodicTimer:
         now = self._engine.now
         k = (now - self._epoch) / self.interval
         n = int(math.ceil(k)) if include_now else int(math.floor(k)) + 1
+        # Float-edge guards, symmetric in both directions: the quotient k
+        # can land on either side of the true tick index, so the candidate
+        # is corrected against the *product* form (epoch + n*interval, the
+        # exact instant ticks actually fire at) rather than trusted.  The
+        # downward guard covers the knife-edge where a waker lands exactly
+        # on an unfired grid instant but k sits just above the integer, so
+        # ceil alone would skip the tick that must still fire at ``now``.
+        threshold_ok = (
+            (lambda t: t >= now) if include_now else (lambda t: t > now)
+        )
+        while n - 1 > self._n and threshold_ok(self._epoch + (n - 1) * self.interval):
+            n -= 1
         if n <= self._n:
             n = self._n + 1
-        while self._epoch + n * self.interval < now:  # float-edge guards
+        while self._epoch + n * self.interval < now:
             n += 1
         if not include_now:
             while self._epoch + n * self.interval <= now:
@@ -190,7 +221,12 @@ class PeriodicTimer:
 
     def _tick(self) -> None:
         if self._suspended:
-            self._event = None  # ghost: the grid slot lapses silently
+            if self._silent_suspend:
+                # silent slot: re-arm exactly where the un-suspended tick
+                # would have, skip only the callback (see suspend())
+                self._arm(self._n + 1)
+            else:
+                self._event = None  # ghost: the grid slot lapses silently
             return
         self._arm(self._n + 1)
         self.fire_count += 1

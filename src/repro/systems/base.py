@@ -10,7 +10,7 @@ execution state and each system must replay from a clean slate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import Literal, Optional, TYPE_CHECKING
 
 from repro.workloads.job import Trace
 from repro.workloads.workflow import Workflow
@@ -118,6 +118,58 @@ class WorkloadBundle:
         return WorkloadBundle(
             name=name, kind="mtc", workflow=workflow, fixed_nodes=fixed_nodes
         )
+
+
+class LiveRun:
+    """A built-but-unfinished simulation: advance, snapshot, fork, finish.
+
+    Every system runner now splits into *build* (the subclass constructor:
+    engine, servers, injected workload — no events executed), *advance*
+    (:meth:`complete`, or :meth:`advance_before` for a partial run),
+    and *finalize* (:meth:`finish`, which tears down and prices the run
+    into metrics).  :meth:`snapshot` freezes the whole world mid-run;
+    restoring the snapshot yields another LiveRun that continues
+    byte-identically to a run that was never interrupted.
+    """
+
+    engine: "SimulationEngine"
+
+    def advance_before(self, time: float) -> int:
+        """Execute every event strictly before ``time`` (exact boundary)."""
+        return self.engine.advance_before(time)
+
+    def snapshot(self, label: str = "") -> "EngineSnapshot":
+        """Freeze this world; ``snapshot().restore()`` forks a branch."""
+        from repro.simkit.snapshot import snapshot_world
+
+        return snapshot_world(self, self.engine, label)
+
+    def fork(self) -> "LiveRun":
+        """A live branch of this run, fully disjoint from the original.
+
+        Equivalent to ``snapshot().restore()`` at half the copying cost;
+        both this run and the branch continue independently and
+        byte-identically to runs that were never branched.
+        """
+        from repro.simkit.snapshot import fork_world
+
+        return fork_world(self, self.engine)
+
+    def complete(self) -> None:  # pragma: no cover - subclass contract
+        raise NotImplementedError
+
+    def finish(self):  # pragma: no cover - subclass contract
+        raise NotImplementedError
+
+    def run(self):
+        """Convenience: complete the simulation and finalize metrics."""
+        self.complete()
+        return self.finish()
+
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.engine import SimulationEngine
+    from repro.simkit.snapshot import EngineSnapshot
 
 
 def run_until(engine, predicate, hard_limit: float, max_steps: int = 50_000_000) -> None:

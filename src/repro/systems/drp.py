@@ -35,7 +35,7 @@ from repro.metrics.timeseries import UsageRecorder
 from repro.provisioning.billing import BillingMeter
 from repro.provisioning.policies import PerJobLease, PooledLease
 from repro.simkit.engine import SimulationEngine
-from repro.systems.base import WorkloadBundle, run_until
+from repro.systems.base import LiveRun, WorkloadBundle, run_until
 from repro.systems.emulator import JobEmulator
 from repro.workloads.job import Job, JobState
 from repro.workloads.workflow import Workflow
@@ -196,17 +196,7 @@ class _DrpMtcUserPool:
         self.pool.teardown()
 
 
-def run_drp(
-    bundle: WorkloadBundle,
-    capacity: int = DEFAULT_DRP_CAPACITY,
-    meter: Optional[BillingMeter] = None,
-    failures: Optional["FailureModel"] = None,
-    seed: int = 0,
-) -> ProviderMetrics:
-    """Run one bundle through the DRP system."""
-    engine = SimulationEngine()
-    emulator = JobEmulator(engine)
-    reliability = None
+def _check_drp_failure_model(failures: Optional["FailureModel"]) -> None:
     if failures is not None:
         from repro.reliability.failures import TraceDrivenFailures
 
@@ -218,21 +208,38 @@ def run_drp(
                 "server-attached system (dcs/ssp/dawningcloud)"
             )
 
-    if bundle.kind == "htc":
+
+class DrpHtcLiveRun(LiveRun):
+    """One HTC trace through DRP, built/loaded but not yet run."""
+
+    def __init__(
+        self,
+        bundle: WorkloadBundle,
+        capacity: int = DEFAULT_DRP_CAPACITY,
+        meter: Optional[BillingMeter] = None,
+        failures: Optional["FailureModel"] = None,
+        seed: int = 0,
+    ) -> None:
+        _check_drp_failure_model(failures)
+        engine = self.engine = SimulationEngine()
         trace = bundle.materialize_trace()
-        run = _DrpHtcRun(engine, bundle.name, capacity, meter=meter,
-                         failures=failures, seed=seed)
-        emulator.submit_trace(trace, run.submit)
-        horizon = float(bundle.horizon)  # type: ignore[arg-type]
-        engine.run(until=horizon)
-        run.provision.shutdown_client(bundle.name, engine.now)  # bill stragglers
+        self.name = bundle.name
+        self.state = _DrpHtcRun(engine, bundle.name, capacity, meter=meter,
+                                failures=failures, seed=seed)
+        JobEmulator(engine).submit_trace(trace, self.state.submit)
+        self.submitted = len(trace)
+        self.horizon = float(bundle.horizon)  # type: ignore[arg-type]
+
+    def complete(self) -> None:
+        self.engine.run(until=self.horizon)
+
+    def finish(self) -> ProviderMetrics:
+        run, horizon = self.state, self.horizon
+        run.provision.shutdown_client(self.name, self.engine.now)  # bill stragglers
         completed = sum(
             1 for j in run.completed if (j.finish_time or 0.0) <= horizon
         )
-        provision, usage = run.provision, run.usage
-        submitted = len(trace)
-        tasks_per_second = None
-        makespan = None
+        reliability = None
         if run.stats is not None:
             from repro.reliability.stats import completed_goodput_node_seconds
 
@@ -241,39 +248,84 @@ def run_drp(
                 completed_goodput_node_seconds(run.completed, horizon),
             )
             reliability = run.stats.to_payload()
-    else:
+        return ProviderMetrics(
+            provider=self.name,
+            system="DRP",
+            workload=self.name,
+            resource_consumption=run.provision.consumption_node_hours(self.name),
+            completed_jobs=completed,
+            submitted_jobs=self.submitted,
+            tasks_per_second=None,
+            makespan_s=None,
+            adjusted_nodes=run.provision.adjusted_node_count(self.name),
+            peak_nodes=run.usage.peak(horizon),
+            usage=run.usage,
+            reliability=reliability,
+        )
+
+
+class DrpMtcLiveRun(LiveRun):
+    """One MTC workflow through DRP, built/loaded but not yet run."""
+
+    def __init__(
+        self,
+        bundle: WorkloadBundle,
+        capacity: int = DEFAULT_DRP_CAPACITY,
+        meter: Optional[BillingMeter] = None,
+        failures: Optional["FailureModel"] = None,
+        seed: int = 0,
+    ) -> None:
+        _check_drp_failure_model(failures)
         if failures is not None:
             raise ValueError(
                 "DRP failure injection is HTC-only (the MTC user pool has "
                 "no requeue path); model MTC failures through DawningCloud"
             )
-        workflow = bundle.materialize_workflow()
-        pool = _DrpMtcUserPool(engine, bundle.name, capacity, meter=meter)
-        emulator.submit_workflow(workflow, pool.submit)
-        run_until(engine, workflow.completed, hard_limit=float(bundle.horizon))  # type: ignore[arg-type]
+        engine = self.engine = SimulationEngine()
+        workflow = self.workflow = bundle.materialize_workflow()
+        self.name = bundle.name
+        self.pool = _DrpMtcUserPool(engine, bundle.name, capacity, meter=meter)
+        JobEmulator(engine).submit_workflow(workflow, self.pool.submit)
+        self.horizon = float(bundle.horizon)  # type: ignore[arg-type]
+
+    def complete(self) -> None:
+        run_until(self.engine, self.workflow.completed, hard_limit=self.horizon)
+
+    def finish(self) -> ProviderMetrics:
+        pool, workflow = self.pool, self.workflow
         pool.teardown()
         completed = len(pool.completed)
-        submitted = len(workflow.tasks)
         finish = max(t.finish_time for t in workflow.tasks)  # type: ignore[type-var]
         makespan = finish - workflow.submit_time
-        tasks_per_second = completed / makespan if makespan > 0 else None
-        provision, usage = pool.provision, pool.usage
-        horizon = engine.now
+        return ProviderMetrics(
+            provider=self.name,
+            system="DRP",
+            workload=self.name,
+            resource_consumption=pool.provision.consumption_node_hours(self.name),
+            completed_jobs=completed,
+            submitted_jobs=len(workflow.tasks),
+            tasks_per_second=completed / makespan if makespan > 0 else None,
+            makespan_s=makespan,
+            adjusted_nodes=pool.provision.adjusted_node_count(self.name),
+            peak_nodes=pool.usage.peak(self.engine.now),
+            usage=pool.usage,
+            reliability=None,
+        )
 
-    return ProviderMetrics(
-        provider=bundle.name,
-        system="DRP",
-        workload=bundle.name,
-        resource_consumption=provision.consumption_node_hours(bundle.name),
-        completed_jobs=completed,
-        submitted_jobs=submitted,
-        tasks_per_second=tasks_per_second,
-        makespan_s=makespan,
-        adjusted_nodes=provision.adjusted_node_count(bundle.name),
-        peak_nodes=usage.peak(horizon),
-        usage=usage,
-        reliability=reliability,
-    )
+
+def run_drp(
+    bundle: WorkloadBundle,
+    capacity: int = DEFAULT_DRP_CAPACITY,
+    meter: Optional[BillingMeter] = None,
+    failures: Optional["FailureModel"] = None,
+    seed: int = 0,
+) -> ProviderMetrics:
+    """Run one bundle through the DRP system."""
+    _check_drp_failure_model(failures)
+    cls = DrpHtcLiveRun if bundle.kind == "htc" else DrpMtcLiveRun
+    return cls(
+        bundle, capacity=capacity, meter=meter, failures=failures, seed=seed
+    ).run()
 
 
 class _DrpPooledHtcRun:
@@ -330,6 +382,53 @@ class _DrpPooledHtcRun:
         self.pool.teardown()
 
 
+class DrpPooledLiveRun(LiveRun):
+    """The pooled-DRP HTC ablation, built/loaded but not yet run."""
+
+    def __init__(
+        self,
+        bundle: WorkloadBundle,
+        capacity: int = DEFAULT_DRP_CAPACITY,
+        shared: bool = False,
+        meter: Optional[BillingMeter] = None,
+    ) -> None:
+        if bundle.kind != "htc":
+            raise ValueError("pooled DRP is an HTC ablation")
+        engine = self.engine = SimulationEngine()
+        trace = bundle.materialize_trace()
+        self.name = bundle.name
+        self.shared = shared
+        self.state = _DrpPooledHtcRun(engine, bundle.name, capacity,
+                                      shared=shared, meter=meter)
+        JobEmulator(engine).submit_trace(trace, self.state.submit)
+        self.submitted = len(trace)
+        self.horizon = float(bundle.horizon)  # type: ignore[arg-type]
+
+    def complete(self) -> None:
+        self.engine.run(until=self.horizon)
+
+    def finish(self) -> ProviderMetrics:
+        run, horizon = self.state, self.horizon
+        run.teardown()
+        run.provision.shutdown_client(self.name, self.engine.now)
+        completed = sum(
+            1 for j in run.completed if (j.finish_time or 0.0) <= horizon
+        )
+        return ProviderMetrics(
+            provider=self.name,
+            system="DRP-shared-pool" if self.shared else "DRP-pooled",
+            workload=self.name,
+            resource_consumption=run.provision.consumption_node_hours(self.name),
+            completed_jobs=completed,
+            submitted_jobs=self.submitted,
+            tasks_per_second=None,
+            makespan_s=None,
+            adjusted_nodes=run.provision.adjusted_node_count(self.name),
+            peak_nodes=run.usage.peak(horizon),
+            usage=run.usage,
+        )
+
+
 def run_drp_pooled(
     bundle: WorkloadBundle,
     capacity: int = DEFAULT_DRP_CAPACITY,
@@ -341,28 +440,6 @@ def run_drp_pooled(
     An extension beyond the paper: quantifies how much of DawningCloud's
     saving over DRP survives once end users manage their leases cleverly.
     """
-    if bundle.kind != "htc":
-        raise ValueError("pooled DRP is an HTC ablation")
-    engine = SimulationEngine()
-    trace = bundle.materialize_trace()
-    run = _DrpPooledHtcRun(engine, bundle.name, capacity, shared=shared,
-                           meter=meter)
-    JobEmulator(engine).submit_trace(trace, run.submit)
-    horizon = float(bundle.horizon)  # type: ignore[arg-type]
-    engine.run(until=horizon)
-    run.teardown()
-    run.provision.shutdown_client(bundle.name, engine.now)
-    completed = sum(1 for j in run.completed if (j.finish_time or 0.0) <= horizon)
-    return ProviderMetrics(
-        provider=bundle.name,
-        system="DRP-shared-pool" if shared else "DRP-pooled",
-        workload=bundle.name,
-        resource_consumption=run.provision.consumption_node_hours(bundle.name),
-        completed_jobs=completed,
-        submitted_jobs=len(trace),
-        tasks_per_second=None,
-        makespan_s=None,
-        adjusted_nodes=run.provision.adjusted_node_count(bundle.name),
-        peak_nodes=run.usage.peak(horizon),
-        usage=run.usage,
-    )
+    return DrpPooledLiveRun(
+        bundle, capacity=capacity, shared=shared, meter=meter
+    ).run()

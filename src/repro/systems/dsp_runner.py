@@ -19,7 +19,7 @@ from repro.core.dawningcloud import DawningCloud
 from repro.core.policies import ResourceManagementPolicy
 from repro.metrics.results import ProviderMetrics, ResourceProviderMetrics
 from repro.provisioning.billing import BillingMeter
-from repro.systems.base import WorkloadBundle, run_until
+from repro.systems.base import LiveRun, WorkloadBundle, run_until
 
 if TYPE_CHECKING:  # pragma: no cover - reliability is an optional layer
     from repro.reliability.failures import FailureModel
@@ -63,6 +63,89 @@ def _elastic_injector(
     )
 
 
+def _retarget_policy(
+    cloud: DawningCloud, name: str, policy: ResourceManagementPolicy
+) -> None:
+    """Swap a provider's resource-management policy on a live world.
+
+    Only sound while the old policy is provably unread: before the first
+    workload submission every scan sees zero demand and returns before
+    consulting the threshold ratio, and no dynamic grant exists yet, so a
+    branch retargeted at or before that instant continues byte-identically
+    to a cold run built with ``policy``.  ``initial_nodes`` is burned into
+    the TRE's startup lease (and ``scan_interval_s`` into its scan timer)
+    at creation, so neither can be retargeted on an existing TRE.
+    """
+    from dataclasses import replace
+
+    tre = cloud._tres.get(name)
+    current = (
+        tre.spec.policy if tre is not None else cloud._pending_specs[name].policy
+    )
+    if policy.initial_nodes != current.initial_nodes and tre is not None:
+        raise ValueError(
+            f"cannot retarget initial_nodes on a live TRE "
+            f"({current.initial_nodes} -> {policy.initial_nodes}); B is the "
+            f"startup lease, branch from a base built with the right B"
+        )
+    if tre is None:
+        # TRE not created yet (MTC, create_at in the future): the policy
+        # simply rides along in the pending spec.
+        cloud._pending_specs[name] = replace(
+            cloud._pending_specs[name], policy=policy
+        )
+        return
+    if policy.scan_interval_s != current.scan_interval_s:
+        raise ValueError(
+            f"cannot retarget scan_interval_s on a live TRE "
+            f"({current.scan_interval_s} -> {policy.scan_interval_s}); the "
+            f"scan timer was armed at TRE creation"
+        )
+    tre.manager.policy = policy
+    tre.spec = replace(tre.spec, policy=policy)
+
+
+class DawningCloudHtcLiveRun(LiveRun):
+    """One HTC provider on DawningCloud, built/loaded but not yet run."""
+
+    def __init__(
+        self,
+        bundle: WorkloadBundle,
+        policy: ResourceManagementPolicy,
+        capacity: int = DEFAULT_CAPACITY,
+        meter: Optional[BillingMeter] = None,
+        failures: Optional["FailureModel"] = None,
+        seed: int = 0,
+    ) -> None:
+        if bundle.kind != "htc":
+            raise ValueError("expected an HTC bundle")
+        cloud = self.cloud = DawningCloud(capacity=capacity, meter=meter)
+        self.engine = cloud.engine
+        self.name = bundle.name
+        cloud.add_htc_provider(bundle.name, policy)
+        self.injector = (
+            _elastic_injector(cloud, bundle, failures, seed).start()
+            if failures is not None
+            else None
+        )
+        cloud.submit_trace(bundle.name, bundle.materialize_trace())
+        self.horizon = float(bundle.horizon)  # type: ignore[arg-type]
+
+    def retarget_policy(self, policy: ResourceManagementPolicy) -> None:
+        """Swap B/R on a forked branch (see :func:`_retarget_policy`)."""
+        _retarget_policy(self.cloud, self.name, policy)
+
+    def complete(self) -> None:
+        self.cloud.run(until=self.horizon)
+
+    def finish(self) -> ProviderMetrics:
+        self.cloud.shutdown()
+        metrics = self.cloud.provider_metrics(self.name, self.horizon)
+        if self.injector is not None:
+            metrics.reliability = self.injector.finalize(self.horizon)
+        return metrics
+
+
 def run_dawningcloud_htc(
     bundle: WorkloadBundle,
     policy: ResourceManagementPolicy,
@@ -72,23 +155,63 @@ def run_dawningcloud_htc(
     seed: int = 0,
 ) -> ProviderMetrics:
     """One HTC service provider on DawningCloud (standalone)."""
-    if bundle.kind != "htc":
-        raise ValueError("expected an HTC bundle")
-    cloud = DawningCloud(capacity=capacity, meter=meter)
-    cloud.add_htc_provider(bundle.name, policy)
-    injector = (
-        _elastic_injector(cloud, bundle, failures, seed).start()
-        if failures is not None
-        else None
-    )
-    cloud.submit_trace(bundle.name, bundle.materialize_trace())
-    horizon = float(bundle.horizon)  # type: ignore[arg-type]
-    cloud.run(until=horizon)
-    cloud.shutdown()
-    metrics = cloud.provider_metrics(bundle.name, horizon)
-    if injector is not None:
-        metrics.reliability = injector.finalize(horizon)
-    return metrics
+    return DawningCloudHtcLiveRun(
+        bundle, policy, capacity=capacity, meter=meter, failures=failures,
+        seed=seed,
+    ).run()
+
+
+class DawningCloudMtcLiveRun(LiveRun):
+    """One MTC provider on DawningCloud, built/loaded but not yet run."""
+
+    def __init__(
+        self,
+        bundle: WorkloadBundle,
+        policy: ResourceManagementPolicy,
+        capacity: int = DEFAULT_CAPACITY,
+        meter: Optional[BillingMeter] = None,
+        failures: Optional["FailureModel"] = None,
+        seed: int = 0,
+    ) -> None:
+        if bundle.kind != "mtc":
+            raise ValueError("expected an MTC bundle")
+        workflow = self.workflow = bundle.materialize_workflow()
+        cloud = self.cloud = DawningCloud(capacity=capacity, meter=meter)
+        self.engine = cloud.engine
+        self.name = bundle.name
+        cloud.add_mtc_provider(
+            bundle.name, policy, auto_destroy=True, create_at=workflow.submit_time
+        )
+        self.injector = None
+        if failures is not None:
+            # the TRE materializes at submit_time (priority -1); attach the
+            # injector right after it exists, at the same instant.  Bound
+            # method (not a closure): the pending event must survive
+            # engine snapshots.
+            self._pending_injection = (bundle, failures, seed)
+            cloud.engine.schedule_at(workflow.submit_time, self._attach_injector)
+        cloud.submit_workflow(bundle.name, workflow)
+        self.horizon = float(bundle.horizon)  # type: ignore[arg-type]
+
+    def _attach_injector(self) -> None:
+        bundle, failures, seed = self._pending_injection
+        self.injector = _elastic_injector(
+            self.cloud, bundle, failures, seed
+        ).start()
+
+    def retarget_policy(self, policy: ResourceManagementPolicy) -> None:
+        """Swap B/R on a forked branch (see :func:`_retarget_policy`)."""
+        _retarget_policy(self.cloud, self.name, policy)
+
+    def complete(self) -> None:
+        run_until(self.engine, self.workflow.completed, hard_limit=self.horizon)
+
+    def finish(self) -> ProviderMetrics:
+        self.cloud.shutdown()
+        metrics = self.cloud.provider_metrics(self.name, self.engine.now)
+        if self.injector is not None:
+            metrics.reliability = self.injector.finalize(self.engine.now)
+        return metrics
 
 
 def run_dawningcloud_mtc(
@@ -107,30 +230,10 @@ def run_dawningcloud_mtc(
     With a failure model, injection starts at TRE creation (the machine
     partition exists only for the workload period).
     """
-    if bundle.kind != "mtc":
-        raise ValueError("expected an MTC bundle")
-    workflow = bundle.materialize_workflow()
-    cloud = DawningCloud(capacity=capacity, meter=meter)
-    cloud.add_mtc_provider(
-        bundle.name, policy, auto_destroy=True, create_at=workflow.submit_time
-    )
-    injectors: list = []
-    if failures is not None:
-        # the TRE materializes at submit_time (priority -1); attach the
-        # injector right after it exists, at the same instant
-        cloud.engine.schedule_at(
-            workflow.submit_time,
-            lambda: injectors.append(
-                _elastic_injector(cloud, bundle, failures, seed).start()
-            ),
-        )
-    cloud.submit_workflow(bundle.name, workflow)
-    run_until(cloud.engine, workflow.completed, hard_limit=float(bundle.horizon))  # type: ignore[arg-type]
-    cloud.shutdown()
-    metrics = cloud.provider_metrics(bundle.name, cloud.engine.now)
-    if injectors:
-        metrics.reliability = injectors[0].finalize(cloud.engine.now)
-    return metrics
+    return DawningCloudMtcLiveRun(
+        bundle, policy, capacity=capacity, meter=meter, failures=failures,
+        seed=seed,
+    ).run()
 
 
 def run_dawningcloud_consolidated(

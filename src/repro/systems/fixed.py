@@ -35,13 +35,147 @@ from repro.provisioning.policies import FixedAllocation
 from repro.scheduling.fcfs import FcfsScheduler
 from repro.scheduling.firstfit import FirstFitScheduler
 from repro.simkit.engine import SimulationEngine
-from repro.systems.base import WorkloadBundle, run_until
+from repro.systems.base import LiveRun, WorkloadBundle, run_until
 from repro.systems.emulator import JobEmulator
 
 if TYPE_CHECKING:  # pragma: no cover - reliability is an optional layer
     from repro.reliability.failures import FailureModel
 
 HOUR = 3600.0
+
+
+class FixedLiveRun(LiveRun):
+    """A DCS/SSP system built and loaded, but with no events executed.
+
+    Construction is the old ``_run_fixed`` prologue: engine, server,
+    fixed allocation, (optional) failure injector and the injected
+    workload.  :meth:`complete` advances to the horizon (HTC) or workflow
+    completion (MTC); :meth:`finish` tears down and prices the run.
+    Snapshot/fork any time in between.
+    """
+
+    def __init__(
+        self,
+        bundle: WorkloadBundle,
+        system: str,
+        meter: Optional[BillingMeter] = None,
+        failures: Optional["FailureModel"] = None,
+        seed: int = 0,
+    ) -> None:
+        engine = self.engine = SimulationEngine()
+        emulator = JobEmulator(engine)
+        self.system = system
+        self.name = bundle.name
+        self.kind = bundle.kind
+        nodes = self.nodes = int(bundle.fixed_nodes)  # type: ignore[arg-type]
+
+        # SSP leases its block through the provision service (and its
+        # meter); DCS owns the machine outright, so nothing to meter.
+        self.provision = (
+            ResourceProvisionService(nodes, meter=meter) if system == "SSP" else None
+        )
+        self.injector = None
+        self.workflow = None
+
+        if bundle.kind == "htc":
+            trace = bundle.materialize_trace()
+            self.server = REServer(
+                engine, bundle.name, FirstFitScheduler(), HTC_SCAN_INTERVAL_S
+            )
+            self.allocation = FixedAllocation(
+                engine, self.server, nodes, provision=self.provision
+            )
+            self.allocation.start()
+            if failures is not None:
+                self.injector = self._make_injector(failures, seed).start()
+            emulator.submit_trace(trace, self.server.submit_job)
+            self.submitted = len(trace)
+        else:
+            workflow = self.workflow = bundle.materialize_workflow()
+            self.server = REServer(
+                engine, bundle.name, FcfsScheduler(), MTC_SCAN_INTERVAL_S
+            )
+            self.allocation = FixedAllocation(
+                engine, self.server, nodes, provision=self.provision
+            )
+            # the fixed machine exists only for the workload period
+            engine.schedule_at(workflow.submit_time, self.allocation.start)
+            if failures is not None:
+                self.injector = self._make_injector(failures, seed)
+                engine.schedule_at(workflow.submit_time, self.injector.start)
+            emulator.submit_workflow(workflow, self.server.submit_workflow)
+            self.submitted = len(workflow.tasks)
+        self.horizon = float(bundle.horizon)  # type: ignore[arg-type]
+
+    def _make_injector(self, failures: "FailureModel", seed: int):
+        from repro.reliability.injector import NodeFailureInjector
+        from repro.simkit.rng import RandomStreams
+
+        # the fixed machine *is* the slot set; repaired nodes return
+        # to the machine (DCS owns them, SSP re-leases per node)
+        return NodeFailureInjector(
+            self.engine, self.server, failures, RandomStreams(seed),
+            n_slots=self.nodes, provision=self.provision, restore="server",
+        )
+
+    def complete(self) -> None:
+        if self.kind == "htc":
+            self.engine.run(until=self.horizon)
+        else:
+            run_until(self.engine, self.workflow.completed, hard_limit=self.horizon)
+
+    def finish(self) -> ProviderMetrics:
+        server = self.server
+        if self.kind == "htc":
+            horizon = self.horizon
+            self.allocation.teardown()
+            server.stop()
+            # the machine exists (and DCS pays) for the configured horizon:
+            # bundle.horizon defaults to trace.duration, but when a caller
+            # extends it (e.g. a repair tail letting requeued jobs finish
+            # after the trace period) billing, completions and peaks must
+            # all clamp to the *same* instant
+            period = horizon
+            completed = server.completed_by(horizon)
+            tasks_per_second = None
+            makespan = None
+        else:
+            makespan = server.makespan()
+            self.allocation.teardown()
+            server.stop()
+            period = makespan or 0.0
+            completed = server.completed_count
+            tasks_per_second = (
+                completed / makespan if makespan and makespan > 0 else None
+            )
+            horizon = self.engine.now
+
+        if self.provision is not None:
+            # SSP: billed through the lease ledger (meter-dependent).
+            consumption = self.provision.consumption_node_hours(self.name)
+            adjusted = self.provision.adjusted_node_count(self.name)
+        else:
+            # DCS: owned — the §4.3 closed form, no adjustments ever.
+            consumption = dcs_consumption_node_hours(self.nodes, period)
+            adjusted = 0
+        return ProviderMetrics(
+            provider=self.name,
+            system=self.system,
+            workload=self.name,
+            resource_consumption=consumption,
+            completed_jobs=completed,
+            submitted_jobs=self.submitted,
+            tasks_per_second=tasks_per_second,
+            makespan_s=makespan,
+            adjusted_nodes=adjusted,
+            peak_nodes=server.usage.peak(horizon),
+            usage=server.usage,
+            reliability=(
+                self.injector.finalize(horizon)
+                if self.injector is not None
+                else None
+            ),
+        )
 
 
 def _run_fixed(
@@ -51,95 +185,9 @@ def _run_fixed(
     failures: Optional["FailureModel"] = None,
     seed: int = 0,
 ) -> ProviderMetrics:
-    engine = SimulationEngine()
-    emulator = JobEmulator(engine)
-    nodes = int(bundle.fixed_nodes)  # type: ignore[arg-type]
-
-    # SSP leases its block through the provision service (and its meter);
-    # DCS owns the machine outright, so there is nothing to meter.
-    provision = (
-        ResourceProvisionService(nodes, meter=meter) if system == "SSP" else None
-    )
-
-    injector = None
-    if failures is not None:
-        from repro.reliability.injector import NodeFailureInjector
-        from repro.simkit.rng import RandomStreams
-
-        def make_injector(server: REServer) -> NodeFailureInjector:
-            # the fixed machine *is* the slot set; repaired nodes return
-            # to the machine (DCS owns them, SSP re-leases per node)
-            return NodeFailureInjector(
-                engine, server, failures, RandomStreams(seed), n_slots=nodes,
-                provision=provision, restore="server",
-            )
-
-    if bundle.kind == "htc":
-        trace = bundle.materialize_trace()
-        server = REServer(engine, bundle.name, FirstFitScheduler(), HTC_SCAN_INTERVAL_S)
-        allocation = FixedAllocation(engine, server, nodes, provision=provision)
-        allocation.start()
-        if failures is not None:
-            injector = make_injector(server).start()
-        emulator.submit_trace(trace, server.submit_job)
-        horizon = float(bundle.horizon)  # type: ignore[arg-type]
-        engine.run(until=horizon)
-        allocation.teardown()
-        server.stop()
-        # the machine exists (and DCS pays) for the configured horizon:
-        # bundle.horizon defaults to trace.duration, but when a caller
-        # extends it (e.g. a repair tail letting requeued jobs finish
-        # after the trace period) billing, completions and peaks must all
-        # clamp to the *same* instant
-        period = horizon
-        completed = server.completed_by(horizon)
-        tasks_per_second = None
-        makespan = None
-        submitted = len(trace)
-    else:
-        workflow = bundle.materialize_workflow()
-        server = REServer(engine, bundle.name, FcfsScheduler(), MTC_SCAN_INTERVAL_S)
-        allocation = FixedAllocation(engine, server, nodes, provision=provision)
-        # the fixed machine exists only for the workload period
-        engine.schedule_at(workflow.submit_time, allocation.start)
-        if failures is not None:
-            injector = make_injector(server)
-            engine.schedule_at(workflow.submit_time, injector.start)
-        emulator.submit_workflow(workflow, server.submit_workflow)
-        run_until(engine, workflow.completed, hard_limit=float(bundle.horizon))  # type: ignore[arg-type]
-        makespan = server.makespan()
-        allocation.teardown()
-        server.stop()
-        period = makespan or 0.0
-        completed = server.completed_count
-        tasks_per_second = (
-            completed / makespan if makespan and makespan > 0 else None
-        )
-        submitted = len(workflow.tasks)
-        horizon = engine.now
-
-    if provision is not None:
-        # SSP: billed through the lease ledger (meter-dependent).
-        consumption = provision.consumption_node_hours(bundle.name)
-        adjusted = provision.adjusted_node_count(bundle.name)
-    else:
-        # DCS: owned — the §4.3 closed form, no adjustments ever.
-        consumption = dcs_consumption_node_hours(nodes, period)
-        adjusted = 0
-    return ProviderMetrics(
-        provider=bundle.name,
-        system=system,
-        workload=bundle.name,
-        resource_consumption=consumption,
-        completed_jobs=completed,
-        submitted_jobs=submitted,
-        tasks_per_second=tasks_per_second,
-        makespan_s=makespan,
-        adjusted_nodes=adjusted,
-        peak_nodes=server.usage.peak(horizon),
-        usage=server.usage,
-        reliability=injector.finalize(horizon) if injector is not None else None,
-    )
+    return FixedLiveRun(
+        bundle, system, meter=meter, failures=failures, seed=seed
+    ).run()
 
 
 def run_dcs(

@@ -1,0 +1,95 @@
+"""The horizon-clamp invariant, audited across every HTC runner.
+
+PR 5 fixed ``_run_fixed`` counting completions past the billing horizon
+(late requeued completions under failures disagreed with the billing
+window).  This is the shared audit for the remaining runners: for every
+HTC system, ``completed_jobs`` must count exactly the completions at or
+before the horizon the billing/peak figures use — jobs still running at
+the horizon (including failure-requeued stragglers) are excluded even
+though the simulation records their eventual completion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_job, make_trace
+from repro.core.policies import ResourceManagementPolicy
+from repro.provisioning.runner import PooledQueueLiveRun
+from repro.reliability.failures import ExponentialFailures
+from repro.scheduling.firstfit import FirstFitScheduler
+from repro.systems.base import WorkloadBundle
+from repro.systems.drp import DrpHtcLiveRun, DrpPooledLiveRun
+from repro.systems.dsp_runner import DawningCloudHtcLiveRun
+from repro.systems.fixed import FixedLiveRun
+
+HOUR = 3600.0
+
+
+def _straggler_bundle() -> WorkloadBundle:
+    """Two on-time jobs plus one whose completion lands past the horizon."""
+    jobs = [
+        make_job(1, submit=0.0, size=2, runtime=600),
+        make_job(2, submit=120.0, size=4, runtime=900),
+        # submitted inside the window, finishes hours after it
+        make_job(3, submit=5400.0, size=2, runtime=6 * HOUR),
+    ]
+    return WorkloadBundle.from_trace(
+        "straggle", make_trace(jobs, nodes=16, duration=2 * HOUR)
+    )
+
+
+RUNNERS = [
+    ("dcs", lambda b, f: FixedLiveRun(b, "DCS", failures=f, seed=5)),
+    ("ssp", lambda b, f: FixedLiveRun(b, "SSP", failures=f, seed=5)),
+    ("drp", lambda b, f: DrpHtcLiveRun(b, failures=f, seed=5)),
+    ("drp-pooled", lambda b, f: DrpPooledLiveRun(b)),
+    ("dawningcloud", lambda b, f: DawningCloudHtcLiveRun(
+        b, ResourceManagementPolicy.for_htc(8, 1.5), capacity=64,
+        failures=f, seed=5)),
+    ("pooled-queue", lambda b, f: PooledQueueLiveRun(
+        b, FirstFitScheduler(), failures=f, seed=5)),
+]
+
+
+def _completed_jobs(live) -> list:
+    if hasattr(live, "cloud"):
+        return live.cloud.tre(live.name).server.completed
+    if hasattr(live, "server"):
+        return live.server.completed
+    return live.state.completed
+
+
+@pytest.mark.parametrize(
+    "with_failures", [False, True], ids=["clean", "failures"]
+)
+@pytest.mark.parametrize("name,build", RUNNERS, ids=[n for n, _ in RUNNERS])
+def test_completions_clamp_to_billing_horizon(name, build, with_failures):
+    if with_failures and name == "drp-pooled":
+        pytest.skip("pooled DRP has no failure path")
+    bundle = _straggler_bundle()
+    failures = (
+        ExponentialFailures(mtbf_s=3 * HOUR, mttr_s=900.0)
+        if with_failures
+        else None
+    )
+    live = build(bundle, failures)
+    horizon = live.horizon
+    live.complete()
+
+    # run the engine past the horizon so the straggler's completion event
+    # actually fires — exactly the state that tripped _run_fixed in PR 5
+    live.engine.run(until=horizon + 12 * HOUR)
+    completed = _completed_jobs(live)
+    metrics = live.finish()
+
+    in_window = sum(
+        1 for j in completed if (j.finish_time or 0.0) <= horizon
+    )
+    assert metrics.completed_jobs == in_window
+    # the straggler really did complete late (the clamp had work to do)
+    # in at least the clean configuration
+    if not with_failures:
+        assert len(completed) > in_window
+        assert metrics.completed_jobs == 2
+    assert metrics.submitted_jobs == 3

@@ -201,3 +201,35 @@ class TestHeapCompaction:
         engine.run()
         expected = [t for t in range(3000) if t % 2 and (t - 1) % 4]
         assert fired == expected
+
+    def test_direct_cancel_pops_do_not_drain_the_slack_counter(self):
+        """PR 6: events cancelled via Event.cancel() directly are invisible
+        to the slack counter; popping them must not *decrement* it either,
+        or near-term direct cancellations eat the decrements belonging to
+        engine-counted entries deep in the heap and compaction never fires.
+        """
+        from repro.simkit.engine import COMPACT_MIN_HEAP, SimulationEngine
+
+        engine = SimulationEngine()
+        # counted slack far in the future, just under the compaction ratio;
+        # a live guard event at 1e8 keeps the cancelled block off the heap
+        # top so lazy pop-time discovery cannot legitimately reach it
+        engine.schedule_at(1e8, lambda: None)
+        n_far = COMPACT_MIN_HEAP + 200
+        far = [engine.schedule_at(1e9, lambda: None) for _ in range(n_far)]
+        for e in far[: n_far // 2]:
+            engine.cancel(e)
+        assert engine.compactions == 0
+        # near-term events cancelled *directly*: the run loop discovers
+        # them lazily; with the drift bug each pop decremented the counter
+        near = [engine.schedule_at(float(t), lambda: None) for t in range(600)]
+        for e in near:
+            e.cancel()
+        engine.run(until=700.0)
+        assert engine._cancelled_pending == n_far // 2
+        # one more counted cancellation crosses the ratio -> compaction
+        for e in far[n_far // 2 : n_far // 2 + 2]:
+            engine.cancel(e)
+        assert engine.compactions > 0
+        # only cancellations issued *after* the compaction remain counted
+        assert engine._cancelled_pending <= 1

@@ -182,3 +182,86 @@ class TestSuspendResume:
         engine.run(until=50.0)
         assert timer.fire_count == 1
         assert not timer.active and not timer.suspended
+
+
+class TestResumeFloatKnifeEdge:
+    """PR 6: the resume() boundary must survive float error in either
+    direction.  ``(now - epoch) / interval`` can land just above the true
+    tick index when the waker sits exactly on an unfired grid instant; the
+    old ``ceil`` then skipped the tick that must still fire at ``now``.
+    The grid instants themselves are always the *product* form
+    ``epoch + n*interval`` (what ``_arm`` schedules), so the tests build
+    ``now`` the same way.
+    """
+
+    # concrete (epoch, interval, m) triples where the quotient floats just
+    # above the integer m although epoch + m*interval == now exactly
+    KNIFE_EDGES = [
+        (134364.2441124012, 0.3, 33434),
+        (117918.70367106106, 0.7, 61900),
+        (651592.972722763, 7.7, 12304),
+        (22322.111021323864, 0.025, 1208),
+        (939167.0189485865, 0.025, 30552),
+    ]
+
+    def _resume_at_grid_instant(self, epoch, interval, m, include_now):
+        from repro.simkit.engine import SimulationEngine
+
+        engine = SimulationEngine(start_time=epoch)
+        fires = []
+        timer = PeriodicTimer(engine, interval, lambda: fires.append(engine.now))
+        timer.start()
+        timer.suspend()
+        target = epoch + m * interval
+        engine.schedule_at(target, timer.resume, include_now)
+        engine.run(until=target)
+        return fires, target, timer
+
+    @pytest.mark.parametrize("epoch,interval,m", KNIFE_EDGES)
+    def test_waker_on_unfired_grid_instant_fires_that_tick(
+        self, epoch, interval, m
+    ):
+        fires, target, _ = self._resume_at_grid_instant(
+            epoch, interval, m, include_now=True
+        )
+        assert fires == [target]
+
+    @pytest.mark.parametrize("epoch,interval,m", KNIFE_EDGES)
+    def test_exclusive_waker_on_grid_instant_stays_strictly_after(
+        self, epoch, interval, m
+    ):
+        fires, target, timer = self._resume_at_grid_instant(
+            epoch, interval, m, include_now=False
+        )
+        assert fires == []
+        assert timer._epoch + timer._n * timer.interval > target
+
+    def test_resume_grid_boundary_hypothesis(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=300, deadline=None)
+        @given(
+            epoch=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            interval=st.sampled_from(
+                [0.025, 0.1, 0.3, 1 / 3, 0.7, 2.5, 3.0, 7.7, 60.0, 3600.0]
+            ),
+            m=st.integers(min_value=2, max_value=100_000),
+            include_now=st.booleans(),
+        )
+        def check(epoch, interval, m, include_now):
+            fires, target, timer = self._resume_at_grid_instant(
+                epoch, interval, m, include_now
+            )
+            if include_now:
+                # the boundary tick at `now` must fire, and nothing earlier
+                assert fires == [target]
+            else:
+                # strictly after: nothing fires by `target`, and the armed
+                # tick is the first grid instant past it
+                assert fires == []
+                next_t = timer._epoch + timer._n * timer.interval
+                assert next_t > target
+                assert timer._epoch + (timer._n - 1) * timer.interval <= target
+
+        check()

@@ -1,0 +1,275 @@
+"""Snapshot/restore/fork byte-identity (the PR 6 tentpole).
+
+Three layers of guarantees, mirroring ``test_differential_emulator.py``'s
+differential style:
+
+* **property**: ``restore(snapshot(live))`` then ``run()`` is
+  byte-identical — per-job completion times, billed consumption and the
+  reliability payload — to an uninterrupted run, across every runner
+  family, with and without a failure model, snapshotting at arbitrary
+  hypothesis-chosen instants;
+* **differential**: prefix-shared sweeps (`share_prefix=True`) equal cold
+  sweeps point for point, at the sweep, run_experiment and
+  ``Simulation.fork()`` levels;
+* **alias guard**: closures in the heap are rejected at snapshot time.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_job, make_trace
+from repro.api.run import (
+    RETARGETABLE_SWEEP_PATHS,
+    Simulation,
+    fork_experiment_branches,
+    run_experiment,
+    sweep_prefix_shareable,
+)
+from repro.api.spec import ExperimentSpec
+from repro.core.policies import ResourceManagementPolicy
+from repro.experiments.cache import NullCache
+from repro.experiments.sweep import (
+    SHARED_PREFIX_MIN_FRACTION,
+    _resolve_share,
+    branch_instant,
+    sweep_htc_parameters,
+    sweep_mtc_parameters,
+)
+from repro.provisioning.runner import PooledQueueLiveRun
+from repro.reliability.failures import ExponentialFailures
+from repro.scheduling.firstfit import FirstFitScheduler
+from repro.simkit.snapshot import SnapshotAliasError
+from repro.systems.base import WorkloadBundle
+from repro.systems.drp import DrpHtcLiveRun, DrpMtcLiveRun, DrpPooledLiveRun
+from repro.systems.dsp_runner import (
+    DawningCloudHtcLiveRun,
+    DawningCloudMtcLiveRun,
+)
+from repro.systems.fixed import FixedLiveRun
+from repro.workloads.workflowgen import fork_join
+
+HOUR = 3600.0
+
+#: whole-simulation tests: excluded from the fast tier
+pytestmark = pytest.mark.slow
+
+
+def _htc_bundle() -> WorkloadBundle:
+    jobs = [
+        make_job(1, submit=0.0, size=4, runtime=1800),
+        make_job(2, submit=60.0, size=2, runtime=600),
+        make_job(3, submit=120.0, size=8, runtime=3600),
+        make_job(4, submit=900.0, size=16, runtime=1200),
+        make_job(5, submit=1800.0, size=4, runtime=2400),
+        make_job(6, submit=4000.0, size=6, runtime=1800),
+        make_job(7, submit=5400.0, size=3, runtime=900),
+    ]
+    return WorkloadBundle.from_trace("t", make_trace(jobs))
+
+
+def _mtc_bundle() -> WorkloadBundle:
+    return WorkloadBundle.from_workflow(
+        "wf", fork_join(width=6, mean_runtime=40.0, seed=2)
+    )
+
+
+def _failures() -> ExponentialFailures:
+    return ExponentialFailures(mtbf_s=2 * HOUR, mttr_s=600.0)
+
+
+# one builder per runner family: (name, kind, accepts_failures, build)
+BUILDERS = [
+    ("dcs", "htc", True,
+     lambda b, f: FixedLiveRun(b, "DCS", failures=f, seed=3)),
+    ("ssp", "htc", True,
+     lambda b, f: FixedLiveRun(b, "SSP", failures=f, seed=3)),
+    ("drp-htc", "htc", True,
+     lambda b, f: DrpHtcLiveRun(b, failures=f, seed=3)),
+    ("drp-pooled", "htc", False,
+     lambda b, f: DrpPooledLiveRun(b)),
+    ("dawningcloud-htc", "htc", True,
+     lambda b, f: DawningCloudHtcLiveRun(
+         b, ResourceManagementPolicy.for_htc(8, 1.5), capacity=64,
+         failures=f, seed=3)),
+    ("pooled-queue", "htc", True,
+     lambda b, f: PooledQueueLiveRun(
+         b, FirstFitScheduler(), failures=f, seed=3)),
+    ("dawningcloud-mtc", "mtc", True,
+     lambda b, f: DawningCloudMtcLiveRun(
+         b, ResourceManagementPolicy.for_mtc(4, 8.0), capacity=64,
+         failures=f, seed=3)),
+    ("drp-mtc", "mtc", False,
+     lambda b, f: DrpMtcLiveRun(b)),
+]
+
+CASES = [
+    (name, kind, build, with_failures)
+    for name, kind, accepts, build in BUILDERS
+    for with_failures in ([False, True] if accepts else [False])
+]
+
+
+def _job_finish_times(live) -> list[tuple[int, float]]:
+    """Per-job completion instants, however the runner stores them."""
+    if hasattr(live, "cloud"):
+        completed = live.cloud.tre(live.name).server.completed
+    elif hasattr(live, "server"):
+        completed = live.server.completed
+    elif hasattr(live, "state"):
+        completed = live.state.completed
+    else:
+        completed = live.pool.completed
+    return sorted((j.job_id, j.finish_time) for j in completed)
+
+
+def _finalize(live) -> tuple:
+    live.complete()
+    times = _job_finish_times(live)
+    payload = live.finish().to_payload()
+    return payload, times, live.engine.now
+
+
+@pytest.mark.parametrize(
+    "name,kind,build,with_failures",
+    CASES,
+    ids=[f"{n}{'-failures' if w else ''}" for n, _, _, w in CASES],
+)
+@settings(max_examples=5, deadline=None)
+@given(fraction=st.floats(min_value=0.05, max_value=0.95))
+def test_restore_then_run_is_byte_identical(name, kind, build, with_failures,
+                                            fraction):
+    bundle = _htc_bundle() if kind == "htc" else _mtc_bundle()
+    failures = _failures() if with_failures else None
+
+    cold = _finalize(build(bundle, failures))
+    # MTC runs end at workflow completion, not the horizon guard, so the
+    # snapshot instant is chosen inside the *observed* run span.
+    span = cold[2] if kind == "mtc" else float(bundle.horizon)
+
+    live = build(bundle, failures)
+    live.advance_before(fraction * span)
+    snapshot = live.snapshot(label=name)
+    restored = snapshot.restore()
+
+    # the interrupted original and the restored branch both finish
+    # exactly like the run that was never touched
+    assert _finalize(live) == cold
+    assert _finalize(restored) == cold
+
+
+def test_fork_branches_are_disjoint():
+    bundle = _htc_bundle()
+    live = DawningCloudHtcLiveRun(
+        bundle, ResourceManagementPolicy.for_htc(8, 1.5), capacity=64
+    )
+    live.advance_before(900.0)
+    branch = live.fork()
+    # running the branch first must not perturb the original
+    branch_result = _finalize(branch)
+    original_result = _finalize(live)
+    assert branch_result == original_result
+
+
+def test_snapshot_rejects_closures_in_heap():
+    bundle = _htc_bundle()
+    live = DawningCloudHtcLiveRun(
+        bundle, ResourceManagementPolicy.for_htc(8, 1.5), capacity=64
+    )
+    leak = []
+    live.engine.schedule(60.0, lambda: leak.append(1))
+    with pytest.raises(SnapshotAliasError):
+        live.snapshot()
+
+
+# --------------------------------------------------------------------- #
+# differential: prefix-shared sweeps == cold sweeps
+# --------------------------------------------------------------------- #
+def test_htc_sweep_branched_equals_cold():
+    bundle = _htc_bundle()
+    grid = dict(initial_nodes=(4, 8), threshold_ratios=(1.0, 1.5, 2.0),
+                capacity=64)
+    cold = sweep_htc_parameters(bundle, share_prefix=False, **grid)
+    warm = sweep_htc_parameters(bundle, share_prefix=True, **grid)
+    assert warm == cold
+
+
+def test_mtc_sweep_branched_equals_cold():
+    bundle = _mtc_bundle()
+    grid = dict(initial_nodes=(2, 4), threshold_ratios=(4.0, 8.0),
+                capacity=64)
+    cold = sweep_mtc_parameters(bundle, share_prefix=False, **grid)
+    warm = sweep_mtc_parameters(bundle, share_prefix=True, **grid)
+    assert warm == cold
+
+
+def _sweep_spec() -> dict:
+    return {
+        "name": "branch-diff",
+        "workloads": [{"generator": "fork-join",
+                       "params": {"width": 5, "mean_runtime": 30.0}}],
+        "systems": [{"runner": "dawningcloud",
+                     "policy": {"name": "paper-mtc",
+                                "params": {"initial_nodes": 3}},
+                     "params": {"capacity": 64}}],
+        "seeds": [0, 1],
+        "sweep": {"policy.params.threshold_ratio": [4.0, 8.0, 12.0]},
+    }
+
+
+def test_run_experiment_branched_equals_cold():
+    spec = ExperimentSpec.from_dict(_sweep_spec())
+    cold = [r.to_dict() for r in run_experiment(spec, 0, share_prefix=False)]
+    warm = [r.to_dict() for r in run_experiment(spec, 0, share_prefix=True)]
+    assert warm == cold
+
+
+def test_simulation_fork_branches_equal_cold_points():
+    spec = _sweep_spec()
+    cold = run_experiment(
+        ExperimentSpec.from_dict(spec), 0, share_prefix=False
+    )
+    sim = Simulation(spec, seed=0, cache=NullCache())
+    branches = sim.fork()
+    assert [b.point for b in branches] == [
+        r.point for r in cold if r.seed == 0
+    ]
+    forked = [b.run().to_payload() for b in branches]
+    assert forked == [dict(r.metrics) for r in cold if r.seed == 0]
+
+
+# --------------------------------------------------------------------- #
+# detection and the profitability guard
+# --------------------------------------------------------------------- #
+def test_generator_touching_sweeps_are_not_shareable():
+    spec = _sweep_spec()
+    spec["sweep"]["workload.params.width"] = [3, 5]
+    es = ExperimentSpec.from_dict(spec)
+    assert not sweep_prefix_shareable(es)
+    with pytest.raises(ValueError, match="workload.params.width"):
+        fork_experiment_branches(es)
+
+
+def test_build_shaping_sweeps_are_not_shareable():
+    spec = _sweep_spec()
+    spec["sweep"] = {"policy.params.initial_nodes": [2, 4]}
+    assert "policy.params.initial_nodes" not in RETARGETABLE_SWEEP_PATHS
+    assert not sweep_prefix_shareable(ExperimentSpec.from_dict(spec))
+
+
+def test_auto_guard_shares_only_long_prefixes():
+    early = _htc_bundle()  # first submission at t=0
+    assert _resolve_share("auto", early) is False
+
+    late_jobs = [
+        make_job(1, submit=2 * HOUR, size=4, runtime=1800),
+        make_job(2, submit=2 * HOUR + 60, size=2, runtime=600),
+    ]
+    late = WorkloadBundle.from_trace("late", make_trace(late_jobs))
+    assert branch_instant(late) / late.horizon >= SHARED_PREFIX_MIN_FRACTION
+    assert _resolve_share("auto", late) is True
+    # and the forced modes ignore the guard entirely
+    assert _resolve_share(True, early) is True
+    assert _resolve_share(False, late) is False
