@@ -149,6 +149,75 @@ def prefix_shared_sweep(n_jobs: int = 40) -> dict:
     }
 
 
+def hybrid_kernel_sweep(n_jobs: int = 120_000) -> dict:
+    """The hybrid fluid/vectorized core vs the exact engine, same workload.
+
+    One synthetic uncontended month (the fluid tier's home turf) runs
+    twice: exact engine timed with its event count, then the hybrid core
+    (columnar mode, best of three).  Byte-identical payloads and a >= 3x
+    speedup are *asserted* — the speedup ratio compares two timings from
+    the same process on the same machine, so it is machine-independent in
+    a way absolute wall times are not.  ``events_per_sec_effective`` is
+    the exact run's event count over the hybrid wall: what the hybrid
+    core's closed form is worth in exact-engine currency.
+    """
+    from repro.experiments.perfscale import build_uniform_trace
+    from repro.systems.fixed import FixedLiveRun
+
+    bundle = build_uniform_trace(
+        0, 65_536, n_jobs, 30 * 86400.0, name="hybrid-bench"
+    )
+    t0 = time.perf_counter()
+    exact_run = FixedLiveRun(bundle, "DCS", kernel="off")
+    exact = exact_run.run()
+    exact_wall = time.perf_counter() - t0
+    events = exact_run.engine.executed_events
+
+    best = float("inf")
+    for _ in range(3):
+        t1 = time.perf_counter()
+        run = FixedLiveRun(
+            bundle, "DCS", kernel={"kernel": "numpy", "materialize": False}
+        )
+        hybrid = run.run()
+        best = min(best, time.perf_counter() - t1)
+        assert run.fluid_applied, "hybrid bench fell back to the exact engine"
+    assert hybrid.to_payload() == exact.to_payload(), (
+        "hybrid core diverged from the exact engine"
+    )
+    speedup = exact_wall / best
+    assert speedup >= 3.0, (
+        f"hybrid core speedup {speedup:.1f}x is below the 3x floor"
+    )
+    return {
+        "scenario": "hybrid-kernel",
+        "n_jobs": n_jobs,
+        "identical": True,
+        "executed_events_exact": events,
+        "exact_wall_s": round(exact_wall, 3),
+        "wall_s": round(best, 4),
+        "speedup_vs_exact": round(speedup, 1),
+        "events_per_sec_effective": round(events / best),
+    }
+
+
+def million_node_year_point() -> dict:
+    """The ``million-node-year`` scenario, timed end to end (< 30 s)."""
+    from repro.experiments.registry import default_registry
+
+    spec = default_registry().get("million-node-year")
+    t0 = time.perf_counter()
+    payload = spec.run(0)
+    wall = time.perf_counter() - t0
+    assert wall < 30.0, f"million-node-year took {wall:.1f}s (budget: 30s)"
+    return {
+        "scenario": "million-node-year",
+        "nodes": payload["nodes"],
+        "n_jobs": payload["n_jobs"],
+        "wall_s": round(wall, 3),
+    }
+
+
 def tracked_timings(report: dict) -> dict[str, float]:
     """The scenario → wall-seconds map the regression gate compares."""
     timings = {"engine": report["engine"]["wall_s"]}
@@ -225,6 +294,8 @@ def main(argv=None) -> int:
             cold_sweep("fig10-sweep-nasa"),
             cold_sweep("fig09-sweep-blue"),
             prefix_shared_sweep(),
+            hybrid_kernel_sweep(),
+            million_node_year_point(),
         ],
     }
     report["sweep_total_wall_s"] = round(

@@ -130,6 +130,54 @@ def resolve_meter(
     return default_components().create("billing-meter", ref.name, **params)
 
 
+def resolve_engine_kernel(
+    engine: Union[None, str, Mapping, ComponentRef],
+) -> Union[None, str, Mapping[str, Any]]:
+    """An ``engine`` ref → the ``kernel=`` argument fixed runners take.
+
+    Two engines exist: ``exact`` (the canonical pure-Python event loop —
+    also what *no* ref means, so adding this field never changes a spec
+    digest) and ``hybrid`` (the opt-in fluid/vectorized core), with
+    optional params ``kernel`` (``python``/``numpy``/``numba``, default
+    ``numpy``) and ``materialize`` (default ``True``).  ``exact`` maps to
+    ``"off"`` rather than ``None`` so a spec saying *exact* beats any
+    ambient ``REPRO_KERNEL`` — a spec is a complete description of its
+    run.
+    """
+    from repro.simkit.kernel import KERNEL_BACKENDS, OFF_VALUES
+
+    if engine is None:
+        return None
+    ref = ComponentRef.from_value(engine, what="engine")
+    if ref.name == "exact":
+        if ref.params:
+            raise ValueError(
+                f"engine 'exact' takes no params, got {dict(ref.params)!r}"
+            )
+        return "off"
+    if ref.name != "hybrid":
+        raise ValueError(
+            f"unknown engine {ref.name!r}; known: ['exact', 'hybrid']"
+        )
+    params = dict(ref.params)
+    unknown = set(params) - {"kernel", "materialize"}
+    if unknown:
+        raise ValueError(
+            f"engine 'hybrid' has unknown param(s) {sorted(unknown)}; "
+            f"known: ['kernel', 'materialize']"
+        )
+    backend = params.get("kernel", "numpy")
+    if backend not in KERNEL_BACKENDS and backend not in OFF_VALUES:
+        raise ValueError(
+            f"engine 'hybrid' kernel must be one of {list(KERNEL_BACKENDS)} "
+            f"(or {list(OFF_VALUES[1:])}), got {backend!r}"
+        )
+    return {
+        "kernel": backend,
+        "materialize": bool(params.get("materialize", True)),
+    }
+
+
 def run_system(
     system: Union[str, Mapping, SystemSpec],
     bundle: WorkloadBundle,
@@ -154,6 +202,8 @@ def run_system(
         kwargs["failures"] = registry.create(
             "failure-model", system.failures.name, **system.failures.params
         )
+    if system.engine is not None:
+        kwargs["kernel"] = resolve_engine_kernel(system.engine)
     component.validate_params(kwargs)
     return component.factory(bundle, seed=seed, **kwargs)
 
@@ -440,6 +490,11 @@ def validate_spec(spec: ExperimentSpec) -> None:
                     require=kind != "billing-meter",
                 )
                 names.add(attr)
+        if system.engine is not None:
+            # engines are not registry components (two fixed names); the
+            # resolver performs the loud parse-time validation itself
+            resolve_engine_kernel(system.engine)
+            names.add("kernel")
         component.validate_params(dict.fromkeys(names))
 
 

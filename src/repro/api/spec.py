@@ -145,12 +145,17 @@ class SystemSpec:
     """One system: a registered runner plus its composable parts.
 
     ``params`` are runner-specific knobs (``capacity``, ``pool_cap``,
-    ``shared``, ...); ``policy``/``scheduler``/``billing``/``failures``
-    are nested :class:`ComponentRef`s resolved against the component
-    registry at materialization time.  A billing ref of ``per-hour`` (or
-    none) keeps the paper's default per-started-hour meter; no
-    ``failures`` ref keeps the no-failure fast path (zero reliability
-    machinery attached).
+    ``shared``, ...); ``policy``/``scheduler``/``billing``/``failures``/
+    ``engine`` are nested :class:`ComponentRef`s resolved against the
+    component registry at materialization time.  A billing ref of
+    ``per-hour`` (or none) keeps the paper's default per-started-hour
+    meter; no ``failures`` ref keeps the no-failure fast path (zero
+    reliability machinery attached); no ``engine`` ref keeps the exact
+    engine — and because optional fields are omitted from the dict form,
+    every pre-existing spec digest is unchanged.  ``engine`` accepts
+    ``exact`` (the default, explicit) or ``hybrid`` with optional
+    ``kernel``/``materialize`` params (see
+    :func:`repro.api.run.resolve_engine_kernel`).
     """
 
     runner: str
@@ -159,13 +164,14 @@ class SystemSpec:
     scheduler: Optional[ComponentRef] = None
     billing: Optional[ComponentRef] = None
     failures: Optional[ComponentRef] = None
+    engine: Optional[ComponentRef] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.runner:
             raise ValueError("system spec needs a non-empty runner")
         _frozen_params(self, self.params)
-        for attr in ("policy", "scheduler", "billing", "failures"):
+        for attr in ("policy", "scheduler", "billing", "failures", "engine"):
             value = getattr(self, attr)
             if value is not None and not isinstance(value, ComponentRef):
                 object.__setattr__(
@@ -186,7 +192,7 @@ class SystemSpec:
             _check_keys(
                 "system spec", value,
                 ("runner", "params", "policy", "scheduler", "billing",
-                 "failures", "label"),
+                 "failures", "engine", "label"),
             )
             if "runner" not in value:
                 raise ValueError(
@@ -194,7 +200,8 @@ class SystemSpec:
                 )
             refs = {
                 attr: ComponentRef.from_value(value[attr], what=attr)
-                for attr in ("policy", "scheduler", "billing", "failures")
+                for attr in ("policy", "scheduler", "billing", "failures",
+                             "engine")
                 if value.get(attr) is not None
             }
             return cls(
@@ -211,7 +218,7 @@ class SystemSpec:
         out: dict[str, Any] = {"runner": self.runner}
         if self.params:
             out["params"] = dict(self.params)
-        for attr in ("policy", "scheduler", "billing", "failures"):
+        for attr in ("policy", "scheduler", "billing", "failures", "engine"):
             ref = getattr(self, attr)
             if ref is not None:
                 out[attr] = ref.to_dict()
@@ -231,7 +238,7 @@ def _apply_path(data: dict, path: str, value: Any) -> None:
     for i, segment in enumerate(segments[:-1]):
         child = node.get(segment)
         if child is None and segment in (
-            "params", "policy", "scheduler", "billing", "failures",
+            "params", "policy", "scheduler", "billing", "failures", "engine",
         ):
             child = node[segment] = {}
         if not isinstance(child, dict):

@@ -233,6 +233,43 @@ def _spec_dir(arg: str | None):
     return default if default.is_dir() else None
 
 
+def _profile_scenarios(selected, overrides: dict, args) -> int:
+    """Profile each selected scenario with cProfile; dump .pstats files.
+
+    Every scenario runs twice in-process: a warm-up pass (imports, trace
+    parsing, numba compilation when present) and the profiled pass, so
+    the dump reflects steady-state simulation cost.  The cache is
+    deliberately bypassed — a cached replay profiles JSON loading, not
+    the simulation.
+    """
+    import cProfile
+    import io
+    import pstats
+    from pathlib import Path
+
+    if not selected:
+        print(f"no scenarios match pattern {args.scenario!r}", file=sys.stderr)
+        return 1
+    outdir = Path(args.profile_dir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for spec in selected:
+        spec_overrides = overrides.get(spec.name)
+        spec.run(args.seed, overrides=spec_overrides)  # warm-up pass
+        profiler = cProfile.Profile()
+        profiler.enable()
+        spec.run(args.seed, overrides=spec_overrides)
+        profiler.disable()
+        path = outdir / f"{spec.name}.pstats"
+        profiler.dump_stats(path)
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("tottime").print_stats(25)
+        print(f"# {spec.name}: profile dumped to {path}", file=sys.stderr)
+        print(f"=== {spec.name} (top 25 by tottime) ===")
+        print(buffer.getvalue())
+    return 0
+
+
 _COMMANDS: dict[str, Callable[[Orchestrator], str]] = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -324,6 +361,22 @@ def main(argv: list[str] | None = None) -> int:
              "(the reliability family) at this per-node MTBF",
     )
     parser.add_argument(
+        "--kernel", choices=("off", "python", "numpy", "numba"), default=None,
+        help="simulation core for this invocation: 'off' forces the exact "
+             "engine; a backend name enables the hybrid fluid/vectorized "
+             "core process-wide (equivalent to REPRO_KERNEL; exact results "
+             "either way)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile each 'run' scenario with cProfile (after a cached/"
+             "warm pass) and dump per-scenario .pstats files",
+    )
+    parser.add_argument(
+        "--profile-dir", default="profiles", metavar="DIR",
+        help="target directory for --profile .pstats dumps",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
              "./.repro-cache)",
@@ -357,6 +410,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.paths and args.command != "run-spec":
         parser.error(f"positional spec files only apply to 'run-spec', "
                      f"not {args.command!r}")
+    if args.profile and args.command != "run":
+        parser.error("--profile only applies to the 'run' command")
+
+    if args.kernel is not None:
+        import os
+
+        from repro.simkit.kernel import KERNEL_ENV_VAR, configure
+
+        # both: configure() for this process, the env var for pool workers
+        os.environ[KERNEL_ENV_VAR] = args.kernel
+        configure(args.kernel)
 
     if args.no_cache:
         cache = NullCache()
@@ -441,8 +505,9 @@ def main(argv: list[str] | None = None) -> int:
             ("mtbf_grid", mtbf_point),
             ("preemption_mtbf_hours", mtbf_point),
         )
+        selected = orch.registry.select(args.scenario, args.tag)
         overrides = {}
-        for spec in orch.registry.select(args.scenario, args.tag):
+        for spec in selected:
             spec_overrides = {
                 param: value
                 for param, value in flag_params
@@ -450,6 +515,8 @@ def main(argv: list[str] | None = None) -> int:
             }
             if spec_overrides:
                 overrides[spec.name] = spec_overrides
+        if args.profile:
+            return _profile_scenarios(selected, overrides, args)
         runs = orch.run(pattern=args.scenario, tags=args.tag,
                         overrides=overrides or None)
         if not runs:

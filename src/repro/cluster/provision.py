@@ -150,6 +150,16 @@ class ResourceProvisionService:
         """One repaired node rejoins the free pool at ``t``."""
         self.state.repair(1, t)
 
+    def fast_forward(self, t: float) -> None:
+        """Bring time-accruing state to ``t`` with no inventory change.
+
+        Only the cluster state's busy-time integral accrues continuously;
+        the meter bills at lease boundaries (open/shrink/close events),
+        which the fluid tier never skips — so jumping the accounting clock
+        is the complete state update for a quiescent window.
+        """
+        self.state.fast_forward(t)
+
     def shutdown_client(self, client: str, t: float) -> float:
         """Close every lease of ``client`` (TRE destruction, §2.2 step 8)."""
         total = 0.0

@@ -338,6 +338,14 @@ SCENARIO_DECLS: tuple[ScenarioDecl, ...] = (
         capacity=DEFAULT_CAPACITY,
     ),
     _analysis_decl(
+        "million-node-year", "million-node-year",
+        "One simulated machine-year at a million nodes (hybrid fluid core).",
+        tags=("extension", "perf", "slow"),
+        params={"nodes": "$nodes", "n_jobs": "$n_jobs"},
+        nodes=1_000_000,
+        n_jobs=2_000_000,
+    ),
+    _analysis_decl(
         "spot-preemption-as-failure", "spot-preemption-as-failure",
         "Spot preemptions as failures: cheap-but-mortal DRP vs on-demand.",
         tags=("extension", "reliability", "slow"),

@@ -116,6 +116,16 @@ class ClusterState:
             now - self._last_t
         )
 
+    def fast_forward(self, t: float) -> None:
+        """Advance the accounting clock to ``t`` with no inventory change.
+
+        The fluid tier's hook: across a quiescent window the allocation
+        level is constant, so the busy-node-second integral accrues in
+        closed form — exactly what :meth:`_accrue` computes — and the next
+        mutation sees time already at the window boundary.
+        """
+        self._accrue(t)
+
     # ------------------------------------------------------------------ #
     # assignment
     # ------------------------------------------------------------------ #

@@ -86,6 +86,7 @@ class NodeFailureInjector:
         self.restore = restore
         self.stats = ReliabilityStats()
         self._started = False
+        self._first_failure_bound = float("inf")
 
     # ------------------------------------------------------------------ #
     def _rng(self, slot: int):
@@ -117,18 +118,35 @@ class NodeFailureInjector:
                         f"trace outage names slot {slot}, machine has "
                         f"{self.n_slots}"
                     )
-                self.engine.schedule_at(
+                event = self.engine.schedule_at(
                     fail_t, self._fail_slot, slot, repair_t,
                     priority=FAILURE_EVENT_PRIORITY,
                 )
+                if event.time < self._first_failure_bound:
+                    self._first_failure_bound = event.time
         else:
             for slot in range(self.n_slots):
-                self.engine.schedule(
+                event = self.engine.schedule(
                     self.model.draw_ttf(self._rng(slot)),
                     self._fail_slot, slot, None,
                     priority=FAILURE_EVENT_PRIORITY,
                 )
+                if event.time < self._first_failure_bound:
+                    self._first_failure_bound = event.time
         return self
+
+    def earliest_failure_bound(self) -> float:
+        """Lower bound on the instant of the first failure, ever.
+
+        Valid from :meth:`start` on: every slot's first TTF is armed there,
+        and new TTFs only arise from repairs, which follow failures — so
+        no failure can fire before the minimum of the armed first-failure
+        instants.  The fluid tier uses a strict ``bound > horizon`` gate
+        (a failure exactly at the horizon would execute in the exact run).
+        """
+        if not self._started:
+            raise RuntimeError("injector not started")
+        return self._first_failure_bound
 
     # ------------------------------------------------------------------ #
     def _fail_slot(self, slot: int, repair_at: Optional[float]) -> None:

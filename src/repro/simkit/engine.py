@@ -50,9 +50,28 @@ class SimulationEngine:
         Safety valve: :meth:`run` raises :class:`SimulationError` after
         executing this many events, which turns accidental infinite
         event loops into clean test failures.
+    compact_min_heap, compact_slack_ratio:
+        Heap-compaction thresholds; the module-level defaults
+        (:data:`COMPACT_MIN_HEAP`, :data:`COMPACT_SLACK_RATIO`) suit
+        every in-tree workload, but cancel-heavy custom components can
+        tune them per engine instead of monkeypatching the module.
     """
 
-    def __init__(self, start_time: float = 0.0, max_events: int = 200_000_000) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        max_events: int = 200_000_000,
+        compact_min_heap: int = COMPACT_MIN_HEAP,
+        compact_slack_ratio: float = COMPACT_SLACK_RATIO,
+    ) -> None:
+        if compact_min_heap < 0:
+            raise ValueError(
+                f"compact_min_heap must be >= 0, got {compact_min_heap}"
+            )
+        if not 0.0 < compact_slack_ratio <= 1.0:
+            raise ValueError(
+                f"compact_slack_ratio must be in (0, 1], got {compact_slack_ratio}"
+            )
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = 0
@@ -60,6 +79,8 @@ class SimulationEngine:
         self._max_events = int(max_events)
         self._running = False
         self._cancelled_pending = 0  # cancelled-but-unpopped heap entries
+        self._compact_min_heap = int(compact_min_heap)
+        self._compact_slack_ratio = float(compact_slack_ratio)
         self.compactions = 0
 
     # ------------------------------------------------------------------ #
@@ -170,8 +191,8 @@ class SimulationEngine:
         """Rebuild the heap without cancelled entries when slack dominates."""
         heap = self._heap
         if (
-            len(heap) > COMPACT_MIN_HEAP
-            and self._cancelled_pending > COMPACT_SLACK_RATIO * len(heap)
+            len(heap) > self._compact_min_heap
+            and self._cancelled_pending > self._compact_slack_ratio * len(heap)
         ):
             live = [entry for entry in heap if not entry[3].cancelled]
             heapq.heapify(live)
@@ -220,6 +241,33 @@ class SimulationEngine:
                 return n
             self.step()
             n += 1
+
+    def fast_forward(self, time: float) -> None:
+        """Jump the clock to ``time`` without executing anything.
+
+        The fluid tier's mode switch: after a quiescent window's state
+        evolution has been applied in closed form, the clock moves to the
+        window boundary in O(1).  Safety: the jump must not step over any
+        live event — every pending event must be scheduled strictly
+        *after* ``time`` (events exactly at ``time`` would have executed
+        in ``run(until=time)``, so skipping them would diverge) — and the
+        engine must be outside :meth:`run`.
+        """
+        if self._running:
+            raise SimulationError("cannot fast-forward while running")
+        time = float(time)
+        if time < self._now:
+            raise SimulationError(
+                f"cannot fast-forward to t={time} (clock is already at "
+                f"{self._now})"
+            )
+        next_time = self.peek_time()
+        if next_time is not None and next_time <= time:
+            raise SimulationError(
+                f"cannot fast-forward to t={time} over a live event at "
+                f"t={next_time}"
+            )
+        self._now = time
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains or the clock would pass ``until``.

@@ -1,0 +1,337 @@
+"""The vectorized batch kernel: column operations for homogeneous windows.
+
+The exact engine executes one event at a time.  For *provably homogeneous*
+event windows — pure arrival-drain phases in which every event is a grid
+scan, a pre-scheduled arrival, or a completion whose instant was fixed at
+dispatch — the same state evolution can be computed as numpy column
+operations over :class:`~repro.workloads.job.TraceArrays` slices.  This
+module holds those operations; :mod:`repro.simkit.fluid` decides *when*
+they may replace the event loop (the eligibility gates) and applies the
+results to the live world.
+
+Three interchangeable backends compute each operation:
+
+``python``
+    Pure-Python loops — the readable reference, and the proof text for
+    the bit-identity argument (each loop is literally the scalar
+    computation the exact engine performs).
+``numpy``
+    Vectorized column ops.  Elementwise float64 arithmetic in numpy is
+    IEEE-754-identical to CPython's float arithmetic, so results match
+    the ``python`` backend bit for bit (asserted in
+    ``tests/test_differential_kernel.py``).
+``numba``
+    The ``python`` loops compiled with :func:`numba.njit` (no fastmath,
+    so IEEE semantics are preserved).  numba is optional: when the wheel
+    is absent the backend **falls back cleanly to numpy** — requesting
+    ``numba`` never fails, it just runs the vectorized path.
+
+Backend selection (lowest to highest precedence):
+
+1. the ``REPRO_KERNEL`` environment variable (``python``/``numpy``/
+   ``numba`` enable the hybrid core process-wide; ``off``/``exact``/unset
+   keep the exact engine),
+2. :func:`configure` / the :func:`configured` context manager,
+3. an explicit ``kernel=`` argument on a runner (a backend name, a
+   ``{"kernel": ..., "materialize": ...}`` mapping, a
+   :class:`KernelSpec`, or ``"off"`` to force the exact engine), which
+   also maps from the spec layer's ``engine`` reference.
+
+The default everywhere is **off**: the pure-Python exact engine remains
+canonical, and every golden pin runs against it.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+import numpy as np
+
+#: The recognised backend names, in reference → fastest order.
+KERNEL_BACKENDS = ("python", "numpy", "numba")
+
+#: Flag values that mean "exact engine, no kernel".
+OFF_VALUES = ("", "off", "exact")
+
+#: The environment flag the hybrid core is gated behind.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+_CONFIGURED: Optional[str] = None  # configure() override; "" = forced off
+_NUMBA_OPS: Optional[tuple] = None  # lazily compiled njit functions
+_NUMBA_AVAILABLE: Optional[bool] = None  # memoized import probe
+
+
+class KernelConfigError(ValueError):
+    """Raised for unrecognised kernel/backend selections."""
+
+
+def numba_available() -> bool:
+    """True when the optional numba wheel can be imported."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            _NUMBA_AVAILABLE = False
+        else:  # pragma: no cover - requires the optional wheel
+            _NUMBA_AVAILABLE = True
+    return _NUMBA_AVAILABLE
+
+
+def resolve_backend(name: str) -> str:
+    """Normalize a backend name; ``numba`` degrades to numpy when absent."""
+    if name not in KERNEL_BACKENDS:
+        raise KernelConfigError(
+            f"unknown kernel backend {name!r}; known: {list(KERNEL_BACKENDS)} "
+            f"(or {list(OFF_VALUES[1:])} for the exact engine)"
+        )
+    if name == "numba" and not numba_available():
+        return "numpy"
+    return name
+
+
+def configure(kernel: Optional[str]) -> None:
+    """Set the process-wide kernel override.
+
+    ``configure("numpy")`` enables the hybrid core for every subsequent
+    run in this process (beating the environment variable);
+    ``configure("off")`` forces it off; ``configure(None)`` removes the
+    override, falling back to ``REPRO_KERNEL``.
+    """
+    global _CONFIGURED
+    if kernel is None:
+        _CONFIGURED = None
+    elif kernel in OFF_VALUES:
+        _CONFIGURED = ""
+    else:
+        _CONFIGURED = resolve_backend(kernel)
+
+
+@contextmanager
+def configured(kernel: Optional[str]):
+    """Scoped :func:`configure` for tests and probes."""
+    global _CONFIGURED
+    previous = _CONFIGURED
+    configure(kernel)
+    try:
+        yield
+    finally:
+        _CONFIGURED = previous
+
+
+def active_kernel() -> Optional[str]:
+    """The ambient backend name, or None when the hybrid core is off."""
+    if _CONFIGURED is not None:
+        return _CONFIGURED or None
+    env = os.environ.get(KERNEL_ENV_VAR, "")
+    if env in OFF_VALUES:
+        return None
+    return resolve_backend(env)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One resolved hybrid-core request.
+
+    ``materialize=True`` (the default) keeps full job-object fidelity:
+    the fluid tier produces the same :class:`~repro.workloads.job.Job`
+    states, server queues and completion lists as the exact engine, so
+    any downstream consumer (snapshots, reliability finalization) sees an
+    indistinguishable world.  ``materialize=False`` is the columnar fast
+    path for scale runs (the ``million-node-year`` scenario): per-job
+    Python objects are never created and only aggregate metrics exist.
+    """
+
+    backend: str
+    materialize: bool = True
+
+
+def resolve_kernel_spec(
+    value: Union[None, str, Mapping[str, Any], KernelSpec],
+) -> Optional[KernelSpec]:
+    """A runner's ``kernel=`` argument → a :class:`KernelSpec` or None.
+
+    ``None`` defers to the ambient selection (:func:`active_kernel`);
+    ``"off"``/``"exact"`` force the exact engine regardless of it.
+    """
+    if value is None:
+        backend = active_kernel()
+        return None if backend is None else KernelSpec(backend)
+    if isinstance(value, KernelSpec):
+        return KernelSpec(resolve_backend(value.backend), value.materialize)
+    if isinstance(value, str):
+        if value in OFF_VALUES:
+            return None
+        return KernelSpec(resolve_backend(value))
+    if isinstance(value, Mapping):
+        unknown = set(value) - {"kernel", "materialize"}
+        if unknown:
+            raise KernelConfigError(
+                f"unknown kernel option(s) {sorted(unknown)}; "
+                f"valid: ['kernel', 'materialize']"
+            )
+        backend = value.get("kernel", "numpy")
+        if backend in OFF_VALUES:
+            return None
+        return KernelSpec(
+            resolve_backend(backend), bool(value.get("materialize", True))
+        )
+    raise KernelConfigError(
+        f"kernel must be a backend name, mapping or KernelSpec, "
+        f"got {type(value).__name__}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# column operations
+# --------------------------------------------------------------------- #
+def _grid_indices_python(
+    submit: np.ndarray, interval: float, epoch: float
+) -> np.ndarray:
+    """Per-job first-eligible-tick indices, scalar reference.
+
+    Replicates :meth:`repro.simkit.timers.PeriodicTimer.resume` for an
+    ``include_now=True`` waker (arrivals are pre-scheduled events, so a
+    submission landing exactly on a grid instant is dispatched by that
+    instant's tick): the ceil candidate is corrected against the product
+    form ``epoch + n*interval`` — the exact instants ticks fire at — in
+    both directions, and tick 0 never dispatches (the timer's first
+    firing is tick 1).
+    """
+    out = np.empty(len(submit), dtype=np.int64)
+    for i, s in enumerate(submit.tolist()):
+        n = int(math.ceil((s - epoch) / interval))
+        if n < 1:
+            n = 1
+        while n > 1 and epoch + (n - 1) * interval >= s:
+            n -= 1
+        while epoch + n * interval < s:
+            n += 1
+        out[i] = n
+    return out
+
+
+def _grid_indices_numpy(
+    submit: np.ndarray, interval: float, epoch: float
+) -> np.ndarray:
+    n = np.ceil((submit - epoch) / interval).astype(np.int64)
+    np.maximum(n, 1, out=n)
+    # The float-edge guards, vectorized: each masked pass mirrors one
+    # iteration of the scalar while-loops (they converge in <= 2 passes
+    # because ceil is off by at most one ulp-step).
+    while True:
+        down = (n > 1) & (epoch + (n - 1) * interval >= submit)
+        if not down.any():
+            break
+        n[down] -= 1
+    while True:
+        up = epoch + n * interval < submit
+        if not up.any():
+            break
+        n[up] += 1
+    return n
+
+
+def _numba_ops() -> tuple:
+    """Compile (once) and return the njit'd operations."""
+    global _NUMBA_OPS
+    if _NUMBA_OPS is not None:
+        return _NUMBA_OPS
+    import numba  # pragma: no cover - requires the optional wheel
+
+    @numba.njit(cache=False)  # pragma: no cover
+    def grid_indices(submit, interval, epoch):  # pragma: no cover
+        out = np.empty(submit.shape[0], dtype=np.int64)
+        for i in range(submit.shape[0]):
+            s = submit[i]
+            n = np.int64(math.ceil((s - epoch) / interval))
+            if n < 1:
+                n = 1
+            while n > 1 and epoch + (n - 1) * interval >= s:
+                n -= 1
+            while epoch + n * interval < s:
+                n += 1
+            out[i] = n
+        return out
+
+    @numba.njit(cache=False)  # pragma: no cover
+    def running_max(deltas):  # pragma: no cover
+        level = np.int64(0)
+        peak = np.int64(0)
+        for i in range(deltas.shape[0]):
+            level += deltas[i]
+            if level > peak:
+                peak = level
+        return peak
+
+    _NUMBA_OPS = (grid_indices, running_max)
+    return _NUMBA_OPS
+
+
+def grid_starts(
+    submit: np.ndarray,
+    interval: float,
+    epoch: float = 0.0,
+    backend: str = "numpy",
+) -> np.ndarray:
+    """Dispatch instants for uncontended jobs under a grid-pinned scan.
+
+    With no contention, every job starts at the first scan tick at or
+    after its submission: ``epoch + n*interval`` with
+    ``n = min{n >= 1 : epoch + n*interval >= submit}``.  The product form
+    ``epoch + n*interval`` is the exact float the timer computes in
+    :meth:`~repro.simkit.timers.PeriodicTimer._arm`, and the elementwise
+    ``+``/``*`` below are IEEE-identical to the scalar ops, so the
+    returned instants equal the exact engine's bit for bit.
+    """
+    submit = np.ascontiguousarray(submit, dtype=np.float64)
+    interval = float(interval)
+    epoch = float(epoch)
+    if backend == "python":
+        n = _grid_indices_python(submit, interval, epoch)
+    elif backend == "numba" and numba_available():  # pragma: no cover
+        n = _numba_ops()[0](submit, interval, epoch)
+    else:
+        n = _grid_indices_numpy(submit, interval, epoch)
+    return epoch + n * interval
+
+
+def peak_concurrency(
+    starts: np.ndarray,
+    finishes: np.ndarray,
+    sizes: np.ndarray,
+    backend: str = "numpy",
+) -> int:
+    """Maximum simultaneous node demand of the (start, finish, size) set.
+
+    Sweep line with starts ordered *before* finishes at equal instants —
+    a conservative overestimate of the true concurrency (a job finishing
+    exactly when another starts briefly counts twice), so a window this
+    deems uncontended is uncontended under any event interleaving.
+    """
+    n = len(starts)
+    if n == 0:
+        return 0
+    sizes = np.ascontiguousarray(sizes, dtype=np.int64)
+    times = np.concatenate([starts, finishes])
+    deltas = np.concatenate([sizes, -sizes])
+    # tiekey 0 = start, 1 = finish: at equal times, adds come first
+    tiekey = np.concatenate(
+        [np.zeros(n, dtype=np.int8), np.ones(n, dtype=np.int8)]
+    )
+    order = np.lexsort((tiekey, times))
+    ordered = deltas[order]
+    if backend == "python":
+        level = peak = 0
+        for d in ordered.tolist():
+            level += d
+            if level > peak:
+                peak = level
+        return peak
+    if backend == "numba" and numba_available():  # pragma: no cover
+        return int(_numba_ops()[1](ordered))
+    return int(np.cumsum(ordered).max())

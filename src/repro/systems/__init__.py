@@ -60,13 +60,17 @@ def _register_systems() -> None:
     from repro.systems.drp import DEFAULT_DRP_CAPACITY, run_drp_pooled
     from repro.systems.dsp_runner import DEFAULT_CAPACITY
 
-    def dcs(bundle, seed=0, meter=None, failures=None):
+    def dcs(bundle, seed=0, meter=None, failures=None, kernel=None):
         """DCS: a dedicated, owned cluster sized to the fixed configuration."""
-        return run_dcs(bundle, meter=meter, failures=failures, seed=seed)
+        return run_dcs(
+            bundle, meter=meter, failures=failures, seed=seed, kernel=kernel
+        )
 
-    def ssp(bundle, seed=0, meter=None, failures=None):
+    def ssp(bundle, seed=0, meter=None, failures=None, kernel=None):
         """SSP: the same fixed cluster, leased through the provider."""
-        return run_ssp(bundle, meter=meter, failures=failures, seed=seed)
+        return run_ssp(
+            bundle, meter=meter, failures=failures, seed=seed, kernel=kernel
+        )
 
     def drp(bundle, seed=0, capacity=DEFAULT_DRP_CAPACITY, meter=None,
             failures=None):

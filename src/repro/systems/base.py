@@ -138,6 +138,15 @@ class LiveRun:
         """Execute every event strictly before ``time`` (exact boundary)."""
         return self.engine.advance_before(time)
 
+    def fast_forward(self, time: float) -> None:
+        """Jump the clock to ``time`` without executing events.
+
+        Delegates to :meth:`SimulationEngine.fast_forward` (which refuses
+        to step over live events); the fluid tier uses this to exit a
+        closed-form window at its boundary.
+        """
+        self.engine.fast_forward(time)
+
     def snapshot(self, label: str = "") -> "EngineSnapshot":
         """Freeze this world; ``snapshot().restore()`` forks a branch."""
         from repro.simkit.snapshot import snapshot_world

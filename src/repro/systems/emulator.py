@@ -32,6 +32,7 @@ class JobEmulator:
         self.engine = engine
         self.speedup = float(speedup)
         self.scheduled = 0
+        self._deferred: list[tuple[Trace, Callable[[Job], None]]] = []
 
     def _t(self, t: float) -> float:
         return t / self.speedup
@@ -42,6 +43,37 @@ class JobEmulator:
             [(self._t(job.submit_time), sink, (job,)) for job in trace]
         )
         self.scheduled += len(trace)
+
+    # ------------------------------------------------------------------ #
+    # deferred injection (the hybrid core's entry point)
+    # ------------------------------------------------------------------ #
+    def defer_trace(self, trace: Trace, sink: Callable[[Job], None]) -> None:
+        """Hold a trace back instead of loading it into the event heap.
+
+        The fluid tier decides *after* construction whether a run's whole
+        horizon has a closed form; deferring keeps the trace columnar
+        until that decision.  :meth:`inject_deferred` later performs the
+        exact :meth:`submit_trace` call — and because nothing else
+        schedules events between construction and injection, the arrival
+        events receive the same sequence numbers either way, so a
+        fallen-back hybrid run is byte-identical to a never-hybrid one.
+        """
+        self._deferred.append((trace, sink))
+
+    @property
+    def deferred(self) -> bool:
+        """True while at least one trace is held back from the heap."""
+        return bool(self._deferred)
+
+    def inject_deferred(self) -> None:
+        """Load every held-back trace into the heap (exact-mode fallback)."""
+        pending, self._deferred = self._deferred, []
+        for trace, sink in pending:
+            self.submit_trace(trace, sink)
+
+    def clear_deferred(self) -> None:
+        """Drop held-back traces (the fluid tier consumed them)."""
+        self._deferred = []
 
     def submit_workflow(
         self, workflow: Workflow, sink: Callable[[Workflow], None]

@@ -23,7 +23,7 @@ bills the same machine very differently).
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Any, Mapping, Optional, TYPE_CHECKING, Union
 
 from repro.cluster.provision import ResourceProvisionService
 from repro.core.servers import REServer
@@ -35,6 +35,7 @@ from repro.provisioning.policies import FixedAllocation
 from repro.scheduling.fcfs import FcfsScheduler
 from repro.scheduling.firstfit import FirstFitScheduler
 from repro.simkit.engine import SimulationEngine
+from repro.simkit.kernel import KernelSpec, resolve_kernel_spec
 from repro.systems.base import LiveRun, WorkloadBundle, run_until
 from repro.systems.emulator import JobEmulator
 
@@ -52,6 +53,16 @@ class FixedLiveRun(LiveRun):
     workload.  :meth:`complete` advances to the horizon (HTC) or workflow
     completion (MTC); :meth:`finish` tears down and prices the run.
     Snapshot/fork any time in between.
+
+    ``kernel`` opts into the hybrid fluid/event core (a backend name, a
+    ``{"kernel": ..., "materialize": ...}`` mapping, a
+    :class:`~repro.simkit.kernel.KernelSpec`, or ``"off"`` to force the
+    exact engine; ``None`` defers to ``REPRO_KERNEL``/
+    :func:`repro.simkit.kernel.configure`).  A hybrid HTC run holds its
+    trace back from the event heap; :meth:`complete` then evolves the
+    whole horizon in closed form when the fluid tier's gates allow it
+    (see :mod:`repro.simkit.fluid`), falling back — byte-identically —
+    to the exact engine otherwise.  MTC runs always use the exact engine.
     """
 
     def __init__(
@@ -61,9 +72,15 @@ class FixedLiveRun(LiveRun):
         meter: Optional[BillingMeter] = None,
         failures: Optional["FailureModel"] = None,
         seed: int = 0,
+        kernel: Union[None, str, Mapping[str, Any], KernelSpec] = None,
     ) -> None:
         engine = self.engine = SimulationEngine()
-        emulator = JobEmulator(engine)
+        emulator = self._emulator = JobEmulator(engine)
+        self._kernel = resolve_kernel_spec(kernel)
+        self._deferred_trace = None
+        self._fluid_summary = None
+        #: True once the fluid tier evolved this run in closed form.
+        self.fluid_applied = False
         self.system = system
         self.name = bundle.name
         self.kind = bundle.kind
@@ -88,7 +105,13 @@ class FixedLiveRun(LiveRun):
             self.allocation.start()
             if failures is not None:
                 self.injector = self._make_injector(failures, seed).start()
-            emulator.submit_trace(trace, self.server.submit_job)
+            if self._kernel is not None:
+                # Hybrid: hold the trace columnar until complete() decides
+                # between the fluid closed form and exact injection.
+                emulator.defer_trace(trace, self.server.submit_job)
+                self._deferred_trace = trace
+            else:
+                emulator.submit_trace(trace, self.server.submit_job)
             self.submitted = len(trace)
         else:
             workflow = self.workflow = bundle.materialize_workflow()
@@ -118,8 +141,45 @@ class FixedLiveRun(LiveRun):
             n_slots=self.nodes, provision=self.provision, restore="server",
         )
 
+    def _inject_deferred(self) -> None:
+        """Exact-mode fallback: load the held-back trace into the heap."""
+        self._deferred_trace = None
+        self._emulator.inject_deferred()
+
+    def _ensure_exact_mode(self) -> None:
+        """Give up the fluid option before any event-granular operation.
+
+        Partial advances, snapshots and forks all observe (or copy) the
+        event heap, so a still-deferred trace must be injected first —
+        with identical sequence numbers, hence byte-identical evolution.
+        """
+        if self._deferred_trace is not None:
+            self._inject_deferred()
+
+    def advance_before(self, time: float) -> int:
+        self._ensure_exact_mode()
+        return super().advance_before(time)
+
+    def snapshot(self, label: str = ""):
+        self._ensure_exact_mode()
+        return super().snapshot(label)
+
+    def fork(self):
+        self._ensure_exact_mode()
+        return super().fork()
+
     def complete(self) -> None:
         if self.kind == "htc":
+            if self._deferred_trace is not None:
+                from repro.simkit.fluid import try_fluid_run
+
+                if try_fluid_run(self):
+                    # The fluid tier evolved the whole horizon in closed
+                    # form and jumped the clock; nothing left to execute.
+                    self._deferred_trace = None
+                    self._emulator.clear_deferred()
+                    return
+                self._inject_deferred()
             self.engine.run(until=self.horizon)
         else:
             run_until(self.engine, self.workflow.completed, hard_limit=self.horizon)
@@ -136,7 +196,11 @@ class FixedLiveRun(LiveRun):
             # after the trace period) billing, completions and peaks must
             # all clamp to the *same* instant
             period = horizon
-            completed = server.completed_by(horizon)
+            if self._fluid_summary is not None:
+                # Columnar fluid run: no job objects exist to walk.
+                completed = self._fluid_summary["completed"]
+            else:
+                completed = server.completed_by(horizon)
             tasks_per_second = None
             makespan = None
         else:
@@ -184,9 +248,10 @@ def _run_fixed(
     meter: Optional[BillingMeter] = None,
     failures: Optional["FailureModel"] = None,
     seed: int = 0,
+    kernel: Union[None, str, Mapping[str, Any], KernelSpec] = None,
 ) -> ProviderMetrics:
     return FixedLiveRun(
-        bundle, system, meter=meter, failures=failures, seed=seed
+        bundle, system, meter=meter, failures=failures, seed=seed, kernel=kernel
     ).run()
 
 
@@ -195,9 +260,12 @@ def run_dcs(
     meter: Optional[BillingMeter] = None,
     failures: Optional["FailureModel"] = None,
     seed: int = 0,
+    kernel: Union[None, str, Mapping[str, Any], KernelSpec] = None,
 ) -> ProviderMetrics:
     """Run a workload on a dedicated cluster system (owned, fixed size)."""
-    return _run_fixed(bundle, "DCS", meter=meter, failures=failures, seed=seed)
+    return _run_fixed(
+        bundle, "DCS", meter=meter, failures=failures, seed=seed, kernel=kernel
+    )
 
 
 def run_ssp(
@@ -205,6 +273,9 @@ def run_ssp(
     meter: Optional[BillingMeter] = None,
     failures: Optional["FailureModel"] = None,
     seed: int = 0,
+    kernel: Union[None, str, Mapping[str, Any], KernelSpec] = None,
 ) -> ProviderMetrics:
     """Run a workload on a static-service-provision system (leased, fixed)."""
-    return _run_fixed(bundle, "SSP", meter=meter, failures=failures, seed=seed)
+    return _run_fixed(
+        bundle, "SSP", meter=meter, failures=failures, seed=seed, kernel=kernel
+    )

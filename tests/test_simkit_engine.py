@@ -233,3 +233,101 @@ class TestHeapCompaction:
         assert engine.compactions > 0
         # only cancellations issued *after* the compaction remain counted
         assert engine._cancelled_pending <= 1
+
+    def test_thresholds_are_constructor_configurable(self):
+        """PR 7: per-engine compaction thresholds, no module monkeypatching."""
+        from repro.simkit.engine import SimulationEngine
+
+        # tiny thresholds: even a 10-event heap with 2 cancellations
+        # (ratio 0.2 > 0.1) compacts immediately
+        engine = SimulationEngine(compact_min_heap=4, compact_slack_ratio=0.1)
+        events = [engine.schedule_at(float(t), lambda: None) for t in range(10)]
+        engine.cancel(events[0])
+        engine.cancel(events[1])
+        assert engine.compactions == 1
+        assert engine.pending_events == 8
+
+        # a huge min-heap threshold suppresses compaction entirely
+        lazy = SimulationEngine(compact_min_heap=10**9)
+        events = [lazy.schedule_at(float(t), lambda: None) for t in range(10)]
+        for e in events:
+            lazy.cancel(e)
+        assert lazy.compactions == 0
+        assert lazy.pending_events == 10
+
+    def test_threshold_validation(self):
+        import pytest
+
+        from repro.simkit.engine import SimulationEngine
+
+        with pytest.raises(ValueError):
+            SimulationEngine(compact_min_heap=-1)
+        with pytest.raises(ValueError):
+            SimulationEngine(compact_slack_ratio=0.0)
+        with pytest.raises(ValueError):
+            SimulationEngine(compact_slack_ratio=1.5)
+
+    def test_default_thresholds_still_fire_compaction(self):
+        """The defaults must keep compacting (the satellite's regression pin):
+        churn past COMPACT_MIN_HEAP with >50% cancelled entries compacts."""
+        from repro.simkit.engine import COMPACT_MIN_HEAP, SimulationEngine
+
+        engine = SimulationEngine()
+        n = 2 * COMPACT_MIN_HEAP + 10
+        events = [engine.schedule_at(1e9 + t, lambda: None) for t in range(n)]
+        for e in events[: n // 2 + 5]:
+            engine.cancel(e)
+        assert engine.compactions > 0
+
+
+class TestFastForward:
+    """The fluid tier's clock jump: safe only over provably empty windows."""
+
+    def test_moves_clock_without_executing(self, engine):
+        fired = []
+        engine.schedule_at(100.0, fired.append, 1)
+        engine.fast_forward(50.0)
+        assert engine.now == 50.0
+        assert fired == []
+        assert engine.executed_events == 0
+        engine.run(until=150.0)
+        assert fired == [1]
+
+    def test_refuses_to_jump_over_live_event(self, engine):
+        import pytest
+
+        from repro.simkit.engine import SimulationError
+
+        engine.schedule_at(10.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.fast_forward(10.0)  # at the event: run() would fire it
+        with pytest.raises(SimulationError):
+            engine.fast_forward(20.0)  # past it
+
+    def test_jump_over_cancelled_event_is_fine(self, engine):
+        event = engine.schedule_at(10.0, lambda: None)
+        engine.cancel(event)
+        engine.fast_forward(20.0)
+        assert engine.now == 20.0
+
+    def test_refuses_backwards_jump(self, engine):
+        import pytest
+
+        from repro.simkit.engine import SimulationError
+
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        assert engine.now == 5.0
+        with pytest.raises(SimulationError):
+            engine.fast_forward(1.0)
+
+    def test_scheduling_resumes_from_jumped_clock(self, engine):
+        import pytest
+
+        from repro.simkit.engine import SimulationError
+
+        engine.fast_forward(100.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(50.0, lambda: None)
+        event = engine.schedule(10.0, lambda: None)
+        assert event.time == 110.0
