@@ -602,6 +602,9 @@ class Simulation:
     (:meth:`~repro.experiments.cache.ResultCache.default`: the
     ``$REPRO_CACHE_DIR`` / ``./.repro-cache`` the CLI uses); pass a
     :class:`~repro.experiments.cache.NullCache` to disable caching.
+    ``retry`` (a :class:`~repro.experiments.supervision.RetryPolicy`)
+    tunes supervised execution: per-run wall-clock timeouts and bounded
+    retry with backoff for transient failures (see docs/robustness.md).
     """
 
     def __init__(
@@ -611,6 +614,7 @@ class Simulation:
         seed: int = 0,
         cache: Optional[Any] = None,
         workers: int = 1,
+        retry: Optional[Any] = None,
     ) -> None:
         if isinstance(spec, ExperimentSpec):
             self.spec = spec
@@ -622,6 +626,7 @@ class Simulation:
         self.seed = int(seed)
         self.workers = int(workers)
         self._cache = cache
+        self._retry = retry
         self._run = None
 
     @classmethod
@@ -645,7 +650,7 @@ class Simulation:
             registry=registry,
             cache=self._cache if self._cache is not None
             else ResultCache.default(),
-            workers=self.workers, seed=self.seed,
+            workers=self.workers, seed=self.seed, retry=self._retry,
         )
         self._run = orch.run_one(self.spec.name)
         return self.results

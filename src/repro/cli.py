@@ -59,7 +59,9 @@ import sys
 from typing import Callable
 
 from repro.experiments.cache import NullCache, ResultCache, canonical_json
-from repro.experiments.orchestrator import Orchestrator, payloads
+from repro.experiments.journal import RunJournal
+from repro.experiments.orchestrator import Orchestrator
+from repro.experiments.supervision import OrchestrationError, RetryPolicy
 from repro.provisioning.billing import METER_FACTORIES
 from repro.experiments.report import (
     render_consolidated_payload,
@@ -321,6 +323,49 @@ _ALL_ORDER = (
 )
 
 
+def _report_outcomes(runs) -> int:
+    """Per-scenario progress lines plus a failure summary table (stderr).
+
+    Returns the exit code the caller should use: 0 when every scenario
+    succeeded, 1 when any failed — completed siblings' results stay
+    usable either way.
+    """
+    for run in runs.values():
+        if run.status == "ok":
+            state = "cached" if run.cached else f"ran in {run.duration_s:.1f}s"
+            if run.resumed:
+                state += " (resumed)"
+            if not run.cached and run.attempts > 1:
+                state += f" (attempt {run.attempts})"
+        elif run.status == "skipped":
+            state = "skipped (fail-fast)"
+        else:
+            error = run.error or {}
+            state = (f"FAILED after {run.attempts} attempt(s): "
+                     f"{error.get('type', 'Error')}")
+        print(f"# {run.name}: {state}", file=sys.stderr)
+    failures = {n: r for n, r in runs.items() if r.status == "failed"}
+    if not failures:
+        return 0
+    rows = [
+        {
+            "scenario": name,
+            "attempts": run.attempts,
+            "error": (run.error or {}).get("type", "?"),
+            "message": (run.error or {}).get("message", "")[:72],
+        }
+        for name, run in sorted(failures.items())
+    ]
+    print(render_table(rows, title=f"{len(failures)} scenario(s) failed"),
+          file=sys.stderr)
+    return 1
+
+
+def _ok_payloads(runs) -> dict:
+    """Payloads of successful runs only (failed/skipped carry none)."""
+    return {name: run.payload for name, run in runs.items() if run.ok}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -386,6 +431,44 @@ def main(argv: list[str] | None = None) -> int:
         help="ignore and do not write the on-disk result cache",
     )
     parser.add_argument(
+        "--resume", action="store_true",
+        help="serve scenarios whose cache key has a journaled success "
+             "from the cache and mark them resumed (see docs/robustness.md)",
+    )
+    stop_group = parser.add_mutually_exclusive_group()
+    stop_group.add_argument(
+        "--fail-fast", dest="fail_fast", action="store_true",
+        help="stop scheduling new scenarios after the first failure "
+             "(unstarted siblings report as skipped)",
+    )
+    stop_group.add_argument(
+        "--keep-going", dest="fail_fast", action="store_false",
+        help="run every scenario to completion even when some fail "
+             "(the default)",
+    )
+    parser.set_defaults(fail_fast=False)
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-scenario wall-clock budget; a scenario exceeding it is "
+             "retried, then reported failed (requires --parallel > 1 to "
+             "be enforceable)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts per scenario after a transient failure "
+             "(worker death, timeout); default 2",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="cache-info: re-hash every entry's stored recipe against its "
+             "filename key and report corruption (exits 1 if any)",
+    )
+    parser.add_argument(
+        "--quarantine", action="store_true",
+        help="with cache-info --verify: move corrupt entries to the "
+             "quarantine directory instead of leaving them in place",
+    )
+    parser.add_argument(
         "--outdir", default="artifacts",
         help="target directory for the 'export' command",
     )
@@ -412,6 +495,14 @@ def main(argv: list[str] | None = None) -> int:
                      f"not {args.command!r}")
     if args.profile and args.command != "run":
         parser.error("--profile only applies to the 'run' command")
+    if args.quarantine and not args.verify:
+        parser.error("--quarantine requires --verify")
+    if args.verify and args.command != "cache-info":
+        parser.error("--verify only applies to the 'cache-info' command")
+    if args.retries is not None and args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error(f"--timeout must be positive, got {args.timeout}")
 
     if args.kernel is not None:
         import os
@@ -428,7 +519,16 @@ def main(argv: list[str] | None = None) -> int:
         cache = ResultCache(args.cache_dir)
     else:
         cache = ResultCache.default()
-    orch = Orchestrator(cache=cache, workers=args.parallel, seed=args.seed)
+    retry_kwargs = {}
+    if args.retries is not None:
+        retry_kwargs["max_attempts"] = args.retries + 1
+    if args.timeout is not None:
+        retry_kwargs["timeout_s"] = args.timeout
+    retry = RetryPolicy(**retry_kwargs) if retry_kwargs else None
+    orch = Orchestrator(
+        cache=cache, workers=args.parallel, seed=args.seed, retry=retry,
+        resume=args.resume, fail_fast=args.fail_fast,
+    )
 
     spec_dir = _spec_dir(args.spec_dir)
     if spec_dir is not None and args.command != "run-spec":
@@ -475,14 +575,13 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         spec_orch = Orchestrator(
             registry=registry, cache=cache, workers=args.parallel,
-            seed=args.seed,
+            seed=args.seed, retry=retry, resume=args.resume,
+            fail_fast=args.fail_fast,
         )
-        runs = spec_orch.run()
-        for run in runs.values():
-            state = "cached" if run.cached else f"ran in {run.duration_s:.1f}s"
-            print(f"# {run.name}: {state}", file=sys.stderr)
-        print(canonical_json(payloads(runs)))
-        return 0
+        runs = spec_orch.run(on_error="return")
+        status = _report_outcomes(runs)
+        print(canonical_json(_ok_payloads(runs)))
+        return status
 
     if args.command == "export":
         from repro.experiments.config import EvaluationSetup
@@ -518,36 +617,57 @@ def main(argv: list[str] | None = None) -> int:
         if args.profile:
             return _profile_scenarios(selected, overrides, args)
         runs = orch.run(pattern=args.scenario, tags=args.tag,
-                        overrides=overrides or None)
+                        overrides=overrides or None, on_error="return")
         if not runs:
             selection = f"pattern {args.scenario!r}"
             if args.tag:
                 selection += f" with tag(s) {args.tag}"
             print(f"no scenarios match {selection}", file=sys.stderr)
             return 1
-        for run in runs.values():
-            state = "cached" if run.cached else f"ran in {run.duration_s:.1f}s"
-            print(f"# {run.name}: {state}", file=sys.stderr)
-        print(canonical_json(payloads(runs)))
+        status = _report_outcomes(runs)
+        print(canonical_json(_ok_payloads(runs)))
+        return status
     elif args.command == "cache-info":
         entries = cache.entries()
         print(f"cache directory: {cache.directory}")
         print(f"entries: {len(entries)}")
         for path in entries:
             print(f"  {path.relative_to(cache.directory)}")
+        journal = RunJournal.for_cache(cache)
+        if journal is not None and journal.path.exists():
+            print(f"journal: {journal.path} ({len(journal)} records)")
+        quarantined = cache.quarantined_entries()
+        if quarantined:
+            print(f"quarantined entries: {len(quarantined)}")
+        if args.verify:
+            report = cache.verify(quarantine=args.quarantine)
+            print(f"verified: {report['ok']}/{report['checked']} entries ok")
+            for item in report["corrupt"]:
+                print(f"  CORRUPT {item['path']}: {item['reason']}")
+            if report["quarantined"]:
+                print(f"quarantined {report['quarantined']} corrupt "
+                      f"entries under {cache.directory}/.quarantine")
+            if report["corrupt"]:
+                return 1
     elif args.command == "cache-clear":
         print(f"removed {cache.clear()} cache entries from {cache.directory}")
     elif args.command == "all":
         # warm every needed scenario in one parallel wave; the per-command
         # renders below hit the orchestrator's in-memory memo (and the
         # disk cache, when enabled).
-        orch.run(names=[
-            s for cmd in _ALL_ORDER for s in _COMMAND_SCENARIOS.get(cmd, ())
-        ])
+        try:
+            orch.run(names=[
+                s for cmd in _ALL_ORDER for s in _COMMAND_SCENARIOS.get(cmd, ())
+            ])
+        except OrchestrationError as exc:
+            return _report_outcomes(exc.runs)
         for name in _ALL_ORDER:
             print(_COMMANDS[name](orch))
     else:
-        print(_COMMANDS[args.command](orch))
+        try:
+            print(_COMMANDS[args.command](orch))
+        except OrchestrationError as exc:
+            return _report_outcomes(exc.runs)
     return 0
 
 

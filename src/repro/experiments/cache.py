@@ -22,11 +22,25 @@ is what makes parallel and serial orchestrator runs byte-identical: every
 payload passes through one JSON round-trip before it is stored or
 returned, collapsing tuples to lists and dict-insertion orders to a
 sorted form.
+
+Integrity
+---------
+Entries are self-describing, and reads are self-verifying: the stored
+recipe is re-hashed on every :meth:`ResultCache.get` and must reproduce
+the filename key.  An entry that fails parsing *or* re-hashing is
+**quarantined** — moved to ``<cache_dir>/.quarantine/<scenario>/`` with
+a ``.reason`` side-car — rather than silently treated as a miss, so
+corruption is visible (``cache-info --verify``) instead of showing up
+as mysteriously slow warm runs.  Writes go through a per-process,
+per-write unique temp name followed by an atomic rename, so any number
+of concurrent writers of the *same* key converge without ever reading
+each other's half-written bytes.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from functools import lru_cache
@@ -38,6 +52,18 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory (inside the cache dir) corrupt entries are moved to.
+#: Dot-prefixed and one level deeper than entries, so it can never be
+#: picked up by the ``*/*.json`` entry glob.
+QUARANTINE_DIR = ".quarantine"
+
+#: Monotonic per-process counter making concurrent tmp names unique.
+_TMP_SEQ = itertools.count()
+
+
+class CacheIntegrityError(RuntimeError):
+    """A cache entry's stored recipe does not re-hash to its filename."""
 
 
 def canonical_json(value: Any) -> str:
@@ -107,6 +133,7 @@ class ResultCache:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     @classmethod
     def default(cls) -> "ResultCache":
@@ -117,14 +144,51 @@ class ResultCache:
     def _path(self, name: str, key: str) -> Path:
         return self.directory / name / f"{key}.json"
 
+    @staticmethod
+    def _check_entry(text: str, key: str) -> Any:
+        """Parse + verify one entry's text; returns the payload.
+
+        Raises ``json.JSONDecodeError`` / ``KeyError`` / ``TypeError``
+        on malformed entries and :class:`CacheIntegrityError` when the
+        stored recipe does not re-hash to the filename key — flipped
+        payload bytes leave the recipe intact, which is why the recipe
+        alone re-hashing is not enough: the whole entry is canonical
+        JSON written in one atomic rename, so a recipe that *does*
+        re-hash alongside unparseable JSON is still quarantined by the
+        parse step above it.
+        """
+        entry = json.loads(text)
+        payload = entry["payload"]
+        stored = scenario_key(
+            entry["scenario"], entry["params"], entry["seed"],
+            version=entry["code_version"],
+        )
+        if stored != key:
+            raise CacheIntegrityError(
+                f"stored recipe re-hashes to {stored}, filename says {key}"
+            )
+        return payload
+
     def get(self, name: str, key: str) -> Optional[Any]:
-        """Stored payload for ``key``, or None on a miss/corrupt entry."""
+        """Stored payload for ``key``, or None (quarantining corruption).
+
+        A missing file is a plain miss.  A present-but-invalid file —
+        unparseable, foreign JSON, or a recipe that no longer re-hashes
+        to its filename — is *corruption*: the entry is moved to the
+        quarantine directory (with the reason alongside) and the read
+        reports a miss, so the orchestrator recomputes and overwrites.
+        """
         path = self._path(name, key)
         try:
-            payload = json.loads(path.read_text())["payload"]
-        except (OSError, json.JSONDecodeError, KeyError, TypeError):
-            # unreadable, unparseable, or foreign JSON without a payload:
-            # all equally a miss, never an error
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = self._check_entry(text, key)
+        except (json.JSONDecodeError, KeyError, TypeError,
+                CacheIntegrityError) as exc:
+            self._quarantine(path, reason=f"{type(exc).__name__}: {exc}")
             self.misses += 1
             return None
         self.hits += 1
@@ -143,14 +207,70 @@ class ResultCache:
             "code_version": code_version(),
             "payload": payload,
         }
-        tmp = path.with_suffix(".json.tmp")
+        # unique per process *and* per write: concurrent writers of the
+        # same key (pool siblings, parallel orchestrators) never share a
+        # temp file, and the final rename stays atomic either way
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
+        )
         tmp.write_text(canonical_json(entry))
         tmp.replace(path)  # atomic: concurrent writers converge
         return path
 
     # ------------------------------------------------------------------ #
+    def _quarantine(self, path: Path, reason: str = "") -> Optional[Path]:
+        """Move a corrupt entry out of the live tree; best effort."""
+        target_dir = self.directory / QUARANTINE_DIR / path.parent.name
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / path.name
+            path.replace(target)
+            if reason:
+                target.with_suffix(".reason").write_text(reason + "\n")
+        except OSError:  # pragma: no cover - racing unlink/move
+            path.unlink(missing_ok=True)
+            target = None
+        self.quarantined += 1
+        return target
+
+    def verify(self, quarantine: bool = False) -> dict:
+        """Check every entry's integrity; optionally quarantine failures.
+
+        Returns ``{"checked": n, "ok": n, "corrupt": [{"path", "reason"},
+        ...], "quarantined": n}`` — the machine-readable report behind
+        ``cache-info --verify``.
+        """
+        report: dict[str, Any] = {
+            "checked": 0, "ok": 0, "corrupt": [], "quarantined": 0,
+        }
+        for path in self.entries():
+            report["checked"] += 1
+            key = path.stem
+            try:
+                self._check_entry(path.read_text(), key)
+            except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                    CacheIntegrityError) as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+                report["corrupt"].append(
+                    {"path": str(path.relative_to(self.directory)),
+                     "reason": reason}
+                )
+                if quarantine:
+                    self._quarantine(path, reason=reason)
+                    report["quarantined"] += 1
+            else:
+                report["ok"] += 1
+        return report
+
+    def quarantined_entries(self) -> list[Path]:
+        """All quarantined entry files, sorted."""
+        root = self.directory / QUARANTINE_DIR
+        if not root.is_dir():
+            return []
+        return sorted(root.glob("*/*.json"))
+
     def entries(self) -> list[Path]:
-        """All cache entry files, sorted."""
+        """All cache entry files, sorted (quarantine excluded)."""
         if not self.directory.is_dir():
             return []
         return sorted(self.directory.glob("*/*.json"))

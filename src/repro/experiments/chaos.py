@@ -1,0 +1,197 @@
+"""Deterministic chaos injection for the orchestration layer.
+
+The chaos harness disturbs *chosen* scenario executions in *chosen* ways
+— kill the worker mid-scenario, hang it past its deadline, slow-start
+it, or corrupt the cache entry a successful run just wrote — so the
+supervision machinery's failure paths are exercised deterministically in
+tests and CI instead of waiting for real infrastructure to misbehave.
+
+A plan is a JSON list of directives, supplied through the
+``REPRO_CHAOS`` environment variable (inherited by pool workers) or
+passed to the orchestrator directly::
+
+    REPRO_CHAOS='[{"action": "kill", "scenario": "table1-*",
+                   "attempts": [1]}]'
+
+Directive fields:
+
+``action``
+    ``kill`` — terminate the executing pool worker with ``os._exit``
+    (the parent sees ``BrokenProcessPool``); in-process (serial)
+    execution raises :class:`ChaosInjected` instead, which classifies
+    as transient so the retry path is identical.
+    ``hang`` — sleep ``delay_s`` (default 3600 s) before running, to
+    trip the supervisor's wall-clock deadline.
+    ``slow`` — sleep ``delay_s`` (default 0.2 s) before running, then
+    proceed normally.
+    ``corrupt-cache`` — parent-side: after the scenario's entry is
+    written, overwrite it with garbage (each directive fires once), so
+    the next reader must detect, quarantine and recompute.
+``scenario``
+    Glob over scenario names (default ``*``).
+``attempts``
+    1-based attempt numbers the directive applies to (default ``[1]``)
+    — the knob that makes "fail once, succeed on retry" expressible.
+    ``[]`` means every attempt.
+
+Determinism: directives key on (scenario name, attempt number) only —
+no randomness — so a disturbed run converges to byte-identical payloads
+vs. an undisturbed one once retries succeed, which the chaos test suite
+pins.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.supervision import TransientError
+
+#: Environment variable carrying the JSON chaos plan.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Exit code a chaos-killed worker dies with (visible in post-mortems).
+KILL_EXIT_CODE = 86
+
+ACTIONS = ("kill", "hang", "slow", "corrupt-cache")
+
+
+class ChaosInjected(TransientError):
+    """A chaos directive fired in-process (serial kill stand-in)."""
+
+
+def in_worker_process() -> bool:
+    """True inside a multiprocessing child (a pool worker)."""
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class ChaosDirective:
+    """One disturbance rule: what to do, to which scenario, on which try."""
+
+    action: str
+    scenario: str = "*"
+    attempts: tuple[int, ...] = (1,)
+    delay_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; known: {list(ACTIONS)}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosDirective":
+        unknown = set(data) - {"action", "scenario", "attempts", "delay_s"}
+        if unknown:
+            raise ValueError(
+                f"chaos directive has unknown key(s) {sorted(unknown)}; "
+                f"known: ['action', 'scenario', 'attempts', 'delay_s']"
+            )
+        if "action" not in data:
+            raise ValueError(f"chaos directive needs an 'action': {data!r}")
+        attempts = data.get("attempts", [1])
+        return cls(
+            action=data["action"],
+            scenario=data.get("scenario", "*"),
+            attempts=tuple(int(a) for a in attempts),
+            delay_s=(
+                float(data["delay_s"]) if data.get("delay_s") is not None
+                else None
+            ),
+        )
+
+    def matches(self, name: str, attempt: int) -> bool:
+        if not fnmatch(name, self.scenario):
+            return False
+        return not self.attempts or attempt in self.attempts
+
+
+@dataclass
+class ChaosPlan:
+    """A parsed set of directives plus once-only bookkeeping."""
+
+    directives: tuple[ChaosDirective, ...] = ()
+    #: parent-side corrupt-cache directives already applied (per index),
+    #: deliberately not shared with workers — corruption fires once
+    _applied: set[int] = field(default_factory=set, compare=False, repr=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"${CHAOS_ENV} is not valid JSON: {exc}") from exc
+        if not isinstance(data, list):
+            raise ValueError(
+                f"${CHAOS_ENV} must be a JSON list of directives, "
+                f"got {type(data).__name__}"
+            )
+        return cls(tuple(ChaosDirective.from_dict(d) for d in data))
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["ChaosPlan"]:
+        """The active plan from ``$REPRO_CHAOS``, or None when unset."""
+        text = (environ if environ is not None else os.environ).get(CHAOS_ENV)
+        if not text:
+            return None
+        plan = cls.from_json(text)
+        return plan if plan.directives else None
+
+    def __bool__(self) -> bool:
+        return bool(self.directives)
+
+    # ------------------------------------------------------------------ #
+    # worker-side hook (called from _execute_spec, before the scenario)
+    # ------------------------------------------------------------------ #
+    def disturb(self, name: str, attempt: int) -> None:
+        """Apply kill/hang/slow directives matching this execution."""
+        for directive in self.directives:
+            if directive.action == "corrupt-cache":
+                continue  # parent-side
+            if not directive.matches(name, attempt):
+                continue
+            if directive.action == "kill":
+                if in_worker_process():
+                    os._exit(KILL_EXIT_CODE)
+                raise ChaosInjected(
+                    f"chaos kill: scenario {name!r}, attempt {attempt}"
+                )
+            if directive.action == "hang":
+                time.sleep(3600.0 if directive.delay_s is None
+                           else directive.delay_s)
+            elif directive.action == "slow":
+                time.sleep(0.2 if directive.delay_s is None
+                           else directive.delay_s)
+
+    # ------------------------------------------------------------------ #
+    # parent-side hook (called after a successful cache write)
+    # ------------------------------------------------------------------ #
+    def apply_cache_corruption(self, name: str, path) -> bool:
+        """Corrupt ``path`` if an unapplied directive targets ``name``."""
+        corrupted = False
+        for index, directive in enumerate(self.directives):
+            if directive.action != "corrupt-cache" or index in self._applied:
+                continue
+            if not fnmatch(name, directive.scenario):
+                continue
+            self._applied.add(index)
+            corrupt_entry(path)
+            corrupted = True
+        return corrupted
+
+
+def corrupt_entry(path) -> None:
+    """Overwrite a cache entry so it fails both parsing and re-hashing."""
+    path = Path(path)
+    try:
+        original = path.read_bytes()
+    except OSError:
+        original = b""
+    path.write_bytes(b'{"chaos": "corrupted"' + original[:32])

@@ -1,0 +1,164 @@
+"""The write-ahead run journal: an append-only JSONL manifest per cache.
+
+Every supervised scenario execution leaves a durable trail in
+``<cache_dir>/journal.jsonl``: a ``started`` record *before* the attempt
+runs (write-ahead — a crashed orchestrator leaves evidence of what it was
+doing), then ``retried`` / ``failed`` / ``finished`` records with
+durations and structured error chains.  The journal is observational:
+payload bytes never depend on it, timestamps are wall-clock, and a
+corrupt line (a crash mid-append) is skipped on replay rather than
+poisoning the whole file.
+
+It powers three things:
+
+* ``run --resume`` — scenarios whose cache key has a journaled
+  ``finished`` record are served from the cache and reported as
+  *resumed*, even by a fresh orchestrator process with a cold in-memory
+  memo (the resume contract: journal says done **and** the cache entry
+  re-verifies; anything else re-runs);
+* the terminal failure report — the CLI renders the latest error chain
+  per failed scenario from the same records it printed progress from;
+* post-mortems — ``repro-experiments cache-info`` surfaces the journal
+  path and record count next to the entries it describes.
+
+One record per line, canonical JSON.  Fields: ``event`` (``started`` /
+``retried`` / ``failed`` / ``finished`` / ``skipped``), ``scenario``,
+``key`` (the cache key — the full recipe digest), ``seed``, ``attempt``,
+``ts`` (unix seconds), plus ``duration_s`` on ``finished`` and ``error``
+(an :class:`~repro.experiments.supervision.ErrorInfo` dict) on
+``retried`` / ``failed``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.experiments.cache import canonical_json
+
+#: Journal filename inside a result-cache directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Events that settle a key's outcome (the last one wins on replay).
+TERMINAL_EVENTS = frozenset({"finished", "failed"})
+
+
+class RunJournal:
+    """Append-only JSONL journal of supervised scenario executions."""
+
+    def __init__(self, path: os.PathLike | str) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def for_cache(cls, cache: Any) -> Optional["RunJournal"]:
+        """The journal living alongside ``cache``, or None.
+
+        A :class:`~repro.experiments.cache.NullCache` (and anything else
+        without a real directory) gets no journal: there is nothing to
+        resume from when payloads are not persisted either.
+        """
+        directory = getattr(cache, "directory", None)
+        if directory is None or str(directory) == os.devnull:
+            return None
+        return cls(Path(directory) / JOURNAL_NAME)
+
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        event: str,
+        *,
+        scenario: str,
+        key: str,
+        seed: int,
+        attempt: Optional[int] = None,
+        duration_s: Optional[float] = None,
+        error: Optional[dict] = None,
+    ) -> None:
+        """Append one record; best-effort durable, never raises on I/O."""
+        entry: dict[str, Any] = {
+            "event": event,
+            "scenario": scenario,
+            "key": key,
+            "seed": seed,
+            "ts": round(time.time(), 3),
+        }
+        if attempt is not None:
+            entry["attempt"] = attempt
+        if duration_s is not None:
+            entry["duration_s"] = round(duration_s, 4)
+        if error is not None:
+            entry["error"] = error
+        line = canonical_json(entry) + "\n"
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a+b") as fh:
+                # a crash can leave a torn line without its newline; heal
+                # it here so this record is not glued onto (and lost with)
+                # the torn one
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > 0:
+                    fh.seek(-1, os.SEEK_END)
+                    if fh.read(1) != b"\n":
+                        fh.write(b"\n")
+                fh.write(line.encode())
+                fh.flush()
+        except OSError:  # pragma: no cover - journal must never kill a run
+            pass
+
+    # ------------------------------------------------------------------ #
+    def events(self) -> list[dict]:
+        """All parseable records, in append order (corrupt lines skipped)."""
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return []
+        out = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a crashed process
+            if isinstance(entry, dict) and "event" in entry and "key" in entry:
+                out.append(entry)
+        return out
+
+    def latest_by_key(
+        self, events: Optional[Iterable[dict]] = None
+    ) -> dict[str, dict]:
+        """Last *terminal* record per cache key (later appends win)."""
+        latest: dict[str, dict] = {}
+        for entry in self.events() if events is None else events:
+            if entry.get("event") in TERMINAL_EVENTS:
+                latest[entry["key"]] = entry
+        return latest
+
+    def successful_keys(self) -> set[str]:
+        """Keys whose latest terminal record is ``finished``."""
+        return {
+            key
+            for key, entry in self.latest_by_key().items()
+            if entry["event"] == "finished"
+        }
+
+    def failure_records(self) -> list[dict]:
+        """Latest-terminal ``failed`` records, sorted by scenario name."""
+        return sorted(
+            (
+                entry
+                for entry in self.latest_by_key().values()
+                if entry["event"] == "failed"
+            ),
+            key=lambda e: e.get("scenario", ""),
+        )
+
+    def __len__(self) -> int:
+        return len(self.events())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RunJournal path={self.path}>"

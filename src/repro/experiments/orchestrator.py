@@ -1,8 +1,8 @@
-"""Parallel, cached execution of registered scenarios.
+"""Parallel, cached, *supervised* execution of registered scenarios.
 
 The :class:`Orchestrator` is the one funnel through which every consumer —
-the CLI's ``run`` verb, EXPERIMENTS.md generation, the benchmark harness —
-executes scenarios:
+the CLI's ``run`` verb, EXPERIMENTS.md generation, the benchmark harness
+— executes scenarios:
 
 * **selection** comes from the :class:`~repro.experiments.registry
   .ScenarioRegistry` (glob patterns and tags);
@@ -13,7 +13,17 @@ executes scenarios:
 * **caching** is content-addressed through
   :class:`~repro.experiments.cache.ResultCache`: the key covers scenario
   name, params, seed and a digest of the package sources, so warm reruns
-  are pure JSON loads and any code edit invalidates everything.
+  are pure JSON loads and any code edit invalidates everything;
+* **supervision** (see :mod:`repro.experiments.supervision` and
+  docs/robustness.md) wraps every execution in per-scenario wall-clock
+  deadlines and bounded retry with exponential backoff.  A worker death
+  (``BrokenProcessPool``) salvages completed siblings, restarts the pool
+  and requeues unfinished work; a pool that cannot be (re)spawned
+  degrades to in-process serial execution; a scenario that keeps failing
+  becomes a structured *failed* :class:`ScenarioRun` (``status`` /
+  ``error`` / ``attempts``) instead of aborting its siblings.  Every
+  attempt is journaled write-ahead to ``<cache_dir>/journal.jsonl``
+  (:mod:`repro.experiments.journal`), which powers ``run --resume``.
 
 Determinism
 -----------
@@ -24,28 +34,55 @@ sharing the base seed is load-bearing: the standalone ``table2-nasa``
 scenario and the ``fig10-sweep-nasa`` sweep must replay the *same* seed-0
 NASA trace the paper tables pin.  Every payload is canonicalized through
 one JSON round-trip before it is returned or stored, which makes
-``workers=4`` and ``workers=1`` runs byte-identical.
+``workers=4`` and ``workers=1`` runs byte-identical — and retries change
+neither seed nor params, so a run that needed three attempts is
+byte-identical to one that needed one.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Any, Iterable, Mapping, Optional
+from typing import Any, Iterable, Mapping, Optional, Union
 
 from repro.experiments.cache import NullCache, ResultCache, canonicalize, scenario_key
+from repro.experiments.chaos import ChaosPlan
+from repro.experiments.journal import RunJournal
 from repro.experiments.registry import (
     ScenarioRegistry,
     ScenarioSpec,
     default_registry,
 )
+from repro.experiments.supervision import (
+    ErrorInfo,
+    OrchestrationError,
+    RetryPolicy,
+    ScenarioTimeout,
+    WorkerCrash,
+)
+
+#: Supervisor poll interval while futures are in flight (seconds).
+SUPERVISOR_TICK_S = 0.05
+
+#: Pool restarts (worker death or hang) tolerated before the supervisor
+#: gives up on process isolation and degrades to serial execution.
+MAX_POOL_RESTARTS = 3
 
 
 @dataclass
 class ScenarioRun:
-    """Outcome of one orchestrated scenario execution."""
+    """Outcome of one orchestrated scenario execution.
+
+    ``status`` is ``"ok"`` (payload valid), ``"failed"`` (supervision
+    gave up; ``error`` holds the structured error chain and ``payload``
+    is None) or ``"skipped"`` (never ran — fail-fast aborted the batch).
+    ``attempts`` counts executions actually started, ``resumed`` marks a
+    cache hit that ``--resume`` matched against a journaled success.
+    """
 
     name: str
     params: dict
@@ -54,16 +91,35 @@ class ScenarioRun:
     payload: Any
     cached: bool
     duration_s: float
+    status: str = "ok"
+    attempts: int = 1
+    error: Optional[dict] = None
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
-def _execute_spec(fn, name: str, params: dict, seed: int) -> tuple[Any, float]:
+def _execute_spec(
+    fn, name: str, params: dict, seed: int,
+    attempt: int = 1, chaos: Optional[ChaosPlan] = None,
+) -> tuple[Any, float]:
     """Worker entry point: run one scenario function and canonicalize.
 
     Module-level so it pickles by reference into pool workers; ``fn``
     itself must be module-level too (the registry's contract).  Returns
     ``(payload, duration_s)`` — timing happens here so parallel runs
     report each scenario's own execution time, not pool wall-clock.
+
+    The chaos hook fires *before* the scenario body and outside the
+    wrapping try: an injected :class:`~repro.experiments.chaos
+    .ChaosInjected` crosses the pool boundary as itself (transient,
+    retried), while a genuine scenario exception is wrapped as a
+    permanent ``RuntimeError`` naming the scenario.
     """
+    if chaos is not None:
+        chaos.disturb(name, attempt)
     t0 = time.perf_counter()
     try:
         payload = canonicalize(fn(seed, **params))
@@ -80,6 +136,23 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+@dataclass
+class _Job:
+    """Supervisor-side state for one scenario not yet settled."""
+
+    spec: ScenarioSpec
+    params: dict
+    key: str
+    attempts: int = 0               # executions started so far
+    not_before: float = 0.0         # monotonic eligibility (backoff)
+    started_at: Optional[float] = None  # first observed running (monotonic)
+    last_error: Optional[ErrorInfo] = None
+
+    def reset_for_retry(self, not_before: float) -> None:
+        self.not_before = not_before
+        self.started_at = None
+
+
 class Orchestrator:
     """Fan scenario runs out over processes, through the result cache."""
 
@@ -89,21 +162,40 @@ class Orchestrator:
         cache: Optional[ResultCache] = None,
         workers: int = 1,
         seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        journal: Union[None, bool, RunJournal] = None,
+        resume: bool = False,
+        fail_fast: bool = False,
+        chaos: Optional[ChaosPlan] = None,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.cache = cache if cache is not None else NullCache()
         self.workers = max(1, int(workers))
         self.seed = int(seed)
+        self.retry = retry if retry is not None else RetryPolicy()
+        # journal: True/None -> alongside the cache (disk caches only),
+        # False -> none, or an explicit RunJournal
+        if journal is False:
+            self.journal: Optional[RunJournal] = None
+        elif journal is None or journal is True:
+            self.journal = RunJournal.for_cache(self.cache)
+        else:
+            self.journal = journal
+        self.resume = bool(resume)
+        self.fail_fast = bool(fail_fast)
+        plan = chaos if chaos is not None else ChaosPlan.from_env()
+        self.chaos = plan if plan else None
         # in-process memo keyed like the disk cache: lets one Orchestrator
         # serve repeated requests (e.g. CLI `all` prefetching in parallel,
-        # then rendering per command) without a disk cache
+        # then rendering per command) without a disk cache.  Failures are
+        # never memoized — a later run() call retries them afresh.
         self._memo: dict[str, ScenarioRun] = {}
 
     # ------------------------------------------------------------------ #
     def run_one(
         self, name: str, overrides: Optional[Mapping[str, Any]] = None
     ) -> ScenarioRun:
-        """Run a single scenario (through the cache)."""
+        """Run a single scenario (through the cache); raises on failure."""
         return self.run(names=[name], overrides={name: dict(overrides or {})})[name]
 
     def run(
@@ -112,6 +204,7 @@ class Orchestrator:
         tags: Iterable[str] = (),
         names: Optional[Iterable[str]] = None,
         overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        on_error: str = "raise",
     ) -> dict[str, ScenarioRun]:
         """Run every selected scenario; returns ``{name: ScenarioRun}``.
 
@@ -120,7 +213,18 @@ class Orchestrator:
         ``overrides`` maps scenario name → parameter overrides.  Results
         are keyed in sorted-name order regardless of completion order, so
         the mapping itself is deterministic.
+
+        ``on_error`` decides what a failed scenario does to the *call*:
+        ``"raise"`` (default) completes every sibling first — caching
+        their results — then raises :class:`~repro.experiments
+        .supervision.OrchestrationError` carrying the full outcome map;
+        ``"return"`` hands back the map with failed runs in it (the CLI
+        path, which renders a failure table and exits nonzero).
         """
+        if on_error not in ("raise", "return"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'return', got {on_error!r}"
+            )
         if names is not None:
             specs = [self.registry.get(n) for n in names]
         else:
@@ -129,7 +233,11 @@ class Orchestrator:
         specs = list({s.name: s for s in specs}.values())
         overrides = overrides or {}
 
-        jobs: list[tuple[ScenarioSpec, dict, str]] = []
+        journaled_successes: set[str] = set()
+        if self.resume and self.journal is not None:
+            journaled_successes = self.journal.successful_keys()
+
+        jobs: list[_Job] = []
         runs: dict[str, ScenarioRun] = {}
         for spec in sorted(specs, key=lambda s: s.name):
             params = spec.params_with(overrides.get(spec.name))
@@ -149,11 +257,12 @@ class Orchestrator:
                     payload=hit,
                     cached=True,
                     duration_s=0.0,
+                    resumed=key in journaled_successes,
                 )
                 self._memo[key] = run
                 runs[spec.name] = run
             else:
-                jobs.append((spec, params, key))
+                jobs.append(_Job(spec=spec, params=params, key=key))
 
         if jobs:
             fresh = (
@@ -162,38 +271,131 @@ class Orchestrator:
                 else self._run_serial(jobs)
             )
             runs.update(fresh)
-        return {name: runs[name] for name in sorted(runs)}
+        result = {name: runs[name] for name in sorted(runs)}
+        failures = {n: r for n, r in result.items() if r.status == "failed"}
+        if failures and on_error == "raise":
+            raise OrchestrationError(failures, result)
+        return result
 
     # ------------------------------------------------------------------ #
-    def _finish(
-        self, spec: ScenarioSpec, params: dict, key: str, payload: Any, dt: float
-    ) -> ScenarioRun:
-        canonical_params = canonicalize(params)
-        self.cache.put(
-            spec.name, key, payload, params=canonical_params, seed=self.seed
+    # shared bookkeeping
+    # ------------------------------------------------------------------ #
+    def _journal_event(self, event: str, job: _Job, **extra) -> None:
+        if self.journal is not None:
+            self.journal.record(
+                event, scenario=job.spec.name, key=job.key, seed=self.seed,
+                **extra,
+            )
+
+    def _finish(self, job: _Job, payload: Any, dt: float) -> ScenarioRun:
+        """A successful execution: cache, journal, memoize."""
+        canonical_params = canonicalize(job.params)
+        path = self.cache.put(
+            job.spec.name, job.key, payload, params=canonical_params,
+            seed=self.seed,
+        )
+        if self.chaos is not None and path is not None:
+            self.chaos.apply_cache_corruption(job.spec.name, path)
+        self._journal_event(
+            "finished", job, attempt=job.attempts, duration_s=dt
         )
         run = ScenarioRun(
-            name=spec.name,
+            name=job.spec.name,
             params=canonical_params,
             seed=self.seed,
-            key=key,
+            key=job.key,
             payload=payload,
             cached=False,
             duration_s=dt,
+            attempts=job.attempts,
         )
-        self._memo[key] = run
+        self._memo[job.key] = run
         return run
 
-    def _run_serial(
-        self, jobs: list[tuple[ScenarioSpec, dict, str]]
-    ) -> dict[str, ScenarioRun]:
-        runs = {}
-        for spec, params, key in jobs:
-            payload, dt = _execute_spec(spec.fn, spec.name, params, self.seed)
-            runs[spec.name] = self._finish(spec, params, key, payload, dt)
+    def _failed(self, job: _Job, info: ErrorInfo) -> ScenarioRun:
+        """Supervision gave up on this scenario: structured failed run."""
+        self._journal_event(
+            "failed", job, attempt=job.attempts, error=info.to_dict()
+        )
+        return ScenarioRun(
+            name=job.spec.name,
+            params=canonicalize(job.params),
+            seed=self.seed,
+            key=job.key,
+            payload=None,
+            cached=False,
+            duration_s=0.0,
+            status="failed",
+            attempts=job.attempts,
+            error=info.to_dict(),
+        )
+
+    def _skipped(self, job: _Job) -> ScenarioRun:
+        """Never ran: a sibling's failure tripped fail-fast first."""
+        self._journal_event("skipped", job, attempt=job.attempts)
+        return ScenarioRun(
+            name=job.spec.name,
+            params=canonicalize(job.params),
+            seed=self.seed,
+            key=job.key,
+            payload=None,
+            cached=False,
+            duration_s=0.0,
+            status="skipped",
+            attempts=job.attempts,
+            error=None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # serial (in-process) supervised execution
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, jobs: list[_Job]) -> dict[str, ScenarioRun]:
+        runs: dict[str, ScenarioRun] = {}
+        aborted = False
+        for job in jobs:
+            if aborted:
+                runs[job.spec.name] = self._skipped(job)
+                continue
+            run = self._supervise_in_process(job)
+            runs[job.spec.name] = run
+            if run.status == "failed" and self.fail_fast:
+                aborted = True
         return runs
 
-    def _prewarm_store(self, jobs: list[tuple[ScenarioSpec, dict, str]]) -> None:
+    def _supervise_in_process(self, job: _Job) -> ScenarioRun:
+        """Retry loop for one scenario executed in this process.
+
+        Wall-clock timeouts are *not* enforced here: preempting a running
+        scenario requires process isolation (see docs/robustness.md); the
+        serial path trades enforcement for zero infrastructure, which is
+        also why it is the degradation target when pools keep dying.
+        """
+        policy = self.retry
+        while True:
+            job.attempts += 1
+            self._journal_event("started", job, attempt=job.attempts)
+            try:
+                payload, dt = _execute_spec(
+                    job.spec.fn, job.spec.name, job.params, self.seed,
+                    attempt=job.attempts, chaos=self.chaos,
+                )
+            except Exception as exc:
+                info = ErrorInfo.from_exception(exc)
+                job.last_error = info
+                if not policy.should_retry(exc, job.attempts):
+                    return self._failed(job, info)
+                self._journal_event(
+                    "retried", job, attempt=job.attempts,
+                    error=info.to_dict(),
+                )
+                policy.sleep(policy.backoff_s(job.attempts))
+                continue
+            return self._finish(job, payload, dt)
+
+    # ------------------------------------------------------------------ #
+    # parallel supervised execution
+    # ------------------------------------------------------------------ #
+    def _prewarm_store(self, jobs: list[_Job]) -> None:
         """Generate declared workloads once, before the pool forks.
 
         Under the fork start method the children inherit the populated
@@ -205,25 +407,277 @@ class Orchestrator:
         """
         from repro.workloads.store import prewarm
 
-        names = sorted({n for spec, _, _ in jobs for n in spec.prewarm})
+        names = sorted({n for job in jobs for n in job.spec.prewarm})
         if names:
             prewarm(names, self.seed)
 
-    def _run_parallel(
-        self, jobs: list[tuple[ScenarioSpec, dict, str]]
-    ) -> dict[str, ScenarioRun]:
-        runs = {}
+    def _make_pool(self, n_jobs: int) -> Optional[ProcessPoolExecutor]:
+        try:
+            return ProcessPoolExecutor(
+                max_workers=min(self.workers, max(1, n_jobs)),
+                mp_context=_pool_context(),
+            )
+        except (OSError, ValueError, RuntimeError):
+            return None
+
+    @staticmethod
+    def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+        """Tear a pool down *now*, including hung workers.
+
+        ``shutdown(wait=False, cancel_futures=True)`` alone leaves a
+        hung worker running (and holding its slot) forever; the worker
+        processes are killed explicitly.  ``_processes`` is private but
+        stable since 3.7 and guarded — losing it degrades to an orphan
+        that exits with the parent, not to corruption.
+        """
+        if pool is None:
+            return
+        procs = getattr(pool, "_processes", None)
+        processes = list(procs.values()) if isinstance(procs, dict) else []
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - shutdown races
+            pass
+        for proc in processes:
+            try:
+                if proc.is_alive():
+                    proc.kill()
+            except Exception:  # pragma: no cover - process already reaped
+                pass
+        for proc in processes:
+            try:
+                proc.join(timeout=1.0)
+            except Exception:  # pragma: no cover
+                pass
+
+    def _run_parallel(self, jobs: list[_Job]) -> dict[str, ScenarioRun]:
+        """The supervisor loop: submit, watch deadlines, salvage, retry.
+
+        Invariants:
+
+        * every job ends in exactly one of ``runs`` states (ok / failed /
+          skipped) — the loop cannot lose work;
+        * a worker death poisons only the *attempt counts* of jobs that
+          were observed running — queued innocents requeue free;
+        * after :data:`MAX_POOL_RESTARTS` pool rebuilds (or a pool that
+          cannot be created at all) the remaining jobs run serially
+          in-process, so the batch completes even on a machine that
+          cannot fork.
+        """
         self._prewarm_store(jobs)
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(jobs)), mp_context=_pool_context()
-        ) as pool:
-            futures: dict[str, tuple[ScenarioSpec, dict, str, Future]] = {}
-            for spec, params, key in jobs:
-                fut = pool.submit(_execute_spec, spec.fn, spec.name, params, self.seed)
-                futures[spec.name] = (spec, params, key, fut)
-            for name, (spec, params, key, fut) in futures.items():
-                payload, dt = fut.result()
-                runs[name] = self._finish(spec, params, key, payload, dt)
+        policy = self.retry
+        runs: dict[str, ScenarioRun] = {}
+        ready: deque[_Job] = deque(jobs)   # eligible or backing off
+        inflight: dict[Future, _Job] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        restarts = 0
+        degrade_serial = False
+        aborted = False
+
+        def settle(job: _Job, run: ScenarioRun) -> None:
+            nonlocal aborted
+            runs[job.spec.name] = run
+            if run.status == "failed" and self.fail_fast:
+                aborted = True
+
+        def note_transient(job: _Job, exc: BaseException, charge: bool) -> None:
+            """A transient failure: requeue with backoff or give up."""
+            info = ErrorInfo.from_exception(exc)
+            job.last_error = info
+            if charge and job.attempts >= policy.max_attempts:
+                settle(job, self._failed(job, info))
+                return
+            delay = policy.backoff_s(max(1, job.attempts)) if charge else 0.0
+            self._journal_event(
+                "retried", job, attempt=job.attempts, error=info.to_dict()
+            )
+            job.reset_for_retry(policy.monotonic() + delay)
+            if not charge:
+                # never started: give the attempt number back
+                job.attempts = max(0, job.attempts - 1)
+            ready.append(job)
+
+        try:
+            while ready or inflight:
+                if aborted:
+                    # drain: everything unsettled is skipped
+                    for job in list(inflight.values()) + list(ready):
+                        runs[job.spec.name] = self._skipped(job)
+                    inflight.clear()
+                    ready.clear()
+                    break
+
+                if degrade_serial and not inflight:
+                    for job in list(ready):
+                        ready.popleft()
+                        if aborted:
+                            runs[job.spec.name] = self._skipped(job)
+                            continue
+                        settle(job, self._supervise_in_process(job))
+                    continue
+
+                # -- submit every eligible job ------------------------- #
+                now = policy.monotonic()
+                if ready and not degrade_serial:
+                    if pool is None:
+                        pool = self._make_pool(len(ready))
+                        if pool is None:
+                            degrade_serial = True
+                            continue
+                    still_waiting: deque[_Job] = deque()
+                    while ready:
+                        job = ready.popleft()
+                        if job.not_before > now:
+                            still_waiting.append(job)
+                            continue
+                        job.attempts += 1
+                        job.started_at = None
+                        self._journal_event(
+                            "started", job, attempt=job.attempts
+                        )
+                        try:
+                            fut = pool.submit(
+                                _execute_spec, job.spec.fn, job.spec.name,
+                                job.params, self.seed, job.attempts,
+                                self.chaos,
+                            )
+                        except (BrokenProcessPool, RuntimeError) as exc:
+                            # pool died between ticks; requeue uncharged,
+                            # and drain in-flight siblings of the same
+                            # dead pool before their futures go stale
+                            note_transient(job, WorkerCrash(str(exc)),
+                                           charge=False)
+                            for other in list(inflight.values()):
+                                note_transient(
+                                    other,
+                                    WorkerCrash(
+                                        "pool died before scenario "
+                                        f"{other.spec.name!r} completed"
+                                    ),
+                                    charge=other.started_at is not None,
+                                )
+                            inflight.clear()
+                            self._kill_pool(pool)
+                            pool = None
+                            restarts += 1
+                            if restarts > MAX_POOL_RESTARTS:
+                                degrade_serial = True
+                            break
+                        inflight[fut] = job
+                    ready.extend(still_waiting)
+
+                if not inflight:
+                    if ready:
+                        # everything is backing off: sleep to eligibility
+                        delay = max(
+                            0.0,
+                            min(j.not_before for j in ready)
+                            - policy.monotonic(),
+                        )
+                        if delay:
+                            policy.sleep(min(delay, policy.backoff_max_s))
+                    continue
+
+                # -- wait a tick, stamp running starts ----------------- #
+                done, _ = wait(
+                    set(inflight), timeout=SUPERVISOR_TICK_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = policy.monotonic()
+                for fut, job in inflight.items():
+                    if job.started_at is None and (fut.running() or fut in done):
+                        job.started_at = now
+
+                # -- collect completions ------------------------------- #
+                pool_broken = False
+                for fut in done:
+                    job = inflight.pop(fut)
+                    try:
+                        payload, dt = fut.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        note_transient(
+                            job,
+                            WorkerCrash(
+                                f"pool worker died while scenario "
+                                f"{job.spec.name!r} was in flight"
+                            ),
+                            charge=job.started_at is not None,
+                        )
+                    except Exception as exc:
+                        if policy.should_retry(exc, job.attempts):
+                            note_transient(job, exc, charge=True)
+                        else:
+                            info = ErrorInfo.from_exception(exc)
+                            job.last_error = info
+                            settle(job, self._failed(job, info))
+                    else:
+                        settle(job, self._finish(job, payload, dt))
+
+                if pool_broken:
+                    # every other in-flight future is poisoned too
+                    for fut, job in list(inflight.items()):
+                        note_transient(
+                            job,
+                            WorkerCrash(
+                                "pool worker death poisoned in-flight "
+                                f"scenario {job.spec.name!r}"
+                            ),
+                            charge=job.started_at is not None,
+                        )
+                    inflight.clear()
+                    self._kill_pool(pool)
+                    pool = None
+                    restarts += 1
+                    if restarts > MAX_POOL_RESTARTS:
+                        degrade_serial = True
+                    continue
+
+                # -- enforce wall-clock deadlines ---------------------- #
+                if policy.timeout_s is not None and inflight:
+                    hung = [
+                        (fut, job)
+                        for fut, job in inflight.items()
+                        if job.started_at is not None
+                        and now - job.started_at > policy.timeout_s
+                    ]
+                    if hung:
+                        hung_futs = {fut for fut, _ in hung}
+                        for fut, job in list(inflight.items()):
+                            if fut in hung_futs:
+                                note_transient(
+                                    job,
+                                    ScenarioTimeout(
+                                        f"scenario {job.spec.name!r} "
+                                        f"exceeded its "
+                                        f"{policy.timeout_s:g}s deadline"
+                                    ),
+                                    charge=True,
+                                )
+                            else:
+                                # collateral: killed with the pool, but
+                                # innocent — requeue without charging
+                                note_transient(
+                                    job,
+                                    WorkerCrash(
+                                        "pool torn down to kill a hung "
+                                        f"sibling of {job.spec.name!r}"
+                                    ),
+                                    charge=False,
+                                )
+                        inflight.clear()
+                        self._kill_pool(pool)
+                        pool = None
+                        restarts += 1
+                        if restarts > MAX_POOL_RESTARTS:
+                            degrade_serial = True
+        finally:
+            if pool is not None:
+                if aborted:
+                    # fail-fast: don't wait on work we just declared skipped
+                    self._kill_pool(pool)
+                else:
+                    pool.shutdown(wait=True, cancel_futures=True)
         return runs
 
 

@@ -1,0 +1,187 @@
+"""Supervision primitives for resilient orchestration.
+
+The orchestrator treats every scenario execution as a *supervised*
+attempt: failures are classified as **transient** (a pool worker died, a
+scenario hit its wall-clock deadline, a chaos injection fired) or
+**permanent** (the scenario function itself raised).  Transient failures
+are retried with exponential backoff up to :attr:`RetryPolicy
+.max_attempts`; permanent failures fail exactly once — a deterministic
+scenario that raised will raise again, so re-running it only burns time.
+
+Nothing in this module touches processes or pools itself; it is the pure
+policy/record layer the :class:`~repro.experiments.orchestrator
+.Orchestrator` supervisor loop consumes, which is what makes it unit
+testable with a fake clock (both ``sleep`` and ``monotonic`` are
+injectable and excluded from the dataclass's equality).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback as _traceback
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+
+class TransientError(RuntimeError):
+    """Base class for failures worth retrying (infrastructure, not code).
+
+    Anything the supervisor manufactures itself (timeouts, worker
+    crashes) and anything the chaos harness injects subclasses this, so
+    classification is one ``isinstance`` check with no import cycles.
+    """
+
+
+class ScenarioTimeout(TransientError):
+    """A scenario exceeded its per-run wall-clock deadline."""
+
+
+class WorkerCrash(TransientError):
+    """A pool worker process died while (probably) running a scenario."""
+
+
+#: Exception types retried by default.  ``BrokenProcessPool`` is raised
+#: by ``concurrent.futures`` itself when any worker dies abruptly and
+#: poisons every in-flight future — the canonical transient failure.
+TRANSIENT_TYPES: tuple[type, ...] = (TransientError, BrokenProcessPool)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` is an infrastructure failure worth retrying."""
+    return isinstance(exc, TRANSIENT_TYPES)
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """A JSON-safe snapshot of one exception (with its cause chain)."""
+
+    type: str
+    message: str
+    traceback: str = ""
+    cause: Optional["ErrorInfo"] = None
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, *, depth: int = 4
+    ) -> "ErrorInfo":
+        cause = exc.__cause__ or exc.__context__
+        return cls(
+            type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                _traceback.format_exception(exc, limit=8)
+            ).strip(),
+            cause=(
+                cls.from_exception(cause, depth=depth - 1)
+                if cause is not None and depth > 1
+                else None
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {"type": self.type, "message": self.message}
+        if self.traceback:
+            out["traceback"] = self.traceback
+        if self.cause is not None:
+            out["cause"] = self.cause.to_dict()
+        return out
+
+    def summary(self) -> str:
+        return f"{self.type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor retries, times out, and backs off.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per scenario (first try included).  Only
+        *transient* failures consume additional attempts; a permanent
+        failure stops immediately.
+    timeout_s:
+        Per-scenario wall-clock budget, measured from the moment the
+        scenario is observed running in a worker.  ``None`` disables
+        timeout enforcement.  Only enforceable with worker processes
+        (``workers > 1``); the in-process serial path cannot preempt a
+        running scenario and documents that.
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Exponential backoff between retries of the same scenario:
+        attempt ``n``'s failure waits ``base * factor**(n-1)`` seconds,
+        capped at ``backoff_max_s``.  Deterministic — no jitter — so
+        chaos tests replay identically.
+    sleep / monotonic:
+        Injectable clock, for fake-clock tests.  Excluded from equality
+        and repr.
+    """
+
+    max_attempts: int = 3
+    timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    sleep: Callable[[float], None] = field(
+        default=time.sleep, compare=False, repr=False
+    )
+    monotonic: Callable[[], float] = field(
+        default=time.monotonic, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        return min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether failed attempt ``attempt`` warrants another try."""
+        return attempt < self.max_attempts and is_transient(exc)
+
+
+class OrchestrationError(RuntimeError):
+    """One or more scenarios failed after supervision gave up.
+
+    Raised (by default) *after* every sibling ran to completion, so
+    ``runs`` always carries the full outcome map — completed scenarios
+    are cached and reportable even when this propagates.
+    """
+
+    def __init__(self, failures: Mapping[str, Any], runs: Mapping[str, Any]):
+        self.failures = dict(failures)
+        self.runs = dict(runs)
+        details = "; ".join(
+            _failure_detail(name, run) for name, run in sorted(self.failures.items())
+        )
+        super().__init__(
+            f"{len(self.failures)} scenario(s) failed: {details}"
+        )
+
+
+def _failure_detail(name: str, run: Any) -> str:
+    error = getattr(run, "error", None)
+    if isinstance(error, Mapping):
+        message = error.get("message") or error.get("type") or "unknown error"
+    else:
+        message = "unknown error"
+    # worker-side wrapping already prefixes "scenario {name!r} failed:";
+    # don't repeat it for supervisor-made errors that lack the prefix
+    if f"scenario {name!r} failed" in str(message):
+        return str(message)
+    return f"scenario {name!r} failed: {message}"

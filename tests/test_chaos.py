@@ -1,0 +1,286 @@
+"""The chaos harness: deterministic disturbance of supervised runs.
+
+The load-bearing pins live here: a parallel sweep with an injected
+worker kill (and a corrupted cache entry) must converge — via retries
+and quarantine — to payloads byte-identical to an undisturbed serial
+run.  That is the property that makes the supervision machinery safe to
+leave on by default.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cache import ResultCache, canonical_json
+from repro.experiments.chaos import (
+    CHAOS_ENV,
+    KILL_EXIT_CODE,
+    ChaosDirective,
+    ChaosInjected,
+    ChaosPlan,
+    corrupt_entry,
+)
+from repro.experiments.journal import RunJournal
+from repro.experiments.orchestrator import Orchestrator, payloads
+from repro.experiments.registry import ScenarioRegistry
+from repro.experiments.supervision import RetryPolicy, is_transient
+from repro.simkit.rng import RandomStreams
+
+
+# --------------------------------------------------------------------- #
+# module-level scenario functions (picklable into pool workers)
+# --------------------------------------------------------------------- #
+def draw_scenario(seed: int, n: int = 6) -> dict:
+    rng = RandomStreams(seed).stream("chaos-draws")
+    return {"seed": seed, "draws": [float(x) for x in rng.random(n)]}
+
+
+def quick_scenario(seed: int, x: int = 5) -> dict:
+    return {"seed": seed, "x": x, "x_squared": x * x}
+
+
+def make_registry() -> ScenarioRegistry:
+    reg = ScenarioRegistry()
+    reg.scenario("draws", n=6)(draw_scenario)
+    reg.scenario("quick", x=5)(quick_scenario)
+    return reg
+
+
+def fast_retry(**kwargs) -> RetryPolicy:
+    """Zero-backoff policy so chaos tests never sleep for real."""
+    kwargs.setdefault("backoff_base_s", 0.0)
+    kwargs.setdefault("backoff_max_s", 0.0)
+    return RetryPolicy(**kwargs)
+
+
+def kill_plan(scenario: str = "*", attempts=(1,)) -> ChaosPlan:
+    return ChaosPlan((ChaosDirective("kill", scenario, tuple(attempts)),))
+
+
+# --------------------------------------------------------------------- #
+# directive parsing and matching
+# --------------------------------------------------------------------- #
+class TestDirectives:
+    def test_from_dict_defaults(self):
+        d = ChaosDirective.from_dict({"action": "kill"})
+        assert d.scenario == "*" and d.attempts == (1,)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos action"):
+            ChaosDirective.from_dict({"action": "explode"})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            ChaosDirective.from_dict({"action": "kill", "scnario": "x"})
+
+    def test_missing_action_rejected(self):
+        with pytest.raises(ValueError, match="needs an 'action'"):
+            ChaosDirective.from_dict({"scenario": "x"})
+
+    def test_matching_glob_and_attempts(self):
+        d = ChaosDirective("kill", "table*", (1, 3))
+        assert d.matches("table1-models", 1)
+        assert d.matches("table1-models", 3)
+        assert not d.matches("table1-models", 2)
+        assert not d.matches("tco-case", 1)
+
+    def test_empty_attempts_matches_every_attempt(self):
+        d = ChaosDirective("kill", "*", ())
+        assert all(d.matches("s", a) for a in (1, 2, 7))
+
+    def test_plan_from_env(self):
+        text = json.dumps([{"action": "slow", "scenario": "draws",
+                            "delay_s": 0.01}])
+        plan = ChaosPlan.from_env({CHAOS_ENV: text})
+        assert plan is not None and len(plan.directives) == 1
+        assert ChaosPlan.from_env({}) is None
+        assert ChaosPlan.from_env({CHAOS_ENV: "[]"}) is None
+
+    def test_plan_from_bad_json_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            ChaosPlan.from_json("{nope")
+        with pytest.raises(ValueError, match="JSON list"):
+            ChaosPlan.from_json('{"action": "kill"}')
+
+    def test_injected_failure_is_transient(self):
+        assert is_transient(ChaosInjected("chaos"))
+        assert KILL_EXIT_CODE == 86
+
+
+# --------------------------------------------------------------------- #
+# serial convergence (in-process kill stand-in)
+# --------------------------------------------------------------------- #
+class TestSerialChaos:
+    def test_kill_once_retries_to_identical_payload(self):
+        clean = Orchestrator(registry=make_registry(), seed=3).run()
+        disturbed = Orchestrator(
+            registry=make_registry(), seed=3, retry=fast_retry(),
+            chaos=kill_plan("draws", attempts=[1]),
+        ).run()
+        assert canonical_json(payloads(disturbed)) == canonical_json(
+            payloads(clean)
+        )
+        assert disturbed["draws"].attempts == 2
+        assert disturbed["quick"].attempts == 1
+
+    def test_kill_every_attempt_fails_but_spares_siblings(self):
+        orch = Orchestrator(
+            registry=make_registry(), seed=0,
+            retry=fast_retry(max_attempts=2),
+            chaos=kill_plan("draws", attempts=[]),
+        )
+        runs = orch.run(on_error="return")
+        assert runs["draws"].status == "failed"
+        assert runs["draws"].attempts == 2
+        assert runs["draws"].error["type"] == "ChaosInjected"
+        assert runs["quick"].ok and runs["quick"].payload["x_squared"] == 25
+
+    def test_slow_start_changes_nothing_but_time(self):
+        plan = ChaosPlan(
+            (ChaosDirective("slow", "quick", (1,), delay_s=0.01),)
+        )
+        clean = Orchestrator(registry=make_registry(), seed=1).run()
+        slowed = Orchestrator(
+            registry=make_registry(), seed=1, chaos=plan
+        ).run()
+        assert canonical_json(payloads(slowed)) == canonical_json(
+            payloads(clean)
+        )
+        assert slowed["quick"].attempts == 1
+
+
+# --------------------------------------------------------------------- #
+# parallel convergence (real worker kills => BrokenProcessPool salvage)
+# --------------------------------------------------------------------- #
+class TestParallelChaos:
+    def test_worker_kill_salvages_and_converges(self):
+        """The acceptance pin: disturbed parallel == undisturbed serial."""
+        clean = Orchestrator(registry=make_registry(), seed=7).run()
+        disturbed = Orchestrator(
+            registry=make_registry(), seed=7, workers=2,
+            retry=fast_retry(),
+            chaos=kill_plan("draws", attempts=[1]),
+        ).run()
+        assert canonical_json(payloads(disturbed)) == canonical_json(
+            payloads(clean)
+        )
+        assert disturbed["draws"].attempts >= 2  # the killed one retried
+
+    def test_worker_kill_exhausted_is_structured_failure(self):
+        runs = Orchestrator(
+            registry=make_registry(), seed=0, workers=2,
+            retry=fast_retry(max_attempts=2),
+            chaos=kill_plan("draws", attempts=[]),
+        ).run(on_error="return")
+        assert runs["draws"].status == "failed"
+        assert runs["draws"].error["type"] in ("WorkerCrash", "ChaosInjected")
+        assert runs["quick"].ok
+
+    @pytest.mark.slow
+    def test_hang_trips_deadline_then_converges(self):
+        clean = Orchestrator(registry=make_registry(), seed=5).run()
+        plan = ChaosPlan(
+            (ChaosDirective("hang", "draws", (1,), delay_s=30.0),)
+        )
+        disturbed = Orchestrator(
+            registry=make_registry(), seed=5, workers=2,
+            retry=fast_retry(timeout_s=0.4),
+            chaos=plan,
+        ).run()
+        assert canonical_json(payloads(disturbed)) == canonical_json(
+            payloads(clean)
+        )
+        assert disturbed["draws"].attempts >= 2
+        assert disturbed["draws"].error is None
+
+
+# --------------------------------------------------------------------- #
+# cache corruption chaos
+# --------------------------------------------------------------------- #
+class TestCacheChaos:
+    def test_corrupt_entry_helper_breaks_parse(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text('{"payload": 1}')
+        corrupt_entry(path)
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+
+    def test_corrupted_entry_quarantined_and_recomputed(self, tmp_path):
+        plan = ChaosPlan((ChaosDirective("corrupt-cache", "quick"),))
+        first = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path), seed=2,
+            chaos=plan,
+        ).run()
+        report = ResultCache(tmp_path).verify()
+        assert report["checked"] == 2
+        assert [c["path"] for c in report["corrupt"]] == [
+            f"quick/{first['quick'].key}.json"
+        ]
+        # a clean orchestrator detects, quarantines, recomputes: payloads
+        # end up byte-identical and the cache heals itself
+        cache = ResultCache(tmp_path)
+        healed = Orchestrator(
+            registry=make_registry(), cache=cache, seed=2
+        ).run()
+        assert canonical_json(payloads(healed)) == canonical_json(
+            payloads(first)
+        )
+        assert healed["draws"].cached and not healed["quick"].cached
+        assert cache.quarantined == 1
+        assert len(cache.quarantined_entries()) == 1
+        assert ResultCache(tmp_path).verify()["corrupt"] == []
+
+    def test_corruption_directive_fires_once(self, tmp_path):
+        plan = ChaosPlan((ChaosDirective("corrupt-cache", "quick"),))
+        cache = ResultCache(tmp_path)
+        orch = Orchestrator(
+            registry=make_registry(), cache=cache, seed=0, chaos=plan,
+            retry=fast_retry(),
+        )
+        orch.run(names=["quick"])
+        # second run: the (quarantine -> recompute -> rewrite) pass is NOT
+        # corrupted again, so the cache converges to a valid entry
+        orch2 = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path), seed=0,
+            chaos=plan,
+        )
+        orch2.run(names=["quick"])
+        assert ResultCache(tmp_path).verify()["corrupt"] == []
+
+    def test_combined_kill_and_corruption_pin(self, tmp_path):
+        """Worker kill + corrupted entry + parallel still == clean serial."""
+        clean = Orchestrator(registry=make_registry(), seed=11).run()
+        plan = ChaosPlan((
+            ChaosDirective("kill", "draws", (1,)),
+            ChaosDirective("corrupt-cache", "quick"),
+        ))
+        cache_dir = tmp_path / "cache"
+        disturbed = Orchestrator(
+            registry=make_registry(), cache=ResultCache(cache_dir),
+            seed=11, workers=2, retry=fast_retry(), chaos=plan,
+        ).run()
+        assert canonical_json(payloads(disturbed)) == canonical_json(
+            payloads(clean)
+        )
+        # the poisoned entry is found (and healed) by the next reader
+        cache = ResultCache(cache_dir)
+        rerun = Orchestrator(
+            registry=make_registry(), cache=cache, seed=11
+        ).run()
+        assert canonical_json(payloads(rerun)) == canonical_json(
+            payloads(clean)
+        )
+        assert cache.quarantined == 1
+
+    def test_journal_records_the_whole_story(self, tmp_path):
+        plan = kill_plan("draws", attempts=[1])
+        Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path), seed=4,
+            retry=fast_retry(), chaos=plan,
+        ).run()
+        journal = RunJournal.for_cache(ResultCache(tmp_path))
+        events = [e["event"] for e in journal.events()
+                  if e["scenario"] == "draws"]
+        assert events == ["started", "retried", "started", "finished"]

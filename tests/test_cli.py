@@ -154,3 +154,85 @@ class TestSpecDir:
         captured = capsys.readouterr()
         assert "warning" in captured.err
         assert "table1-models" in captured.out
+
+
+class TestResilienceCli:
+    """Supervised-run plumbing: exit codes, summaries, resume, verify."""
+
+    def test_failed_scenario_exits_nonzero_keeping_siblings(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_CHAOS",
+            '[{"action": "kill", "scenario": "tco-case", "attempts": []}]',
+        )
+        code = main(["run", "--scenario", "tco-case,table1-models",
+                     "--no-cache", "--retries", "0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED" in captured.err
+        assert "scenario(s) failed" in captured.err
+        # the completed sibling's payload is still on stdout
+        assert '"table1-models"' in captured.out
+        assert '"tco-case"' not in captured.out
+
+    def test_transient_failure_recovers_via_retry(self, capsys, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_CHAOS",
+            '[{"action": "kill", "scenario": "tco-case", "attempts": [1]}]',
+        )
+        code = main(["run", "--scenario", "tco-case", "--no-cache"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "attempt 2" in captured.err
+        assert '"tco-case"' in captured.out
+
+    def test_resume_reports_journaled_successes(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "--scenario", "tco-case",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["run", "--scenario", "tco-case", "--resume",
+                     "--cache-dir", cache]) == 0
+        assert "(resumed)" in capsys.readouterr().err
+
+    def test_cache_info_shows_journal(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "--scenario", "tco-case",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache-info", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "journal" in out and "records" in out
+
+    def test_cache_info_verify_finds_and_quarantines(self, tmp_path, capsys):
+        from repro.experiments.cache import ResultCache
+
+        cache_dir = tmp_path / "cache"
+        ResultCache(cache_dir).put("s", "not-the-right-key", 1,
+                                   params={}, seed=0)
+        assert main(["cache-info", "--verify",
+                     "--cache-dir", str(cache_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out and "0/1 entries ok" in out
+        assert main(["cache-info", "--verify", "--quarantine",
+                     "--cache-dir", str(cache_dir)]) == 1
+        capsys.readouterr()
+        # quarantined entries are out of the live tree: now clean
+        assert main(["cache-info", "--verify",
+                     "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0/0 entries ok" in out
+        assert "quarantined entries: 1" in out
+
+    def test_flag_validation(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--quarantine", "--no-cache"])
+        with pytest.raises(SystemExit):
+            main(["run", "--verify", "--no-cache"])
+        with pytest.raises(SystemExit):
+            main(["run", "--retries", "-1", "--no-cache"])
+        with pytest.raises(SystemExit):
+            main(["run", "--timeout", "0", "--no-cache"])
+        with pytest.raises(SystemExit):
+            main(["run", "--fail-fast", "--keep-going", "--no-cache"])

@@ -1,0 +1,109 @@
+"""Tests for the write-ahead run journal (JSONL manifest + resume set)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.cache import NullCache, ResultCache
+from repro.experiments.journal import JOURNAL_NAME, RunJournal
+
+
+def make_journal(tmp_path) -> RunJournal:
+    return RunJournal(tmp_path / JOURNAL_NAME)
+
+
+class TestRecording:
+    def test_records_round_trip_in_order(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record("started", scenario="s", key="k1", seed=0, attempt=1)
+        journal.record("finished", scenario="s", key="k1", seed=0,
+                       attempt=1, duration_s=0.5)
+        events = journal.events()
+        assert [e["event"] for e in events] == ["started", "finished"]
+        assert events[1]["duration_s"] == 0.5
+        assert events[0]["attempt"] == 1
+        assert all(e["scenario"] == "s" and e["key"] == "k1" for e in events)
+
+    def test_error_chain_is_stored(self, tmp_path):
+        journal = make_journal(tmp_path)
+        error = {"type": "WorkerCrash", "message": "died",
+                 "cause": {"type": "OSError", "message": "sig 9"}}
+        journal.record("failed", scenario="s", key="k", seed=0, error=error)
+        (event,) = journal.events()
+        assert event["error"]["cause"]["type"] == "OSError"
+
+    def test_each_line_is_standalone_json(self, tmp_path):
+        journal = make_journal(tmp_path)
+        for i in range(3):
+            journal.record("started", scenario="s", key=f"k{i}", seed=0)
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["event"] == "started" for line in lines)
+
+    def test_append_only_across_instances(self, tmp_path):
+        make_journal(tmp_path).record("started", scenario="s", key="k", seed=0)
+        make_journal(tmp_path).record("finished", scenario="s", key="k", seed=0)
+        assert len(make_journal(tmp_path)) == 2
+
+    def test_io_errors_never_raise(self, tmp_path):
+        journal = RunJournal(tmp_path)  # a directory: open() for append fails
+        journal.record("started", scenario="s", key="k", seed=0)
+        assert journal.events() == []
+
+
+class TestReplay:
+    def test_torn_line_is_skipped(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record("finished", scenario="s", key="k1", seed=0)
+        with open(journal.path, "a") as fh:
+            fh.write('{"event": "finis')  # crash mid-append
+        journal.record("finished", scenario="s", key="k2", seed=0)
+        assert [e["key"] for e in journal.events()] == ["k1", "k2"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert make_journal(tmp_path).events() == []
+        assert make_journal(tmp_path).successful_keys() == set()
+
+    def test_latest_terminal_record_wins(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record("finished", scenario="s", key="k", seed=0)
+        journal.record("failed", scenario="s", key="k", seed=0,
+                       error={"type": "E", "message": "m"})
+        assert journal.latest_by_key()["k"]["event"] == "failed"
+        assert journal.successful_keys() == set()
+        # ...and a later success flips it back
+        journal.record("finished", scenario="s", key="k", seed=0)
+        assert journal.successful_keys() == {"k"}
+
+    def test_non_terminal_events_do_not_settle(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record("started", scenario="s", key="k", seed=0)
+        journal.record("retried", scenario="s", key="k", seed=0)
+        assert journal.latest_by_key() == {}
+
+    def test_failure_records_sorted_by_scenario(self, tmp_path):
+        journal = make_journal(tmp_path)
+        for name, key in (("zeta", "k2"), ("alpha", "k1")):
+            journal.record("failed", scenario=name, key=key, seed=0,
+                           error={"type": "E", "message": "m"})
+        assert [r["scenario"] for r in journal.failure_records()] == [
+            "alpha", "zeta",
+        ]
+
+
+class TestForCache:
+    def test_disk_cache_gets_journal_alongside_entries(self, tmp_path):
+        journal = RunJournal.for_cache(ResultCache(tmp_path))
+        assert journal is not None
+        assert journal.path == tmp_path / JOURNAL_NAME
+
+    def test_null_cache_gets_no_journal(self):
+        assert RunJournal.for_cache(NullCache()) is None
+
+    def test_cache_without_directory_gets_no_journal(self):
+        class Bare:
+            directory = None
+
+        assert RunJournal.for_cache(Bare()) is None
+        assert os.devnull  # the NullCache sentinel the check keys on

@@ -21,12 +21,14 @@ from repro.experiments.cache import (
     code_version,
     scenario_key,
 )
+from repro.experiments.journal import RunJournal
 from repro.experiments.orchestrator import Orchestrator, payloads
 from repro.experiments.registry import (
     ScenarioRegistry,
     ScenarioSpec,
     default_registry,
 )
+from repro.experiments.supervision import OrchestrationError, RetryPolicy
 from repro.simkit.rng import RandomStreams
 
 
@@ -249,6 +251,196 @@ def test_orchestrator_determinism_property(seed, workers, n):
     assert canonical_json(payloads(other)) == canonical_json(payloads(baseline))
     assert other["draws"].payload["seed"] == seed
     assert len(other["draws"].payload["draws"]) == n
+
+
+# --------------------------------------------------------------------- #
+# supervised execution: crash isolation, structured failures, resume
+# --------------------------------------------------------------------- #
+class TestSupervisedExecution:
+    def test_failure_is_isolated_from_siblings(self, tmp_path):
+        orch = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path)
+        )
+        runs = orch.run(on_error="return")
+        assert runs["boom"].status == "failed"
+        assert runs["boom"].payload is None
+        assert runs["boom"].error["type"] == "RuntimeError"
+        assert "intentional failure" in runs["boom"].error["message"]
+        # siblings completed AND cached despite the failure
+        assert runs["draws"].ok and runs["square"].ok
+        rerun = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path)
+        ).run(names=["draws", "square"])
+        assert all(r.cached for r in rerun.values())
+
+    def test_raise_mode_carries_full_outcome_map(self):
+        orch = Orchestrator(registry=make_registry())
+        with pytest.raises(OrchestrationError) as excinfo:
+            orch.run()
+        assert set(excinfo.value.failures) == {"boom"}
+        assert excinfo.value.runs["square"].ok
+
+    def test_permanent_failure_is_not_retried(self):
+        orch = Orchestrator(
+            registry=make_registry(),
+            retry=RetryPolicy(max_attempts=5, backoff_base_s=0.0),
+        )
+        runs = orch.run(names=["boom"], on_error="return")
+        assert runs["boom"].attempts == 1  # deterministic raise: one try
+
+    def test_parallel_failure_is_isolated_too(self):
+        runs = Orchestrator(
+            registry=make_registry(), workers=2
+        ).run(on_error="return")
+        assert runs["boom"].status == "failed"
+        assert runs["draws"].ok and runs["square"].ok
+
+    def test_fail_fast_skips_unstarted_siblings(self):
+        reg = make_registry()
+        orch = Orchestrator(registry=reg, fail_fast=True)
+        runs = orch.run(names=["boom", "draws", "square"], on_error="return")
+        assert runs["boom"].status == "failed"
+        statuses = {runs["draws"].status, runs["square"].status}
+        assert "skipped" in statuses  # jobs after the failure never ran
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            Orchestrator(registry=make_registry()).run(on_error="ignore")
+
+    def test_failed_runs_are_not_memoized(self):
+        orch = Orchestrator(registry=make_registry())
+        first = orch.run(names=["boom"], on_error="return")
+        second = orch.run(names=["boom"], on_error="return")
+        assert first["boom"].status == "failed"
+        assert second["boom"].status == "failed"
+        assert second["boom"].cached is False
+
+    def test_journal_written_alongside_cache(self, tmp_path):
+        Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path)
+        ).run(names=["square"])
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        assert [e["event"] for e in journal.events()] == [
+            "started", "finished",
+        ]
+
+    def test_resume_marks_journaled_successes(self, tmp_path):
+        Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path)
+        ).run(names=["square", "draws"])
+        resumed = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path),
+            resume=True,
+        ).run(names=["square", "draws"])
+        assert all(r.cached and r.resumed for r in resumed.values())
+        # without --resume the same hits are plain cache hits
+        plain = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path)
+        ).run(names=["square"])
+        assert plain["square"].cached and not plain["square"].resumed
+
+    def test_resume_reruns_when_cache_entry_is_corrupt(self, tmp_path):
+        first = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path)
+        ).run(names=["square"])
+        entry = tmp_path / "square" / f"{first['square'].key}.json"
+        entry.write_text("{torn")
+        resumed = Orchestrator(
+            registry=make_registry(), cache=ResultCache(tmp_path),
+            resume=True,
+        ).run(names=["square"])
+        assert not resumed["square"].cached  # recomputed, not trusted
+        assert resumed["square"].payload == first["square"].payload
+
+    def test_duplicate_names_run_once(self):
+        runs = Orchestrator(registry=make_registry()).run(
+            names=["square", "square"]
+        )
+        assert list(runs) == ["square"]
+        assert runs["square"].attempts == 1
+
+
+# --------------------------------------------------------------------- #
+# cache integrity: verification, quarantine, tmp-file uniqueness
+# --------------------------------------------------------------------- #
+class TestCacheIntegrity:
+    def test_verify_reports_clean_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key("s", {"a": 1}, 0)
+        cache.put("s", key, {"rows": [1]}, params={"a": 1}, seed=0)
+        report = cache.verify()
+        assert report == {
+            "checked": 1, "ok": 1, "corrupt": [], "quarantined": 0,
+        }
+
+    def test_verify_detects_bit_flips_in_recipe(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key("s", {"a": 1}, 0)
+        cache.put("s", key, 42, params={"a": 1}, seed=0)
+        path = tmp_path / "s" / f"{key}.json"
+        entry = json.loads(path.read_text())
+        entry["seed"] = 999  # silently altered recipe
+        path.write_text(json.dumps(entry))
+        report = cache.verify()
+        assert len(report["corrupt"]) == 1
+        assert "re-hashes" in report["corrupt"][0]["reason"]
+
+    def test_verify_quarantines_on_request(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "wrong-key", 1, params={}, seed=0)
+        report = cache.verify(quarantine=True)
+        assert report["quarantined"] == 1
+        assert cache.entries() == []
+        assert len(cache.quarantined_entries()) == 1
+        reason = (
+            cache.quarantined_entries()[0].with_suffix(".reason").read_text()
+        )
+        assert "re-hashes" in reason
+
+    def test_get_quarantines_corruption_not_just_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key("s", {}, 0)
+        cache.put("s", key, 1, params={}, seed=0)
+        (tmp_path / "s" / f"{key}.json").write_text("{garbage")
+        assert cache.get("s", key) is None
+        assert cache.quarantined == 1
+        assert len(cache.quarantined_entries()) == 1
+        # a plain miss (absent file) does NOT quarantine
+        assert cache.get("s", "0" * 32) is None
+        assert cache.quarantined == 1
+
+    def test_quarantined_entries_excluded_from_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("s", "bad-key", 1, params={}, seed=0)
+        cache.verify(quarantine=True)
+        assert cache.entries() == []
+        assert cache.clear() == 0  # clear never touches quarantine
+
+    def test_put_tmp_names_are_unique_per_write(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        seen = []
+        original_write = __import__("pathlib").Path.write_text
+
+        def spy(self, *args, **kwargs):
+            if self.name.endswith(".tmp"):
+                seen.append(self.name)
+            return original_write(self, *args, **kwargs)
+
+        monkeypatch.setattr("pathlib.Path.write_text", spy)
+        key = scenario_key("s", {}, 0)
+        cache.put("s", key, 1, params={}, seed=0)
+        cache.put("s", key, 2, params={}, seed=0)
+        assert len(seen) == 2 and seen[0] != seen[1]
+        assert str(__import__("os").getpid()) in seen[0]
+
+    def test_concurrent_style_overwrites_converge(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key("s", {}, 0)
+        for value in (1, 2, 3):
+            cache.put("s", key, value, params={}, seed=0)
+        assert cache.get("s", key) == 3
+        assert len(cache.entries()) == 1  # no leftover tmp litter
+        assert list(tmp_path.glob("s/.*.tmp")) == []
 
 
 @given(

@@ -1,0 +1,178 @@
+"""Unit tests for the supervision policy layer (fake clock, no pools).
+
+Everything here is pure-policy: classification, backoff arithmetic and
+the retry loop's clock interactions are pinned with an injected fake
+clock, so these tests run in microseconds and never sleep for real.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.experiments.supervision import (
+    ErrorInfo,
+    OrchestrationError,
+    RetryPolicy,
+    ScenarioTimeout,
+    TransientError,
+    WorkerCrash,
+    is_transient,
+)
+
+
+class FakeClock:
+    """Injectable sleep/monotonic pair recording every sleep."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def monotonic(self) -> float:
+        return self.now
+
+
+def fake_policy(**kwargs) -> tuple[RetryPolicy, FakeClock]:
+    clock = FakeClock()
+    policy = RetryPolicy(
+        sleep=clock.sleep, monotonic=clock.monotonic, **kwargs
+    )
+    return policy, clock
+
+
+# --------------------------------------------------------------------- #
+# classification
+# --------------------------------------------------------------------- #
+class TestClassification:
+    def test_supervisor_exceptions_are_transient(self):
+        assert is_transient(ScenarioTimeout("deadline"))
+        assert is_transient(WorkerCrash("died"))
+        assert is_transient(TransientError("generic"))
+        assert is_transient(BrokenProcessPool("pool gone"))
+
+    def test_scenario_exceptions_are_permanent(self):
+        assert not is_transient(ValueError("bad input"))
+        assert not is_transient(RuntimeError("scenario 'x' failed"))
+        assert not is_transient(KeyError("missing"))
+
+    def test_should_retry_combines_type_and_budget(self):
+        policy, _ = fake_policy(max_attempts=3)
+        assert policy.should_retry(WorkerCrash("x"), attempt=1)
+        assert policy.should_retry(WorkerCrash("x"), attempt=2)
+        assert not policy.should_retry(WorkerCrash("x"), attempt=3)
+        assert not policy.should_retry(ValueError("x"), attempt=1)
+
+
+# --------------------------------------------------------------------- #
+# backoff arithmetic
+# --------------------------------------------------------------------- #
+class TestBackoff:
+    def test_exponential_sequence_with_cap(self):
+        policy, _ = fake_policy(
+            max_attempts=6, backoff_base_s=0.1, backoff_factor=2.0,
+            backoff_max_s=0.5,
+        )
+        assert [policy.backoff_s(a) for a in range(1, 6)] == [
+            0.1, 0.2, 0.4, 0.5, 0.5,
+        ]
+
+    def test_backoff_is_deterministic_no_jitter(self):
+        policy, _ = fake_policy()
+        assert policy.backoff_s(2) == policy.backoff_s(2)
+
+    def test_attempt_is_one_based(self):
+        policy, _ = fake_policy()
+        with pytest.raises(ValueError, match="1-based"):
+            policy.backoff_s(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="timeout_s"):
+            RetryPolicy(timeout_s=0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(backoff_base_s=-1)
+
+    def test_fake_clock_is_excluded_from_equality(self):
+        a, _ = fake_policy(max_attempts=4)
+        b, _ = fake_policy(max_attempts=4)
+        assert a == b  # different clock objects, same policy
+
+
+# --------------------------------------------------------------------- #
+# error snapshots
+# --------------------------------------------------------------------- #
+class TestErrorInfo:
+    def test_snapshot_captures_type_message_traceback(self):
+        try:
+            raise ValueError("bad value")
+        except ValueError as exc:
+            info = ErrorInfo.from_exception(exc)
+        assert info.type == "ValueError"
+        assert info.message == "bad value"
+        assert "ValueError: bad value" in info.traceback
+        assert info.summary() == "ValueError: bad value"
+
+    def test_cause_chain_is_preserved(self):
+        try:
+            try:
+                raise KeyError("inner")
+            except KeyError as inner:
+                raise RuntimeError("outer") from inner
+        except RuntimeError as exc:
+            info = ErrorInfo.from_exception(exc)
+        assert info.type == "RuntimeError"
+        assert info.cause is not None
+        assert info.cause.type == "KeyError"
+
+    def test_cause_chain_depth_is_bounded(self):
+        exc: BaseException = ValueError("level 0")
+        for level in range(1, 10):
+            try:
+                raise RuntimeError(f"level {level}") from exc
+            except RuntimeError as wrapped:
+                exc = wrapped
+        info = ErrorInfo.from_exception(exc, depth=3)
+        depth = 1
+        node = info
+        while node.cause is not None:
+            node = node.cause
+            depth += 1
+        assert depth == 3
+
+    def test_to_dict_is_json_shaped(self):
+        try:
+            raise WorkerCrash("pool worker died")
+        except WorkerCrash as exc:
+            payload = ErrorInfo.from_exception(exc).to_dict()
+        assert payload["type"] == "WorkerCrash"
+        assert payload["message"] == "pool worker died"
+        assert "traceback" in payload
+
+
+# --------------------------------------------------------------------- #
+# the aggregate failure
+# --------------------------------------------------------------------- #
+class TestOrchestrationError:
+    def test_message_names_each_failed_scenario(self):
+        class Run:
+            error = {"type": "ValueError",
+                     "message": "scenario 'boom' failed: intentional"}
+
+        exc = OrchestrationError({"boom": Run()}, {"boom": Run()})
+        assert "scenario 'boom' failed" in str(exc)
+        assert isinstance(exc, RuntimeError)
+
+    def test_carries_full_outcome_maps(self):
+        failures = {"a": object()}
+        runs = {"a": failures["a"], "b": object()}
+        exc = OrchestrationError(failures, runs)
+        assert set(exc.failures) == {"a"}
+        assert set(exc.runs) == {"a", "b"}
