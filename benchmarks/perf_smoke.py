@@ -254,6 +254,59 @@ def hybrid_kernel_sweep(n_jobs: int = 120_000) -> dict:
     }
 
 
+def serving_facade_point(n_jobs: int = 20_000) -> dict:
+    """The serving layer's hot paths: ingest, fork, what-if, end to end.
+
+    Boots a DCS service from a spec, bulk-ingests a uniform synthetic
+    trace through ``submit_batch`` (the O(n) ``schedule_batch`` path),
+    advances to mid-horizon, times a world fork (best of three — the
+    latency every what-if query pays twice), and answers one empty-delta
+    what-if whose byte-identity is asserted.  ``wall_s`` is the whole
+    session, so the gate bounds ingest, advance, fork and the forked
+    continuations together.
+    """
+    from repro.api.spec import ServiceSpec
+    from repro.experiments.perfscale import build_uniform_trace
+    from repro.serving import WhatIfEngine, build_service
+
+    horizon = 7 * 86400.0
+    bundle = build_uniform_trace(0, 4096, n_jobs, horizon, name="serve-bench")
+    jobs = list(bundle.trace.jobs)
+    spec = ServiceSpec.from_dict({
+        "name": "serve-bench", "system": "dcs",
+        "machine_nodes": 4096, "horizon_s": horizon,
+    })
+    t0 = time.perf_counter()
+    service = build_service(spec)
+    service.submit_batch(jobs)
+    ingest_wall = time.perf_counter() - t0
+    assert service.pending_arrivals == n_jobs
+
+    service.advance_to(horizon / 2)
+
+    fork_best = float("inf")
+    for _ in range(3):
+        t1 = time.perf_counter()
+        service.fork()
+        fork_best = min(fork_best, time.perf_counter() - t1)
+
+    t2 = time.perf_counter()
+    result = WhatIfEngine(service).what_if(None, horizon / 2)
+    whatif_wall = time.perf_counter() - t2
+    assert result.baseline == result.scenario, (
+        "empty-delta what-if diverged from its baseline"
+    )
+    return {
+        "scenario": "serving-facade",
+        "n_jobs": n_jobs,
+        "ingest_events_per_sec": round(n_jobs / ingest_wall),
+        "ingest_wall_s": round(ingest_wall, 4),
+        "fork_wall_s": round(fork_best, 4),
+        "whatif_wall_s": round(whatif_wall, 3),
+        "wall_s": round(time.perf_counter() - t0, 3),
+    }
+
+
 def million_node_year_point() -> dict:
     """The ``million-node-year`` scenario, timed end to end (< 30 s)."""
     from repro.experiments.registry import default_registry
@@ -350,6 +403,7 @@ def main(argv=None) -> int:
             prefix_shared_sweep(),
             hybrid_kernel_sweep(),
             million_node_year_point(),
+            serving_facade_point(),
         ],
     }
     report["sweep_total_wall_s"] = round(

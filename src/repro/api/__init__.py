@@ -57,8 +57,10 @@ _EXPORTS = {
     "WorkloadSpec": "repro.api.spec",
     "SystemSpec": "repro.api.spec",
     "ExperimentSpec": "repro.api.spec",
+    "ServiceSpec": "repro.api.spec",
     "spec_digest": "repro.api.spec",
     "load_spec_file": "repro.api.spec",
+    "load_service_file": "repro.api.spec",
     "RunResult": "repro.api.run",
     "Simulation": "repro.api.run",
     "run_four_systems": "repro.api.run",
@@ -85,8 +87,10 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis convenience
     from repro.api.spec import (  # noqa: F401
         ComponentRef,
         ExperimentSpec,
+        ServiceSpec,
         SystemSpec,
         WorkloadSpec,
+        load_service_file,
         load_spec_file,
         spec_digest,
     )

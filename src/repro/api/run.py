@@ -331,6 +331,60 @@ def _build_live_dawningcloud(
     return cls(bundle, policy, seed=seed, **kwargs)
 
 
+def build_live_system(
+    system: Union[str, Mapping, SystemSpec],
+    bundle: WorkloadBundle,
+    seed: int = 0,
+):
+    """A built-but-unrun :class:`~repro.systems.base.LiveRun` for one spec.
+
+    The live-run counterpart of :func:`run_system`: the same component
+    resolution (policy, billing, failures, engine kernel), stopped
+    before any event executes so the caller can ingest, advance, fork
+    and retarget.  Supports the runners with a live-run class — ``dcs``,
+    ``ssp`` and ``dawningcloud`` — which is also exactly the set the
+    serving layer can host; others (DRP's per-job leasing, the pooled
+    queue) only exist as run-to-completion functions today and raise a
+    loud :class:`ValueError`.
+    """
+    from repro.systems.fixed import FixedLiveRun
+
+    system = SystemSpec.from_value(system)
+    if system.runner == "dawningcloud":
+        return _build_live_dawningcloud(system, bundle, seed)
+    if system.runner not in ("dcs", "ssp"):
+        raise ValueError(
+            f"runner {system.runner!r} has no live-run form; live systems: "
+            f"['dawningcloud', 'dcs', 'ssp']"
+        )
+    if system.policy is not None or system.scheduler is not None:
+        raise ValueError(
+            f"runner {system.runner!r} takes no policy/scheduler refs"
+        )
+    unknown = set(system.params)
+    if unknown:
+        raise ValueError(
+            f"runner {system.runner!r} live form has unknown param(s) "
+            f"{sorted(unknown)}"
+        )
+    registry = default_components()
+    failures = (
+        registry.create(
+            "failure-model", system.failures.name, **system.failures.params
+        )
+        if system.failures is not None
+        else None
+    )
+    return FixedLiveRun(
+        bundle,
+        system.runner.upper(),
+        meter=resolve_meter(system.billing, bundle),
+        failures=failures,
+        seed=seed,
+        kernel=resolve_engine_kernel(system.engine),
+    )
+
+
 def fork_experiment_branches(
     spec: ExperimentSpec,
     *,

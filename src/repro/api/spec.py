@@ -359,11 +359,107 @@ class ExperimentSpec:
         return expanded
 
 
-def spec_digest(spec: ExperimentSpec) -> str:
+@dataclass(frozen=True)
+class ServiceSpec:
+    """A long-lived simulation service, declared as data.
+
+    The serving layer (:mod:`repro.serving`) boots one *empty* live
+    system — ``machine_nodes`` wide, expected to live to ``horizon_s`` —
+    and every job arrives later through the ingest API.  The remaining
+    fields parameterize the online behaviour: ``window_s`` is the
+    trailing window the rolling metrics report over, ``slo_wait_s`` the
+    queueing-delay bound SLO attainment is measured against, and
+    ``max_pending`` the ingest back-pressure bound (arrivals accepted
+    but not yet fired).  Like every other spec, it is frozen, strict
+    about unknown keys, and round-trips through ``from_dict``/
+    ``to_dict`` so :func:`spec_digest` content-addresses it.
+    """
+
+    name: str
+    system: SystemSpec
+    machine_nodes: int
+    horizon_s: float
+    window_s: float = 3600.0
+    slo_wait_s: float = 3600.0
+    max_pending: int = 100_000
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("service spec needs a non-empty name")
+        object.__setattr__(self, "system", SystemSpec.from_value(self.system))
+        object.__setattr__(self, "machine_nodes", int(self.machine_nodes))
+        object.__setattr__(self, "horizon_s", float(self.horizon_s))
+        object.__setattr__(self, "window_s", float(self.window_s))
+        object.__setattr__(self, "slo_wait_s", float(self.slo_wait_s))
+        object.__setattr__(self, "max_pending", int(self.max_pending))
+        if self.machine_nodes <= 0:
+            raise ValueError(
+                f"service {self.name!r}: machine_nodes must be positive"
+            )
+        if self.horizon_s <= 0:
+            raise ValueError(f"service {self.name!r}: horizon_s must be positive")
+        if self.window_s <= 0:
+            raise ValueError(f"service {self.name!r}: window_s must be positive")
+        if self.slo_wait_s < 0:
+            raise ValueError(
+                f"service {self.name!r}: slo_wait_s must be non-negative"
+            )
+        if self.max_pending <= 0:
+            raise ValueError(
+                f"service {self.name!r}: max_pending must be positive"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServiceSpec":
+        if not isinstance(data, Mapping):
+            raise TypeError(
+                f"service spec must be a mapping, got {type(data).__name__}"
+            )
+        _check_keys(
+            "service spec", data,
+            ("name", "system", "machine_nodes", "horizon_s", "window_s",
+             "slo_wait_s", "max_pending", "description"),
+        )
+        missing = {"name", "system", "machine_nodes", "horizon_s"} - set(data)
+        if missing:
+            raise ValueError(
+                f"service spec is missing required key(s) {sorted(missing)}"
+            )
+        return cls(
+            name=data["name"],
+            system=SystemSpec.from_value(data["system"]),
+            machine_nodes=data["machine_nodes"],
+            horizon_s=data["horizon_s"],
+            window_s=data.get("window_s", 3600.0),
+            slo_wait_s=data.get("slo_wait_s", 3600.0),
+            max_pending=data.get("max_pending", 100_000),
+            description=data.get("description", ""),
+        )
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "system": self.system.to_dict(),
+            "machine_nodes": self.machine_nodes,
+            "horizon_s": self.horizon_s,
+        }
+        if self.window_s != 3600.0:
+            out["window_s"] = self.window_s
+        if self.slo_wait_s != 3600.0:
+            out["slo_wait_s"] = self.slo_wait_s
+        if self.max_pending != 100_000:
+            out["max_pending"] = self.max_pending
+        if self.description:
+            out["description"] = self.description
+        return out
+
+
+def spec_digest(spec: Union[ExperimentSpec, ServiceSpec]) -> str:
     """Stable content address of a spec (canonical-JSON SHA-256 prefix).
 
     Deterministic across processes and platforms: the digest covers the
-    sorted-key canonical JSON of :meth:`ExperimentSpec.to_dict`, nothing
+    sorted-key canonical JSON of the spec's ``to_dict``, nothing
     ambient.
     """
     return hashlib.sha256(
@@ -371,8 +467,8 @@ def spec_digest(spec: ExperimentSpec) -> str:
     ).hexdigest()[:32]
 
 
-def load_spec_file(path: Union[str, Path]) -> ExperimentSpec:
-    """Parse a ``.toml`` or ``.json`` experiment spec file."""
+def _load_structured_file(path: Union[str, Path]) -> tuple[Path, dict]:
+    """Read a ``.toml`` or ``.json`` file into a plain dict."""
     path = Path(path)
     if not path.is_file():
         raise FileNotFoundError(f"spec file {path} does not exist")
@@ -396,7 +492,22 @@ def load_spec_file(path: Union[str, Path]) -> ExperimentSpec:
         raise ValueError(
             f"spec file {path} must be .toml or .json, not {path.suffix!r}"
         )
+    return path, data
+
+
+def load_spec_file(path: Union[str, Path]) -> ExperimentSpec:
+    """Parse a ``.toml`` or ``.json`` experiment spec file."""
+    path, data = _load_structured_file(path)
     try:
         return ExperimentSpec.from_dict(data)
     except (TypeError, ValueError) as exc:
         raise ValueError(f"invalid spec file {path}: {exc}") from exc
+
+
+def load_service_file(path: Union[str, Path]) -> ServiceSpec:
+    """Parse a ``.toml`` or ``.json`` service spec file."""
+    path, data = _load_structured_file(path)
+    try:
+        return ServiceSpec.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"invalid service spec file {path}: {exc}") from exc

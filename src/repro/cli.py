@@ -29,6 +29,11 @@ Orchestration (the scenario registry; see docs/orchestration.md)::
     repro-experiments run --scenario 'table*' --billing per-second
     repro-experiments cache-info | cache-clear
 
+Online serving (a long-lived service; see docs/serving.md)::
+
+    repro-experiments serve --service svc.toml --script ops.jsonl
+    repro-experiments serve < ops.jsonl   # default demo service, stdin
+
 The spec API (the component registry and declarative experiment specs;
 see docs/api.md)::
 
@@ -272,6 +277,46 @@ def _profile_scenarios(selected, overrides: dict, args) -> int:
     return 0
 
 
+#: The built-in demo service ``serve`` boots when no ``--service`` spec
+#: is given: a small owned (DCS) machine, alive for one week.
+_DEFAULT_SERVICE_SPEC = {
+    "name": "demo",
+    "system": "dcs",
+    "machine_nodes": 64,
+    "horizon_s": 7 * 86400.0,
+}
+
+
+def _cmd_serve(args, retry) -> int:
+    """The 'serve' verb: a JSONL op loop over one live service."""
+    from repro.api.spec import ServiceSpec, load_service_file
+    from repro.serving import ServeSession, build_service
+
+    try:
+        spec = (
+            load_service_file(args.service)
+            if args.service is not None
+            else ServiceSpec.from_dict(_DEFAULT_SERVICE_SPEC)
+        )
+        service = build_service(spec, seed=args.seed)
+    except (ValueError, KeyError, FileNotFoundError, RuntimeError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    session = ServeSession(service, retry=retry)
+    if args.script is not None:
+        try:
+            fh = open(args.script)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        with fh:
+            results = session.run_script(fh, out=sys.stdout)
+    else:
+        results = session.run_script(sys.stdin, out=sys.stdout)
+    return 0 if all(r["ok"] for r in results) else 1
+
+
 _COMMANDS: dict[str, Callable[[Orchestrator], str]] = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -374,7 +419,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         choices=[*_COMMANDS, "run", "all", "export", "cache-info", "cache-clear",
-                 "list-components", "run-spec"],
+                 "list-components", "run-spec", "serve"],
     )
     parser.add_argument(
         "paths", nargs="*", metavar="SPEC",
@@ -485,6 +530,16 @@ def main(argv: list[str] | None = None) -> int:
         help="emit 'list-components' as canonical JSON instead of a table",
     )
     parser.add_argument(
+        "--service", default=None, metavar="SPEC",
+        help="service spec file (.toml/.json) for the 'serve' command "
+             "(default: a built-in 64-node DCS demo service)",
+    )
+    parser.add_argument(
+        "--script", default=None, metavar="FILE",
+        help="JSONL operation script for the 'serve' command "
+             "(default: read operations from stdin)",
+    )
+    parser.add_argument(
         "--spec-dir", default=None, metavar="DIR",
         help="directory of *.toml/*.json experiment specs to register as "
              "scenarios (default: $REPRO_SPEC_DIR, else ./specs if present)",
@@ -499,6 +554,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--quarantine requires --verify")
     if args.verify and args.command != "cache-info":
         parser.error("--verify only applies to the 'cache-info' command")
+    if (args.service or args.script) and args.command != "serve":
+        parser.error("--service/--script only apply to the 'serve' command")
     if args.retries is not None and args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
     if args.timeout is not None and args.timeout <= 0:
@@ -525,6 +582,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.timeout is not None:
         retry_kwargs["timeout_s"] = args.timeout
     retry = RetryPolicy(**retry_kwargs) if retry_kwargs else None
+    if args.command == "serve":
+        return _cmd_serve(args, retry)
     orch = Orchestrator(
         cache=cache, workers=args.parallel, seed=args.seed, retry=retry,
         resume=args.resume, fail_fast=args.fail_fast,

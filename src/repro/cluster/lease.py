@@ -85,6 +85,12 @@ class LeaseLedger:
         self._charged: dict[str, float] = {}
         self._events: dict[str, list[tuple[float, int]]] = {}
         self.closed_leases: list[Lease] = []
+        #: chronological ``(t, client, units)`` log of every billing event
+        #: (lease close or failure shrink) — the rolling-metrics layer
+        #: derives windowed cost-burn rates from it.  Charges land at the
+        #: instant the meter runs, i.e. when the lease closes, not spread
+        #: over the holding period (that is how the paper bills too).
+        self.charge_log: list[tuple[float, str, float]] = []
 
     # ------------------------------------------------------------------ #
     def open_lease(
@@ -111,6 +117,7 @@ class LeaseLedger:
         )
         self._charged[lease.client] = self._charged.get(lease.client, 0.0) + charged
         self._events.setdefault(lease.client, []).append((t, -lease.n_nodes))
+        self.charge_log.append((float(t), lease.client, charged))
         self.closed_leases.append(lease)
         return charged
 
@@ -146,6 +153,7 @@ class LeaseLedger:
             self._charged.get(lease.client, 0.0) + charged
         )
         self._events.setdefault(lease.client, []).append((t, -n_failed))
+        self.charge_log.append((float(t), lease.client, charged))
         return charged
 
     def close_all(self, t: float, client: Optional[str] = None) -> float:

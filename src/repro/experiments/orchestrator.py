@@ -128,6 +128,79 @@ def _execute_spec(
     return payload, time.perf_counter() - t0
 
 
+@dataclass
+class SupervisedOutcome:
+    """Outcome of one :func:`supervised_call` — the in-process analogue
+    of :class:`ScenarioRun` for callers that bring their own work unit.
+
+    ``status`` is ``"ok"`` (``result`` valid) or ``"failed"``
+    (supervision gave up; ``error`` holds the structured error chain).
+    """
+
+    name: str
+    status: str
+    result: Any
+    attempts: int
+    duration_s: float
+    error: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def supervised_call(
+    fn,
+    *,
+    name: str = "call",
+    retry: Optional[RetryPolicy] = None,
+) -> SupervisedOutcome:
+    """Run ``fn()`` under the orchestrator's retry/deadline discipline.
+
+    The reusable in-process pool entry: long-lived services (the serving
+    layer's what-if queries) want the same bounded-retry, backoff and
+    deadline semantics as orchestrated scenarios, but for closures over
+    live in-memory state that cannot cross a process boundary.  As on
+    the orchestrator's serial path, the deadline is enforced *post hoc*
+    — an in-process call cannot be preempted (see docs/robustness.md),
+    so a result arriving after ``retry.timeout_s`` is discarded as a
+    :class:`ScenarioTimeout` and the call retried like any transient.
+
+    Never raises: permanent failures come back as a ``"failed"`` outcome
+    with the structured error attached.
+    """
+    policy = retry if retry is not None else RetryPolicy()
+    attempts = 0
+    while True:
+        attempts += 1
+        t0 = policy.monotonic()
+        try:
+            result = fn()
+        except Exception as exc:
+            info = ErrorInfo.from_exception(exc)
+            if not policy.should_retry(exc, attempts):
+                return SupervisedOutcome(
+                    name, "failed", None, attempts,
+                    policy.monotonic() - t0, info.to_dict(),
+                )
+            policy.sleep(policy.backoff_s(attempts))
+            continue
+        dt = policy.monotonic() - t0
+        if policy.timeout_s is not None and dt > policy.timeout_s:
+            exc = ScenarioTimeout(
+                f"{name!r} took {dt:.3f}s, over the {policy.timeout_s}s "
+                f"deadline (result discarded)"
+            )
+            info = ErrorInfo.from_exception(exc)
+            if not policy.should_retry(exc, attempts):
+                return SupervisedOutcome(
+                    name, "failed", None, attempts, dt, info.to_dict(),
+                )
+            policy.sleep(policy.backoff_s(attempts))
+            continue
+        return SupervisedOutcome(name, "ok", result, attempts, dt)
+
+
 def _pool_context():
     """Prefer fork (cheap, inherits loaded modules); fall back to default."""
     try:

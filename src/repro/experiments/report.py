@@ -13,10 +13,21 @@ from repro.experiments.sweep import SweepPoint
 
 
 def render_table(rows: Sequence[dict], title: str = "") -> str:
-    """Fixed-width text table from row dicts (column order = first row)."""
+    """Fixed-width text table from row dicts (column order = first seen).
+
+    Headers are the union of all row keys, in first-appearance order, so
+    a key introduced by a later row still gets a column; rows without it
+    render ``/`` in that cell.
+    """
     if not rows:
         return f"{title}\n(no rows)\n" if title else "(no rows)\n"
-    headers = list(rows[0].keys())
+    headers: list = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                headers.append(key)
 
     def fmt(value) -> str:
         if value is None:

@@ -1,0 +1,99 @@
+"""Trailing-window primitives for rolling (online) metrics.
+
+The serving layer reports throughput, goodput, cost burn, and SLO
+attainment over a configurable trailing window.  This module holds the
+window math, kept separate from the service so the invariants are easy
+to test in isolation:
+
+* Windows are the half-open interval ``(now - window_s, now]`` — an
+  event at exactly ``now`` belongs to the window ending at ``now``, an
+  event at exactly ``now - window_s`` belongs to the previous one.  The
+  single exception is the first window of a run: when the window start
+  would fall at or before time zero the window closes over ``[0, now]``
+  so events at exactly ``t = 0`` are never orphaned.
+* Consequently consecutive windows sampled at ``W, 2W, 3W, ...`` tile
+  the timeline exactly: per-window counts/sums add up to the cumulative
+  totals (the conservation property the tests pin down).
+
+All inputs are time-sorted sequences; everything here is O(log n) per
+query via bisection, so the service can answer metric queries without
+rescanning history.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Optional, Sequence, Tuple
+
+HOUR = 3600.0
+
+
+def window_start(now: float, window_s: float) -> Optional[float]:
+    """Left edge of the trailing window, or ``None`` for "from t=0".
+
+    ``None`` (rather than ``0.0``) signals the inclusive-left first
+    window: callers must not exclude events at exactly the edge.
+    """
+    if window_s <= 0:
+        raise ValueError(f"window_s must be positive, got {window_s}")
+    start = now - window_s
+    return start if start > 0 else None
+
+
+def count_in_window(times: Sequence[float], now: float, window_s: float) -> int:
+    """Number of events with ``start < t <= now`` (``t <= now`` for the
+    first window).  ``times`` must be sorted ascending."""
+    start = window_start(now, window_s)
+    hi = bisect_right(times, now)
+    lo = 0 if start is None else bisect_right(times, start)
+    return hi - lo
+
+
+def sum_in_window(
+    times: Sequence[float],
+    values: Sequence[float],
+    now: float,
+    window_s: float,
+) -> float:
+    """Sum of ``values`` whose timestamps fall in the trailing window."""
+    start = window_start(now, window_s)
+    hi = bisect_right(times, now)
+    lo = 0 if start is None else bisect_right(times, start)
+    return float(sum(values[lo:hi]))
+
+
+def window_slice(
+    times: Sequence[float], now: float, window_s: float
+) -> Tuple[int, int]:
+    """Index range ``[lo, hi)`` of the events inside the trailing window."""
+    start = window_start(now, window_s)
+    hi = bisect_right(times, now)
+    lo = 0 if start is None else bisect_right(times, start)
+    return lo, hi
+
+
+def usage_integral_in_window(recorder, now: float, window_s: float) -> float:
+    """Node-seconds accumulated by a :class:`UsageRecorder` in the window.
+
+    Difference of two exact prefix integrals, so per-window integrals
+    tile the cumulative integral the same way counts do.
+    """
+    start = window_start(now, window_s)
+    total = recorder.integral_node_seconds(now)
+    if start is None:
+        return total
+    return total - recorder.integral_node_seconds(start)
+
+
+def attainment_in_window(
+    times: Sequence[float],
+    ok_flags: Sequence[bool],
+    now: float,
+    window_s: float,
+) -> Optional[float]:
+    """Fraction of in-window events flagged ok; ``None`` when the window
+    is empty (no attainment claim can be made from zero observations)."""
+    lo, hi = window_slice(times, now, window_s)
+    if hi == lo:
+        return None
+    return sum(1 for flag in ok_flags[lo:hi] if flag) / (hi - lo)

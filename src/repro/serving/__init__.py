@@ -1,0 +1,54 @@
+"""Online serving: the simulator as a long-lived service.
+
+The batch layers answer the paper's economics question by re-running a
+whole workload; a production operator asks it *continuously* against a
+live job stream.  This package wraps a built-but-unrun
+:class:`~repro.systems.base.LiveRun` into a :class:`SimulationService`
+with three online capabilities:
+
+* **streaming ingest** — :meth:`SimulationService.submit` /
+  :meth:`~SimulationService.submit_batch` append arrivals to the running
+  engine, with monotonic-timestamp admission and back-pressure bounds;
+* **rolling metrics** — windowed throughput, goodput, queue depth,
+  cost-burn rate and SLO attainment over a configurable trailing window
+  (:mod:`repro.serving.metrics`, on :mod:`repro.metrics.rolling`);
+* **what-if queries** — :class:`WhatIfEngine` forks the live world,
+  applies a retargetable :class:`ScenarioDelta` (load multiplier, MTBF,
+  billing meter, policy) and runs fork and baseline to a horizon under
+  the orchestrator's supervision, returning a structured
+  :class:`WhatIfResult` diff.
+
+``repro-experiments serve`` drives all of it over JSONL
+(:mod:`repro.serving.session`); services are declared as
+:class:`~repro.api.spec.ServiceSpec` data.  See docs/serving.md.
+"""
+
+from repro.serving.service import (
+    AdmissionError,
+    BackPressureError,
+    ServiceClosedError,
+    SimulationService,
+    build_service,
+)
+from repro.serving.metrics import collect_rolling
+from repro.serving.whatif import (
+    ScenarioDelta,
+    WhatIfEngine,
+    WhatIfError,
+    WhatIfResult,
+)
+from repro.serving.session import ServeSession
+
+__all__ = [
+    "AdmissionError",
+    "BackPressureError",
+    "ScenarioDelta",
+    "ServeSession",
+    "ServiceClosedError",
+    "SimulationService",
+    "WhatIfEngine",
+    "WhatIfError",
+    "WhatIfResult",
+    "build_service",
+    "collect_rolling",
+]

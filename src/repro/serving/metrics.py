@@ -1,0 +1,133 @@
+"""Rolling metrics for a live service, over a trailing window.
+
+Everything is derived from state the simulation already keeps —
+the server's completion log, its :class:`~repro.metrics.timeseries
+.UsageRecorder`, and the lease ledger's charge log — through the
+window math in :mod:`repro.metrics.rolling`.  Nothing here schedules
+events or mutates world state beyond the service's own incremental
+completion cursor, so a metrics read is snapshot-consistent: it
+observes the world exactly as a fork taken at the same instant would.
+
+Reported quantities (window ``W`` ending at the current clock):
+
+===========================  ========================================
+``throughput_jobs_per_s``    completions in window / effective window
+``goodput_node_hours_per_h`` node-hours of *completed* work per hour
+                             (numerically: average nodes doing work
+                             that finished)
+``avg_owned_nodes``          usage integral over window / window —
+                             average nodes held by the system (the
+                             machine size on DCS/SSP, the elastic
+                             allocation on DawningCloud)
+``cost_burn_node_hours_per_h``  billed lease units per hour (ledger
+                             systems); the machine size for an owned
+                             DCS machine (it bills continuously)
+``slo_attainment``           fraction of window completions whose
+                             queueing delay met ``slo_wait_s``;
+                             ``None`` when the window saw none
+===========================  ========================================
+
+Per-window values tile: counts/sums over consecutive windows sampled at
+``W, 2W, ...`` add up to the cumulative totals (see
+:mod:`repro.metrics.rolling` for the boundary convention, and the
+property tests for the pinned invariant).
+"""
+
+from __future__ import annotations
+
+from repro.metrics.rolling import (
+    attainment_in_window,
+    sum_in_window,
+    usage_integral_in_window,
+    window_slice,
+    window_start,
+)
+
+HOUR = 3600.0
+
+
+def _extend_completion_cursor(service) -> None:
+    """Fold new completions into the service's incremental log.
+
+    The server appends to ``completed`` in event order, so finish times
+    are non-decreasing and the service-side mirror stays sorted — which
+    is what lets every window query run on bisection instead of a scan.
+    """
+    completed = service.server.completed
+    cursor = service._metrics_cursor
+    for job in completed[cursor:]:
+        finish = float(job.finish_time)
+        service._finish_times.append(finish)
+        service._work_done.append(float(job.work))
+        wait = job.wait_time
+        service._slo_ok.append(
+            wait is not None and wait <= service.slo_wait_s
+        )
+    service._metrics_cursor = len(completed)
+
+
+def _cost_burn(service, now: float, window_s: float, hours: float) -> float:
+    """Billed units per hour over the window, by provisioning regime."""
+    live = service.live
+    provision = getattr(live, "provision", None)
+    if provision is None and hasattr(live, "cloud"):
+        provision = live.cloud.provision
+    if provision is None:
+        # DCS: the owned machine bills continuously at its full size for
+        # the whole horizon (the §4.3 closed form, windowed).
+        return float(live.nodes)
+    client = getattr(live, "name", service.name)
+    log = provision.ledger.charge_log
+    times = [t for t, c, _units in log if c == client]
+    units = [u for _t, c, u in log if c == client]
+    charged = sum_in_window(times, units, now, window_s)
+    return charged / hours if hours > 0 else 0.0
+
+
+def collect_rolling(service) -> dict:
+    """One rolling-metrics sample for the service, at its current clock."""
+    _extend_completion_cursor(service)
+    now = service.now
+    window_s = service.window_s
+    start = window_start(now, window_s)
+    effective_s = now - (start if start is not None else 0.0)
+    hours = effective_s / HOUR
+
+    server = service.server
+    times = service._finish_times
+    lo, hi = window_slice(times, now, window_s)
+    completed_in_window = hi - lo
+    work_in_window = sum(service._work_done[lo:hi])
+
+    throughput = (
+        completed_in_window / effective_s if effective_s > 0 else None
+    )
+    goodput = work_in_window / HOUR / hours if hours > 0 else None
+    owned_integral = usage_integral_in_window(server.usage, now, window_s)
+    avg_owned = owned_integral / effective_s if effective_s > 0 else None
+
+    return {
+        "service": service.name,
+        "time": now,
+        "window_s": window_s,
+        "window_start": start if start is not None else 0.0,
+        "ingested": service.ingested,
+        "rejected": service.rejected,
+        "cancelled": service.cancelled,
+        "pending_arrivals": service.pending_arrivals,
+        "queue_depth": len(server.queue),
+        "running_jobs": len(server.running),
+        "owned_nodes": server.owned,
+        "completed_total": len(times),
+        "completed_in_window": completed_in_window,
+        "throughput_jobs_per_s": throughput,
+        "goodput_node_hours_per_h": goodput,
+        "avg_owned_nodes": avg_owned,
+        "cost_burn_node_hours_per_h": _cost_burn(
+            service, now, window_s, hours
+        ),
+        "slo_wait_s": service.slo_wait_s,
+        "slo_attainment": attainment_in_window(
+            times, service._slo_ok, now, window_s
+        ),
+    }

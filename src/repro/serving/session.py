@@ -1,0 +1,196 @@
+"""The JSONL serve session: one op per line in, one result per line out.
+
+``repro-experiments serve`` reads newline-delimited JSON operations from
+stdin (or a script file) and emits exactly one JSON result line per op —
+``{"ok": true, "op": ..., ...}`` on success, ``{"ok": false, "op": ...,
+"error": {"type": ..., "message": ...}}`` on failure.  Errors are
+per-op: a rejected submission (admission, back-pressure) or a failed
+what-if reports structured failure and the session keeps serving, which
+is what an operator-facing ingest endpoint must do.  Only ``shutdown``
+(or end of input) ends the session.
+
+Operations
+----------
+``{"op": "submit", "job": {"job_id", "submit_time", "size", "runtime",
+"user_id"?, "task_type"?}}``
+    Admit one job.
+
+``{"op": "submit-batch", "jobs": [<job>, ...]}``
+    Admit a batch atomically.
+
+``{"op": "advance", "to": <t>}``
+    Execute the world up to and including ``t``.
+
+``{"op": "metrics"}``
+    One rolling-metrics sample at the current clock.
+
+``{"op": "what-if", "delta": {...}, "horizon_s": <s>, "label"?: ...}``
+    One forked what-if query (see :mod:`repro.serving.whatif`).
+
+``{"op": "what-if-batch", "queries": [{"delta", "horizon_s", "label"?},
+...]}``
+    Several queries forked from the same instant.
+
+``{"op": "shutdown", "drain"?: true}``
+    Finish the run and emit the final metrics payload.
+
+Blank lines and ``#`` comment lines are skipped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping, Optional, TextIO
+
+from repro.experiments.supervision import ErrorInfo
+from repro.serving.service import SimulationService
+from repro.serving.whatif import WhatIfEngine
+from repro.workloads.job import Job
+
+
+def _job_from_dict(data: Mapping) -> Job:
+    known = {"job_id", "submit_time", "size", "runtime", "user_id",
+             "task_type"}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"job has unknown key(s) {sorted(unknown)}; known: "
+            f"{sorted(known)}"
+        )
+    missing = {"job_id", "submit_time", "size", "runtime"} - set(data)
+    if missing:
+        raise ValueError(f"job is missing required key(s) {sorted(missing)}")
+    return Job(
+        job_id=int(data["job_id"]),
+        submit_time=float(data["submit_time"]),
+        size=int(data["size"]),
+        runtime=float(data["runtime"]),
+        user_id=int(data.get("user_id", 0)),
+        task_type=str(data.get("task_type", "htc")),
+    )
+
+
+class ServeSession:
+    """Dispatches JSONL operations onto one service + what-if engine."""
+
+    def __init__(self, service: SimulationService, retry=None) -> None:
+        self.service = service
+        self.whatif = WhatIfEngine(service, retry=retry)
+        self.finished = False
+
+    # ------------------------------------------------------------------ #
+    def execute(self, op: Mapping) -> dict:
+        """Run one operation; never raises — failures come back as data."""
+        if not isinstance(op, Mapping):
+            return self._error("?", TypeError("operation must be an object"))
+        kind = op.get("op")
+        handler = {
+            "submit": self._op_submit,
+            "submit-batch": self._op_submit_batch,
+            "advance": self._op_advance,
+            "metrics": self._op_metrics,
+            "what-if": self._op_what_if,
+            "what-if-batch": self._op_what_if_batch,
+            "shutdown": self._op_shutdown,
+        }.get(kind)
+        if handler is None:
+            return self._error(
+                kind or "?",
+                ValueError(
+                    f"unknown op {kind!r}; known: ['advance', 'metrics', "
+                    f"'shutdown', 'submit', 'submit-batch', 'what-if', "
+                    f"'what-if-batch']"
+                ),
+            )
+        try:
+            return {"ok": True, "op": kind, **handler(op)}
+        except Exception as exc:
+            return self._error(kind, exc)
+
+    def run_script(
+        self, lines: Iterable[str], out: Optional[TextIO] = None
+    ) -> list[dict]:
+        """Execute a JSONL script; returns (and optionally streams) results.
+
+        Stops after a ``shutdown`` op; a malformed JSON line produces an
+        error result and the session continues.
+        """
+        results = []
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                op = json.loads(line)
+            except json.JSONDecodeError as exc:
+                result = self._error("?", exc)
+            else:
+                result = self.execute(op)
+            results.append(result)
+            if out is not None:
+                out.write(json.dumps(result, sort_keys=True) + "\n")
+                out.flush()
+            if result.get("op") == "shutdown" and result["ok"]:
+                break
+        return results
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _error(kind: str, exc: Exception) -> dict:
+        return {
+            "ok": False,
+            "op": kind,
+            "error": ErrorInfo.from_exception(exc).to_dict(),
+        }
+
+    def _op_submit(self, op: Mapping) -> dict:
+        job = _job_from_dict(op.get("job") or {})
+        self.service.submit(job)
+        return {
+            "job_id": job.job_id,
+            "pending_arrivals": self.service.pending_arrivals,
+        }
+
+    def _op_submit_batch(self, op: Mapping) -> dict:
+        jobs = [_job_from_dict(j) for j in op.get("jobs") or []]
+        admitted = self.service.submit_batch(jobs)
+        return {
+            "admitted": admitted,
+            "pending_arrivals": self.service.pending_arrivals,
+        }
+
+    def _op_advance(self, op: Mapping) -> dict:
+        if "to" not in op:
+            raise ValueError("advance needs a 'to' timestamp")
+        executed = self.service.advance_to(float(op["to"]))
+        return {"time": self.service.now, "executed": executed}
+
+    def _op_metrics(self, op: Mapping) -> dict:
+        return {"metrics": self.service.metrics()}
+
+    def _op_what_if(self, op: Mapping) -> dict:
+        if "horizon_s" not in op:
+            raise ValueError("what-if needs a 'horizon_s' lookahead")
+        result = self.whatif.what_if(
+            op.get("delta"), float(op["horizon_s"]),
+            label=str(op.get("label", "")),
+        )
+        return {"result": result.to_payload()}
+
+    def _op_what_if_batch(self, op: Mapping) -> dict:
+        queries = [
+            self.whatif._query(
+                q.get("delta"), float(q["horizon_s"]),
+                str(q.get("label", "")),
+            )
+            for q in op.get("queries") or []
+        ]
+        if not queries:
+            raise ValueError("what-if-batch needs a non-empty 'queries' list")
+        results = self.whatif.run_many(queries)
+        return {"results": [r.to_payload() for r in results]}
+
+    def _op_shutdown(self, op: Mapping) -> dict:
+        final = self.service.shutdown(drain=bool(op.get("drain", True)))
+        self.finished = True
+        return {"final": final}

@@ -78,6 +78,40 @@ def verify_heap_callables(engine: SimulationEngine) -> None:
             )
 
 
+def assert_forkable(
+    world: Any,
+    engine: Optional[SimulationEngine] = None,
+    *,
+    max_pending_events: Optional[int] = None,
+) -> None:
+    """All snapshot/fork preconditions, without paying for a deepcopy.
+
+    Long-lived services fork on every what-if query, so they want the
+    failure modes (mid-callback fork, closure in the heap, unbounded
+    pending backlog) surfaced as a cheap precondition check with a
+    pointed error, not as a deep-copy surprise.  ``max_pending_events``
+    optionally bounds the live heap size: forking a world with millions
+    of pending arrivals deep-copies all of them, which a service-level
+    caller may prefer to refuse outright.
+    """
+    if engine is None:
+        engine = world.engine
+    if engine._running:
+        raise RuntimeError(
+            "cannot fork while the engine is running; fork between "
+            "run()/advance_before() calls"
+        )
+    verify_heap_callables(engine)
+    if max_pending_events is not None:
+        pending = sum(1 for entry in engine._heap if not entry[3]._cancelled)
+        if pending > max_pending_events:
+            raise RuntimeError(
+                f"world has {pending} live pending events, above the fork "
+                f"bound of {max_pending_events}; advance the run or raise "
+                f"the bound before forking"
+            )
+
+
 class EngineSnapshot:
     """A frozen deep copy of a simulation world at one instant.
 
@@ -112,12 +146,7 @@ def snapshot_world(
     ``engine`` argument — is the simulation engine the world runs on)."""
     if engine is None:
         engine = world.engine
-    if engine._running:
-        raise RuntimeError(
-            "cannot snapshot while the engine is running; snapshot between "
-            "run()/advance_before() calls"
-        )
-    verify_heap_callables(engine)
+    assert_forkable(world, engine)
     return EngineSnapshot(copy.deepcopy(world), engine.now, label)
 
 

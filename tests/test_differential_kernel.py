@@ -455,3 +455,73 @@ class TestGoldenScenariosUnderAmbientKernel:
         hybrid = million_node_year(seed=0, kernel="numpy", **small)
         exact = million_node_year(seed=0, kernel="off", **small)
         assert hybrid["systems"] == exact["systems"]
+
+
+class TestServiceForkUnderHybridKernel:
+    """PR 9 stress: the serving layer's forks against the fluid fast path.
+
+    A hybrid run holds its boot trace columnar until first event-granular
+    use.  Wrapping such a run in a :class:`SimulationService` and forking
+    it must (a) force the deferred trace onto the heap first — a fork of
+    a half-deferred world would silently lose arrivals — and (b) leave
+    both the original and every branch byte-identical to the exact
+    engine's evolution.
+    """
+
+    def test_service_fork_forces_exact_injection(self):
+        from repro.serving import SimulationService
+
+        bundle = uncontended_bundle(n=400)
+        hybrid = FixedLiveRun(bundle, "DCS", kernel="numpy")
+        service = SimulationService(hybrid)
+        assert hybrid._deferred_trace is not None  # fluid option still open
+        branch = service.fork()
+        assert hybrid._deferred_trace is None  # _ensure_exact_mode fired
+        assert branch.live._deferred_trace is None
+        assert not hybrid.fluid_applied
+
+        exact = FixedLiveRun(bundle, "DCS", kernel="off")
+        expected = exact.run().to_payload()
+        assert service.shutdown(drain=True) == expected
+        assert branch.shutdown(drain=True) == expected
+
+    def test_ingest_into_hybrid_run_forces_exact_injection(self):
+        from repro.serving import SimulationService
+        from repro.workloads.job import Job
+
+        bundle = uncontended_bundle(n=300)
+        hybrid = FixedLiveRun(bundle, "DCS", kernel="numpy")
+        service = SimulationService(hybrid)
+        assert hybrid._deferred_trace is not None
+        extra = Job(10**6, 86400.0, 2, 900.0, 0, "htc")
+        service.submit(extra)
+        assert hybrid._deferred_trace is None  # ingest is event-granular
+
+        # the exact engine over trace + extra job agrees byte for byte
+        exact = FixedLiveRun(bundle, "DCS", kernel="off")
+        exact_service = SimulationService(exact)
+        exact_service.submit(
+            Job(10**6, 86400.0, 2, 900.0, 0, "htc")
+        )
+        assert service.shutdown(drain=True) == exact_service.shutdown(
+            drain=True
+        )
+
+    def test_mid_run_service_fork_continues_byte_identically(self):
+        from repro.serving import SimulationService
+
+        bundle = uncontended_bundle(n=400)
+        exact = FixedLiveRun(bundle, "DCS", kernel="off")
+        expected = exact.run()
+        exact_fp = world_fingerprint(exact)
+
+        hybrid = FixedLiveRun(bundle, "DCS", kernel="numpy")
+        service = SimulationService(hybrid)
+        service.advance_to(2 * 86400.0)  # partial advance: exact mode forced
+        branch = service.fork()
+        assert branch.now == service.now
+        payload = service.shutdown(drain=True)
+        assert payload == expected.to_payload()
+        assert world_fingerprint(hybrid) == exact_fp
+        assert branch.shutdown(drain=True) == payload
+        assert world_fingerprint(branch.live) == exact_fp

@@ -31,6 +31,16 @@ class TestRenderTable:
         out = render_table([{"a": 1, "b": 2}, {"a": 3}])
         assert out.splitlines()[-1].split()[-1] == "/"
 
+    def test_headers_union_across_rows(self):
+        # Keys absent from the first row must still get a column, in
+        # first-appearance order, with "/" for rows lacking them.
+        out = render_table([{"a": 1}, {"a": 2, "b": 5}, {"c": 7}])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b", "c"]
+        assert lines[2].split() == ["1", "/", "/"]
+        assert lines[3].split() == ["2", "5", "/"]
+        assert lines[4].split() == ["/", "/", "7"]
+
 
 class TestPercentageRows:
     def test_fraction_formatting(self):

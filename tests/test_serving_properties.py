@@ -1,0 +1,182 @@
+"""Property-based pins for the serving layer (PR 9).
+
+Two invariants hold for *every* workload and fork instant, not just the
+hand-picked ones in ``test_serving``:
+
+* **No-delta neutrality** — forking the live world at an arbitrary
+  instant and running the continuation changes nothing: the what-if
+  baseline and scenario are byte-identical to each other *and* to the
+  undisturbed service running on to the same horizon.  This is the
+  serving layer's version of the snapshot layer's non-perturbation
+  guarantee, composed through ingest counters, pending-arrival events
+  and rolling-metric cursors.
+* **Window conservation** — trailing windows sampled every ``W`` tile
+  the timeline exactly: per-window counts, sums and attainment-weighted
+  counts add up to the cumulative totals, for arbitrary event times and
+  window widths (the ``(now - W, now]`` boundary convention, first
+  window inclusive of ``t = 0``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.rolling import (
+    attainment_in_window,
+    count_in_window,
+    sum_in_window,
+    window_start,
+)
+from repro.serving import WhatIfEngine, build_service
+from repro.api.spec import ServiceSpec
+from repro.workloads.job import Job
+
+pytestmark = pytest.mark.timeout(300)
+
+DAY = 86400.0
+
+
+def _spec(nodes: int = 8) -> ServiceSpec:
+    return ServiceSpec.from_dict(
+        {"name": "prop", "system": "dcs", "machine_nodes": nodes,
+         "horizon_s": DAY}
+    )
+
+
+# (submit offset, size, runtime) triples, deliberately collision-heavy:
+# simultaneous arrivals and scan-tick-straddling runtimes included.
+job_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20_000.0, allow_nan=False),
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=30.0, max_value=15_000.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _jobs(specs) -> list[Job]:
+    return [
+        Job(job_id=i, submit_time=offset, size=size, runtime=runtime,
+            user_id=0, task_type="htc")
+        for i, (offset, size, runtime) in enumerate(specs)
+    ]
+
+
+class TestNoDeltaNeutrality:
+    @given(specs=job_specs, fork_frac=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_empty_whatif_reproduces_the_undisturbed_run(
+        self, specs, fork_frac
+    ):
+        jobs = _jobs(specs)
+        last_arrival = max(j.submit_time for j in jobs)
+        fork_at = fork_frac * (last_arrival + 1.0)
+
+        service = build_service(_spec())
+        service.submit_batch(jobs)
+        service.advance_to(fork_at)
+
+        result = WhatIfEngine(service).what_if(
+            None, DAY - service.now, label="noop"
+        )
+        # the two branches are byte-identical...
+        assert result.scenario == result.baseline
+        assert result.diff == {}
+        # ...the live service did not move while being queried...
+        assert service.now == fork_at
+        # ...and the branch continuation equals the undisturbed service
+        # run to the very same horizon
+        assert service.shutdown(drain=True) == result.baseline
+
+    @given(specs=job_specs, steps=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_forks_along_the_run_never_perturb_the_final_payload(
+        self, specs, steps
+    ):
+        # jobs are mutable simulation state: each service gets its own
+        reference = build_service(_spec())
+        reference.submit_batch(_jobs(specs))
+        expected = reference.shutdown(drain=True)
+
+        jobs = _jobs(specs)
+        service = build_service(_spec())
+        service.submit_batch(jobs)
+        horizon = max(j.submit_time for j in jobs) + 1.0
+        for k in range(1, steps + 1):
+            service.advance_to(horizon * k / steps)
+            service.metrics()  # metric reads must not perturb either
+            branch = service.fork()
+            assert branch.now == service.now
+        assert service.shutdown(drain=True) == expected
+
+
+class TestWindowConservation:
+    event_streams = st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5_000.0, allow_nan=False),
+            st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+            st.booleans(),
+        ),
+        min_size=0,
+        max_size=60,
+    ).map(lambda triples: sorted(triples, key=lambda e: e[0]))
+
+    @given(
+        events=event_streams,
+        window_s=st.floats(min_value=7.0, max_value=2_000.0,
+                           allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_consecutive_windows_tile_the_timeline(self, events, window_s):
+        times = [t for t, _v, _ok in events]
+        values = [v for _t, v, _ok in events]
+        flags = [ok for _t, _v, ok in events]
+        end = max(times) if times else 0.0
+        n_windows = max(1, math.ceil(end / window_s))
+        # sampling right at k*W for every k must see each event once
+        total_count = 0
+        total_sum = 0.0
+        total_ok = 0
+        for k in range(1, n_windows + 1):
+            now = k * window_s
+            count = count_in_window(times, now, window_s)
+            total_count += count
+            total_sum += sum_in_window(times, values, now, window_s)
+            attainment = attainment_in_window(times, flags, now, window_s)
+            if attainment is None:
+                assert count == 0
+            else:
+                total_ok += round(attainment * count)
+        assert total_count == len(times)
+        assert total_sum == pytest.approx(sum(values), abs=1e-9)
+        assert total_ok == sum(flags)
+
+    @given(
+        now=st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False),
+        window_s=st.floats(min_value=1e-3, max_value=10_000.0,
+                           allow_nan=False),
+    )
+    def test_window_start_convention(self, now, window_s):
+        start = window_start(now, window_s)
+        if start is None:
+            assert now - window_s <= 0
+        else:
+            assert start == pytest.approx(now - window_s)
+            assert start > 0
+
+    def test_window_start_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="window_s"):
+            window_start(10.0, 0.0)
+
+    @given(events=event_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_whole_history_window_sees_everything(self, events):
+        times = [t for t, _v, _ok in events]
+        end = (max(times) if times else 0.0) + 1.0
+        assert count_in_window(times, end, end + 1.0) == len(times)
