@@ -37,6 +37,7 @@ import repro.systems  # noqa: F401
 import repro.experiments.tables  # noqa: F401
 import repro.experiments.figures  # noqa: F401
 import repro.experiments.ablations  # noqa: F401
+import repro.experiments.sensitivity  # noqa: F401
 import repro.experiments.extensions  # noqa: F401
 import repro.experiments.perfscale  # noqa: F401
 import repro.costmodel.compare  # noqa: F401

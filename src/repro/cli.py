@@ -16,6 +16,8 @@ Extensions beyond the paper (ablations and future-work experiments)::
     repro-experiments ablation-lease-unit | ablation-scan-interval
     repro-experiments ablation-scheduler  | ablation-policy
     repro-experiments ablation-utilization
+    repro-experiments ablate --scenario 'table2-*'      # auto component swaps
+    repro-experiments sensitivity --scenario 'table2-*' # + ±step param grids
     repro-experiments breakeven           # own-vs-lease decision surface
     repro-experiments zoo                 # Pegasus workflow family
     repro-experiments federation          # one big cloud vs k fragments
@@ -411,6 +413,98 @@ def _ok_payloads(runs) -> dict:
     return {name: run.payload for name, run in runs.items() if run.ok}
 
 
+_ABLATION_MD_BEGIN = "<!-- repro:ablation:begin -->"
+_ABLATION_MD_END = "<!-- repro:ablation:end -->"
+
+
+def _write_ablation_section(path: str, sections: list[str]) -> None:
+    """Write the ranked report block into ``path``, idempotently.
+
+    The block lives between marker comments: an existing block is
+    replaced in place (everything outside it is preserved byte-for-
+    byte), a missing one is appended, a missing file is created.
+    """
+    import os
+
+    block = "\n".join([
+        _ABLATION_MD_BEGIN,
+        "## Ablation & sensitivity (`repro-experiments ablate`)",
+        "",
+        *sections,
+        _ABLATION_MD_END,
+    ])
+    text = ""
+    if os.path.exists(path):
+        with open(path) as fh:
+            text = fh.read()
+    if _ABLATION_MD_BEGIN in text and _ABLATION_MD_END in text:
+        head, _, rest = text.partition(_ABLATION_MD_BEGIN)
+        _, _, tail = rest.partition(_ABLATION_MD_END)
+        text = head + block + tail
+    else:
+        if text and not text.endswith("\n"):
+            text += "\n"
+        text += ("\n" if text else "") + block + "\n"
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+def _cmd_ablation_engine(args, cache) -> int:
+    """The 'ablate' / 'sensitivity' verbs: auto-generated run sets.
+
+    ``ablate`` swaps every registered component one-off against each
+    matching scenario's baseline and writes the ranked section into
+    ``--md``; ``sensitivity`` additionally (or, with ``--path``, only
+    as directed) perturbs dotted spec parameters ±``--step``.  Exit 1
+    when the pattern yields no executable plan, with a failure table
+    naming each rejected scenario and why.
+    """
+    from repro.experiments.sensitivity import (
+        DEFAULT_SENSITIVITY_GRIDS,
+        render_report,
+        run_ablation,
+        scenario_plans,
+    )
+
+    grids = tuple(args.path) or (
+        DEFAULT_SENSITIVITY_GRIDS if args.command == "sensitivity" else ()
+    )
+    plans, rejected = scenario_plans(
+        args.scenario, grids=grids, step=args.step
+    )
+    if rejected:
+        rows = [
+            {"scenario": name, "reason": reason[:96]}
+            for name, reason in sorted(rejected.items())
+        ]
+        print(
+            render_table(
+                rows, title=f"{len(rejected)} scenario(s) not ablatable"
+            ),
+            file=sys.stderr,
+        )
+    if not plans:
+        if not rejected:
+            print(f"no scenarios match pattern {args.scenario!r}",
+                  file=sys.stderr)
+        return 1
+    payloads = {}
+    sections = []
+    for plan in plans:
+        report = run_ablation(
+            plan, seed=args.seed, cache=cache, workers=args.parallel
+        )
+        payloads[plan.name] = report.to_payload()
+        section = render_report(report)
+        sections.append(section)
+        print(section)
+    print(canonical_json(payloads))
+    if args.command == "ablate" and not args.no_md:
+        _write_ablation_section(args.md, sections)
+        print(f"# wrote ranked section to {args.md}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -419,7 +513,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         choices=[*_COMMANDS, "run", "all", "export", "cache-info", "cache-clear",
-                 "list-components", "run-spec", "serve"],
+                 "list-components", "run-spec", "serve", "ablate",
+                 "sensitivity"],
     )
     parser.add_argument(
         "paths", nargs="*", metavar="SPEC",
@@ -540,6 +635,25 @@ def main(argv: list[str] | None = None) -> int:
              "(default: read operations from stdin)",
     )
     parser.add_argument(
+        "--step", type=float, default=0.25, metavar="FRAC",
+        help="relative perturbation size for 'sensitivity' parameter "
+             "grids (each path sweeps (1-FRAC)·v / v / (1+FRAC)·v)",
+    )
+    parser.add_argument(
+        "--path", action="append", default=[], metavar="DOTTED",
+        help="dotted system-spec path to perturb for 'sensitivity' "
+             "(repeatable; default: the retargetable policy knobs)",
+    )
+    parser.add_argument(
+        "--md", default="EXPERIMENTS.md", metavar="FILE",
+        help="markdown file 'ablate' writes its ranked section into "
+             "(a marker-delimited block, replaced idempotently)",
+    )
+    parser.add_argument(
+        "--no-md", action="store_true",
+        help="'ablate': print the report without touching --md",
+    )
+    parser.add_argument(
         "--spec-dir", default=None, metavar="DIR",
         help="directory of *.toml/*.json experiment specs to register as "
              "scenarios (default: $REPRO_SPEC_DIR, else ./specs if present)",
@@ -558,6 +672,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--service/--script only apply to the 'serve' command")
     if args.retries is not None and args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.step <= 0:
+        parser.error(f"--step must be positive, got {args.step}")
     if args.timeout is not None and args.timeout <= 0:
         parser.error(f"--timeout must be positive, got {args.timeout}")
 
@@ -601,6 +717,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"warning: spec dir {spec_dir} not loaded: {exc}",
                   file=sys.stderr)
 
+    if args.command in ("ablate", "sensitivity"):
+        return _cmd_ablation_engine(args, cache)
     if args.command == "list-components":
         from repro.api.registry import default_components
 

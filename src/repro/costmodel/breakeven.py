@@ -102,17 +102,34 @@ class SensitivityPoint:
     ssp_tco: float
 
     @property
-    def ssp_over_dcs(self) -> float:
+    def degenerate(self) -> bool:
+        """True when the owning side costs nothing (or less than nothing).
+
+        ``energy_and_space_usd_per_month`` is a signed quantity (a co-lo
+        credit is representable), so a perturbed grid can drive the DCS
+        TCO to or below zero — there the lease/own ratio is undefined,
+        not infinite-and-comparable.
+        """
+        return self.dcs_tco <= 0.0
+
+    @property
+    def ssp_over_dcs(self) -> Optional[float]:
+        if self.degenerate:
+            return None
         return self.ssp_tco / self.dcs_tco
 
     def to_row(self) -> dict:
-        return {
+        ratio = self.ssp_over_dcs
+        row = {
             "parameter": self.parameter,
             "value": self.value,
             "dcs_tco_per_month": round(self.dcs_tco),
             "ssp_tco_per_month": round(self.ssp_tco),
-            "ssp_over_dcs": round(self.ssp_over_dcs, 3),
+            "ssp_over_dcs": None if ratio is None else round(ratio, 3),
         }
+        if ratio is None:
+            row["note"] = "owning is free at this grid point; ratio undefined"
+        return row
 
 
 def sensitivity_table(

@@ -24,15 +24,6 @@
 * :mod:`repro.experiments.scenarios` — the built-in scenario definitions.
 """
 
-from repro.experiments.ablations import (
-    drp_pooling_ablation,
-    lease_unit_ablation,
-    policy_ablation,
-    scan_interval_ablation,
-    scheduler_ablation,
-    setup_cost_ablation,
-    utilization_sweep,
-)
 from repro.experiments.config import (
     EvaluationSetup,
     PAPER_POLICIES,
@@ -59,6 +50,27 @@ from repro.experiments.paperdata import (
 from repro.experiments.runner import run_four_systems  # deprecated shim
 from repro.experiments.sweep import SweepPoint, sweep_htc_parameters, sweep_mtc_parameters
 from repro.experiments.tables import table1, table_for_bundle
+
+# The ablation sweeps sit above the spec layer, and repro.api.spec imports
+# this package (for the canonical-JSON helpers in .cache) — so re-export
+# them lazily to keep the package importable from either direction.
+_ABLATION_EXPORTS = (
+    "drp_pooling_ablation",
+    "lease_unit_ablation",
+    "policy_ablation",
+    "scan_interval_ablation",
+    "scheduler_ablation",
+    "setup_cost_ablation",
+    "utilization_sweep",
+)
+
+
+def __getattr__(name):
+    if name in _ABLATION_EXPORTS:
+        from repro.experiments import ablations
+
+        return getattr(ablations, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CONSOLIDATED_CLAIMS",

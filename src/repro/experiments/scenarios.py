@@ -251,6 +251,15 @@ SCENARIO_DECLS: tuple[ScenarioDecl, ...] = (
         prewarm=("nasa-ipsc",),
         capacity=DEFAULT_CAPACITY,
     ),
+    _analysis_decl(
+        "ablation-sensitivity", "ablation-sensitivity",
+        "Automatic ablation & sensitivity screen of the Table 2 baseline.",
+        tags=("ablation", "sensitivity", "slow"),
+        params={"scenario": "$scenario", "step": "$step"},
+        prewarm=("nasa-ipsc",),
+        scenario="table2-nasa",
+        step=0.25,
+    ),
     # ----------------------------------------------------------------- #
     # extensions
     # ----------------------------------------------------------------- #

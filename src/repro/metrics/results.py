@@ -41,6 +41,16 @@ class ProviderMetrics:
         configured (:meth:`repro.reliability.stats.ReliabilityStats
         .to_payload`); ``None`` on the no-failure fast path, and then
         absent from payloads — existing pins stay byte-identical.
+    wait_stats:
+        Queueing-delay statistics over the run's completed jobs
+        (:meth:`repro.metrics.jobstats.JobStatistics.to_row`), attached
+        by runners whose server keeps a completion log.  ``None`` (and
+        absent from payloads) elsewhere — same convention as
+        ``reliability``.
+    setup_overhead_s / setup_overhead_s_per_hour:
+        Management (setup) overhead accumulated by the provision
+        service, total and per simulated hour.  ``None``/absent for
+        systems without a provision service.
     """
 
     provider: str
@@ -55,6 +65,9 @@ class ProviderMetrics:
     peak_nodes: float = 0.0
     usage: UsageRecorder = field(default_factory=UsageRecorder, repr=False)
     reliability: Optional[dict] = None
+    wait_stats: Optional[dict] = None
+    setup_overhead_s: Optional[float] = None
+    setup_overhead_s_per_hour: Optional[float] = None
 
     def to_payload(self) -> dict:
         """Unrounded, JSON-safe projection (the scenario-payload contract).
@@ -77,6 +90,12 @@ class ProviderMetrics:
         }
         if self.reliability is not None:
             payload["reliability"] = dict(self.reliability)
+        if self.wait_stats is not None:
+            payload["wait_stats"] = dict(self.wait_stats)
+        if self.setup_overhead_s is not None:
+            payload["setup_overhead_s"] = self.setup_overhead_s
+        if self.setup_overhead_s_per_hour is not None:
+            payload["setup_overhead_s_per_hour"] = self.setup_overhead_s_per_hour
         return payload
 
     def to_row(self) -> dict:

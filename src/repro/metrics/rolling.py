@@ -40,6 +40,19 @@ def window_start(now: float, window_s: float) -> Optional[float]:
     return start if start > 0 else None
 
 
+def effective_window_s(now: float, window_s: float) -> float:
+    """Width the trailing window actually covers.
+
+    ``window_s`` in steady state; for the partial first window (elapsed
+    time still short of one full width) the elapsed time itself.  Rate
+    metrics must divide by this, not by ``window_s`` — normalizing an
+    early sample by the full width under-reports every rate until
+    ``t = W``.
+    """
+    start = window_start(now, window_s)
+    return now - (start if start is not None else 0.0)
+
+
 def count_in_window(times: Sequence[float], now: float, window_s: float) -> int:
     """Number of events with ``start < t <= now`` (``t <= now`` for the
     first window).  ``times`` must be sorted ascending."""

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from repro.metrics.rolling import (
     attainment_in_window,
+    effective_window_s,
     sum_in_window,
     usage_integral_in_window,
     window_slice,
@@ -90,7 +91,7 @@ def collect_rolling(service) -> dict:
     now = service.now
     window_s = service.window_s
     start = window_start(now, window_s)
-    effective_s = now - (start if start is not None else 0.0)
+    effective_s = effective_window_s(now, window_s)
     hours = effective_s / HOUR
 
     server = service.server

@@ -85,7 +85,8 @@ def _register_systems() -> None:
                               meter=meter)
 
     def dawningcloud(bundle, seed=0, policy=None, capacity=DEFAULT_CAPACITY,
-                     meter=None, failures=None):
+                     meter=None, failures=None, lease_unit_s=3600.0,
+                     setup_cost_s=None, scheduler=None):
         """DawningCloud: a TRE with dynamic B/R negotiation over the pool."""
         from repro.core.policies import ResourceManagementPolicy
 
@@ -95,12 +96,21 @@ def _register_systems() -> None:
                 if bundle.kind == "htc"
                 else ResourceManagementPolicy.for_mtc()
             )
-        runner = (
-            run_dawningcloud_htc if bundle.kind == "htc"
-            else run_dawningcloud_mtc
+        if bundle.kind != "htc":
+            if lease_unit_s != 3600.0 or setup_cost_s is not None \
+                    or scheduler is not None:
+                raise ValueError(
+                    "lease_unit_s/setup_cost_s/scheduler are HTC-only knobs"
+                )
+            return run_dawningcloud_mtc(
+                bundle, policy, capacity=capacity, meter=meter,
+                failures=failures, seed=seed,
+            )
+        return run_dawningcloud_htc(
+            bundle, policy, capacity=capacity, meter=meter,
+            failures=failures, seed=seed, lease_unit_s=lease_unit_s,
+            setup_cost_s=setup_cost_s, scheduler=scheduler,
         )
-        return runner(bundle, policy, capacity=capacity, meter=meter,
-                      failures=failures, seed=seed)
 
     def pooled_queue(bundle, seed=0, scheduler=None, pool_cap=None,
                      meter=None, failures=None):

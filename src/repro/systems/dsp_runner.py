@@ -116,13 +116,31 @@ class DawningCloudHtcLiveRun(LiveRun):
         meter: Optional[BillingMeter] = None,
         failures: Optional["FailureModel"] = None,
         seed: int = 0,
+        lease_unit_s: float = HOUR,
+        setup_cost_s: Optional[float] = None,
+        scheduler=None,
     ) -> None:
         if bundle.kind != "htc":
             raise ValueError("expected an HTC bundle")
-        cloud = self.cloud = DawningCloud(capacity=capacity, meter=meter)
+        from repro.cluster.setup import SetupPolicy
+
+        setup_policy = (
+            SetupPolicy(package_setup_cost_s=setup_cost_s)
+            if setup_cost_s is not None
+            else SetupPolicy()
+        )
+        cloud = self.cloud = DawningCloud(
+            capacity=capacity, lease_unit_s=lease_unit_s,
+            setup_policy=setup_policy, meter=meter,
+        )
         self.engine = cloud.engine
         self.name = bundle.name
-        cloud.add_htc_provider(bundle.name, policy)
+        cloud.add_htc_provider(
+            bundle.name, policy,
+            scheduler_factory=(
+                None if scheduler is None else (lambda: scheduler)
+            ),
+        )
         self.injector = (
             _elastic_injector(cloud, bundle, failures, seed).start()
             if failures is not None
@@ -139,10 +157,20 @@ class DawningCloudHtcLiveRun(LiveRun):
         self.cloud.run(until=self.horizon)
 
     def finish(self) -> ProviderMetrics:
+        from repro.metrics.jobstats import compute_statistics
+
         self.cloud.shutdown()
         metrics = self.cloud.provider_metrics(self.name, self.horizon)
         if self.injector is not None:
             metrics.reliability = self.injector.finalize(self.horizon)
+        metrics.wait_stats = compute_statistics(
+            self.cloud.tre(self.name).server.completed
+        ).to_row()
+        setup = self.cloud.provision.setup
+        metrics.setup_overhead_s = setup.total_overhead_s
+        metrics.setup_overhead_s_per_hour = setup.overhead_per_hour(
+            self.horizon
+        )
         return metrics
 
 
@@ -153,11 +181,15 @@ def run_dawningcloud_htc(
     meter: Optional[BillingMeter] = None,
     failures: Optional["FailureModel"] = None,
     seed: int = 0,
+    lease_unit_s: float = HOUR,
+    setup_cost_s: Optional[float] = None,
+    scheduler=None,
 ) -> ProviderMetrics:
     """One HTC service provider on DawningCloud (standalone)."""
     return DawningCloudHtcLiveRun(
         bundle, policy, capacity=capacity, meter=meter, failures=failures,
-        seed=seed,
+        seed=seed, lease_unit_s=lease_unit_s, setup_cost_s=setup_cost_s,
+        scheduler=scheduler,
     ).run()
 
 

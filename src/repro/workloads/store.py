@@ -275,5 +275,50 @@ def _register_workloads() -> None:
                     "(HTCTraceSpec fields as parameters)",
     )
 
+    def inline_trace(seed=0, *, name, machine_nodes, duration, jobs,
+                     fixed_nodes=None):
+        """A literal HTC trace carried inside the spec itself.
+
+        ``jobs`` is a list of ``[job_id, submit_time, size, runtime,
+        user_id]`` rows, so any in-memory trace — a hand-built test
+        workload, a captured live ingest — can ride through the spec
+        API, the result cache and the ablation engine without being a
+        named generator first.  ``seed`` is ignored: the jobs are data.
+        """
+        from repro.systems.base import WorkloadBundle
+        from repro.workloads.job import Job
+
+        def build():
+            return Trace(
+                name,
+                [
+                    Job(
+                        job_id=int(j[0]), submit_time=float(j[1]),
+                        size=int(j[2]), runtime=float(j[3]),
+                        user_id=int(j[4]) if len(j) > 4 else 0,
+                        task_type=str(j[5]) if len(j) > 5 else "htc",
+                    )
+                    for j in jobs
+                ],
+                machine_nodes=int(machine_nodes),
+                duration=float(duration),
+            )
+
+        spec = {"name": name, "machine_nodes": machine_nodes,
+                "duration": duration, "jobs": [list(j) for j in jobs]}
+        trace = _STORE.trace("inline-trace", spec, 0, build)
+        return WorkloadBundle(
+            name=name, kind="htc", trace=trace, fixed_nodes=fixed_nodes
+        )
+
+    register_component(
+        "workload", "inline-trace", inline_trace,
+        params=(
+            Param("name"), Param("machine_nodes"), Param("duration"),
+            Param("jobs"), Param("fixed_nodes", None),
+        ),
+        description="A literal HTC trace (job rows carried in the spec)",
+    )
+
 
 _register_workloads()

@@ -236,3 +236,45 @@ class TestResilienceCli:
             main(["run", "--timeout", "0", "--no-cache"])
         with pytest.raises(SystemExit):
             main(["run", "--fail-fast", "--keep-going", "--no-cache"])
+
+
+class TestAblateVerbs:
+    def test_bad_pattern_exits_one_with_failure_table(self, capsys):
+        assert main(["ablate", "--scenario", "fig09-*", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "not ablatable" in err
+        assert "fig09-sweep-blue" in err
+
+    def test_no_match_exits_one(self, capsys):
+        assert main(["ablate", "--scenario", "zzz*", "--no-cache"]) == 1
+        assert "no scenarios match" in capsys.readouterr().err
+
+    def test_step_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["sensitivity", "--scenario", "table2-*", "--step", "0"])
+
+    def test_ablate_writes_ranked_section_and_json(self, tmp_path, capsys):
+        md = tmp_path / "report.md"
+        md.write_text("# My notes\n\nkeep me\n")
+        args = ["ablate", "--scenario", "table2-nasa",
+                "--cache-dir", str(tmp_path / "cache"), "--md", str(md)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "### Ablation & sensitivity: ablate:table2-nasa" in out
+        assert '"axis_importance"' in out
+        text = md.read_text()
+        assert text.startswith("# My notes\n\nkeep me\n")
+        assert "## Ablation & sensitivity" in text
+        # warm re-run: all cache hits, ranked table byte-identical,
+        # marker block replaced in place
+        assert main(args) == 0
+        rerun = capsys.readouterr().out
+
+        def table(s):
+            return [line for line in s.splitlines()
+                    if line.startswith("|")]
+
+        assert table(rerun) == table(out)
+        assert "0 executed" in rerun and "cache hits" in rerun
+        assert md.read_text().count("repro:ablation:begin") == 1
+        assert md.read_text().startswith("# My notes\n\nkeep me\n")

@@ -119,6 +119,70 @@ class TestSensitivity:
         assert set(row) == {"parameter", "value", "dcs_tco_per_month",
                             "ssp_tco_per_month", "ssp_over_dcs"}
 
+    def test_degenerate_dcs_clamps_to_sentinel_row(self):
+        # a co-lo credit big enough to zero out the owning side: the
+        # ratio is undefined there, not an inf/ZeroDivisionError
+        free = DCSCostModel(
+            capex_usd=0.0,
+            depreciation_years=8.0,
+            maintenance_total_usd=0.0,
+            energy_and_space_usd_per_month=0.0,
+        )
+        rows = sensitivity_table(free, BJUT_SSP_CASE,
+                                 price_factors=(1.0,),
+                                 depreciation_years=(),
+                                 energy_factors=(2.0,))
+        for point in rows:
+            assert point.degenerate
+            row = point.to_row()
+            assert row["ssp_over_dcs"] is None
+            assert "ratio undefined" in row["note"]
+
+    def test_default_grid_rows_have_no_sentinel(self):
+        rows = sensitivity_table(BJUT_DCS_CASE, BJUT_SSP_CASE)
+        assert all(not p.degenerate for p in rows)
+        assert all("note" not in p.to_row() for p in rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capex=st.floats(min_value=0.0, max_value=1e6),
+    years=st.floats(min_value=0.5, max_value=20.0),
+    maintenance=st.floats(min_value=0.0, max_value=1e5),
+    energy=st.floats(min_value=-5_000.0, max_value=10_000.0),
+    price=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_sensitivity_table_total_over_grid_bounds(
+    capex, years, maintenance, energy, price
+):
+    """No grid point raises; every row is a finite ratio or the sentinel.
+
+    ``energy_and_space_usd_per_month`` is signed (a credit is legal), so
+    the energy-factor sweep can push the DCS TCO through zero — the
+    knife-edge this pins down.
+    """
+    dcs = DCSCostModel(
+        capex_usd=capex,
+        depreciation_years=years,
+        maintenance_total_usd=maintenance,
+        energy_and_space_usd_per_month=energy,
+    )
+    ssp = SSPCostModel(
+        pricing=InstancePricing("x", price, 0.10),
+        n_instances=30,
+        inbound_gb_per_month=1000.0,
+    )
+    for point in sensitivity_table(dcs, ssp):
+        row = point.to_row()  # must never raise
+        if point.dcs_tco > 0:
+            assert row["ssp_over_dcs"] == pytest.approx(
+                point.ssp_tco / point.dcs_tco, abs=5e-4
+            )
+            assert "note" not in row
+        else:
+            assert row["ssp_over_dcs"] is None
+            assert "note" in row
+
 
 class TestUtilizationCurve:
     def test_default_grid_contains_paper_loads(self):

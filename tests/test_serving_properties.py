@@ -28,6 +28,7 @@ from hypothesis import strategies as st
 from repro.metrics.rolling import (
     attainment_in_window,
     count_in_window,
+    effective_window_s,
     sum_in_window,
     window_start,
 )
@@ -180,3 +181,59 @@ class TestWindowConservation:
         times = [t for t, _v, _ok in events]
         end = (max(times) if times else 0.0) + 1.0
         assert count_in_window(times, end, end + 1.0) == len(times)
+
+
+class TestPartialFirstWindow:
+    """Rates in the partial first window normalize by elapsed time.
+
+    Before ``t = W`` the trailing window only covers ``[0, now]``;
+    dividing its counts by the full width ``W`` would under-report every
+    early rate by ``now / W``.  :func:`effective_window_s` is the one
+    place that knows this, and the service's rolling sample must agree
+    with a from-scratch recompute over the full (short) history.
+    """
+
+    @given(
+        now=st.floats(min_value=1e-3, max_value=10_000.0, allow_nan=False),
+        window_s=st.floats(min_value=1e-3, max_value=10_000.0,
+                           allow_nan=False),
+    )
+    def test_effective_width_is_elapsed_capped_at_w(self, now, window_s):
+        assert effective_window_s(now, window_s) == pytest.approx(
+            min(now, window_s)
+        )
+
+    @given(
+        events=TestWindowConservation.event_streams,
+        window_s=st.floats(min_value=7.0, max_value=2_000.0,
+                           allow_nan=False),
+        frac=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_early_rate_matches_full_history_recompute(
+        self, events, window_s, frac
+    ):
+        # sample strictly inside the first window: everything seen so
+        # far is in scope, so rate == cumulative count / elapsed
+        times = [t for t, _v, _ok in events]
+        now = frac * window_s
+        count = count_in_window(times, now, window_s)
+        assert count == sum(1 for t in times if t <= now)
+        rate = count / effective_window_s(now, window_s)
+        assert rate == pytest.approx(count / now)
+
+    def test_service_rates_use_elapsed_in_first_window(self):
+        # one job done well inside the first (hour-long) window: the
+        # sample's throughput must be completions/elapsed, not /W
+        jobs = [Job(job_id=0, submit_time=0.0, size=1, runtime=60.0,
+                    user_id=0, task_type="htc")]
+        service = build_service(_spec())
+        service.submit_batch(jobs)
+        now = 300.0
+        service.advance_to(now)
+        sample = service.metrics()
+        assert sample["completed_in_window"] == 1
+        assert sample["throughput_jobs_per_s"] == pytest.approx(1.0 / now)
+        assert sample["avg_owned_nodes"] == pytest.approx(
+            sample["owned_nodes"]
+        )
